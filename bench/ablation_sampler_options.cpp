@@ -1,0 +1,84 @@
+/// \file ablation_sampler_options.cpp
+/// Ablations of the design choices DESIGN.md calls out:
+///  1. skipping candidate updates for diagonal gates (exact; the
+///     candidate distribution is invariant under diagonal unitaries) on
+///     a ZZ-heavy QAOA-style circuit;
+///  2. dictionary batching granularity: peak dictionary size and
+///     runtime across register widths (complementing Fig. 2's
+///     repetition sweep).
+
+#include <iostream>
+
+#include "circuit/random.h"
+#include "core/simulator.h"
+#include "statevector/state.h"
+#include "util/table.h"
+#include "util/timing.h"
+
+int main() {
+  using namespace bgls;
+
+  std::cout << "=== Ablation 1: skip_diagonal_updates on a diagonal-heavy "
+               "circuit ===\n\n";
+  {
+    // QAOA-like layer structure: H wall, many ZZ gates, Rx mixer.
+    const int n = 10;
+    Circuit circuit;
+    for (int q = 0; q < n; ++q) circuit.append(h(q));
+    Rng pair_rng(5);
+    for (int i = 0; i < 40; ++i) {
+      const auto a = static_cast<Qubit>(pair_rng.uniform_int(n));
+      auto b = a;
+      while (b == a) b = static_cast<Qubit>(pair_rng.uniform_int(n));
+      circuit.append(zz(0.37 + 0.01 * i, a, b));
+    }
+    for (int q = 0; q < n; ++q) circuit.append(rx(0.9, q));
+
+    const std::uint64_t reps = 5000;
+    Simulator<StateVectorState> plain{StateVectorState(n)};
+    SimulatorOptions skip;
+    skip.skip_diagonal_updates = true;
+    Simulator<StateVectorState> skipping{StateVectorState(n), skip};
+    Rng rng1(7), rng2(7);
+    const double t_plain =
+        median_runtime([&] { plain.sample(circuit, reps, rng1); });
+    const double t_skip =
+        median_runtime([&] { skipping.sample(circuit, reps, rng2); });
+
+    ConsoleTable table({"variant", "runtime", "candidate updates skipped"});
+    table.add_row({"update on every gate", ConsoleTable::duration(t_plain),
+                   "0"});
+    table.add_row(
+        {"skip diagonal gates", ConsoleTable::duration(t_skip),
+         std::to_string(skipping.last_run_stats().diagonal_updates_skipped)});
+    table.print(std::cout);
+    std::cout << "speedup: " << ConsoleTable::num(t_plain / t_skip, 3)
+              << "x (exact — diagonal unitaries cannot change the candidate "
+                 "distribution)\n\n";
+  }
+
+  std::cout << "=== Ablation 2: dictionary saturation across widths ===\n\n";
+  {
+    const std::uint64_t reps = 100000;
+    ConsoleTable table(
+        {"width", "dict peak", "2^n ceiling", "batched runtime"});
+    for (const int n : {4, 6, 8, 10, 12}) {
+      Rng circuit_rng(static_cast<std::uint64_t>(n));
+      RandomCircuitOptions options;
+      options.num_moments = 20;
+      const Circuit circuit = generate_random_circuit(n, options, circuit_rng);
+      Simulator<StateVectorState> sim{StateVectorState(n)};
+      Rng rng(9);
+      const double t = median_runtime([&] { sim.sample(circuit, reps, rng); });
+      table.add_row({std::to_string(n),
+                     std::to_string(sim.last_run_stats().max_dictionary_size),
+                     std::to_string(1u << n), ConsoleTable::duration(t)});
+    }
+    table.print(std::cout);
+    std::cout << "\nThe dictionary peak is bounded by min(2^n, repetitions, "
+                 "support of the\ninstantaneous distribution) — it can never "
+                 "exceed the 2^n ceiling, and a\nconcentrated state keeps it "
+                 "far below.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+/// \file fig3_clifford_scaling.cpp
+/// Reproduces Fig. 3: sampling runtime for random pure-Clifford
+/// circuits in CH form as (a) circuit depth and (b) register width are
+/// varied, comparing the gate-by-gate sampler against the traditional
+/// qubit-by-qubit method (evolve once, then per sample measure each
+/// qubit sequentially with collapse). The paper's observation: both
+/// methods have the same complexity class here — the CH amplitude costs
+/// O(n²) independent of depth, so f(n, d) = O(d·n²) either way and BGLS
+/// offers no direct benefit on pure Clifford circuits.
+
+#include <iostream>
+
+#include "circuit/random.h"
+#include "core/simulator.h"
+#include "stabilizer/ch_form.h"
+#include "util/table.h"
+#include "util/timing.h"
+
+namespace {
+
+using namespace bgls;
+
+/// Gate-by-gate sampling on the CH backend.
+double time_bgls(const Circuit& circuit, int n, std::uint64_t reps) {
+  Simulator<CHState> sim{CHState(n)};
+  Rng rng(7);
+  return median_runtime([&] { sim.sample(circuit, reps, rng); });
+}
+
+/// Traditional sampling per the paper's sketch: (1) initialize and
+/// fully run the circuit, then (2) per repetition copy the final state
+/// and measure qubits sequentially (marginal + collapse each).
+double time_qubit_by_qubit(const Circuit& circuit, int n,
+                           std::uint64_t reps) {
+  Rng rng(9);
+  return median_runtime([&] {
+    CHState final_state(n);
+    for (const auto& op : circuit.all_operations()) final_state.apply(op);
+    for (std::uint64_t r = 0; r < reps; ++r) {
+      CHState working = final_state;
+      for (int q = 0; q < n; ++q) working.measure_z(q, rng);
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 3: Clifford sampling runtime scaling (CH form) "
+               "===\n\n";
+  const std::uint64_t reps = 100;
+
+  {
+    std::cout << "(a) runtime vs depth, width fixed at n = 24, " << reps
+              << " samples:\n\n";
+    const int n = 24;
+    ConsoleTable table({"depth (moments)", "bgls", "qubit-by-qubit"});
+    std::vector<double> depths, bgls_times;
+    for (const int depth : {25, 50, 100, 200, 400}) {
+      Rng circuit_rng(static_cast<std::uint64_t>(depth));
+      const Circuit circuit = random_clifford_circuit(n, depth, circuit_rng);
+      const double tb = time_bgls(circuit, n, reps);
+      const double tq = time_qubit_by_qubit(circuit, n, reps);
+      depths.push_back(depth);
+      bgls_times.push_back(tb);
+      table.add_row({std::to_string(depth), ConsoleTable::duration(tb),
+                     ConsoleTable::duration(tq)});
+    }
+    table.print(std::cout);
+    std::cout << "bgls log-log slope vs depth: "
+              << ConsoleTable::num(log_log_slope(depths, bgls_times), 3)
+              << " (≈1: linear in depth, amplitude cost is "
+                 "depth-independent)\n\n";
+  }
+
+  {
+    std::cout << "(b) runtime vs width, depth fixed at 100 moments, " << reps
+              << " samples:\n\n";
+    const int depth = 100;
+    ConsoleTable table({"width (qubits)", "bgls", "qubit-by-qubit"});
+    std::vector<double> widths, bgls_times;
+    for (const int n : {8, 16, 24, 32, 48, 63}) {
+      Rng circuit_rng(static_cast<std::uint64_t>(n) + 100);
+      const Circuit circuit = random_clifford_circuit(n, depth, circuit_rng);
+      const double tb = time_bgls(circuit, n, reps);
+      const double tq = time_qubit_by_qubit(circuit, n, reps);
+      widths.push_back(n);
+      bgls_times.push_back(tb);
+      table.add_row({std::to_string(n), ConsoleTable::duration(tb),
+                     ConsoleTable::duration(tq)});
+    }
+    table.print(std::cout);
+    std::cout << "bgls log-log slope vs width: "
+              << ConsoleTable::num(log_log_slope(widths, bgls_times), 3)
+              << " (polynomial — the CH representation is efficient at any "
+                 "width)\n";
+  }
+  std::cout << "\nBoth samplers scale comparably on pure Clifford circuits "
+               "(the paper's point);\nthe CH framework pays off on "
+               "near-Clifford circuits (Figs. 4-5).\n";
+  return 0;
+}

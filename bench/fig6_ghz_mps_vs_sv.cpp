@@ -1,0 +1,105 @@
+/// \file fig6_ghz_mps_vs_sv.cpp
+/// Reproduces Fig. 6: sampling runtime for randomly-sequenced GHZ
+/// circuits of increasing width, MPS versus statevector.
+///
+/// Reproduction note (see EXPERIMENTS.md): the paper observes
+/// exponential runtime for *both* representations and uses GHZ as a
+/// cautionary tale for "blindly" simulating maximally entangled states
+/// with tensor networks. Our SVD split compresses every bond to the
+/// true Schmidt rank (χ = 2 for GHZ), so the MPS series here stays
+/// cheap while the statevector series is exponential — the honest
+/// outcome of a compressing implementation. To still exhibit the
+/// paper's underlying claim ("MPS scales exponentially with
+/// entanglement"), a second table runs volume-law random circuits,
+/// where bond dimensions — and MPS runtime — genuinely explode.
+
+#include <iostream>
+
+#include "circuit/random.h"
+#include "core/simulator.h"
+#include "mps/state.h"
+#include "statevector/state.h"
+#include "util/table.h"
+#include "util/timing.h"
+
+namespace {
+
+using namespace bgls;
+
+double time_mps(const Circuit& circuit, int n, std::uint64_t reps,
+                std::size_t* chi_out = nullptr) {
+  Simulator<MPSState> sim{MPSState(n)};
+  Rng rng(3);
+  const double t = median_runtime([&] { sim.sample(circuit, reps, rng); });
+  if (chi_out != nullptr) {
+    MPSState state(n);
+    for (const auto& op : circuit.all_operations()) {
+      if (!op.gate().is_measurement()) state.apply(op);
+    }
+    *chi_out = state.max_bond_dimension();
+  }
+  return t;
+}
+
+double time_sv(const Circuit& circuit, int n, std::uint64_t reps) {
+  Simulator<StateVectorState> sim{StateVectorState(n)};
+  Rng rng(5);
+  return median_runtime([&] { sim.sample(circuit, reps, rng); });
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t reps = 100;
+
+  std::cout << "=== Fig. 6: random-GHZ sampling, MPS vs statevector ===\n\n";
+  {
+    ConsoleTable table({"width", "mps", "statevector", "mps chi"});
+    std::vector<double> widths, sv_times;
+    for (const int n : {2, 4, 6, 8, 10, 12, 14, 16, 18, 20}) {
+      Rng circuit_rng(static_cast<std::uint64_t>(n));
+      const Circuit circuit = random_ghz_circuit(n, circuit_rng);
+      std::size_t chi = 0;
+      const double tm = time_mps(circuit, n, reps, &chi);
+      const double ts = time_sv(circuit, n, reps);
+      widths.push_back(n);
+      sv_times.push_back(ts);
+      table.add_row({std::to_string(n), ConsoleTable::duration(tm),
+                     ConsoleTable::duration(ts), std::to_string(chi)});
+    }
+    table.print(std::cout);
+    std::cout << "\nstatevector log-log slope vs width: "
+              << ConsoleTable::num(log_log_slope(widths, sv_times), 3)
+              << " (super-linear; 2^n amplitudes)\n"
+              << "Our compressing split keeps GHZ at chi = 2, so the MPS "
+                 "series stays flat\n(deviation from the paper's quimb "
+                 "backend — documented in EXPERIMENTS.md).\n\n";
+  }
+
+  std::cout << "=== Fig. 6 companion: volume-law entanglement kills MPS "
+               "===\n\n";
+  {
+    ConsoleTable table({"width", "mps", "statevector", "mps chi"});
+    for (const int n : {4, 6, 8, 10, 12}) {
+      Rng circuit_rng(static_cast<std::uint64_t>(n) + 50);
+      RandomCircuitOptions options;
+      options.num_moments = n;  // depth ~ width: volume-law regime
+      options.op_density = 0.9;
+      options.gate_domain = {Gate::H(), Gate::T(),  Gate::Rx(0.7),
+                             Gate::CX(), Gate::ISwap()};
+      const Circuit circuit = generate_random_circuit(n, options, circuit_rng);
+      std::size_t chi = 0;
+      const double tm = time_mps(circuit, n, /*reps=*/20, &chi);
+      const double ts = time_sv(circuit, n, /*reps=*/20);
+      table.add_row({std::to_string(n), ConsoleTable::duration(tm),
+                     ConsoleTable::duration(ts), std::to_string(chi)});
+    }
+    table.print(std::cout);
+    std::cout << "\nWith depth ~ width the bond dimension grows "
+                 "exponentially (chi ~ 2^{n/2}),\nand MPS sampling becomes "
+                 "far slower than the statevector — the paper's\n"
+                 "'one needs particular care with tensor network states' "
+                 "message.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+/// \file fig7_random_mps_vs_sv.cpp
+/// Reproduces Fig. 7:
+///  (a) for random circuits of fixed (shallow) depth and growing width,
+///      MPS sampling is drastically cheaper than the statevector — the
+///      degree of entanglement lags the maximum, so tensors stay small
+///      while the statevector pays 2^n regardless;
+///  (b) for circuits of single-qubit gates plus a *fixed* number of
+///      CNOTs, MPS sampling runtime scales near-linearly with width,
+///      corroborating the O(n·χ³) amplitude cost.
+
+#include <iostream>
+
+#include "circuit/random.h"
+#include "core/simulator.h"
+#include "mps/state.h"
+#include "statevector/state.h"
+#include "util/table.h"
+#include "util/timing.h"
+
+namespace {
+
+using namespace bgls;
+
+}  // namespace
+
+int main() {
+  const std::uint64_t reps = 50;
+
+  std::cout << "=== Fig. 7a: fixed-depth random circuits, MPS vs "
+               "statevector ===\n\n";
+  {
+    const int depth = 8;
+    std::cout << "depth fixed at " << depth << " moments, " << reps
+              << " samples:\n\n";
+    ConsoleTable table({"width", "mps", "statevector", "mps chi", "speedup"});
+    for (const int n : {4, 8, 12, 16, 20, 22, 32}) {
+      Rng circuit_rng(static_cast<std::uint64_t>(n) * 3 + 1);
+      RandomCircuitOptions options;
+      options.num_moments = depth;
+      options.op_density = 0.5;
+      const Circuit circuit = generate_random_circuit(n, options, circuit_rng);
+
+      Simulator<MPSState> mps_sim{MPSState(n)};
+      Rng rng1(7);
+      const double tm =
+          median_runtime([&] { mps_sim.sample(circuit, reps, rng1); });
+
+      MPSState probe(n);
+      for (const auto& op : circuit.all_operations()) probe.apply(op);
+      const std::string chi = std::to_string(probe.max_bond_dimension());
+
+      if (n > 22) {
+        // 2^32 amplitudes would need 64 GiB: MPS keeps going where the
+        // dense representation cannot.
+        table.add_row({std::to_string(n), ConsoleTable::duration(tm),
+                       "(out of reach)", chi, "-"});
+        continue;
+      }
+      Simulator<StateVectorState> sv_sim{StateVectorState(n)};
+      Rng rng2(9);
+      const double ts =
+          median_runtime([&] { sv_sim.sample(circuit, reps, rng2); });
+      table.add_row({std::to_string(n), ConsoleTable::duration(tm),
+                     ConsoleTable::duration(ts), chi,
+                     ConsoleTable::num(ts / tm, 3) + "x"});
+    }
+    table.print(std::cout);
+    std::cout << "\nThe statevector column grows exponentially with width; "
+                 "the MPS column does not.\n\n";
+  }
+
+  std::cout << "=== Fig. 7b: fixed number of CNOTs, MPS runtime vs width "
+               "===\n\n";
+  {
+    // Fixed total gate budget (not fixed depth): only the width — and
+    // with it the per-amplitude contraction cost — grows, isolating the
+    // O(n·χ³) amplitude scaling the paper corroborates here.
+    const int num_cnots = 6;
+    const int num_single = 60;
+    std::cout << num_single << " single-qubit gates plus exactly "
+              << num_cnots << " CNOTs on growing registers, " << reps
+              << " samples:\n\n";
+    ConsoleTable table({"width", "mps runtime", "mps chi"});
+    std::vector<double> widths, times;
+    for (const int n : {8, 16, 24, 32, 48, 64}) {
+      Rng circuit_rng(static_cast<std::uint64_t>(n) * 7 + 3);
+      Circuit circuit;
+      const std::vector<Gate> one_qubit{Gate::H(), Gate::T(), Gate::X(),
+                                        Gate::S(), Gate::Rz(0.4)};
+      for (int g = 0; g < num_single; ++g) {
+        const auto q = static_cast<Qubit>(circuit_rng.uniform_int(
+            static_cast<std::uint64_t>(n)));
+        circuit.append(
+            Operation(one_qubit[circuit_rng.uniform_int(one_qubit.size())],
+                      {q}));
+      }
+      for (int c = 0; c < num_cnots; ++c) {
+        const auto a = static_cast<Qubit>(circuit_rng.uniform_int(
+            static_cast<std::uint64_t>(n)));
+        auto b = a;
+        while (b == a) {
+          b = static_cast<Qubit>(circuit_rng.uniform_int(
+              static_cast<std::uint64_t>(n)));
+        }
+        circuit.append(cnot(a, b));
+      }
+      Simulator<MPSState> sim{MPSState(n)};
+      Rng rng(11);
+      const double t =
+          median_runtime([&] { sim.sample(circuit, reps, rng); });
+      MPSState probe(n);
+      for (const auto& op : circuit.all_operations()) probe.apply(op);
+      widths.push_back(n);
+      times.push_back(t);
+      table.add_row({std::to_string(n), ConsoleTable::duration(t),
+                     std::to_string(probe.max_bond_dimension())});
+    }
+    table.print(std::cout);
+    std::cout << "\nlog-log slope vs width: "
+              << ConsoleTable::num(log_log_slope(widths, times), 3)
+              << " (near-linear for a fixed degree of entanglement, "
+                 "corroborating O(n·chi^3))\n";
+  }
+  return 0;
+}

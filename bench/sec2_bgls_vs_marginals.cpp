@@ -1,0 +1,57 @@
+/// \file sec2_bgls_vs_marginals.cpp
+/// The paper's Sec. 2 headline claim, measured directly: gate-by-gate
+/// sampling replaces the n marginal-distribution computations of the
+/// conventional qubit-by-qubit method with per-gate candidate
+/// probabilities, giving an enhancement "on the order of
+/// f(n, 2d)/f(n, d)". On the statevector backend a marginal costs a
+/// full O(2^n) reduction per measured qubit and per sample, while the
+/// gate-by-gate candidate update after each gate is an O(1) amplitude
+/// lookup — so BGLS's cost is dominated by the single state evolution
+/// and the conventional method's by per-sample marginal sweeps.
+
+#include <iostream>
+
+#include "circuit/random.h"
+#include "core/baseline.h"
+#include "core/simulator.h"
+#include "statevector/state.h"
+#include "util/table.h"
+#include "util/timing.h"
+
+int main() {
+  using namespace bgls;
+
+  const int n = 16;
+  const std::uint64_t reps = 100;
+  std::cout << "=== Sec. 2: gate-by-gate vs conventional qubit-by-qubit "
+               "sampling (statevector, " << n << " qubits, " << reps
+            << " samples) ===\n\n";
+
+  ConsoleTable table({"depth", "bgls", "qubit-by-qubit", "ratio"});
+  for (const int depth : {5, 10, 20, 40, 80}) {
+    Rng circuit_rng(static_cast<std::uint64_t>(depth) + 7);
+    RandomCircuitOptions options;
+    options.num_moments = depth;
+    options.op_density = 0.7;
+    const Circuit circuit = generate_random_circuit(n, options, circuit_rng);
+
+    Simulator<StateVectorState> sim{StateVectorState(n)};
+    Rng rng1(1), rng2(2);
+    const double t_bgls =
+        median_runtime([&] { sim.sample(circuit, reps, rng1); });
+    const double t_conventional = median_runtime([&] {
+      (void)qubit_by_qubit_sample(circuit, StateVectorState(n), reps, rng2);
+    });
+    table.add_row({std::to_string(depth), ConsoleTable::duration(t_bgls),
+                   ConsoleTable::duration(t_conventional),
+                   ConsoleTable::num(t_conventional / t_bgls, 3) + "x"});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nBoth methods pay the one-off O(d·2^n) evolution; the "
+         "conventional method adds\nn marginal sweeps (each O(2^n)) per "
+         "sample, while BGLS adds only O(1) candidate\nlookups per gate "
+         "per unique bitstring — its advantage grows with the sample\n"
+         "budget and register width.\n";
+  return 0;
+}

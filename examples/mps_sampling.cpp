@@ -1,0 +1,66 @@
+/// \file mps_sampling.cpp
+/// Sampling with matrix product states (Sec. 4.3): shows the
+/// bitstring-amplitude slicing that bgls adds on top of the tensor
+/// network state, the bond structure a GHZ circuit creates, and the
+/// statevector-vs-MPS runtime gap on wide shallow circuits (Fig. 7a's
+/// regime at example scale).
+///
+///   $ ./mps_sampling
+
+#include <iostream>
+
+#include "circuit/diagram.h"
+#include "circuit/random.h"
+#include "core/simulator.h"
+#include "mps/state.h"
+#include "statevector/state.h"
+#include "util/table.h"
+#include "util/timing.h"
+
+int main() {
+  using namespace bgls;
+
+  // --- Part 1: GHZ with randomly sequenced CNOTs (Fig. 6a) -------------
+  Rng ghz_rng(5);
+  const int ghz_width = 6;
+  const Circuit ghz = random_ghz_circuit(ghz_width, ghz_rng);
+  std::cout << "Random-GHZ circuit (Fig. 6a):\n" << to_text_diagram(ghz)
+            << "\n";
+
+  MPSState mps(ghz_width);
+  for (const auto& op : ghz.all_operations()) mps.apply(op);
+  std::cout << "MPS after the GHZ circuit: max bond dimension "
+            << mps.max_bond_dimension() << ", total tensor elements "
+            << mps.tensor_size_total() << "\n";
+  std::cout << "P(" << std::string(ghz_width, '0')
+            << ") = " << mps.probability(0) << ",  P("
+            << std::string(ghz_width, '1') << ") = "
+            << mps.probability((Bitstring{1} << ghz_width) - 1) << "\n\n";
+
+  // --- Part 2: wide shallow circuit, MPS vs statevector ----------------
+  const int width = 18;
+  Rng circuit_rng(11);
+  const Circuit shallow = random_fixed_cnot_circuit(width, 6, 8, circuit_rng);
+  const std::uint64_t reps = 200;
+
+  Simulator<MPSState> mps_sim{MPSState(width)};
+  Simulator<StateVectorState> sv_sim{StateVectorState(width)};
+
+  Rng rng1(21), rng2(23);
+  const double mps_time =
+      median_runtime([&] { mps_sim.sample(shallow, reps, rng1); });
+  const double sv_time =
+      median_runtime([&] { sv_sim.sample(shallow, reps, rng2); });
+
+  ConsoleTable table({"backend", "runtime", "notes"});
+  table.add_row({"MPS", ConsoleTable::duration(mps_time),
+                 "tensors stay small at low entanglement"});
+  table.add_row({"statevector", ConsoleTable::duration(sv_time),
+                 "2^18 amplitudes regardless"});
+  std::cout << "Sampling " << reps << " bitstrings from a " << width
+            << "-qubit shallow circuit (8 CNOTs):\n\n";
+  table.print(std::cout);
+  std::cout << "\nspeedup: " << ConsoleTable::num(sv_time / mps_time, 3)
+            << "x (Fig. 7a's regime: wide + low entanglement favors MPS)\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+/// \file qasm_import.cpp
+/// Interop with non-Cirq circuits (Sec. 3.2.4): parse an OpenQASM 2.0
+/// program, show the imported circuit, sample it with BGLS, and export
+/// it back to QASM.
+///
+///   $ ./qasm_import
+
+#include <iostream>
+
+#include "circuit/diagram.h"
+#include "core/simulator.h"
+#include "qasm/qasm.h"
+#include "statevector/state.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bgls;
+
+  const std::string source = R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[1];
+cx q[1],q[2];
+h q;
+measure q -> c;
+)";
+
+  std::cout << "Input QASM:\n" << source << "\n";
+  const Circuit circuit = parse_qasm(source);
+  std::cout << "Imported circuit:\n" << to_text_diagram(circuit) << "\n";
+
+  Simulator<StateVectorState> sim{StateVectorState(circuit.num_qubits())};
+  Rng rng(4);
+  const Result result = sim.run(circuit, 20000, rng);
+  std::cout << "Sampled histogram for key 'c':\n";
+  print_histogram(std::cout, result.histogram("c"), circuit.num_qubits());
+
+  std::cout << "\nRe-exported QASM:\n" << to_qasm(circuit);
+  return 0;
+}

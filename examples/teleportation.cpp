@@ -1,0 +1,56 @@
+/// \file teleportation.cpp
+/// Quantum teleportation with mid-circuit measurement and classical
+/// feed-forward — the full non-unitary feature set of Sec. 3.2.1 in one
+/// protocol: Alice's Bell measurement collapses the state mid-circuit,
+/// and Bob's X/Z corrections are classically controlled on her
+/// outcomes.
+///
+///   $ ./teleportation
+
+#include <iostream>
+
+#include "circuit/diagram.h"
+#include "core/simulator.h"
+#include "statevector/state.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bgls;
+
+  // The message qubit q0 carries |ψ⟩ = Ry(θ)|0⟩ with P(1) = sin²(θ/2).
+  const double theta = 1.1;
+  const double expected_p1 = std::sin(theta / 2.0) * std::sin(theta / 2.0);
+
+  Circuit circuit;
+  circuit.append(ry(theta, 0));            // prepare the message
+  circuit.append(h(1));                    // Bell pair on (q1, q2)
+  circuit.append(cnot(1, 2));
+  circuit.append(cnot(0, 1));              // Alice's Bell measurement
+  circuit.append(h(0));
+  circuit.append(measure({1}, "m_x"));
+  circuit.append(measure({0}, "m_z"));
+  // Bob's corrections, classically controlled on Alice's outcomes.
+  circuit.append(x(2).controlled_by_measurement("m_x"));
+  circuit.append(z(2).controlled_by_measurement("m_z"));
+  circuit.append(measure({2}, "bob"));
+
+  std::cout << "Teleportation circuit:\n" << to_text_diagram(circuit) << "\n";
+
+  Simulator<StateVectorState> sim{StateVectorState(3)};
+  Rng rng(7);
+  const std::uint64_t reps = 100000;
+  const Result result = sim.run(circuit, reps, rng);
+
+  std::uint64_t ones = 0;
+  for (const Bitstring v : result.values("bob")) ones += v;
+  const double measured_p1 = static_cast<double>(ones) / reps;
+
+  ConsoleTable table({"quantity", "value"});
+  table.add_row({"P(1) prepared on q0", ConsoleTable::num(expected_p1, 4)});
+  table.add_row({"P(1) measured on q2", ConsoleTable::num(measured_p1, 4)});
+  table.print(std::cout);
+  std::cout << "\nBob's qubit reproduces Alice's state statistics: the "
+               "mid-circuit\nmeasurements and feed-forward corrections "
+               "teleported |ψ⟩.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+/// \file bgls.h
+/// Aggregate public header: include this to get the whole library (the
+/// equivalent of `import bgls` in the Python package).
+///
+/// Namespaced API tour:
+///  - bgls::Circuit / bgls::Gate / free operation builders (h, cnot,
+///    measure, ...) — circuit construction (circuit/*.h);
+///  - bgls::Simulator<State> — the gate-by-gate sampler (core/simulator.h);
+///  - state backends: bgls::StateVectorState, bgls::DensityMatrixState,
+///    bgls::CHState (+ act_on_near_clifford), bgls::MPSState;
+///  - bgls::optimize_for_bgls — circuit fusion for the sampler;
+///  - bgls::parse_qasm / bgls::to_qasm — OpenQASM 2.0 interop;
+///  - bgls::Graph / bgls::solve_maxcut_qaoa — the QAOA application;
+///  - bgls::Rng — seeded randomness for reproducible sampling.
+
+#pragma once
+
+#include "channels/channels.h"
+#include "circuit/circuit.h"
+#include "circuit/decompose.h"
+#include "circuit/diagram.h"
+#include "circuit/noise.h"
+#include "circuit/random.h"
+#include "core/baseline.h"
+#include "core/observables.h"
+#include "core/optimize.h"
+#include "core/result.h"
+#include "core/simulator.h"
+#include "densitymatrix/state.h"
+#include "mps/state.h"
+#include "qaoa/qaoa.h"
+#include "qasm/qasm.h"
+#include "stabilizer/ch_form.h"
+#include "stabilizer/near_clifford.h"
+#include "stabilizer/tableau.h"
+#include "statevector/state.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timing.h"

@@ -1,0 +1,88 @@
+#include "channels/channels.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+std::string format_name(const char* base, double value) {
+  std::ostringstream oss;
+  oss << base << '(' << value << ')';
+  return oss.str();
+}
+
+void require_probability(double p, const char* what) {
+  BGLS_REQUIRE(p >= 0.0 && p <= 1.0, what, " requires probability in [0, 1], got ",
+               p);
+}
+
+}  // namespace
+
+KrausChannel::KrausChannel(std::string name, std::vector<Matrix> operators,
+                           double tol)
+    : name_(std::move(name)), operators_(std::move(operators)) {
+  BGLS_REQUIRE(!operators_.empty(), "channel '", name_,
+               "' needs at least one Kraus operator");
+  const std::size_t dim = operators_.front().rows();
+  BGLS_REQUIRE(dim > 0 && (dim & (dim - 1)) == 0, "channel '", name_,
+               "' dimension must be a power of two, got ", dim);
+  arity_ = 0;
+  for (std::size_t d = dim; d > 1; d >>= 1) ++arity_;
+  Matrix completeness(dim, dim);
+  for (const auto& k : operators_) {
+    BGLS_REQUIRE(k.rows() == dim && k.cols() == dim, "channel '", name_,
+                 "' has inconsistently shaped Kraus operators");
+    completeness = completeness + k.adjoint() * k;
+  }
+  BGLS_REQUIRE(completeness.approx_equal(Matrix::identity(dim), tol),
+               "channel '", name_,
+               "' is not trace preserving (sum K†K != I)");
+}
+
+KrausChannel bit_flip(double p) {
+  require_probability(p, "bit_flip");
+  const double a = std::sqrt(1.0 - p);
+  const double b = std::sqrt(p);
+  Matrix k0(2, 2, {a, 0, 0, a});
+  Matrix k1(2, 2, {0, b, b, 0});
+  return KrausChannel(format_name("bit_flip", p), {k0, k1});
+}
+
+KrausChannel phase_flip(double p) {
+  require_probability(p, "phase_flip");
+  const double a = std::sqrt(1.0 - p);
+  const double b = std::sqrt(p);
+  Matrix k0(2, 2, {a, 0, 0, a});
+  Matrix k1(2, 2, {b, 0, 0, -b});
+  return KrausChannel(format_name("phase_flip", p), {k0, k1});
+}
+
+KrausChannel depolarize(double p) {
+  require_probability(p, "depolarize");
+  const double a = std::sqrt(1.0 - p);
+  const double b = std::sqrt(p / 3.0);
+  Matrix k0(2, 2, {a, 0, 0, a});
+  Matrix kx(2, 2, {0, b, b, 0});
+  Matrix ky(2, 2, {0, Complex{0, -b}, Complex{0, b}, 0});
+  Matrix kz(2, 2, {b, 0, 0, -b});
+  return KrausChannel(format_name("depolarize", p), {k0, kx, ky, kz});
+}
+
+KrausChannel amplitude_damp(double gamma) {
+  require_probability(gamma, "amplitude_damp");
+  Matrix k0(2, 2, {1, 0, 0, std::sqrt(1.0 - gamma)});
+  Matrix k1(2, 2, {0, std::sqrt(gamma), 0, 0});
+  return KrausChannel(format_name("amplitude_damp", gamma), {k0, k1});
+}
+
+KrausChannel phase_damp(double gamma) {
+  require_probability(gamma, "phase_damp");
+  Matrix k0(2, 2, {1, 0, 0, std::sqrt(1.0 - gamma)});
+  Matrix k1(2, 2, {0, 0, 0, std::sqrt(gamma)});
+  return KrausChannel(format_name("phase_damp", gamma), {k0, k1});
+}
+
+}  // namespace bgls

@@ -1,0 +1,62 @@
+/// \file channels.h
+/// Quantum noise channels in Kraus-operator form.
+///
+/// BGLS supports non-unitary operations through quantum trajectories
+/// (Sec. 3.2.1 of the paper): pure-state backends sample one Kraus
+/// operator per shot, while the density-matrix backend applies the full
+/// deterministic Kraus sum. This module owns the channel definitions and
+/// their CPTP validation; the circuit layer wraps them as gates.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace bgls {
+
+/// A completely-positive trace-preserving map given by Kraus operators
+/// {K_i} with sum_i K_i† K_i = I.
+class KrausChannel {
+ public:
+  /// Builds a channel from explicit Kraus operators; validates that all
+  /// operators share the same square shape (2^arity) and satisfy the CPTP
+  /// completeness relation within `tol`.
+  KrausChannel(std::string name, std::vector<Matrix> operators,
+               double tol = 1e-9);
+
+  /// Display name, e.g. "depolarize(0.1)".
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Number of qubits the channel acts on.
+  [[nodiscard]] int arity() const { return arity_; }
+
+  /// The Kraus operators.
+  [[nodiscard]] const std::vector<Matrix>& operators() const {
+    return operators_;
+  }
+
+ private:
+  std::string name_;
+  int arity_ = 1;
+  std::vector<Matrix> operators_;
+};
+
+/// X is applied with probability p: K0 = sqrt(1-p) I, K1 = sqrt(p) X.
+[[nodiscard]] KrausChannel bit_flip(double p);
+
+/// Z is applied with probability p.
+[[nodiscard]] KrausChannel phase_flip(double p);
+
+/// Symmetric single-qubit depolarizing channel: each of X, Y, Z with
+/// probability p/3.
+[[nodiscard]] KrausChannel depolarize(double p);
+
+/// Amplitude damping with decay probability gamma (T1-style decay).
+[[nodiscard]] KrausChannel amplitude_damp(double gamma);
+
+/// Phase damping with dephasing probability gamma (T2-style dephasing).
+[[nodiscard]] KrausChannel phase_damp(double gamma);
+
+}  // namespace bgls

@@ -1,0 +1,194 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace bgls {
+
+Moment::Moment(std::vector<Operation> operations) {
+  for (auto& op : operations) add(std::move(op));
+}
+
+bool Moment::acts_on(Qubit q) const {
+  return std::any_of(operations_.begin(), operations_.end(),
+                     [&](const Operation& op) { return op.acts_on(q); });
+}
+
+bool Moment::can_accept(const Operation& op) const {
+  return std::none_of(operations_.begin(), operations_.end(),
+                      [&](const Operation& existing) {
+                        return existing.overlaps(op);
+                      });
+}
+
+void Moment::add(Operation op) {
+  BGLS_REQUIRE(can_accept(op), "moment already acts on a qubit of ",
+               op.to_string());
+  operations_.push_back(std::move(op));
+}
+
+Circuit::Circuit(std::initializer_list<Operation> operations) {
+  for (const auto& op : operations) append(op);
+}
+
+namespace {
+
+/// True when `op` cannot be placed before `moment`: qubit overlap, or a
+/// classical hazard (a conditioned op may not precede the measurement
+/// producing its key, and a measurement may not precede an op
+/// conditioned on it).
+bool placement_blocked_by(const Moment& moment, const Operation& op) {
+  if (!moment.can_accept(op)) return true;
+  if (op.is_classically_controlled()) {
+    for (const auto& existing : moment.operations()) {
+      if (existing.gate().is_measurement() &&
+          existing.gate().measurement_key() == op.condition_key()) {
+        return true;
+      }
+    }
+  }
+  if (op.gate().is_measurement()) {
+    for (const auto& existing : moment.operations()) {
+      if (existing.is_classically_controlled() &&
+          existing.condition_key() == op.gate().measurement_key()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void Circuit::append(Operation op, InsertStrategy strategy) {
+  if (strategy == InsertStrategy::kNewThenInline || moments_.empty()) {
+    moments_.emplace_back();
+    moments_.back().add(std::move(op));
+    return;
+  }
+  // EARLIEST: scan backwards for the deepest moment that blocks the
+  // operation (qubit overlap or classical dependency), then place it
+  // right after.
+  std::size_t insert_at = 0;
+  for (std::size_t m = moments_.size(); m-- > 0;) {
+    if (placement_blocked_by(moments_[m], op)) {
+      insert_at = m + 1;
+      break;
+    }
+  }
+  if (insert_at == moments_.size()) moments_.emplace_back();
+  moments_[insert_at].add(std::move(op));
+}
+
+void Circuit::append(const std::vector<Operation>& operations,
+                     InsertStrategy strategy) {
+  for (const auto& op : operations) append(op, strategy);
+}
+
+void Circuit::append(const Circuit& other) {
+  for (const auto& moment : other.moments_) {
+    moments_.push_back(moment);
+  }
+}
+
+void Circuit::append_moment(Moment moment) {
+  moments_.push_back(std::move(moment));
+}
+
+std::size_t Circuit::num_operations() const {
+  std::size_t count = 0;
+  for (const auto& moment : moments_) count += moment.operations().size();
+  return count;
+}
+
+std::vector<Operation> Circuit::all_operations() const {
+  std::vector<Operation> ops;
+  ops.reserve(num_operations());
+  for (const auto& moment : moments_) {
+    for (const auto& op : moment.operations()) ops.push_back(op);
+  }
+  return ops;
+}
+
+std::set<Qubit> Circuit::qubits() const {
+  std::set<Qubit> out;
+  for (const auto& moment : moments_) {
+    for (const auto& op : moment.operations()) {
+      out.insert(op.qubits().begin(), op.qubits().end());
+    }
+  }
+  return out;
+}
+
+int Circuit::num_qubits() const {
+  int width = 0;
+  for (const auto& moment : moments_) {
+    for (const auto& op : moment.operations()) {
+      for (Qubit q : op.qubits()) width = std::max(width, q + 1);
+    }
+  }
+  return width;
+}
+
+bool Circuit::has_measurements() const {
+  return count_operations([](const Operation& op) {
+           return op.gate().is_measurement();
+         }) > 0;
+}
+
+bool Circuit::has_channels() const {
+  return count_operations(
+             [](const Operation& op) { return op.gate().is_channel(); }) > 0;
+}
+
+bool Circuit::measurements_are_terminal() const {
+  // A measurement is terminal when nothing (gate or second measurement)
+  // acts on its qubits in any later moment.
+  std::set<Qubit> measured;
+  for (const auto& moment : moments_) {
+    for (const auto& op : moment.operations()) {
+      for (Qubit q : op.qubits()) {
+        if (measured.contains(q)) return false;
+      }
+      if (op.gate().is_measurement()) {
+        measured.insert(op.qubits().begin(), op.qubits().end());
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> Circuit::measurement_keys() const {
+  std::vector<std::string> keys;
+  for (const auto& moment : moments_) {
+    for (const auto& op : moment.operations()) {
+      if (!op.gate().is_measurement()) continue;
+      const std::string& key = op.gate().measurement_key();
+      if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+        keys.push_back(key);
+      }
+    }
+  }
+  return keys;
+}
+
+bool Circuit::is_parameterized() const {
+  return count_operations([](const Operation& op) {
+           return op.gate().is_parameterized();
+         }) > 0;
+}
+
+Circuit Circuit::resolved(const ParamResolver& resolver) const {
+  Circuit out;
+  for (const auto& moment : moments_) {
+    Moment resolved_moment;
+    for (const auto& op : moment.operations()) {
+      resolved_moment.add(op.resolved(resolver));
+    }
+    out.append_moment(std::move(resolved_moment));
+  }
+  return out;
+}
+
+}  // namespace bgls

@@ -1,0 +1,134 @@
+/// \file circuit.h
+/// Circuits as sequences of Moments — the same structure Cirq uses and
+/// the paper's Sec. 3.1 snippet builds. The gate-by-gate sampler iterates
+/// operations moment by moment; the optimizer (core/optimize.h) repacks
+/// them.
+
+#pragma once
+
+#include <initializer_list>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "circuit/operation.h"
+
+namespace bgls {
+
+/// A set of operations acting on disjoint qubits that execute "at the
+/// same time step".
+class Moment {
+ public:
+  Moment() = default;
+
+  /// Builds a moment; operations must act on disjoint qubit sets.
+  explicit Moment(std::vector<Operation> operations);
+
+  [[nodiscard]] const std::vector<Operation>& operations() const {
+    return operations_;
+  }
+  [[nodiscard]] bool empty() const { return operations_.empty(); }
+
+  /// True when any operation in the moment touches `q`.
+  [[nodiscard]] bool acts_on(Qubit q) const;
+
+  /// True when `op` could be added without qubit overlap.
+  [[nodiscard]] bool can_accept(const Operation& op) const;
+
+  /// Adds an operation; throws on qubit overlap.
+  void add(Operation op);
+
+ private:
+  std::vector<Operation> operations_;
+};
+
+/// Append placement strategies, mirroring cirq.InsertStrategy.
+enum class InsertStrategy {
+  /// Slide each operation into the earliest moment (from the end) whose
+  /// qubits are free — Cirq's EARLIEST, and the default.
+  kEarliest,
+  /// Always open a fresh moment for each appended operation.
+  kNewThenInline,
+};
+
+/// An ordered sequence of moments.
+class Circuit {
+ public:
+  Circuit() = default;
+
+  /// Builds a circuit by appending the listed operations with the
+  /// earliest strategy (matches the cirq.Circuit(...) constructor used in
+  /// the paper's quickstart snippet).
+  Circuit(std::initializer_list<Operation> operations);
+
+  /// Appends one operation.
+  void append(Operation op,
+              InsertStrategy strategy = InsertStrategy::kEarliest);
+
+  /// Appends a batch of operations in order.
+  void append(const std::vector<Operation>& operations,
+              InsertStrategy strategy = InsertStrategy::kEarliest);
+
+  /// Appends every moment of another circuit (moment structure kept).
+  void append(const Circuit& other);
+
+  /// Appends a complete moment as-is.
+  void append_moment(Moment moment);
+
+  [[nodiscard]] const std::vector<Moment>& moments() const {
+    return moments_;
+  }
+
+  /// Number of moments (circuit depth in the paper's sense).
+  [[nodiscard]] std::size_t depth() const { return moments_.size(); }
+
+  /// Total number of operations.
+  [[nodiscard]] std::size_t num_operations() const;
+
+  /// All operations flattened in execution order.
+  [[nodiscard]] std::vector<Operation> all_operations() const;
+
+  /// The set of qubits touched by any operation.
+  [[nodiscard]] std::set<Qubit> qubits() const;
+
+  /// 1 + the largest qubit id (0 for an empty circuit): the width of the
+  /// register needed to simulate this circuit with dense backends.
+  [[nodiscard]] int num_qubits() const;
+
+  /// True when any operation is a measurement.
+  [[nodiscard]] bool has_measurements() const;
+
+  /// True when any operation is a Kraus channel.
+  [[nodiscard]] bool has_channels() const;
+
+  /// True when measurements appear only in a suffix of moments after
+  /// which no non-measurement gate touches the measured qubits — the
+  /// condition under which sample parallelization applies (Sec. 3.2.3).
+  [[nodiscard]] bool measurements_are_terminal() const;
+
+  /// All distinct measurement keys in appearance order.
+  [[nodiscard]] std::vector<std::string> measurement_keys() const;
+
+  /// True when any gate still has unresolved symbols.
+  [[nodiscard]] bool is_parameterized() const;
+
+  /// Returns a copy with every gate parameter resolved.
+  [[nodiscard]] Circuit resolved(const ParamResolver& resolver) const;
+
+  /// Counts operations whose gate satisfies a predicate.
+  template <typename Pred>
+  [[nodiscard]] std::size_t count_operations(Pred&& pred) const {
+    std::size_t count = 0;
+    for (const auto& moment : moments_) {
+      for (const auto& op : moment.operations()) {
+        if (pred(op)) ++count;
+      }
+    }
+    return count;
+  }
+
+ private:
+  std::vector<Moment> moments_;
+};
+
+}  // namespace bgls

@@ -1,0 +1,84 @@
+#include "circuit/decompose.h"
+
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+/// The textbook 7-T Toffoli over {H, T, T†, CX}.
+std::vector<Operation> ccx_network(Qubit a, Qubit b, Qubit c) {
+  return {
+      h(c),          cnot(b, c), tdg(c),     cnot(a, c),
+      t(c),          cnot(b, c), tdg(c),     cnot(a, c),
+      t(b),          t(c),       cnot(a, b), h(c),
+      t(a),          tdg(b),     cnot(a, b),
+  };
+}
+
+}  // namespace
+
+std::vector<Operation> decompose_operation(const Operation& op,
+                                           int max_arity) {
+  BGLS_REQUIRE(max_arity >= 1 && max_arity <= 3, "max_arity must be 1..3");
+  const Gate& gate = op.gate();
+  if (gate.arity() <= max_arity || gate.is_measurement() ||
+      gate.is_channel()) {
+    return {op};
+  }
+  BGLS_REQUIRE(max_arity >= 2, "no decomposition of '", gate.name(),
+               "' to single-qubit gates exists (entangling gate)");
+  const auto q = op.qubits();
+  switch (gate.kind()) {
+    case GateKind::kCCX:
+      return ccx_network(q[0], q[1], q[2]);
+    case GateKind::kCCZ: {
+      // CCZ = H(target) CCX H(target); the "target" choice is arbitrary
+      // for the symmetric CCZ.
+      std::vector<Operation> ops{h(q[2])};
+      for (auto& inner : ccx_network(q[0], q[1], q[2])) {
+        ops.push_back(std::move(inner));
+      }
+      ops.push_back(h(q[2]));
+      return ops;
+    }
+    case GateKind::kCSwap: {
+      // Fredkin = CX(t2, t1) · CCX(c, t1, t2) · CX(t2, t1).
+      std::vector<Operation> ops{cnot(q[2], q[1])};
+      for (auto& inner : ccx_network(q[0], q[1], q[2])) {
+        ops.push_back(std::move(inner));
+      }
+      ops.push_back(cnot(q[2], q[1]));
+      return ops;
+    }
+    default:
+      detail::throw_error<UnsupportedOperationError>(
+          "no decomposition of '", gate.name(), "' to arity ", max_arity,
+          " is known");
+  }
+}
+
+Circuit decompose_to_arity(const Circuit& circuit, int max_arity) {
+  Circuit out;
+  for (const auto& op : circuit.all_operations()) {
+    for (auto& lowered : decompose_operation(op, max_arity)) {
+      out.append(std::move(lowered));
+    }
+  }
+  return out;
+}
+
+Circuit expand_swaps(const Circuit& circuit) {
+  Circuit out;
+  for (const auto& op : circuit.all_operations()) {
+    if (op.gate().kind() == GateKind::kSwap) {
+      out.append(cnot(op.qubits()[0], op.qubits()[1]));
+      out.append(cnot(op.qubits()[1], op.qubits()[0]));
+      out.append(cnot(op.qubits()[0], op.qubits()[1]));
+    } else {
+      out.append(op);
+    }
+  }
+  return out;
+}
+
+}  // namespace bgls

@@ -1,0 +1,38 @@
+/// \file decompose.h
+/// Standard gate decompositions.
+///
+/// Sec. 3.2.1 of the paper notes BGLS handles any operation "as long as
+/// the apply_op function provided to the Simulator can decompose
+/// operations". These passes give backends with restricted native gate
+/// sets (MPS: ≤ 2 qubits; stabilizer: Clifford) access to the full zoo
+/// by lowering gates to textbook equivalents before simulation.
+
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace bgls {
+
+/// Decomposes a single operation into operations of at most
+/// `max_arity` qubits (1 or 2). Known lowerings:
+///  - CCX/CCZ → 2-qubit {CX, T, T†, H} network (the standard 7-T-count
+///    Toffoli),
+///  - CSWAP → CX + CCX, then lowered recursively,
+///  - SWAP → 3 CX (only when max_arity == 1 would fail: SWAP is already
+///    2-qubit, so this is used by callers that want CX-only output).
+/// Operations already within the arity bound pass through unchanged.
+/// Throws UnsupportedOperationError when no decomposition is known.
+[[nodiscard]] std::vector<Operation> decompose_operation(const Operation& op,
+                                                         int max_arity = 2);
+
+/// Applies decompose_operation to every operation of a circuit,
+/// repacking with the earliest strategy. Measurements and channels pass
+/// through untouched.
+[[nodiscard]] Circuit decompose_to_arity(const Circuit& circuit,
+                                         int max_arity = 2);
+
+/// Rewrites SWAP gates as 3 CX (useful for backends/baselines that
+/// only track CX natively).
+[[nodiscard]] Circuit expand_swaps(const Circuit& circuit);
+
+}  // namespace bgls

@@ -1,0 +1,79 @@
+#include "circuit/diagram.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bgls {
+namespace {
+
+/// Per-moment column of wire symbols plus vertical connector flags.
+struct Column {
+  std::vector<std::string> symbols;  // one per qubit row, may be empty
+  std::vector<bool> connected;       // rows spanned by a multi-qubit op
+};
+
+}  // namespace
+
+std::string to_text_diagram(const Circuit& circuit) {
+  const int n = circuit.num_qubits();
+  if (n == 0) return "(empty circuit)\n";
+
+  std::vector<Column> columns;
+  for (const auto& moment : circuit.moments()) {
+    Column col;
+    col.symbols.assign(static_cast<std::size_t>(n), "");
+    col.connected.assign(static_cast<std::size_t>(n), false);
+    for (const auto& op : moment.operations()) {
+      const auto symbols = op.gate().diagram_symbols();
+      const auto qubits = op.qubits();
+      for (std::size_t i = 0; i < qubits.size(); ++i) {
+        col.symbols[static_cast<std::size_t>(qubits[i])] = symbols[i];
+      }
+      if (qubits.size() > 1) {
+        const auto [lo_it, hi_it] =
+            std::minmax_element(qubits.begin(), qubits.end());
+        for (Qubit q = *lo_it; q <= *hi_it; ++q) {
+          col.connected[static_cast<std::size_t>(q)] = true;
+        }
+      }
+    }
+    columns.push_back(std::move(col));
+  }
+
+  // Column widths: widest symbol in the column (minimum 1).
+  std::vector<std::size_t> widths(columns.size(), 1);
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    for (const auto& sym : columns[c].symbols) {
+      widths[c] = std::max(widths[c], sym.size());
+    }
+  }
+
+  std::ostringstream oss;
+  std::size_t label_width = std::to_string(n - 1).size();
+  for (int q = 0; q < n; ++q) {
+    // Wire row.
+    std::string label = std::to_string(q);
+    oss << std::string(label_width - label.size(), ' ') << label << ": ---";
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      const std::string& sym = columns[c].symbols[static_cast<std::size_t>(q)];
+      const std::string body =
+          sym.empty() ? std::string(widths[c], '-') : sym;
+      oss << body << std::string(widths[c] - body.size(), '-') << "---";
+    }
+    oss << '\n';
+    if (q + 1 == n) break;
+    // Connector row between wires q and q+1.
+    oss << std::string(label_width + 2 + 3, ' ');
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      const bool link = columns[c].connected[static_cast<std::size_t>(q)] &&
+                        columns[c].connected[static_cast<std::size_t>(q) + 1];
+      std::string body(widths[c], ' ');
+      if (link) body[0] = '|';
+      oss << body << "   ";
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace bgls

@@ -1,0 +1,21 @@
+/// \file diagram.h
+/// ASCII circuit diagrams in the style of Cirq's text diagrams; used by
+/// the examples to show the constructed circuits (the paper's Figs. 6a
+/// and 8b are such diagrams).
+
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace bgls {
+
+/// Renders a wire-per-qubit text diagram, e.g.
+///
+///   0: ───H───@───────M('z')───
+///             │
+///   1: ───────X───────M('z')───
+[[nodiscard]] std::string to_text_diagram(const Circuit& circuit);
+
+}  // namespace bgls

@@ -1,0 +1,344 @@
+#include "circuit/gate.h"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+Matrix matrix_1q(std::initializer_list<Complex> entries) {
+  return Matrix(2, 2, std::vector<Complex>(entries));
+}
+
+}  // namespace
+
+Gate Gate::I() { return Gate(GateKind::kIdentity, 1); }
+Gate Gate::X() { return Gate(GateKind::kX, 1); }
+Gate Gate::Y() { return Gate(GateKind::kY, 1); }
+Gate Gate::Z() { return Gate(GateKind::kZ, 1); }
+Gate Gate::H() { return Gate(GateKind::kH, 1); }
+Gate Gate::S() { return Gate(GateKind::kS, 1); }
+Gate Gate::Sdg() { return Gate(GateKind::kSdg, 1); }
+Gate Gate::T() { return Gate(GateKind::kT, 1); }
+Gate Gate::Tdg() { return Gate(GateKind::kTdg, 1); }
+Gate Gate::SqrtX() { return Gate(GateKind::kSqrtX, 1); }
+
+Gate Gate::Rx(Param theta) {
+  Gate g(GateKind::kRx, 1);
+  g.param_ = std::move(theta);
+  return g;
+}
+
+Gate Gate::Ry(Param theta) {
+  Gate g(GateKind::kRy, 1);
+  g.param_ = std::move(theta);
+  return g;
+}
+
+Gate Gate::Rz(Param theta) {
+  Gate g(GateKind::kRz, 1);
+  g.param_ = std::move(theta);
+  return g;
+}
+
+Gate Gate::Phase(Param theta) {
+  Gate g(GateKind::kPhase, 1);
+  g.param_ = std::move(theta);
+  return g;
+}
+
+Gate Gate::SingleQubitMatrix(Matrix m, std::string name) {
+  BGLS_REQUIRE(m.rows() == 2 && m.cols() == 2,
+               "SingleQubitMatrix requires a 2x2 matrix");
+  BGLS_REQUIRE(m.is_unitary(1e-8), "SingleQubitMatrix requires a unitary");
+  Gate g(GateKind::kMatrix1, 1);
+  g.matrix_ = std::make_shared<const Matrix>(std::move(m));
+  g.custom_name_ = std::move(name);
+  return g;
+}
+
+Gate Gate::CX() { return Gate(GateKind::kCX, 2); }
+Gate Gate::CZ() { return Gate(GateKind::kCZ, 2); }
+Gate Gate::Swap() { return Gate(GateKind::kSwap, 2); }
+Gate Gate::ISwap() { return Gate(GateKind::kISwap, 2); }
+
+Gate Gate::CPhase(Param theta) {
+  Gate g(GateKind::kCPhase, 2);
+  g.param_ = std::move(theta);
+  return g;
+}
+
+Gate Gate::ZZ(Param theta) {
+  Gate g(GateKind::kZZ, 2);
+  g.param_ = std::move(theta);
+  return g;
+}
+
+Gate Gate::TwoQubitMatrix(Matrix m, std::string name) {
+  BGLS_REQUIRE(m.rows() == 4 && m.cols() == 4,
+               "TwoQubitMatrix requires a 4x4 matrix");
+  BGLS_REQUIRE(m.is_unitary(1e-8), "TwoQubitMatrix requires a unitary");
+  Gate g(GateKind::kMatrix2, 2);
+  g.matrix_ = std::make_shared<const Matrix>(std::move(m));
+  g.custom_name_ = std::move(name);
+  return g;
+}
+
+Gate Gate::CCX() { return Gate(GateKind::kCCX, 3); }
+Gate Gate::CCZ() { return Gate(GateKind::kCCZ, 3); }
+Gate Gate::CSwap() { return Gate(GateKind::kCSwap, 3); }
+
+Gate Gate::Measure(std::string key, int num_qubits) {
+  BGLS_REQUIRE(num_qubits >= 1, "measurement needs at least one qubit");
+  Gate g(GateKind::kMeasure, num_qubits);
+  g.key_ = std::move(key);
+  return g;
+}
+
+Gate Gate::Channel(KrausChannel channel) {
+  const int arity = channel.arity();
+  Gate g(GateKind::kChannel, arity);
+  g.channel_ = std::make_shared<const KrausChannel>(std::move(channel));
+  return g;
+}
+
+bool Gate::is_clifford() const {
+  switch (kind_) {
+    case GateKind::kIdentity:
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kH:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kSqrtX:
+    case GateKind::kCX:
+    case GateKind::kCZ:
+    case GateKind::kSwap:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Gate::is_diagonal() const {
+  switch (kind_) {
+    case GateKind::kIdentity:
+    case GateKind::kZ:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kRz:
+    case GateKind::kPhase:
+    case GateKind::kCZ:
+    case GateKind::kCPhase:
+    case GateKind::kZZ:
+    case GateKind::kCCZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Gate::is_parameterized() const {
+  return param_.has_value() && param_->is_symbolic();
+}
+
+const Param& Gate::parameter() const {
+  BGLS_REQUIRE(param_.has_value(), "gate '", name(), "' has no parameter");
+  return *param_;
+}
+
+Gate Gate::resolved(const ParamResolver& resolver) const {
+  if (!param_.has_value() || !param_->is_symbolic()) return *this;
+  Gate g = *this;
+  g.param_ = resolver.resolve(*param_);
+  return g;
+}
+
+Matrix Gate::unitary() const {
+  BGLS_REQUIRE(is_unitary(), "gate '", name(), "' has no unitary matrix");
+  BGLS_REQUIRE(!is_parameterized(), "gate '", name(),
+               "' has unresolved parameters");
+  using std::numbers::pi;
+  const Complex i{0.0, 1.0};
+  switch (kind_) {
+    case GateKind::kIdentity:
+      return Matrix::identity(2);
+    case GateKind::kX:
+      return matrix_1q({0, 1, 1, 0});
+    case GateKind::kY:
+      return matrix_1q({0, -i, i, 0});
+    case GateKind::kZ:
+      return matrix_1q({1, 0, 0, -1});
+    case GateKind::kH:
+      return matrix_1q({kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2});
+    case GateKind::kS:
+      return matrix_1q({1, 0, 0, i});
+    case GateKind::kSdg:
+      return matrix_1q({1, 0, 0, -i});
+    case GateKind::kT:
+      return matrix_1q({1, 0, 0, std::exp(i * (pi / 4.0))});
+    case GateKind::kTdg:
+      return matrix_1q({1, 0, 0, std::exp(-i * (pi / 4.0))});
+    case GateKind::kSqrtX:
+      return matrix_1q({Complex{0.5, 0.5}, Complex{0.5, -0.5},
+                        Complex{0.5, -0.5}, Complex{0.5, 0.5}});
+    case GateKind::kRx: {
+      const double half = param_->value() / 2.0;
+      const Complex c{std::cos(half), 0.0};
+      const Complex s = -i * std::sin(half);
+      return matrix_1q({c, s, s, c});
+    }
+    case GateKind::kRy: {
+      const double half = param_->value() / 2.0;
+      const Complex c{std::cos(half), 0.0};
+      const Complex s{std::sin(half), 0.0};
+      return matrix_1q({c, -s, s, c});
+    }
+    case GateKind::kRz: {
+      const double half = param_->value() / 2.0;
+      return matrix_1q({std::exp(-i * half), 0, 0, std::exp(i * half)});
+    }
+    case GateKind::kPhase:
+      return matrix_1q({1, 0, 0, std::exp(i * param_->value())});
+    case GateKind::kMatrix1:
+    case GateKind::kMatrix2:
+      return *matrix_;
+    case GateKind::kCX:
+      return Matrix(4, 4,
+                    {1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 1, 0, 0, 1, 0});
+    case GateKind::kCZ:
+      return Matrix(4, 4,
+                    {1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, -1});
+    case GateKind::kSwap:
+      return Matrix(4, 4,
+                    {1, 0, 0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0, 0, 0, 1});
+    case GateKind::kISwap:
+      return Matrix(4, 4,
+                    {1, 0, 0, 0, 0, 0, i, 0, 0, i, 0, 0, 0, 0, 0, 1});
+    case GateKind::kCPhase: {
+      Matrix m = Matrix::identity(4);
+      m(3, 3) = std::exp(i * param_->value());
+      return m;
+    }
+    case GateKind::kZZ: {
+      const double half = param_->value() / 2.0;
+      const Complex lo = std::exp(-i * half);
+      const Complex hi = std::exp(i * half);
+      Matrix m(4, 4);
+      m(0, 0) = lo;
+      m(1, 1) = hi;
+      m(2, 2) = hi;
+      m(3, 3) = lo;
+      return m;
+    }
+    case GateKind::kCCX: {
+      Matrix m = Matrix::identity(8);
+      m(6, 6) = 0;
+      m(7, 7) = 0;
+      m(6, 7) = 1;
+      m(7, 6) = 1;
+      return m;
+    }
+    case GateKind::kCCZ: {
+      Matrix m = Matrix::identity(8);
+      m(7, 7) = -1;
+      return m;
+    }
+    case GateKind::kCSwap: {
+      Matrix m = Matrix::identity(8);
+      // Swap target bits when the control (most significant) is 1:
+      // |101⟩ <-> |110⟩, i.e. indices 5 and 6.
+      m(5, 5) = 0;
+      m(6, 6) = 0;
+      m(5, 6) = 1;
+      m(6, 5) = 1;
+      return m;
+    }
+    case GateKind::kMeasure:
+    case GateKind::kChannel:
+      break;
+  }
+  detail::throw_error<ValueError>("unreachable gate kind in unitary()");
+}
+
+const std::string& Gate::measurement_key() const {
+  BGLS_REQUIRE(is_measurement(), "measurement_key on non-measurement gate '",
+               name(), "'");
+  return key_;
+}
+
+const KrausChannel& Gate::channel() const {
+  BGLS_REQUIRE(is_channel(), "channel() on non-channel gate '", name(), "'");
+  return *channel_;
+}
+
+std::string Gate::name() const {
+  const auto with_param = [&](const char* base) {
+    std::ostringstream oss;
+    oss << base << '(' << (param_ ? param_->to_string() : std::string{})
+        << ')';
+    return oss.str();
+  };
+  switch (kind_) {
+    case GateKind::kIdentity: return "I";
+    case GateKind::kX: return "X";
+    case GateKind::kY: return "Y";
+    case GateKind::kZ: return "Z";
+    case GateKind::kH: return "H";
+    case GateKind::kS: return "S";
+    case GateKind::kSdg: return "S†";
+    case GateKind::kT: return "T";
+    case GateKind::kTdg: return "T†";
+    case GateKind::kSqrtX: return "√X";
+    case GateKind::kRx: return with_param("Rx");
+    case GateKind::kRy: return with_param("Ry");
+    case GateKind::kRz: return with_param("Rz");
+    case GateKind::kPhase: return with_param("Phase");
+    case GateKind::kMatrix1:
+    case GateKind::kMatrix2: return custom_name_;
+    case GateKind::kCX: return "CX";
+    case GateKind::kCZ: return "CZ";
+    case GateKind::kSwap: return "SWAP";
+    case GateKind::kISwap: return "ISWAP";
+    case GateKind::kCPhase: return with_param("CPhase");
+    case GateKind::kZZ: return with_param("ZZ");
+    case GateKind::kCCX: return "CCX";
+    case GateKind::kCCZ: return "CCZ";
+    case GateKind::kCSwap: return "CSWAP";
+    case GateKind::kMeasure: return "M('" + key_ + "')";
+    case GateKind::kChannel: return channel_->name();
+  }
+  return "?";
+}
+
+std::vector<std::string> Gate::diagram_symbols() const {
+  switch (kind_) {
+    case GateKind::kCX: return {"@", "X"};
+    case GateKind::kCZ: return {"@", "@"};
+    case GateKind::kSwap: return {"x", "x"};
+    case GateKind::kISwap: return {"iSw", "iSw"};
+    case GateKind::kCPhase: return {"@", name()};
+    case GateKind::kZZ: return {name(), "ZZ"};
+    case GateKind::kCCX: return {"@", "@", "X"};
+    case GateKind::kCCZ: return {"@", "@", "@"};
+    case GateKind::kCSwap: return {"@", "x", "x"};
+    case GateKind::kMeasure:
+      return std::vector<std::string>(static_cast<std::size_t>(arity_),
+                                      "M('" + key_ + "')");
+    default: {
+      std::vector<std::string> symbols;
+      for (int q = 0; q < arity_; ++q) symbols.push_back(name());
+      return symbols;
+    }
+  }
+}
+
+}  // namespace bgls

@@ -1,0 +1,171 @@
+/// \file gate.h
+/// The gate zoo — the circuit layer's equivalent of Cirq's common gates.
+///
+/// A Gate is a value type describing *what* is applied; an Operation
+/// (operation.h) binds a gate to target qubits. Gates carry enough
+/// metadata for every backend in the library:
+///  - a unitary matrix (matrix-based backends),
+///  - Clifford/diagonal structure flags (stabilizer backend, optimizer),
+///  - rotation parameters, possibly symbolic (near-Clifford channel
+///    decomposition needs the Rz angle; QAOA sweeps need symbols),
+///  - measurement keys and Kraus channels for the non-unitary cases.
+///
+/// Matrix convention: for a gate on qubits (q0, q1, ...), the gate-local
+/// basis index is q0's bit as the *most significant* bit (Cirq's
+/// convention), i.e. CX(control, target) maps |10⟩ → |11⟩.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "channels/channels.h"
+#include "circuit/param.h"
+#include "linalg/matrix.h"
+
+namespace bgls {
+
+/// Discriminates every gate the library knows natively.
+enum class GateKind {
+  kIdentity,
+  kX,
+  kY,
+  kZ,
+  kH,
+  kS,
+  kSdg,
+  kT,
+  kTdg,
+  kSqrtX,
+  kRx,
+  kRy,
+  kRz,
+  kPhase,   // diag(1, e^{i θ})
+  kMatrix1, // arbitrary single-qubit unitary
+  kCX,
+  kCZ,
+  kSwap,
+  kISwap,
+  kCPhase,  // diag(1, 1, 1, e^{i θ})
+  kZZ,      // exp(-i θ/2 Z⊗Z)
+  kMatrix2, // arbitrary two-qubit unitary
+  kCCX,
+  kCCZ,
+  kCSwap,
+  kMeasure,
+  kChannel,
+};
+
+/// Value-semantic gate description. Construct through the named factory
+/// functions; heavy payloads (matrices, channels) are shared.
+class Gate {
+ public:
+  // --- Single-qubit gates -------------------------------------------------
+  static Gate I();
+  static Gate X();
+  static Gate Y();
+  static Gate Z();
+  static Gate H();
+  static Gate S();
+  static Gate Sdg();
+  static Gate T();
+  static Gate Tdg();
+  static Gate SqrtX();
+  /// exp(-i θ X / 2); θ may be symbolic.
+  static Gate Rx(Param theta);
+  /// exp(-i θ Y / 2).
+  static Gate Ry(Param theta);
+  /// exp(-i θ Z / 2). The near-Clifford channel (Sec. 4.2) consumes this.
+  static Gate Rz(Param theta);
+  /// diag(1, e^{i θ}) — ZPowGate up to global phase.
+  static Gate Phase(Param theta);
+  /// Arbitrary 2x2 unitary (used by the circuit optimizer's fused gates).
+  static Gate SingleQubitMatrix(Matrix m, std::string name = "U");
+
+  // --- Two-qubit gates ----------------------------------------------------
+  static Gate CX();
+  static Gate CZ();
+  static Gate Swap();
+  static Gate ISwap();
+  /// diag(1, 1, 1, e^{i θ}).
+  static Gate CPhase(Param theta);
+  /// exp(-i θ/2 Z⊗Z) — the QAOA cost-layer gate.
+  static Gate ZZ(Param theta);
+  /// Arbitrary 4x4 unitary.
+  static Gate TwoQubitMatrix(Matrix m, std::string name = "U2");
+
+  // --- Three-qubit gates --------------------------------------------------
+  static Gate CCX();
+  static Gate CCZ();
+  static Gate CSwap();
+
+  // --- Non-unitary --------------------------------------------------------
+  /// Computational-basis measurement of its targets, recorded under `key`.
+  static Gate Measure(std::string key, int num_qubits);
+  /// Kraus channel wrapped as a gate.
+  static Gate Channel(KrausChannel channel);
+
+  [[nodiscard]] GateKind kind() const { return kind_; }
+
+  /// Number of qubits the gate acts on.
+  [[nodiscard]] int arity() const { return arity_; }
+
+  [[nodiscard]] bool is_measurement() const {
+    return kind_ == GateKind::kMeasure;
+  }
+  [[nodiscard]] bool is_channel() const { return kind_ == GateKind::kChannel; }
+
+  /// True for every gate with a well-defined unitary matrix.
+  [[nodiscard]] bool is_unitary() const {
+    return !is_measurement() && !is_channel();
+  }
+
+  /// True when the gate kind is in the Clifford group for every parameter
+  /// value it can carry (H, S, S†, Paulis, √X, CX, CZ, SWAP). Rotation
+  /// gates return false even at Clifford angles; the near-Clifford
+  /// machinery handles those dynamically (see stabilizer/near_clifford.h).
+  [[nodiscard]] bool is_clifford() const;
+
+  /// True when the unitary is diagonal in the computational basis.
+  [[nodiscard]] bool is_diagonal() const;
+
+  /// True when any parameter is an unresolved symbol.
+  [[nodiscard]] bool is_parameterized() const;
+
+  /// Rotation/phase angle for parameterized kinds; throws otherwise.
+  [[nodiscard]] const Param& parameter() const;
+
+  /// Returns a copy with symbols resolved through `resolver`.
+  [[nodiscard]] Gate resolved(const ParamResolver& resolver) const;
+
+  /// The gate's unitary matrix (2^arity square). Throws for measurements,
+  /// channels, and unresolved symbolic gates.
+  [[nodiscard]] Matrix unitary() const;
+
+  /// Measurement key; only valid for measurement gates.
+  [[nodiscard]] const std::string& measurement_key() const;
+
+  /// The Kraus channel; only valid for channel gates.
+  [[nodiscard]] const KrausChannel& channel() const;
+
+  /// Human-readable name, e.g. "H", "Rz(0.25)", "M('z')".
+  [[nodiscard]] std::string name() const;
+
+  /// Short per-qubit wire symbols for text diagrams, e.g. {"@", "X"} for
+  /// CX.
+  [[nodiscard]] std::vector<std::string> diagram_symbols() const;
+
+ private:
+  Gate(GateKind kind, int arity) : kind_(kind), arity_(arity) {}
+
+  GateKind kind_ = GateKind::kIdentity;
+  int arity_ = 1;
+  std::optional<Param> param_;
+  std::shared_ptr<const Matrix> matrix_;
+  std::shared_ptr<const KrausChannel> channel_;
+  std::string key_;
+  std::string custom_name_;
+};
+
+}  // namespace bgls

@@ -1,0 +1,31 @@
+#include "circuit/noise.h"
+
+#include <set>
+
+#include "util/error.h"
+
+namespace bgls {
+
+Circuit with_noise(const Circuit& circuit, const KrausChannel& channel) {
+  BGLS_REQUIRE(channel.arity() == 1,
+               "with_noise expects a single-qubit channel, got arity ",
+               channel.arity());
+  Circuit out;
+  for (const auto& moment : circuit.moments()) {
+    out.append_moment(moment);
+    std::set<Qubit> touched;
+    for (const auto& op : moment.operations()) {
+      if (op.gate().is_measurement()) continue;
+      touched.insert(op.qubits().begin(), op.qubits().end());
+    }
+    if (touched.empty()) continue;
+    Moment noise;
+    for (const Qubit q : touched) {
+      noise.add(Operation(Gate::Channel(channel), {q}));
+    }
+    out.append_moment(std::move(noise));
+  }
+  return out;
+}
+
+}  // namespace bgls

@@ -1,0 +1,20 @@
+/// \file noise.h
+/// Noise-model convenience: wrap an ideal circuit with per-gate noise
+/// (the cirq.Circuit.with_noise idiom the paper's noisy-simulation
+/// feature targets).
+
+#pragma once
+
+#include "channels/channels.h"
+#include "circuit/circuit.h"
+
+namespace bgls {
+
+/// Returns a copy of `circuit` where, after every moment, the given
+/// single-qubit channel is applied to every qubit that moment acted on
+/// (measurement-only moments are left clean). The result is a
+/// stochastic circuit to be sampled via quantum trajectories.
+[[nodiscard]] Circuit with_noise(const Circuit& circuit,
+                                 const KrausChannel& channel);
+
+}  // namespace bgls

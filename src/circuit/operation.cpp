@@ -1,0 +1,95 @@
+#include "circuit/operation.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace bgls {
+
+Operation::Operation(Gate gate, std::vector<Qubit> qubits)
+    : gate_(std::move(gate)), qubits_(std::move(qubits)) {
+  BGLS_REQUIRE(static_cast<int>(qubits_.size()) == gate_.arity(),
+               "operation '", gate_.name(), "' expects ", gate_.arity(),
+               " qubits, got ", qubits_.size());
+  for (std::size_t i = 0; i < qubits_.size(); ++i) {
+    BGLS_REQUIRE(qubits_[i] >= 0, "negative qubit index ", qubits_[i]);
+    for (std::size_t j = i + 1; j < qubits_.size(); ++j) {
+      BGLS_REQUIRE(qubits_[i] != qubits_[j],
+                   "operation targets duplicate qubit ", qubits_[i]);
+    }
+  }
+}
+
+Operation Operation::controlled_by_measurement(std::string key) const {
+  BGLS_REQUIRE(gate_.is_unitary(),
+               "only unitary operations can be classically controlled, got '",
+               gate_.name(), "'");
+  BGLS_REQUIRE(!key.empty(), "condition key must be non-empty");
+  Operation controlled = *this;
+  controlled.condition_key_ = std::move(key);
+  return controlled;
+}
+
+bool Operation::acts_on(Qubit q) const {
+  return std::find(qubits_.begin(), qubits_.end(), q) != qubits_.end();
+}
+
+bool Operation::overlaps(const Operation& other) const {
+  return std::any_of(qubits_.begin(), qubits_.end(),
+                     [&](Qubit q) { return other.acts_on(q); });
+}
+
+Operation Operation::resolved(const ParamResolver& resolver) const {
+  return Operation(gate_.resolved(resolver), qubits_);
+}
+
+std::string Operation::to_string() const {
+  std::ostringstream oss;
+  oss << gate_.name() << '(';
+  for (std::size_t i = 0; i < qubits_.size(); ++i) {
+    oss << qubits_[i] << (i + 1 < qubits_.size() ? ", " : "");
+  }
+  oss << ')';
+  if (is_classically_controlled()) oss << ".if('" << condition_key_ << "')";
+  return oss.str();
+}
+
+Operation h(Qubit q) { return Operation(Gate::H(), {q}); }
+Operation x(Qubit q) { return Operation(Gate::X(), {q}); }
+Operation y(Qubit q) { return Operation(Gate::Y(), {q}); }
+Operation z(Qubit q) { return Operation(Gate::Z(), {q}); }
+Operation s(Qubit q) { return Operation(Gate::S(), {q}); }
+Operation sdg(Qubit q) { return Operation(Gate::Sdg(), {q}); }
+Operation t(Qubit q) { return Operation(Gate::T(), {q}); }
+Operation tdg(Qubit q) { return Operation(Gate::Tdg(), {q}); }
+
+Operation rx(Param theta, Qubit q) {
+  return Operation(Gate::Rx(std::move(theta)), {q});
+}
+Operation ry(Param theta, Qubit q) {
+  return Operation(Gate::Ry(std::move(theta)), {q});
+}
+Operation rz(Param theta, Qubit q) {
+  return Operation(Gate::Rz(std::move(theta)), {q});
+}
+
+Operation cnot(Qubit control, Qubit target) {
+  return Operation(Gate::CX(), {control, target});
+}
+Operation cz(Qubit a, Qubit b) { return Operation(Gate::CZ(), {a, b}); }
+Operation swap(Qubit a, Qubit b) { return Operation(Gate::Swap(), {a, b}); }
+Operation zz(Param theta, Qubit a, Qubit b) {
+  return Operation(Gate::ZZ(std::move(theta)), {a, b});
+}
+
+Operation ccx(Qubit c0, Qubit c1, Qubit target) {
+  return Operation(Gate::CCX(), {c0, c1, target});
+}
+
+Operation measure(std::vector<Qubit> qubits, std::string key) {
+  const int n = static_cast<int>(qubits.size());
+  return Operation(Gate::Measure(std::move(key), n), std::move(qubits));
+}
+
+}  // namespace bgls

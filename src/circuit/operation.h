@@ -1,0 +1,97 @@
+/// \file operation.h
+/// An Operation binds a Gate to concrete target qubits — the unit the
+/// gate-by-gate sampler walks over.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.h"
+
+namespace bgls {
+
+/// Qubits are dense integer ids (the equivalent of cirq.LineQubit).
+using Qubit = int;
+
+/// A gate applied to an ordered list of qubits, optionally conditioned
+/// on an earlier measurement record (classical feed-forward — the
+/// companion of mid-circuit measurement, enabling e.g. teleportation
+/// corrections).
+class Operation {
+ public:
+  /// Binds `gate` to `qubits`; the list length must equal the gate arity
+  /// and qubits must be distinct and non-negative.
+  Operation(Gate gate, std::vector<Qubit> qubits);
+
+  [[nodiscard]] const Gate& gate() const { return gate_; }
+
+  /// Returns a copy that executes only when the measurement recorded
+  /// under `key` (earlier in the circuit) is non-zero. Only unitary
+  /// gates can be conditioned.
+  [[nodiscard]] Operation controlled_by_measurement(std::string key) const;
+
+  /// True when this operation is classically conditioned.
+  [[nodiscard]] bool is_classically_controlled() const {
+    return !condition_key_.empty();
+  }
+
+  /// The controlling measurement key ("" when unconditioned).
+  [[nodiscard]] const std::string& condition_key() const {
+    return condition_key_;
+  }
+
+  /// The gate's support: the qubits it acts on, in gate order (for CX the
+  /// first qubit is the control).
+  [[nodiscard]] std::span<const Qubit> qubits() const { return qubits_; }
+
+  [[nodiscard]] int arity() const { return gate_.arity(); }
+
+  /// True when this operation touches qubit `q`.
+  [[nodiscard]] bool acts_on(Qubit q) const;
+
+  /// True when this operation shares any qubit with `other`.
+  [[nodiscard]] bool overlaps(const Operation& other) const;
+
+  /// Returns a copy with gate parameters resolved.
+  [[nodiscard]] Operation resolved(const ParamResolver& resolver) const;
+
+  /// e.g. "CX(0, 1)".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Gate gate_;
+  std::vector<Qubit> qubits_;
+  std::string condition_key_;
+};
+
+// --- Free-function builders mirroring the paper's Cirq snippets ----------
+
+/// H on a qubit.
+[[nodiscard]] Operation h(Qubit q);
+/// Pauli gates.
+[[nodiscard]] Operation x(Qubit q);
+[[nodiscard]] Operation y(Qubit q);
+[[nodiscard]] Operation z(Qubit q);
+/// Phase-family gates.
+[[nodiscard]] Operation s(Qubit q);
+[[nodiscard]] Operation sdg(Qubit q);
+[[nodiscard]] Operation t(Qubit q);
+[[nodiscard]] Operation tdg(Qubit q);
+/// Rotations (angles may be symbolic).
+[[nodiscard]] Operation rx(Param theta, Qubit q);
+[[nodiscard]] Operation ry(Param theta, Qubit q);
+[[nodiscard]] Operation rz(Param theta, Qubit q);
+/// Two-qubit gates.
+[[nodiscard]] Operation cnot(Qubit control, Qubit target);
+[[nodiscard]] Operation cz(Qubit a, Qubit b);
+[[nodiscard]] Operation swap(Qubit a, Qubit b);
+[[nodiscard]] Operation zz(Param theta, Qubit a, Qubit b);
+/// Three-qubit gates.
+[[nodiscard]] Operation ccx(Qubit c0, Qubit c1, Qubit target);
+/// Measurement of the listed qubits under `key`.
+[[nodiscard]] Operation measure(std::vector<Qubit> qubits,
+                                std::string key = "m");
+
+}  // namespace bgls

@@ -1,0 +1,22 @@
+#include "circuit/param.h"
+
+#include <sstream>
+
+namespace bgls {
+
+std::string Param::to_string() const {
+  if (is_symbolic()) return symbol().name;
+  std::ostringstream oss;
+  oss << value();
+  return oss.str();
+}
+
+Param ParamResolver::resolve(const Param& param) const {
+  if (!param.is_symbolic()) return param;
+  const auto it = values_.find(param.symbol().name);
+  BGLS_REQUIRE(it != values_.end(), "no value bound for symbol '",
+               param.symbol().name, "'");
+  return Param(it->second);
+}
+
+}  // namespace bgls

@@ -1,0 +1,83 @@
+/// \file param.h
+/// Symbolic gate parameters and resolvers.
+///
+/// Mirrors Cirq's sympy-symbol + ParamResolver mechanism at the level the
+/// paper uses it: rotation angles may be symbols (e.g. the QAOA γ and β),
+/// and a circuit is resolved against a {symbol → value} map before
+/// simulation (Sec. 3.1 notes "parametric support", exercised in
+/// Sec. 4.4's parameter sweep).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+
+#include "util/error.h"
+
+namespace bgls {
+
+/// A named symbolic parameter.
+struct Symbol {
+  std::string name;
+
+  friend bool operator==(const Symbol& a, const Symbol& b) {
+    return a.name == b.name;
+  }
+};
+
+/// A gate parameter: either a concrete value or a symbol.
+class Param {
+ public:
+  /// Implicit from a concrete value (so Gate::Rz(0.3) reads naturally).
+  Param(double value) : value_(value) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit from a symbol.
+  Param(Symbol symbol)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(symbol)) {}
+
+  /// True when the parameter still references a symbol.
+  [[nodiscard]] bool is_symbolic() const {
+    return std::holds_alternative<Symbol>(value_);
+  }
+
+  /// Concrete value; throws for unresolved symbols.
+  [[nodiscard]] double value() const {
+    BGLS_REQUIRE(!is_symbolic(), "parameter '", symbol().name,
+                 "' is unresolved");
+    return std::get<double>(value_);
+  }
+
+  /// The symbol; only valid when is_symbolic().
+  [[nodiscard]] const Symbol& symbol() const {
+    return std::get<Symbol>(value_);
+  }
+
+  /// Display form: the value or the symbol name.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::variant<double, Symbol> value_;
+};
+
+/// Assignment of symbol names to concrete values.
+class ParamResolver {
+ public:
+  ParamResolver() = default;
+
+  /// Builds from explicit {name, value} pairs.
+  ParamResolver(std::initializer_list<std::pair<const std::string, double>> init)
+      : values_(init) {}
+
+  /// Adds or overwrites an assignment.
+  void set(const std::string& name, double value) { values_[name] = value; }
+
+  /// Resolves a parameter: concrete values pass through; symbols are
+  /// looked up (throws bgls::ValueError when missing).
+  [[nodiscard]] Param resolve(const Param& param) const;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace bgls

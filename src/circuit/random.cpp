@@ -1,0 +1,225 @@
+#include "circuit/random.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+/// Fisher–Yates shuffle driven by the library Rng.
+template <typename T>
+void shuffle(std::vector<T>& values, Rng& rng) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform_int(i);
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+std::vector<Gate> default_gate_domain() {
+  return {Gate::X(), Gate::Y(), Gate::Z(), Gate::H(),
+          Gate::S(), Gate::T(), Gate::CX(), Gate::CZ()};
+}
+
+}  // namespace
+
+Circuit generate_random_circuit(int num_qubits,
+                                const RandomCircuitOptions& options, Rng& rng) {
+  BGLS_REQUIRE(num_qubits >= 1, "need at least one qubit");
+  BGLS_REQUIRE(options.num_moments >= 0, "negative moment count");
+  BGLS_REQUIRE(options.op_density >= 0.0 && options.op_density <= 1.0,
+               "op_density must be in [0, 1]");
+  const std::vector<Gate> domain =
+      options.gate_domain.empty() ? default_gate_domain()
+                                  : options.gate_domain;
+  int max_arity = 0;
+  for (const auto& gate : domain) {
+    BGLS_REQUIRE(gate.is_unitary(), "random gate domain must be unitary");
+    max_arity = std::max(max_arity, gate.arity());
+  }
+  BGLS_REQUIRE(max_arity <= num_qubits,
+               "gate domain needs more qubits than available");
+
+  Circuit circuit;
+  for (int m = 0; m < options.num_moments; ++m) {
+    std::vector<Qubit> order(static_cast<std::size_t>(num_qubits));
+    std::iota(order.begin(), order.end(), 0);
+    shuffle(order, rng);
+
+    Moment moment;
+    std::vector<bool> used(static_cast<std::size_t>(num_qubits), false);
+    for (std::size_t idx = 0; idx < order.size(); ++idx) {
+      const Qubit q = order[idx];
+      if (used[static_cast<std::size_t>(q)]) continue;
+      if (!rng.bernoulli(options.op_density)) continue;
+
+      // Collect the remaining free qubits after q in visit order, so a
+      // multi-qubit gate can grab partners.
+      std::vector<Qubit> targets{q};
+      for (std::size_t later = idx + 1;
+           later < order.size() &&
+           static_cast<int>(targets.size()) < max_arity;
+           ++later) {
+        if (!used[static_cast<std::size_t>(order[later])]) {
+          targets.push_back(order[later]);
+        }
+      }
+      // Choose uniformly among domain gates that fit.
+      std::vector<const Gate*> fitting;
+      for (const auto& gate : domain) {
+        if (gate.arity() <= static_cast<int>(targets.size())) {
+          fitting.push_back(&gate);
+        }
+      }
+      if (fitting.empty()) continue;
+      const Gate& gate = *fitting[rng.uniform_int(fitting.size())];
+      targets.resize(static_cast<std::size_t>(gate.arity()));
+      for (Qubit used_q : targets) used[static_cast<std::size_t>(used_q)] = true;
+      moment.add(Operation(gate, targets));
+    }
+    if (!moment.empty()) circuit.append_moment(std::move(moment));
+  }
+  return circuit;
+}
+
+Circuit random_clifford_circuit(int num_qubits, int num_moments, Rng& rng) {
+  RandomCircuitOptions options;
+  options.num_moments = num_moments;
+  options.op_density = 0.7;
+  options.gate_domain = {Gate::H(), Gate::S(), Gate::CX()};
+  return generate_random_circuit(num_qubits, options, rng);
+}
+
+Circuit random_clifford_t_circuit(int num_qubits, int num_moments, int num_t,
+                                  Rng& rng) {
+  Circuit clifford = random_clifford_circuit(num_qubits, num_moments, rng);
+  Circuit out;
+  const std::size_t total_moments = clifford.depth();
+  // Choose distinct insertion points (moment indices) for the T layers.
+  std::vector<std::size_t> insert_after(static_cast<std::size_t>(num_t));
+  for (auto& pos : insert_after) {
+    pos = total_moments == 0 ? 0 : rng.uniform_int(total_moments);
+  }
+  std::sort(insert_after.begin(), insert_after.end());
+
+  std::size_t next_t = 0;
+  for (std::size_t m = 0; m <= clifford.depth(); ++m) {
+    while (next_t < insert_after.size() && insert_after[next_t] == m) {
+      const Qubit q = static_cast<Qubit>(rng.uniform_int(
+          static_cast<std::uint64_t>(num_qubits)));
+      out.append(t(q), InsertStrategy::kNewThenInline);
+      ++next_t;
+    }
+    if (m < clifford.depth()) out.append_moment(clifford.moments()[m]);
+  }
+  return out;
+}
+
+Circuit ghz_circuit(int num_qubits) {
+  BGLS_REQUIRE(num_qubits >= 1, "need at least one qubit");
+  Circuit circuit;
+  circuit.append(h(0));
+  for (Qubit q = 0; q + 1 < num_qubits; ++q) circuit.append(cnot(q, q + 1));
+  return circuit;
+}
+
+Circuit random_ghz_circuit(int num_qubits, Rng& rng) {
+  BGLS_REQUIRE(num_qubits >= 1, "need at least one qubit");
+  Circuit circuit;
+  circuit.append(h(0));
+  std::vector<Qubit> entangled{0};
+  std::vector<Qubit> pending;
+  for (Qubit q = 1; q < num_qubits; ++q) pending.push_back(q);
+  shuffle(pending, rng);
+  for (Qubit target : pending) {
+    const Qubit source = entangled[rng.uniform_int(entangled.size())];
+    circuit.append(cnot(source, target));
+    entangled.push_back(target);
+  }
+  return circuit;
+}
+
+Circuit random_fixed_cnot_circuit(int num_qubits, int num_moments,
+                                  int num_cnots, Rng& rng) {
+  BGLS_REQUIRE(num_qubits >= 2, "need at least two qubits for CNOTs");
+  RandomCircuitOptions options;
+  options.num_moments = num_moments;
+  options.op_density = 0.6;
+  options.gate_domain = {Gate::H(), Gate::T(), Gate::X(),
+                         Gate::Y(), Gate::Z(), Gate::S()};
+  Circuit circuit = generate_random_circuit(num_qubits, options, rng);
+  for (int c = 0; c < num_cnots; ++c) {
+    const Qubit a = static_cast<Qubit>(
+        rng.uniform_int(static_cast<std::uint64_t>(num_qubits)));
+    Qubit b = a;
+    while (b == a) {
+      b = static_cast<Qubit>(
+          rng.uniform_int(static_cast<std::uint64_t>(num_qubits)));
+    }
+    circuit.append(cnot(a, b));
+  }
+  return circuit;
+}
+
+Circuit with_t_gates_replaced(const Circuit& circuit, const Gate& gate) {
+  BGLS_REQUIRE(gate.arity() == 1, "replacement gate must be single-qubit");
+  Circuit out;
+  for (const auto& moment : circuit.moments()) {
+    Moment replaced;
+    for (const auto& op : moment.operations()) {
+      if (op.gate().kind() == GateKind::kT) {
+        replaced.add(Operation(gate, {op.qubits()[0]}));
+      } else {
+        replaced.add(op);
+      }
+    }
+    out.append_moment(std::move(replaced));
+  }
+  return out;
+}
+
+Circuit with_random_t_substitutions(const Circuit& circuit, int count,
+                                    Rng& rng) {
+  // Collect positions of single-qubit operations eligible for T
+  // substitution.
+  struct Position {
+    std::size_t moment;
+    std::size_t op;
+  };
+  std::vector<Position> eligible;
+  for (std::size_t m = 0; m < circuit.moments().size(); ++m) {
+    const auto& ops = circuit.moments()[m].operations();
+    for (std::size_t o = 0; o < ops.size(); ++o) {
+      if (ops[o].arity() == 1 && ops[o].gate().is_unitary()) {
+        eligible.push_back({m, o});
+      }
+    }
+  }
+  BGLS_REQUIRE(static_cast<std::size_t>(count) <= eligible.size(),
+               "cannot substitute ", count, " T gates: only ",
+               eligible.size(), " single-qubit operations available");
+  shuffle(eligible, rng);
+  eligible.resize(static_cast<std::size_t>(count));
+
+  Circuit out;
+  for (std::size_t m = 0; m < circuit.moments().size(); ++m) {
+    Moment replaced;
+    const auto& ops = circuit.moments()[m].operations();
+    for (std::size_t o = 0; o < ops.size(); ++o) {
+      const bool substitute =
+          std::any_of(eligible.begin(), eligible.end(), [&](const Position& p) {
+            return p.moment == m && p.op == o;
+          });
+      if (substitute) {
+        replaced.add(t(ops[o].qubits()[0]));
+      } else {
+        replaced.add(ops[o]);
+      }
+    }
+    out.append_moment(std::move(replaced));
+  }
+  return out;
+}
+
+}  // namespace bgls

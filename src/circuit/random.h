@@ -1,0 +1,76 @@
+/// \file random.h
+/// Circuit generators for the paper's workloads.
+///
+/// Mirrors `bgls.testing.generate_random_circuit` (itself derived from
+/// cirq.testing.random_circuit) plus the specific circuit families the
+/// evaluation section uses: random Clifford circuits (Fig. 3),
+/// Clifford+T / Clifford+Rz(θ) circuits (Figs. 4–5), randomly-sequenced
+/// GHZ circuits (Fig. 6), and sparse random circuits with a fixed
+/// entangling budget (Fig. 7b).
+
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "util/rng.h"
+
+namespace bgls {
+
+/// Knobs for generate_random_circuit.
+struct RandomCircuitOptions {
+  /// Number of moments (layers) to generate.
+  int num_moments = 10;
+  /// Probability that each qubit slot in a moment receives an operation.
+  double op_density = 0.5;
+  /// Gate set to draw from; arities may be mixed. Defaults (empty) to
+  /// {X, Y, Z, H, S, T, CX, CZ}.
+  std::vector<Gate> gate_domain;
+};
+
+/// Generates a random circuit on `num_qubits` qubits: for each moment,
+/// visits qubits in random order and, with probability op_density, places
+/// a random gate from the domain on the visited qubit (grabbing further
+/// free qubits when the chosen gate needs them).
+[[nodiscard]] Circuit generate_random_circuit(int num_qubits,
+                                              const RandomCircuitOptions& options,
+                                              Rng& rng);
+
+/// Random pure-Clifford circuit over {H, S, CNOT} (the Fig. 3 workload).
+[[nodiscard]] Circuit random_clifford_circuit(int num_qubits, int num_moments,
+                                              Rng& rng);
+
+/// Random Clifford circuit with `num_t` T gates spliced in at random
+/// positions on random qubits (Figs. 4–5 workload).
+[[nodiscard]] Circuit random_clifford_t_circuit(int num_qubits,
+                                                int num_moments, int num_t,
+                                                Rng& rng);
+
+/// The standard linear GHZ preparation: H(0), CNOT(0,1), ..., CNOT(n-2,n-1).
+[[nodiscard]] Circuit ghz_circuit(int num_qubits);
+
+/// GHZ preparation with randomly sequenced CNOTs (Fig. 6a): each new
+/// qubit is entangled off a uniformly random already-entangled qubit, in
+/// random order.
+[[nodiscard]] Circuit random_ghz_circuit(int num_qubits, Rng& rng);
+
+/// Random circuit of single-qubit gates (H/T/X/Y/Z/S) at the given
+/// density with exactly `num_cnots` CNOTs between random adjacent-free
+/// pairs — the fixed-entanglement workload of Fig. 7b.
+[[nodiscard]] Circuit random_fixed_cnot_circuit(int num_qubits,
+                                                int num_moments, int num_cnots,
+                                                Rng& rng);
+
+/// Returns a copy of `circuit` with every T gate replaced by `gate`
+/// (used to build the T→S comparison copy of Fig. 4a and the T→Rz(θ)
+/// sweep of Fig. 4b).
+[[nodiscard]] Circuit with_t_gates_replaced(const Circuit& circuit,
+                                            const Gate& gate);
+
+/// Returns a copy of `circuit` with `count` randomly chosen single-qubit
+/// Clifford operations replaced by T gates (Fig. 5's progressive
+/// de-Cliffordization).
+[[nodiscard]] Circuit with_random_t_substitutions(const Circuit& circuit,
+                                                  int count, Rng& rng);
+
+}  // namespace bgls

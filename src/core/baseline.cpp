@@ -1,0 +1,42 @@
+#include "core/baseline.h"
+
+namespace bgls {
+
+Bitstring qubit_by_qubit_sample_once(const StateVectorState& final_state,
+                                     Rng& rng) {
+  StateVectorState working = final_state;
+  Bitstring bits = 0;
+  const std::array<Qubit, 1> one_qubit_buffer{0};
+  for (Qubit q = 0; q < final_state.num_qubits(); ++q) {
+    const double p1 = working.marginal_one(q);
+    const int outcome = rng.bernoulli(p1) ? 1 : 0;
+    bits = with_bit(bits, q, outcome);
+    std::array<Qubit, 1> target = one_qubit_buffer;
+    target[0] = q;
+    working.project(target, bits);
+  }
+  return bits;
+}
+
+Counts qubit_by_qubit_sample(const Circuit& circuit,
+                             StateVectorState initial_state,
+                             std::uint64_t repetitions, Rng& rng) {
+  Counts counts;
+  if (!circuit.has_channels()) {
+    StateVectorState final_state = initial_state;
+    evolve(circuit, final_state, rng);
+    for (std::uint64_t rep = 0; rep < repetitions; ++rep) {
+      ++counts[qubit_by_qubit_sample_once(final_state, rng)];
+    }
+    return counts;
+  }
+  // Stochastic circuits: one trajectory per repetition.
+  for (std::uint64_t rep = 0; rep < repetitions; ++rep) {
+    StateVectorState state = initial_state;
+    evolve(circuit, state, rng);
+    ++counts[qubit_by_qubit_sample_once(state, rng)];
+  }
+  return counts;
+}
+
+}  // namespace bgls

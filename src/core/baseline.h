@@ -1,0 +1,31 @@
+/// \file baseline.h
+/// The conventional qubit-by-qubit sampling baseline the paper compares
+/// against (Sec. 2): fully evolve the circuit to |ψ_f⟩, then measure the
+/// qubits one at a time, each time computing the marginal distribution
+/// conditioned on the bits already fixed. This costs n marginal
+/// computations per sample — the f(n, 2d) cost the gate-by-gate
+/// algorithm avoids.
+
+#pragma once
+
+#include "circuit/circuit.h"
+#include "statevector/state.h"
+#include "util/stats.h"
+
+namespace bgls {
+
+/// Samples `repetitions` bitstrings from the circuit's final state using
+/// the conventional method on the statevector backend: one full
+/// evolution, then per repetition a sequential sweep over the qubits,
+/// computing each marginal and collapsing a working copy of the state.
+/// Channels are handled by re-evolving per repetition (trajectories).
+[[nodiscard]] Counts qubit_by_qubit_sample(const Circuit& circuit,
+                                           StateVectorState initial_state,
+                                           std::uint64_t repetitions,
+                                           Rng& rng);
+
+/// Single conventional sample from an already-evolved state.
+[[nodiscard]] Bitstring qubit_by_qubit_sample_once(
+    const StateVectorState& final_state, Rng& rng);
+
+}  // namespace bgls

@@ -1,0 +1,64 @@
+#include "core/observables.h"
+
+#include <bit>
+
+#include "util/error.h"
+
+namespace bgls {
+
+PauliZString::PauliZString(std::vector<int> qubits)
+    : qubits_(std::move(qubits)) {
+  for (const int q : qubits_) {
+    BGLS_REQUIRE(q >= 0 && q < kMaxQubits, "qubit ", q, " out of range");
+    const Bitstring bit = Bitstring{1} << q;
+    BGLS_REQUIRE((mask_ & bit) == 0, "duplicate qubit ", q,
+                 " in Pauli-Z string");
+    mask_ |= bit;
+  }
+}
+
+int PauliZString::eigenvalue(Bitstring b) const {
+  return (std::popcount(b & mask_) & 1) ? -1 : 1;
+}
+
+void DiagonalObservable::add_term(double coefficient,
+                                  std::vector<int> qubits) {
+  terms_.push_back({coefficient, PauliZString(std::move(qubits))});
+}
+
+double DiagonalObservable::eigenvalue(Bitstring b) const {
+  double value = constant_;
+  for (const auto& term : terms_) {
+    value += term.coefficient * term.pauli.eigenvalue(b);
+  }
+  return value;
+}
+
+double DiagonalObservable::expectation(const Counts& counts) const {
+  double total = 0.0;
+  std::uint64_t samples = 0;
+  for (const auto& [bits, count] : counts) {
+    total += eigenvalue(bits) * static_cast<double>(count);
+    samples += count;
+  }
+  BGLS_REQUIRE(samples > 0, "no samples to estimate from");
+  return total / static_cast<double>(samples);
+}
+
+double DiagonalObservable::expectation(const Distribution& distribution) const {
+  double total = 0.0;
+  for (const auto& [bits, p] : distribution) total += eigenvalue(bits) * p;
+  return total;
+}
+
+DiagonalObservable DiagonalObservable::max_cut(
+    const std::vector<std::pair<int, int>>& edges) {
+  DiagonalObservable h;
+  for (const auto& [u, v] : edges) {
+    h.add_constant(0.5);
+    h.add_term(-0.5, {u, v});
+  }
+  return h;
+}
+
+}  // namespace bgls

@@ -1,0 +1,75 @@
+/// \file observables.h
+/// Diagonal (Z-basis) observable estimation from sampled bitstrings.
+///
+/// Weak simulation only yields samples, so any quantity consumed
+/// downstream must be estimated from them. Z-diagonal observables —
+/// Pauli-Z strings and weighted sums of them (Ising cost functions, the
+/// QAOA MaxCut Hamiltonian of Sec. 4.4) — are estimable directly from
+/// computational-basis counts, which is exactly what the paper's QAOA
+/// example does when it "maximizes average energy" over sampled
+/// bitstrings.
+
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/stats.h"
+
+namespace bgls {
+
+/// A product of Pauli-Z operators on a subset of qubits, ⊗_{q∈S} Z_q.
+/// Its eigenvalue on |b⟩ is (-1)^{parity of b over S}.
+class PauliZString {
+ public:
+  /// Builds Z on the listed qubits (empty = identity).
+  explicit PauliZString(std::vector<int> qubits);
+
+  [[nodiscard]] const std::vector<int>& qubits() const { return qubits_; }
+
+  /// Eigenvalue (+1/-1) on a basis state.
+  [[nodiscard]] int eigenvalue(Bitstring b) const;
+
+ private:
+  std::vector<int> qubits_;
+  Bitstring mask_ = 0;
+};
+
+/// A real-weighted sum of Pauli-Z strings: H = Σ_k c_k · Z-string_k
+/// (+ constant). Diagonal, so its expectation is estimable from Z-basis
+/// samples.
+class DiagonalObservable {
+ public:
+  DiagonalObservable() = default;
+
+  /// Adds a term c · ⊗_{q∈qubits} Z_q.
+  void add_term(double coefficient, std::vector<int> qubits);
+
+  /// Adds a constant offset.
+  void add_constant(double value) { constant_ += value; }
+
+  /// Eigenvalue on a basis state.
+  [[nodiscard]] double eigenvalue(Bitstring b) const;
+
+  /// Monte-Carlo estimate ⟨H⟩ from sampled counts.
+  [[nodiscard]] double expectation(const Counts& counts) const;
+
+  /// Exact expectation from a full distribution.
+  [[nodiscard]] double expectation(const Distribution& distribution) const;
+
+  /// The MaxCut cost observable Σ_edges (1 - Z_u Z_v)/2: its eigenvalue
+  /// on a partition bitstring is the cut value.
+  [[nodiscard]] static DiagonalObservable max_cut(
+      const std::vector<std::pair<int, int>>& edges);
+
+ private:
+  struct Term {
+    double coefficient;
+    PauliZString pauli;
+  };
+  std::vector<Term> terms_;
+  double constant_ = 0.0;
+};
+
+}  // namespace bgls

@@ -1,0 +1,79 @@
+#include "core/optimize.h"
+
+#include <map>
+#include <optional>
+
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+/// A pending per-qubit run of single-qubit gates being fused.
+struct PendingRun {
+  Matrix product = Matrix::identity(2);
+  std::size_t gate_count = 0;
+  /// The single original operation when gate_count == 1, so unfused
+  /// gates keep their readable names.
+  std::optional<Operation> lone_op;
+};
+
+bool is_identity_up_to_tolerance(const Matrix& m) {
+  return m.max_abs_diff(Matrix::identity(2)) < 1e-10;
+}
+
+}  // namespace
+
+Circuit optimize_for_bgls(const Circuit& circuit, OptimizationReport* report) {
+  OptimizationReport local_report;
+  local_report.operations_before = circuit.num_operations();
+
+  Circuit out;
+  std::map<Qubit, PendingRun> pending;
+
+  const auto flush_qubit = [&](Qubit q) {
+    const auto it = pending.find(q);
+    if (it == pending.end()) return;
+    PendingRun run = std::move(it->second);
+    pending.erase(it);
+    if (run.gate_count == 0) return;
+    if (is_identity_up_to_tolerance(run.product)) {
+      ++local_report.identities_dropped;
+      local_report.gates_fused += run.gate_count;
+      return;
+    }
+    if (run.gate_count == 1) {
+      out.append(*run.lone_op);
+      return;
+    }
+    local_report.gates_fused += run.gate_count;
+    out.append(Operation(
+        Gate::SingleQubitMatrix(std::move(run.product), "fused"), {q}));
+  };
+
+  for (const auto& op : circuit.all_operations()) {
+    const Gate& gate = op.gate();
+    const bool fusible = gate.is_unitary() && gate.arity() == 1 &&
+                         !gate.is_parameterized();
+    if (fusible) {
+      PendingRun& run = pending[op.qubits()[0]];
+      run.product = gate.unitary() * run.product;
+      ++run.gate_count;
+      run.lone_op = op;
+      continue;
+    }
+    // Barrier: flush every qubit this operation touches, then emit it.
+    for (const Qubit q : op.qubits()) flush_qubit(q);
+    out.append(op);
+  }
+  // Flush the tails (copy keys first: flush_qubit mutates the map).
+  std::vector<Qubit> remaining;
+  remaining.reserve(pending.size());
+  for (const auto& [q, run] : pending) remaining.push_back(q);
+  for (const Qubit q : remaining) flush_qubit(q);
+
+  local_report.operations_after = out.num_operations();
+  if (report != nullptr) *report = local_report;
+  return out;
+}
+
+}  // namespace bgls

@@ -1,0 +1,37 @@
+/// \file optimize.h
+/// Circuit optimization for the gate-by-gate sampler (Sec. 3.2.2,
+/// bgls.optimize_for_bgls).
+///
+/// Every operation the sampler walks costs one state application plus
+/// one candidate resampling, so runs of consecutive single-qubit gates
+/// on the same qubit are pure overhead: they can be fused into one
+/// matrix gate so the bitstring is updated once instead of k times. The
+/// paper's tips page reports 1.5–2x speedups on random 8-qubit circuits
+/// of up to 50 layers (reproduced in bench/tips_circuit_optimization).
+
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace bgls {
+
+/// What the optimizer did (for logging / benches).
+struct OptimizationReport {
+  std::size_t operations_before = 0;
+  std::size_t operations_after = 0;
+  /// Single-qubit gates absorbed into fused matrix gates.
+  std::size_t gates_fused = 0;
+  /// Fused products that reduced to the identity and were dropped.
+  std::size_t identities_dropped = 0;
+};
+
+/// Fuses maximal runs of consecutive single-qubit unitary gates per
+/// qubit into single matrix gates, dropping products that collapse to
+/// the identity (up to 1e-10). Multi-qubit gates, measurements, channels
+/// and unresolved-parameter gates act as barriers and pass through
+/// unchanged. The sampled distribution is preserved exactly (fusion is
+/// an exact matrix product).
+[[nodiscard]] Circuit optimize_for_bgls(const Circuit& circuit,
+                                        OptimizationReport* report = nullptr);
+
+}  // namespace bgls

@@ -1,0 +1,55 @@
+#include "core/result.h"
+
+#include "util/error.h"
+
+namespace bgls {
+
+void Result::declare_key(const std::string& key, std::vector<Qubit> qubits) {
+  BGLS_REQUIRE(!data_.contains(key), "measurement key '", key,
+               "' declared twice; keys must be unique per circuit");
+  keys_.push_back(key);
+  data_[key] = KeyData{std::move(qubits), {}};
+}
+
+void Result::add_record(const std::string& key, Bitstring value) {
+  add_records(key, value, 1);
+}
+
+void Result::add_records(const std::string& key, Bitstring value,
+                         std::uint64_t count) {
+  const auto it = data_.find(key);
+  BGLS_REQUIRE(it != data_.end(), "unknown measurement key '", key, "'");
+  it->second.values.insert(it->second.values.end(), count, value);
+}
+
+const Result::KeyData& Result::key_data(const std::string& key) const {
+  const auto it = data_.find(key);
+  BGLS_REQUIRE(it != data_.end(), "unknown measurement key '", key, "'");
+  return it->second;
+}
+
+const std::vector<Qubit>& Result::measured_qubits(
+    const std::string& key) const {
+  return key_data(key).qubits;
+}
+
+const std::vector<Bitstring>& Result::values(const std::string& key) const {
+  return key_data(key).values;
+}
+
+std::uint64_t Result::repetitions() const {
+  if (keys_.empty()) return 0;
+  return key_data(keys_.front()).values.size();
+}
+
+Counts Result::histogram(const std::string& key) const {
+  Counts counts;
+  for (const Bitstring value : key_data(key).values) ++counts[value];
+  return counts;
+}
+
+Distribution Result::distribution(const std::string& key) const {
+  return normalize(histogram(key));
+}
+
+}  // namespace bgls

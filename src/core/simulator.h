@@ -1,0 +1,389 @@
+/// \file simulator.h
+/// The gate-by-gate sampling simulator — the paper's core contribution
+/// (Secs. 2–3), templated over the state representation.
+///
+/// Algorithm (Bravyi–Gosset–Liu, sketched in Sec. 2 of the paper):
+///   1. b ← 0...0 (a "hidden variable" sample of the instantaneous
+///      output distribution).
+///   2. For each gate: apply it to the state; enumerate the candidate
+///      bitstrings that vary b over the gate's support; resample b from
+///      the candidates' bitstring probabilities.
+///   3. The final b is a sample of |⟨b|ψ_f⟩|².
+///
+/// Exactly like the Python package, a Simulator is assembled from three
+/// ingredients (Sec. 3.1): an initial state of any representation, an
+/// `apply_op` function, and a `compute_probability` function. For the
+/// library's own state types the two functions default to the
+/// ADL-discovered free functions each backend provides, and the
+/// simulator can additionally use backend members for exact channel
+/// branching and measurement collapse.
+///
+/// Features reproduced from Sec. 3.2:
+///  - automatic sample parallelization (3.2.3): on unitary circuits with
+///    terminal measurements, all repetitions evolve one state while a
+///    bitstring→multiplicity dictionary is resampled per gate via exact
+///    multinomial splitting, so cost saturates once the dictionary
+///    reaches the 2^n unique-bitstring ceiling (Fig. 2);
+///  - quantum trajectories for channels and mid-circuit measurements
+///    (3.2.1): per-repetition evolution. Channels use a *joint*
+///    Kraus-branch × candidate update (equivalent to running BGLS on the
+///    channel's unitary dilation and discarding the environment bit),
+///    which keeps the hidden-variable coupling exact even for non-unital
+///    channels. Mid-circuit measurements read their outcome off the
+///    current bitstring — a faithful sample by the BGL invariant — and
+///    collapse the state accordingly;
+///  - optional skipping of diagonal-gate updates: a diagonal unitary
+///    rescales every candidate amplitude by a unit-modulus phase, so the
+///    candidate distribution is unchanged and the resampling step can be
+///    elided exactly (ablated in the bench suite).
+
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "core/result.h"
+#include "util/bits.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace bgls {
+
+/// Instrumentation counters for the most recent run (used by the Fig. 2
+/// bench to demonstrate dictionary saturation and by the cost-model
+/// microbenches).
+struct RunStats {
+  /// Number of apply_op invocations across all trajectories.
+  std::size_t state_applications = 0;
+  /// Number of compute_probability invocations.
+  std::size_t probability_evaluations = 0;
+  /// Peak unique-bitstring dictionary size (≤ 2^n; Sec. 3.2.3).
+  std::size_t max_dictionary_size = 0;
+  /// Number of independent state evolutions (1 when parallelized).
+  std::size_t trajectories = 0;
+  /// Whether the dictionary-batched path was used.
+  bool used_sample_parallelization = false;
+  /// Candidate updates skipped because the gate was diagonal.
+  std::size_t diagonal_updates_skipped = 0;
+};
+
+/// Tuning knobs.
+struct SimulatorOptions {
+  /// When true, the candidate-resampling step is skipped for gates that
+  /// are diagonal in the computational basis (exact; see file comment).
+  bool skip_diagonal_updates = false;
+  /// Force-disable the dictionary batching of Sec. 3.2.3 even when the
+  /// circuit allows it (used by the Fig. 2 ablation).
+  bool disable_sample_parallelization = false;
+};
+
+/// Gate-by-gate sampler over an arbitrary state representation.
+///
+/// State requirements (checked at compile time where used):
+///  - copy-constructible (fresh copy per run / trajectory);
+///  - ADL-visible `apply_op(const Operation&, State&, Rng&)` and
+///    `compute_probability(const State&, Bitstring)` — or explicit
+///    callables passed to the constructor (the Python package's API);
+///  - optional members for full feature support:
+///      `project(std::span<const Qubit>, Bitstring)` (mid-circuit
+///      measurement), `apply_matrix(const Matrix&, std::span<const
+///      Qubit>)` + `renormalize()` (exact channel branching).
+template <typename State>
+class Simulator {
+ public:
+  using ApplyOpFn = std::function<void(const Operation&, State&, Rng&)>;
+  using ProbabilityFn = std::function<double(const State&, Bitstring)>;
+
+  /// Builds a simulator whose apply/probability hooks are the backend's
+  /// ADL free functions.
+  explicit Simulator(State initial_state, SimulatorOptions options = {})
+      : initial_state_(std::move(initial_state)),
+        options_(options),
+        apply_op_([](const Operation& op, State& s, Rng& rng) {
+          apply_op(op, s, rng);
+        }),
+        compute_probability_([](const State& s, Bitstring b) {
+          return compute_probability(s, b);
+        }),
+        hooks_are_native_(true) {}
+
+  /// The paper's three-ingredient constructor: initial state, apply_op,
+  /// compute_probability. With custom hooks the simulator treats the
+  /// state as a black box: channels are routed through `apply` followed
+  /// by a standard candidate update.
+  Simulator(State initial_state, ApplyOpFn apply, ProbabilityFn probability,
+            SimulatorOptions options = {})
+      : initial_state_(std::move(initial_state)),
+        options_(options),
+        apply_op_(std::move(apply)),
+        compute_probability_(std::move(probability)),
+        hooks_are_native_(false) {}
+
+  /// Runs the circuit end-to-end `repetitions` times and returns the
+  /// measurement records, mirroring cirq.Simulator.run. The circuit must
+  /// contain at least one measurement and must be fully resolved.
+  Result run(const Circuit& circuit, std::uint64_t repetitions, Rng& rng) {
+    validate(circuit, /*require_measurements=*/true);
+    Result result;
+    for (const auto& op : circuit.all_operations()) {
+      if (op.gate().is_measurement()) {
+        result.declare_key(op.gate().measurement_key(),
+                           {op.qubits().begin(), op.qubits().end()});
+      }
+    }
+    if (can_parallelize(circuit)) {
+      const auto counts = sample_parallel(circuit, repetitions, rng);
+      for (const auto& [bits, count] : counts) {
+        for (const auto& op : circuit.all_operations()) {
+          if (!op.gate().is_measurement()) continue;
+          result.add_records(op.gate().measurement_key(),
+                             pack_key_bits(bits, op.qubits()), count);
+        }
+      }
+      return result;
+    }
+    for (std::uint64_t rep = 0; rep < repetitions; ++rep) {
+      run_one_trajectory(circuit, rng, &result);
+    }
+    return result;
+  }
+
+  /// Convenience overload with a seed instead of an engine.
+  Result run(const Circuit& circuit, std::uint64_t repetitions = 1,
+             std::uint64_t seed = 0) {
+    Rng rng(seed);
+    return run(circuit, repetitions, rng);
+  }
+
+  /// Samples final bitstrings over *all* qubits, ignoring measurement
+  /// gates (the form the paper's runtime benchmarks use). Returns
+  /// outcome counts.
+  Counts sample(const Circuit& circuit, std::uint64_t repetitions, Rng& rng) {
+    validate(circuit, /*require_measurements=*/false);
+    if (can_parallelize(circuit)) {
+      return sample_parallel(circuit, repetitions, rng);
+    }
+    Counts counts;
+    for (std::uint64_t rep = 0; rep < repetitions; ++rep) {
+      ++counts[run_one_trajectory(circuit, rng, nullptr)];
+    }
+    return counts;
+  }
+
+  /// Counters from the most recent run()/sample() call.
+  [[nodiscard]] const RunStats& last_run_stats() const { return stats_; }
+
+ private:
+  void validate(const Circuit& circuit, bool require_measurements) {
+    BGLS_REQUIRE(!circuit.is_parameterized(),
+                 "circuit has unresolved parameters; resolve() it first");
+    BGLS_REQUIRE(!require_measurements || circuit.has_measurements(),
+                 "circuit has no measurements to sample; append measure()");
+    stats_ = RunStats{};
+  }
+
+  [[nodiscard]] bool can_parallelize(const Circuit& circuit) const {
+    // Sec. 3.2.3: one shared state only works when the state evolution
+    // is deterministic (no channels, no classical feed-forward) and
+    // nothing acts after measurement.
+    if (options_.disable_sample_parallelization || circuit.has_channels() ||
+        !circuit.measurements_are_terminal()) {
+      return false;
+    }
+    for (const auto& op : circuit.all_operations()) {
+      if (op.is_classically_controlled()) return false;
+    }
+    return true;
+  }
+
+  /// Extracts a key's packed value from a full bitstring: bit j of the
+  /// result is b[qubits[j]].
+  [[nodiscard]] static Bitstring pack_key_bits(Bitstring b,
+                                               std::span<const Qubit> qubits) {
+    Bitstring packed = 0;
+    for (std::size_t j = 0; j < qubits.size(); ++j) {
+      packed = with_bit(packed, static_cast<int>(j), get_bit(b, qubits[j]));
+    }
+    return packed;
+  }
+
+  [[nodiscard]] static std::vector<int> support_of(const Operation& op) {
+    return {op.qubits().begin(), op.qubits().end()};
+  }
+
+  /// One candidate-resampling step: draws the new bitstring for a single
+  /// trajectory.
+  Bitstring update_bits(const State& state, Bitstring b, const Operation& op,
+                        Rng& rng) {
+    const auto support = support_of(op);
+    const CandidateList candidates = expand_candidates(b, support);
+    std::array<double, (1u << kMaxGateArity)> weights{};
+    for (int i = 0; i < candidates.count; ++i) {
+      weights[static_cast<std::size_t>(i)] =
+          compute_probability_(state, candidates.values[static_cast<std::size_t>(i)]);
+    }
+    stats_.probability_evaluations +=
+        static_cast<std::size_t>(candidates.count);
+    const std::size_t chosen = rng.categorical(
+        {weights.data(), static_cast<std::size_t>(candidates.count)});
+    return candidates.values[chosen];
+  }
+
+  /// Dictionary-batched sampling (Sec. 3.2.3): evolves one state and
+  /// splits every unique bitstring's multiplicity across its candidates
+  /// with exact multinomial draws.
+  Counts sample_parallel(const Circuit& circuit, std::uint64_t repetitions,
+                         Rng& rng) {
+    stats_.used_sample_parallelization = true;
+    stats_.trajectories = 1;
+    State state = initial_state_;
+    std::map<Bitstring, std::uint64_t> dictionary{{Bitstring{0}, repetitions}};
+    stats_.max_dictionary_size = 1;
+
+    for (const auto& op : circuit.all_operations()) {
+      if (op.gate().is_measurement()) continue;
+      apply_op_(op, state, rng);
+      ++stats_.state_applications;
+      if (options_.skip_diagonal_updates && op.gate().is_diagonal()) {
+        ++stats_.diagonal_updates_skipped;
+        continue;
+      }
+      const auto support = support_of(op);
+      std::map<Bitstring, std::uint64_t> next;
+      std::array<double, (1u << kMaxGateArity)> weights{};
+      std::array<std::uint64_t, (1u << kMaxGateArity)> counts{};
+      for (const auto& [bits, multiplicity] : dictionary) {
+        const CandidateList candidates = expand_candidates(bits, support);
+        const auto n = static_cast<std::size_t>(candidates.count);
+        for (std::size_t i = 0; i < n; ++i) {
+          weights[i] = compute_probability_(state, candidates.values[i]);
+        }
+        stats_.probability_evaluations += n;
+        rng.multinomial(multiplicity, {weights.data(), n},
+                        {counts.data(), n});
+        for (std::size_t i = 0; i < n; ++i) {
+          if (counts[i] > 0) next[candidates.values[i]] += counts[i];
+        }
+      }
+      dictionary.swap(next);
+      stats_.max_dictionary_size =
+          std::max(stats_.max_dictionary_size, dictionary.size());
+    }
+    return {dictionary.begin(), dictionary.end()};
+  }
+
+  /// Exact channel handling: sample (Kraus branch, candidate) jointly —
+  /// this is BGLS on the channel's unitary dilation with the environment
+  /// bit discarded, so the hidden-variable invariant holds exactly.
+  template <typename S = State>
+  Bitstring apply_channel_jointly(const Operation& op, S& state, Bitstring b,
+                                  Rng& rng)
+    requires requires(S s, const Matrix& m, std::span<const Qubit> qs) {
+      s.apply_matrix(m, qs);
+      s.renormalize();
+    }
+  {
+    const auto& kraus = op.gate().channel().operators();
+    const auto support = support_of(op);
+    const CandidateList candidates = expand_candidates(b, support);
+    const auto num_candidates = static_cast<std::size_t>(candidates.count);
+
+    std::vector<S> branches;
+    branches.reserve(kraus.size());
+    std::vector<double> weights;
+    weights.reserve(kraus.size() * num_candidates);
+    for (const auto& k : kraus) {
+      S branch = state;
+      branch.apply_matrix(k, op.qubits());
+      for (std::size_t i = 0; i < num_candidates; ++i) {
+        weights.push_back(compute_probability_(branch, candidates.values[i]));
+      }
+      branches.push_back(std::move(branch));
+    }
+    stats_.probability_evaluations += weights.size();
+    const std::size_t chosen = rng.categorical(weights);
+    state = std::move(branches[chosen / num_candidates]);
+    state.renormalize();
+    ++stats_.state_applications;
+    return candidates.values[chosen % num_candidates];
+  }
+
+  /// One full trajectory; returns the final bitstring and (optionally)
+  /// appends measurement records.
+  Bitstring run_one_trajectory(const Circuit& circuit, Rng& rng,
+                               Result* result) {
+    State state = initial_state_;
+    Bitstring b = 0;
+    // Per-trajectory classical record, read by classically-controlled
+    // operations (feed-forward).
+    std::map<std::string, Bitstring> records;
+    ++stats_.trajectories;
+    for (const auto& op : circuit.all_operations()) {
+      const Gate& gate = op.gate();
+      if (gate.is_measurement()) {
+        // b is a faithful sample of the instantaneous distribution, so
+        // its restriction to the measured qubits *is* the outcome;
+        // collapse the state to stay consistent with it.
+        const Bitstring packed = pack_key_bits(b, op.qubits());
+        records[gate.measurement_key()] = packed;
+        if (result != nullptr) {
+          result->add_record(gate.measurement_key(), packed);
+        }
+        project_state(state, op.qubits(), b);
+        continue;
+      }
+      if (op.is_classically_controlled()) {
+        const auto it = records.find(op.condition_key());
+        BGLS_REQUIRE(it != records.end(), "operation ", op.to_string(),
+                     " is conditioned on key '", op.condition_key(),
+                     "' which has not been measured yet");
+        if (it->second == 0) continue;  // condition false: skip the gate
+      }
+      if (gate.is_channel() && hooks_are_native_) {
+        if constexpr (requires(State s, const Matrix& m,
+                               std::span<const Qubit> qs) {
+                        s.apply_matrix(m, qs);
+                        s.renormalize();
+                      }) {
+          b = apply_channel_jointly(op, state, b, rng);
+          continue;
+        }
+      }
+      apply_op_(op, state, rng);
+      ++stats_.state_applications;
+      if (options_.skip_diagonal_updates && gate.is_unitary() &&
+          gate.is_diagonal()) {
+        ++stats_.diagonal_updates_skipped;
+        continue;
+      }
+      b = update_bits(state, b, op, rng);
+    }
+    return b;
+  }
+
+  void project_state(State& state, std::span<const Qubit> qubits,
+                     Bitstring b) {
+    if constexpr (requires(State s, std::span<const Qubit> qs, Bitstring bb) {
+                    s.project(qs, bb);
+                  }) {
+      state.project(qubits, b);
+    } else {
+      detail::throw_error<UnsupportedOperationError>(
+          "state type does not support projection; mid-circuit "
+          "measurements need a project(qubits, bits) member");
+    }
+  }
+
+  State initial_state_;
+  SimulatorOptions options_;
+  ApplyOpFn apply_op_;
+  ProbabilityFn compute_probability_;
+  bool hooks_are_native_ = true;
+  RunStats stats_;
+};
+
+}  // namespace bgls

@@ -1,0 +1,172 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace bgls {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, Complex{0.0, 0.0}) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<Complex> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  BGLS_REQUIRE(data_.size() == rows_ * cols_, "matrix data size ",
+               data_.size(), " does not match ", rows_, "x", cols_);
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = Complex{1.0, 0.0};
+  return m;
+}
+
+Matrix Matrix::zero(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols);
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  BGLS_REQUIRE(cols_ == rhs.rows_, "matmul dimension mismatch: ", rows_, "x",
+               cols_, " * ", rhs.rows_, "x", rhs.cols_);
+  Matrix out(rows_, rhs.cols_);
+  // ikj loop order: streams over rhs rows, cache-friendly for row-major.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const Complex aik = (*this)(i, k);
+      if (aik == Complex{0.0, 0.0}) continue;
+      const Complex* rhs_row = &rhs.data_[k * rhs.cols_];
+      Complex* out_row = &out.data_[i * out.cols_];
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out_row[j] += aik * rhs_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  BGLS_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+               "matrix addition shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  BGLS_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+               "matrix subtraction shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(Complex scalar) const {
+  Matrix out = *this;
+  for (auto& v : out.data_) v *= scalar;
+  return out;
+}
+
+Matrix Matrix::adjoint() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = std::conj((*this)(r, c));
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::kron(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows_ * b.rows_, a.cols_ * b.cols_);
+  for (std::size_t ar = 0; ar < a.rows_; ++ar) {
+    for (std::size_t ac = 0; ac < a.cols_; ++ac) {
+      const Complex av = a(ar, ac);
+      if (av == Complex{0.0, 0.0}) continue;
+      for (std::size_t br = 0; br < b.rows_; ++br) {
+        for (std::size_t bc = 0; bc < b.cols_; ++bc) {
+          out(ar * b.rows_ + br, ac * b.cols_ + bc) = av * b(br, bc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Complex> Matrix::apply(std::span<const Complex> x) const {
+  BGLS_REQUIRE(x.size() == cols_, "matrix-vector size mismatch: ", cols_,
+               " vs ", x.size());
+  std::vector<Complex> y(rows_, Complex{0.0, 0.0});
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Complex acc{0.0, 0.0};
+    const Complex* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Complex Matrix::trace() const {
+  BGLS_REQUIRE(rows_ == cols_, "trace of non-square matrix");
+  Complex acc{0.0, 0.0};
+  for (std::size_t i = 0; i < rows_; ++i) acc += (*this)(i, i);
+  return acc;
+}
+
+double Matrix::max_abs_diff(const Matrix& rhs) const {
+  BGLS_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+               "max_abs_diff shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - rhs.data_[i]));
+  }
+  return worst;
+}
+
+bool Matrix::approx_equal(const Matrix& rhs, double tol) const {
+  return rows_ == rhs.rows_ && cols_ == rhs.cols_ && max_abs_diff(rhs) <= tol;
+}
+
+bool Matrix::is_unitary(double tol) const {
+  if (rows_ != cols_) return false;
+  return (adjoint() * *this).approx_equal(identity(rows_), tol);
+}
+
+bool Matrix::is_hermitian(double tol) const {
+  if (rows_ != cols_) return false;
+  return approx_equal(adjoint(), tol);
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (const auto& v : data_) acc += std::norm(v);
+  return std::sqrt(acc);
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream oss;
+  oss << std::setprecision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    oss << (r == 0 ? "[[" : " [");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const Complex v = (*this)(r, c);
+      oss << v.real() << (v.imag() < 0 ? "-" : "+") << std::abs(v.imag())
+          << "i";
+      if (c + 1 < cols_) oss << ", ";
+    }
+    oss << (r + 1 == rows_ ? "]]" : "]\n");
+  }
+  return oss.str();
+}
+
+}  // namespace bgls

@@ -1,0 +1,109 @@
+/// \file matrix.h
+/// Dense complex matrices — the numerical substrate standing in for the
+/// numpy operations the Python package relies on (matmul, kron, adjoint,
+/// unitarity checks). Row-major storage, value semantics.
+
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bgls {
+
+/// The amplitude scalar type used across the whole library.
+using Complex = std::complex<double>;
+
+/// Dense row-major complex matrix.
+class Matrix {
+ public:
+  /// Creates an empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Creates a zero-initialized rows x cols matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Creates a matrix from a row-major initializer (size must equal
+  /// rows*cols).
+  Matrix(std::size_t rows, std::size_t cols, std::vector<Complex> data);
+
+  /// n x n identity.
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  /// Zero matrix.
+  [[nodiscard]] static Matrix zero(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Element access (row, col); unchecked in release builds beyond the
+  /// debug assert, matching hot-path usage.
+  [[nodiscard]] Complex& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const Complex& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw row-major storage.
+  [[nodiscard]] std::span<const Complex> data() const { return data_; }
+  [[nodiscard]] std::span<Complex> data() { return data_; }
+
+  /// Matrix product; dimensions must agree.
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+
+  /// Element-wise sum/difference; dimensions must agree.
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+
+  /// Scalar multiple.
+  [[nodiscard]] Matrix operator*(Complex scalar) const;
+
+  /// Conjugate transpose.
+  [[nodiscard]] Matrix adjoint() const;
+
+  /// Transpose without conjugation.
+  [[nodiscard]] Matrix transpose() const;
+
+  /// Kronecker (tensor) product, a ⊗ b.
+  [[nodiscard]] static Matrix kron(const Matrix& a, const Matrix& b);
+
+  /// Matrix-vector product y = M x.
+  [[nodiscard]] std::vector<Complex> apply(std::span<const Complex> x) const;
+
+  /// Sum of diagonal entries.
+  [[nodiscard]] Complex trace() const;
+
+  /// Max absolute element-wise difference.
+  [[nodiscard]] double max_abs_diff(const Matrix& rhs) const;
+
+  /// True when max_abs_diff(rhs) <= tol.
+  [[nodiscard]] bool approx_equal(const Matrix& rhs, double tol = 1e-9) const;
+
+  /// True when M† M == I within tol.
+  [[nodiscard]] bool is_unitary(double tol = 1e-9) const;
+
+  /// True when M == M† within tol.
+  [[nodiscard]] bool is_hermitian(double tol = 1e-9) const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const;
+
+  /// Multi-line debug rendering.
+  [[nodiscard]] std::string to_string(int precision = 3) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Complex> data_;
+};
+
+/// Left scalar multiple.
+[[nodiscard]] inline Matrix operator*(Complex scalar, const Matrix& m) {
+  return m * scalar;
+}
+
+}  // namespace bgls

@@ -1,0 +1,131 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+/// One-sided Jacobi on a (rows >= cols) matrix held column-wise in `b`:
+/// repeatedly applies 2x2 unitaries on column pairs until all pairs are
+/// orthogonal, accumulating the same rotations into `v`.
+void jacobi_orthogonalize(Matrix& b, Matrix& v, double tol) {
+  const std::size_t n = b.cols();
+  const std::size_t m = b.rows();
+  constexpr int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Gram entries for the (p, q) column pair.
+        double alpha = 0.0, beta = 0.0;
+        Complex gamma{0.0, 0.0};
+        for (std::size_t i = 0; i < m; ++i) {
+          alpha += std::norm(b(i, p));
+          beta += std::norm(b(i, q));
+          gamma += std::conj(b(i, p)) * b(i, q);
+        }
+        const double gabs = std::abs(gamma);
+        if (gabs <= tol * std::sqrt(alpha * beta) || gabs == 0.0) continue;
+        rotated = true;
+
+        // Phase-rotate the pair so the Gram cross term becomes real, then
+        // apply the classical symmetric Jacobi rotation (Golub & Van Loan).
+        const Complex phase = gamma / gabs;  // e^{i phi}
+        const double tau = (beta - alpha) / (2.0 * gabs);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+
+        // Column update [b_p', b_q'] = [b_p, b_q] * J with
+        // J = diag(1, conj(phase)) * [[c, s], [-s, c]].
+        const Complex j01 = s;
+        const Complex j00 = c;
+        const Complex j10 = -s * std::conj(phase);
+        const Complex j11 = c * std::conj(phase);
+        for (std::size_t i = 0; i < m; ++i) {
+          const Complex bp = b(i, p);
+          const Complex bq = b(i, q);
+          b(i, p) = bp * j00 + bq * j10;
+          b(i, q) = bp * j01 + bq * j11;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const Complex vp = v(i, p);
+          const Complex vq = v(i, q);
+          v(i, p) = vp * j00 + vq * j10;
+          v(i, q) = vp * j01 + vq * j11;
+        }
+      }
+    }
+    if (!rotated) return;
+  }
+}
+
+}  // namespace
+
+SvdResult svd(const Matrix& a, double tol) {
+  BGLS_REQUIRE(!a.empty(), "svd of empty matrix");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  if (m < n) {
+    // SVD(A†) = U' Σ V'†  =>  A = V' Σ U'†.
+    SvdResult adj = svd(a.adjoint(), tol);
+    SvdResult out;
+    out.u = adj.vh.adjoint();
+    out.singular_values = std::move(adj.singular_values);
+    out.vh = adj.u.adjoint();
+    return out;
+  }
+
+  Matrix b = a;
+  Matrix v = Matrix::identity(n);
+  jacobi_orthogonalize(b, v, tol);
+
+  // Column norms are the singular values; sort descending.
+  std::vector<double> sigma(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += std::norm(b(i, j));
+    sigma[j] = std::sqrt(acc);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return sigma[x] > sigma[y];
+                   });
+
+  SvdResult out;
+  out.u = Matrix(m, n);
+  out.vh = Matrix(n, n);
+  out.singular_values.resize(n);
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    const std::size_t j = order[jj];
+    out.singular_values[jj] = sigma[j];
+    const double inv = sigma[j] > 0.0 ? 1.0 / sigma[j] : 0.0;
+    for (std::size_t i = 0; i < m; ++i) out.u(i, jj) = b(i, j) * inv;
+    for (std::size_t i = 0; i < n; ++i) out.vh(jj, i) = std::conj(v(i, j));
+  }
+  return out;
+}
+
+std::size_t truncated_rank(std::span<const double> values,
+                           std::size_t max_keep, double relative_cutoff) {
+  if (values.empty()) return 0;
+  const double largest = values.front();
+  std::size_t keep = 0;
+  for (double value : values) {
+    if (largest > 0.0 && value < relative_cutoff * largest) break;
+    if (value <= 0.0) break;
+    ++keep;
+    if (max_keep != 0 && keep == max_keep) break;
+  }
+  return std::max<std::size_t>(keep, largest > 0.0 ? 1 : 0);
+}
+
+}  // namespace bgls

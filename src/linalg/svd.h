@@ -1,0 +1,41 @@
+/// \file svd.h
+/// Complex singular value decomposition via one-sided Jacobi rotations.
+///
+/// The MPS substrate needs a dependency-free SVD for splitting two-qubit
+/// gate applications back into per-qubit tensors with bond truncation
+/// (the role LAPACK/quimb play for the Python package). One-sided Jacobi
+/// is simple, numerically robust, and more than fast enough for the
+/// small (≤ a few hundred rows) matrices produced by gate splits.
+
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace bgls {
+
+/// Thin SVD A = U · diag(singular_values) · Vh with
+///  - U: m x r with orthonormal columns,
+///  - singular_values: r non-negative values, sorted descending,
+///  - Vh: r x n with orthonormal rows,
+/// where r = min(m, n).
+struct SvdResult {
+  Matrix u;
+  std::vector<double> singular_values;
+  Matrix vh;
+};
+
+/// Computes the thin SVD of `a`. Never fails for finite inputs; iterates
+/// Jacobi sweeps until the off-diagonal Gram mass is below `tol` relative
+/// to the column norms (or a generous sweep cap is hit, which for the
+/// matrix sizes used here is never reached in practice).
+[[nodiscard]] SvdResult svd(const Matrix& a, double tol = 1e-12);
+
+/// Number of singular values to keep under an MPS-style truncation rule:
+/// keep at most `max_keep` values (0 = unlimited) and drop any value whose
+/// ratio to the largest is below `relative_cutoff`. Always keeps at least
+/// one value when any is positive.
+[[nodiscard]] std::size_t truncated_rank(std::span<const double> values,
+                                         std::size_t max_keep,
+                                         double relative_cutoff);
+
+}  // namespace bgls

@@ -1,0 +1,119 @@
+/// \file tensor.h
+/// Dense N-dimensional tensors with *named axes* — the stand-in for the
+/// quimb tensors used by the Python package's MPS backend.
+///
+/// Axes are identified by string labels (e.g. "p3" for the physical index
+/// of qubit 3, "b17" for a bond). Contraction sums over labels shared by
+/// two tensors; `isel` fixes an index and drops the axis, exactly the
+/// quimb operation the paper's `mps_bitstring_probability` listing uses
+/// to slice a bitstring's amplitude sub-network out of the state.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace bgls {
+
+/// Dense labeled tensor. Storage is row-major with labels[0] slowest.
+/// Labels within one tensor are unique.
+class Tensor {
+ public:
+  /// Empty (invalid) tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor with the given axes.
+  Tensor(std::vector<std::string> labels, std::vector<std::size_t> dims);
+
+  /// Rank-0 tensor holding a single scalar.
+  [[nodiscard]] static Tensor scalar(Complex value);
+
+  /// Builds a tensor from a matrix whose rows/columns are grouped axes:
+  /// the matrix must have prod(row_dims) rows and prod(col_dims) columns,
+  /// and the result's labels are row_labels followed by col_labels.
+  [[nodiscard]] static Tensor from_matrix(const Matrix& m,
+                                          std::vector<std::string> row_labels,
+                                          std::vector<std::size_t> row_dims,
+                                          std::vector<std::string> col_labels,
+                                          std::vector<std::size_t> col_dims);
+
+  [[nodiscard]] const std::vector<std::string>& labels() const {
+    return labels_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& dims() const { return dims_; }
+  [[nodiscard]] std::size_t rank() const { return labels_.size(); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::span<const Complex> data() const { return data_; }
+  [[nodiscard]] std::span<Complex> data() { return data_; }
+
+  /// True when an axis with this label exists.
+  [[nodiscard]] bool has_label(const std::string& label) const;
+
+  /// Axis position of `label`; throws if absent.
+  [[nodiscard]] std::size_t axis(const std::string& label) const;
+
+  /// Dimension of the axis with this label.
+  [[nodiscard]] std::size_t dim(const std::string& label) const;
+
+  /// Element access by multi-index (one entry per axis, same order as
+  /// labels()).
+  [[nodiscard]] Complex& at(std::span<const std::size_t> index);
+  [[nodiscard]] const Complex& at(std::span<const std::size_t> index) const;
+
+  /// Value of the rank-0 tensor.
+  [[nodiscard]] Complex scalar_value() const;
+
+  /// Fixes axis `label` to `index` and drops it (quimb's `isel`).
+  [[nodiscard]] Tensor isel(const std::string& label, std::size_t index) const;
+
+  /// Returns a copy with axes reordered to `new_order` (a permutation of
+  /// the current labels).
+  [[nodiscard]] Tensor transposed(
+      std::span<const std::string> new_order) const;
+
+  /// Renames one axis label in place.
+  void rename_label(const std::string& from, const std::string& to);
+
+  /// Reshapes (with the needed permutation) into a matrix whose rows run
+  /// over `row_labels` and columns over `col_labels`; together they must
+  /// cover every axis exactly once.
+  [[nodiscard]] Matrix as_matrix(std::span<const std::string> row_labels,
+                                 std::span<const std::string> col_labels) const;
+
+  /// Element-wise complex conjugate.
+  [[nodiscard]] Tensor conj() const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double norm() const;
+
+  /// Multiplies every element by `factor`.
+  void scale(Complex factor);
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<std::size_t> dims_;
+  std::vector<Complex> data_;
+};
+
+/// Contracts two tensors over every shared label (outer product when they
+/// share none). Shared labels must have matching dimensions.
+[[nodiscard]] Tensor contract(const Tensor& a, const Tensor& b);
+
+/// Applies a k x k matrix to the given axes of `t` (each axis dim 2 for
+/// gates, but any square arrangement works): the axes are treated as the
+/// matrix's input index group and replaced by its output group. Used to
+/// hit physical indices with gate unitaries.
+[[nodiscard]] Tensor apply_matrix(const Tensor& t, const Matrix& m,
+                                  std::span<const std::string> axes);
+
+/// Greedily contracts a whole network to a single tensor: repeatedly
+/// contracts the pair sharing at least one label that yields the smallest
+/// intermediate, falling back to outer products of the smallest tensors
+/// when the network is disconnected.
+[[nodiscard]] Tensor contract_network(std::vector<Tensor> tensors);
+
+}  // namespace bgls

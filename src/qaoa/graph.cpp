@@ -1,0 +1,80 @@
+#include "qaoa/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace bgls {
+
+Graph::Graph(int num_vertices) : num_vertices_(num_vertices) {
+  BGLS_REQUIRE(num_vertices >= 1 && num_vertices <= kMaxQubits,
+               "graph size must be 1..64, got ", num_vertices);
+}
+
+void Graph::add_edge(int u, int v) {
+  BGLS_REQUIRE(u >= 0 && u < num_vertices_ && v >= 0 && v < num_vertices_,
+               "edge (", u, ", ", v, ") out of range");
+  BGLS_REQUIRE(u != v, "self loops are not allowed");
+  if (u > v) std::swap(u, v);
+  if (!has_edge(u, v)) edges_.emplace_back(u, v);
+}
+
+bool Graph::has_edge(int u, int v) const {
+  if (u > v) std::swap(u, v);
+  return std::find(edges_.begin(), edges_.end(), std::make_pair(u, v)) !=
+         edges_.end();
+}
+
+int Graph::degree(int v) const {
+  BGLS_REQUIRE(v >= 0 && v < num_vertices_, "vertex out of range");
+  int d = 0;
+  for (const auto& [a, b] : edges_) d += (a == v) + (b == v);
+  return d;
+}
+
+int Graph::cut_value(Bitstring partition) const {
+  int cut = 0;
+  for (const auto& [a, b] : edges_) {
+    cut += get_bit(partition, a) != get_bit(partition, b);
+  }
+  return cut;
+}
+
+std::pair<Bitstring, int> Graph::brute_force_max_cut() const {
+  BGLS_REQUIRE(num_vertices_ <= 24, "brute force limited to 24 vertices");
+  Bitstring best = 0;
+  int best_cut = 0;
+  const Bitstring limit = Bitstring{1} << num_vertices_;
+  for (Bitstring partition = 0; partition < limit; ++partition) {
+    const int cut = cut_value(partition);
+    if (cut > best_cut) {
+      best_cut = cut;
+      best = partition;
+    }
+  }
+  return {best, best_cut};
+}
+
+Graph Graph::erdos_renyi(int num_vertices, double edge_probability,
+                         Rng& rng) {
+  BGLS_REQUIRE(edge_probability >= 0.0 && edge_probability <= 1.0,
+               "edge probability must be in [0, 1]");
+  Graph graph(num_vertices);
+  for (int u = 0; u < num_vertices; ++u) {
+    for (int v = u + 1; v < num_vertices; ++v) {
+      if (rng.bernoulli(edge_probability)) graph.add_edge(u, v);
+    }
+  }
+  return graph;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream oss;
+  oss << "graph on " << num_vertices_ << " vertices, " << edges_.size()
+      << " edges:";
+  for (const auto& [a, b] : edges_) oss << " (" << a << "," << b << ")";
+  return oss.str();
+}
+
+}  // namespace bgls

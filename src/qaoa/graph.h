@@ -1,0 +1,60 @@
+/// \file graph.h
+/// Undirected graphs and MaxCut utilities for the QAOA workload of
+/// Sec. 4.4 (the role networkx plays for the Python package).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace bgls {
+
+/// Simple undirected graph on vertices 0..n-1 with no self-loops or
+/// parallel edges.
+class Graph {
+ public:
+  /// Creates an empty graph on n vertices.
+  explicit Graph(int num_vertices);
+
+  /// Adds an undirected edge (no-op for duplicates; throws on self
+  /// loops / out-of-range vertices).
+  void add_edge(int u, int v);
+
+  [[nodiscard]] int num_vertices() const { return num_vertices_; }
+  [[nodiscard]] const std::vector<std::pair<int, int>>& edges() const {
+    return edges_;
+  }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  /// True when (u, v) is an edge.
+  [[nodiscard]] bool has_edge(int u, int v) const;
+
+  /// Vertex degree.
+  [[nodiscard]] int degree(int v) const;
+
+  /// Number of edges crossing the 0/1 partition encoded in `partition`
+  /// (vertex v's side is bit v) — the MaxCut objective.
+  [[nodiscard]] int cut_value(Bitstring partition) const;
+
+  /// Exhaustive MaxCut (n ≤ 24): returns (best partition, best cut).
+  [[nodiscard]] std::pair<Bitstring, int> brute_force_max_cut() const;
+
+  /// G(n, p) Erdős–Rényi random graph (each edge independently with
+  /// probability p) — the paper's "large, random, and sparse" workload.
+  [[nodiscard]] static Graph erdos_renyi(int num_vertices,
+                                         double edge_probability, Rng& rng);
+
+  /// ASCII adjacency rendering for examples (stands in for Fig. 8a).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  int num_vertices_ = 0;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+}  // namespace bgls

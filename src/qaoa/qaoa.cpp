@@ -1,0 +1,76 @@
+#include "qaoa/qaoa.h"
+
+namespace bgls {
+
+std::string qaoa_gamma_symbol(int layer) {
+  return "gamma" + std::to_string(layer);
+}
+
+std::string qaoa_beta_symbol(int layer) {
+  return "beta" + std::to_string(layer);
+}
+
+Circuit qaoa_maxcut_circuit(const Graph& graph, int layers) {
+  BGLS_REQUIRE(layers >= 1, "need at least one QAOA layer");
+  Circuit circuit;
+  const int n = graph.num_vertices();
+  for (int q = 0; q < n; ++q) circuit.append(h(q));
+  for (int layer = 0; layer < layers; ++layer) {
+    // Cost unitary: exp(-iγ Z_u Z_v) per edge = ZZ(2γ) in our
+    // convention (ZZ(θ) = exp(-iθ/2 Z⊗Z)). The symbol carries γ; the
+    // factor 2 is baked into the resolver.
+    for (const auto& [u, v] : graph.edges()) {
+      circuit.append(zz(Symbol{qaoa_gamma_symbol(layer)}, u, v));
+    }
+    // Mixer: Rx(2β) on every qubit.
+    for (int q = 0; q < n; ++q) {
+      circuit.append(rx(Symbol{qaoa_beta_symbol(layer)}, q));
+    }
+  }
+  std::vector<Qubit> all(static_cast<std::size_t>(n));
+  for (int q = 0; q < n; ++q) all[static_cast<std::size_t>(q)] = q;
+  circuit.append(measure(std::move(all), "cut"));
+  return circuit;
+}
+
+ParamResolver qaoa_resolver(std::span<const double> gammas,
+                            std::span<const double> betas) {
+  BGLS_REQUIRE(gammas.size() == betas.size(),
+               "need one (gamma, beta) pair per layer");
+  ParamResolver resolver;
+  for (std::size_t layer = 0; layer < gammas.size(); ++layer) {
+    resolver.set(qaoa_gamma_symbol(static_cast<int>(layer)),
+                 2.0 * gammas[layer]);
+    resolver.set(qaoa_beta_symbol(static_cast<int>(layer)),
+                 2.0 * betas[layer]);
+  }
+  return resolver;
+}
+
+double average_cut(const Graph& graph, const Counts& counts) {
+  double total = 0.0;
+  std::uint64_t samples = 0;
+  for (const auto& [bits, count] : counts) {
+    total += static_cast<double>(graph.cut_value(bits)) *
+             static_cast<double>(count);
+    samples += count;
+  }
+  BGLS_REQUIRE(samples > 0, "no samples to average");
+  return total / static_cast<double>(samples);
+}
+
+std::pair<Bitstring, int> best_cut(const Graph& graph, const Counts& counts) {
+  BGLS_REQUIRE(!counts.empty(), "no samples to search");
+  Bitstring best = 0;
+  int best_value = -1;
+  for (const auto& [bits, count] : counts) {
+    const int cut = graph.cut_value(bits);
+    if (cut > best_value) {
+      best_value = cut;
+      best = bits;
+    }
+  }
+  return {best, best_value};
+}
+
+}  // namespace bgls

@@ -1,0 +1,109 @@
+/// \file qaoa.h
+/// QAOA-for-MaxCut on top of the BGLS sampler — the end-to-end
+/// application of Sec. 4.4 / Figs. 8–9: build the parameterized circuit,
+/// sweep (γ, β), pick the best parameters by sampled average cut, then
+/// draw a final batch of samples and return the best partition found.
+
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "core/simulator.h"
+#include "qaoa/graph.h"
+
+namespace bgls {
+
+/// Symbol names used by the parameterized circuit: gamma0, beta0,
+/// gamma1, beta1, ... per layer.
+[[nodiscard]] std::string qaoa_gamma_symbol(int layer);
+[[nodiscard]] std::string qaoa_beta_symbol(int layer);
+
+/// Builds the p-layer MaxCut QAOA circuit: H on every vertex qubit,
+/// then per layer the cost unitary exp(-iγ Z_u Z_v) for every edge
+/// (a ZZ gate) and the mixer Rx(2β) on every qubit. Angles are symbols
+/// resolved per sweep point; a terminal measurement with key "cut" is
+/// appended.
+[[nodiscard]] Circuit qaoa_maxcut_circuit(const Graph& graph, int layers);
+
+/// Resolver binding the layer angles.
+[[nodiscard]] ParamResolver qaoa_resolver(std::span<const double> gammas,
+                                          std::span<const double> betas);
+
+/// Average cut value of sampled partitions.
+[[nodiscard]] double average_cut(const Graph& graph, const Counts& counts);
+
+/// Best (highest-cut) sampled partition.
+[[nodiscard]] std::pair<Bitstring, int> best_cut(const Graph& graph,
+                                                 const Counts& counts);
+
+/// One grid point of the parameter sweep.
+struct QaoaGridPoint {
+  double gamma = 0.0;
+  double beta = 0.0;
+  double energy = 0.0;  // sampled average cut
+};
+
+/// Sweep + solve result (Fig. 9).
+struct QaoaResult {
+  std::vector<QaoaGridPoint> grid;
+  double best_gamma = 0.0;
+  double best_beta = 0.0;
+  double best_energy = 0.0;
+  Bitstring solution = 0;
+  int solution_cut = 0;
+};
+
+/// Runs the full Sec. 4.4 pipeline with any state backend: a
+/// gamma×beta grid sweep of 1-layer QAOA with `sweep_repetitions`
+/// samples per point, then `final_repetitions` samples at the best
+/// parameters; the best sampled bitstring is the returned solution.
+///
+/// The initial state must match the graph's vertex count (e.g.
+/// MPSState(graph.num_vertices(), MPSOptions{.max_bond_dim = 8}) for
+/// the paper's bounded-χ setup).
+template <typename State>
+QaoaResult solve_maxcut_qaoa(const Graph& graph, const State& initial_state,
+                             int gamma_points, int beta_points,
+                             std::uint64_t sweep_repetitions,
+                             std::uint64_t final_repetitions, Rng& rng) {
+  BGLS_REQUIRE(gamma_points >= 1 && beta_points >= 1,
+               "need at least one grid point per axis");
+  const Circuit circuit = qaoa_maxcut_circuit(graph, 1);
+
+  QaoaResult result;
+  result.best_energy = -1.0;
+  constexpr double kPi = 3.14159265358979323846;
+  for (int gi = 0; gi < gamma_points; ++gi) {
+    for (int bi = 0; bi < beta_points; ++bi) {
+      // γ has period 2π for integer-weight MaxCut; β has period π.
+      const double gamma = (gi + 0.5) * 2.0 * kPi / gamma_points;
+      const double beta = (bi + 0.5) * kPi / beta_points;
+      const std::vector<double> gammas{gamma};
+      const std::vector<double> betas{beta};
+      const Circuit resolved =
+          circuit.resolved(qaoa_resolver(gammas, betas));
+      Simulator<State> sim{initial_state};
+      const Counts counts = sim.sample(resolved, sweep_repetitions, rng);
+      const double energy = average_cut(graph, counts);
+      result.grid.push_back({gamma, beta, energy});
+      if (energy > result.best_energy) {
+        result.best_energy = energy;
+        result.best_gamma = gamma;
+        result.best_beta = beta;
+      }
+    }
+  }
+
+  const std::vector<double> gammas{result.best_gamma};
+  const std::vector<double> betas{result.best_beta};
+  const Circuit best_circuit = circuit.resolved(qaoa_resolver(gammas, betas));
+  Simulator<State> sim{initial_state};
+  const Counts final_counts = sim.sample(best_circuit, final_repetitions, rng);
+  const auto [solution, cut] = best_cut(graph, final_counts);
+  result.solution = solution;
+  result.solution_cut = cut;
+  return result;
+}
+
+}  // namespace bgls

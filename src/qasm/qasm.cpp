@@ -1,0 +1,500 @@
+#include "qasm/qasm.h"
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+using std::numbers::pi;
+
+/// Character-level cursor with line tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(text) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= text_.size(); }
+
+  [[nodiscard]] char peek() const { return done() ? '\0' : text_[pos_]; }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void skip_whitespace_and_comments() {
+    while (!done()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (!done() && peek() != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] int line() const { return line_; }
+
+  /// Reads an identifier ([a-zA-Z_][a-zA-Z0-9_]*); empty if none.
+  std::string identifier() {
+    skip_whitespace_and_comments();
+    std::string out;
+    if (!done() && (std::isalpha(static_cast<unsigned char>(peek())) ||
+                    peek() == '_')) {
+      while (!done() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                         peek() == '_')) {
+        out.push_back(advance());
+      }
+    }
+    return out;
+  }
+
+  /// Consumes the expected character (after whitespace) or throws.
+  void expect(char c) {
+    skip_whitespace_and_comments();
+    if (done() || peek() != c) {
+      detail::throw_error<ParseError>("line ", line_, ": expected '", c,
+                                      "', got '", done() ? ' ' : peek(), "'");
+    }
+    advance();
+  }
+
+  /// True (and consumed) when the next non-space character is `c`.
+  bool consume_if(char c) {
+    skip_whitespace_and_comments();
+    if (!done() && peek() == c) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Recursive-descent angle expression parser: numbers, pi, + - * /,
+/// unary minus, parentheses.
+class ExpressionParser {
+ public:
+  explicit ExpressionParser(Cursor& cursor) : cursor_(cursor) {}
+
+  double parse() { return parse_sum(); }
+
+ private:
+  double parse_sum() {
+    double value = parse_product();
+    for (;;) {
+      if (cursor_.consume_if('+')) {
+        value += parse_product();
+      } else if (cursor_.consume_if('-')) {
+        value -= parse_product();
+      } else {
+        return value;
+      }
+    }
+  }
+
+  double parse_product() {
+    double value = parse_unary();
+    for (;;) {
+      if (cursor_.consume_if('*')) {
+        value *= parse_unary();
+      } else if (cursor_.consume_if('/')) {
+        const double rhs = parse_unary();
+        if (rhs == 0.0) {
+          detail::throw_error<ParseError>("line ", cursor_.line(),
+                                          ": division by zero");
+        }
+        value /= rhs;
+      } else {
+        return value;
+      }
+    }
+  }
+
+  double parse_unary() {
+    if (cursor_.consume_if('-')) return -parse_unary();
+    if (cursor_.consume_if('+')) return parse_unary();
+    return parse_atom();
+  }
+
+  double parse_atom() {
+    cursor_.skip_whitespace_and_comments();
+    if (cursor_.consume_if('(')) {
+      const double value = parse_sum();
+      cursor_.expect(')');
+      return value;
+    }
+    if (std::isalpha(static_cast<unsigned char>(cursor_.peek()))) {
+      const std::string name = cursor_.identifier();
+      if (name == "pi") return pi;
+      detail::throw_error<ParseError>("line ", cursor_.line(),
+                                      ": unknown constant '", name, "'");
+    }
+    std::string digits;
+    while (std::isdigit(static_cast<unsigned char>(cursor_.peek())) ||
+           cursor_.peek() == '.' || cursor_.peek() == 'e' ||
+           cursor_.peek() == 'E') {
+      digits.push_back(cursor_.advance());
+      // Allow exponent signs right after e/E.
+      if ((digits.back() == 'e' || digits.back() == 'E') &&
+          (cursor_.peek() == '-' || cursor_.peek() == '+')) {
+        digits.push_back(cursor_.advance());
+      }
+    }
+    if (digits.empty()) {
+      detail::throw_error<ParseError>("line ", cursor_.line(),
+                                      ": expected a number");
+    }
+    return std::stod(digits);
+  }
+
+  Cursor& cursor_;
+};
+
+struct Register {
+  int offset = 0;  // first global qubit id
+  int size = 0;
+};
+
+/// A parsed argument: whole register or single element.
+struct Argument {
+  std::string reg;
+  int index = -1;  // -1 = whole register
+};
+
+Matrix u3_matrix(double theta, double phi, double lambda) {
+  const Complex i{0.0, 1.0};
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return Matrix(2, 2,
+                {Complex{c, 0.0}, -std::exp(i * lambda) * s,
+                 std::exp(i * phi) * s, std::exp(i * (phi + lambda)) * c});
+}
+
+class QasmParser {
+ public:
+  explicit QasmParser(const std::string& source) : cursor_(source) {}
+
+  Circuit parse() {
+    parse_header();
+    for (;;) {
+      cursor_.skip_whitespace_and_comments();
+      if (cursor_.done()) break;
+      parse_statement();
+    }
+    return circuit_;
+  }
+
+ private:
+  void parse_header() {
+    cursor_.skip_whitespace_and_comments();
+    const std::string keyword = cursor_.identifier();
+    if (keyword != "OPENQASM") {
+      detail::throw_error<ParseError>("line ", cursor_.line(),
+                                      ": missing OPENQASM header");
+    }
+    ExpressionParser expr(cursor_);
+    const double version = expr.parse();
+    if (std::abs(version - 2.0) > 1e-9) {
+      detail::throw_error<ParseError>("only OPENQASM 2.0 is supported, got ",
+                                      version);
+    }
+    cursor_.expect(';');
+  }
+
+  void parse_statement() {
+    const int line = cursor_.line();
+    const std::string keyword = cursor_.identifier();
+    if (keyword.empty()) {
+      detail::throw_error<ParseError>("line ", line, ": expected statement");
+    }
+    if (keyword == "include") {
+      // include "qelib1.inc"; — built-ins are always registered.
+      cursor_.expect('"');
+      while (!cursor_.done() && cursor_.peek() != '"') cursor_.advance();
+      cursor_.expect('"');
+      cursor_.expect(';');
+      return;
+    }
+    if (keyword == "qreg" || keyword == "creg") {
+      const std::string name = cursor_.identifier();
+      cursor_.expect('[');
+      ExpressionParser expr(cursor_);
+      const int size = static_cast<int>(expr.parse());
+      cursor_.expect(']');
+      cursor_.expect(';');
+      if (size <= 0) {
+        detail::throw_error<ParseError>("line ", line, ": register '", name,
+                                        "' must have positive size");
+      }
+      auto& table = keyword == "qreg" ? qregs_ : cregs_;
+      if (table.contains(name)) {
+        detail::throw_error<ParseError>("line ", line, ": register '", name,
+                                        "' redeclared");
+      }
+      int& offset = keyword == "qreg" ? next_qubit_ : next_clbit_;
+      table[name] = Register{offset, size};
+      offset += size;
+      return;
+    }
+    if (keyword == "barrier") {
+      while (!cursor_.done() && cursor_.peek() != ';') cursor_.advance();
+      cursor_.expect(';');
+      return;
+    }
+    if (keyword == "measure") {
+      parse_measure(line);
+      return;
+    }
+    if (keyword == "gate" || keyword == "if" || keyword == "reset" ||
+        keyword == "opaque") {
+      detail::throw_error<ParseError>("line ", line, ": '", keyword,
+                                      "' statements are not supported");
+    }
+    parse_gate(keyword, line);
+  }
+
+  Argument parse_argument(const std::map<std::string, Register>& table,
+                          int line) {
+    const std::string name = cursor_.identifier();
+    if (!table.contains(name)) {
+      detail::throw_error<ParseError>("line ", line, ": unknown register '",
+                                      name, "'");
+    }
+    Argument arg{name, -1};
+    if (cursor_.consume_if('[')) {
+      ExpressionParser expr(cursor_);
+      arg.index = static_cast<int>(expr.parse());
+      cursor_.expect(']');
+      if (arg.index < 0 || arg.index >= table.at(name).size) {
+        detail::throw_error<ParseError>("line ", line, ": index ", arg.index,
+                                        " out of range for '", name, "'");
+      }
+    }
+    return arg;
+  }
+
+  void parse_measure(int line) {
+    const Argument src = parse_argument(qregs_, line);
+    cursor_.expect('-');
+    cursor_.expect('>');
+    const Argument dst = parse_argument(cregs_, line);
+    cursor_.expect(';');
+    const Register& qreg = qregs_.at(src.reg);
+    if (src.index >= 0) {
+      std::ostringstream key;
+      key << dst.reg;
+      if (dst.index >= 0) key << '[' << dst.index << ']';
+      circuit_.append(measure({qreg.offset + src.index}, key.str()));
+      return;
+    }
+    // Whole-register measurement under the creg name.
+    std::vector<Qubit> qubits;
+    for (int k = 0; k < qreg.size; ++k) qubits.push_back(qreg.offset + k);
+    circuit_.append(measure(std::move(qubits), dst.reg));
+  }
+
+  void parse_gate(const std::string& name, int line) {
+    // Optional parameter list.
+    std::vector<double> params;
+    if (cursor_.consume_if('(')) {
+      if (!cursor_.consume_if(')')) {
+        do {
+          ExpressionParser expr(cursor_);
+          params.push_back(expr.parse());
+        } while (cursor_.consume_if(','));
+        cursor_.expect(')');
+      }
+    }
+    std::vector<Argument> args;
+    do {
+      args.push_back(parse_argument(qregs_, line));
+    } while (cursor_.consume_if(','));
+    cursor_.expect(';');
+
+    // Broadcast: any whole-register argument expands element-wise (all
+    // whole-register args must have equal sizes).
+    int broadcast = 1;
+    for (const auto& arg : args) {
+      if (arg.index < 0) {
+        const int size = qregs_.at(arg.reg).size;
+        if (broadcast != 1 && size != broadcast) {
+          detail::throw_error<ParseError>("line ", line,
+                                          ": mismatched broadcast sizes");
+        }
+        broadcast = size;
+      }
+    }
+    for (int k = 0; k < broadcast; ++k) {
+      std::vector<Qubit> qubits;
+      for (const auto& arg : args) {
+        const Register& reg = qregs_.at(arg.reg);
+        qubits.push_back(reg.offset + (arg.index < 0 ? k : arg.index));
+      }
+      circuit_.append(build_operation(name, params, std::move(qubits), line));
+    }
+  }
+
+  Operation build_operation(const std::string& name,
+                            const std::vector<double>& params,
+                            std::vector<Qubit> qubits, int line) {
+    const auto need = [&](std::size_t n_params, std::size_t n_qubits) {
+      if (params.size() != n_params || qubits.size() != n_qubits) {
+        detail::throw_error<ParseError>(
+            "line ", line, ": gate '", name, "' expects ", n_params,
+            " parameter(s) and ", n_qubits, " qubit(s)");
+      }
+    };
+    if (name == "id") { need(0, 1); return Operation(Gate::I(), qubits); }
+    if (name == "x") { need(0, 1); return Operation(Gate::X(), qubits); }
+    if (name == "y") { need(0, 1); return Operation(Gate::Y(), qubits); }
+    if (name == "z") { need(0, 1); return Operation(Gate::Z(), qubits); }
+    if (name == "h") { need(0, 1); return Operation(Gate::H(), qubits); }
+    if (name == "s") { need(0, 1); return Operation(Gate::S(), qubits); }
+    if (name == "sdg") { need(0, 1); return Operation(Gate::Sdg(), qubits); }
+    if (name == "t") { need(0, 1); return Operation(Gate::T(), qubits); }
+    if (name == "tdg") { need(0, 1); return Operation(Gate::Tdg(), qubits); }
+    if (name == "sx") { need(0, 1); return Operation(Gate::SqrtX(), qubits); }
+    if (name == "rx") { need(1, 1); return Operation(Gate::Rx(params[0]), qubits); }
+    if (name == "ry") { need(1, 1); return Operation(Gate::Ry(params[0]), qubits); }
+    if (name == "rz") { need(1, 1); return Operation(Gate::Rz(params[0]), qubits); }
+    if (name == "p" || name == "u1") {
+      need(1, 1);
+      return Operation(Gate::Phase(params[0]), qubits);
+    }
+    if (name == "u2") {
+      need(2, 1);
+      return Operation(
+          Gate::SingleQubitMatrix(u3_matrix(pi / 2.0, params[0], params[1]),
+                                  "u2"),
+          qubits);
+    }
+    if (name == "u3" || name == "u") {
+      need(3, 1);
+      return Operation(
+          Gate::SingleQubitMatrix(u3_matrix(params[0], params[1], params[2]),
+                                  "u3"),
+          qubits);
+    }
+    if (name == "cx") { need(0, 2); return Operation(Gate::CX(), qubits); }
+    if (name == "cz") { need(0, 2); return Operation(Gate::CZ(), qubits); }
+    if (name == "swap") { need(0, 2); return Operation(Gate::Swap(), qubits); }
+    if (name == "iswap") { need(0, 2); return Operation(Gate::ISwap(), qubits); }
+    if (name == "cp" || name == "cu1") {
+      need(1, 2);
+      return Operation(Gate::CPhase(params[0]), qubits);
+    }
+    if (name == "rzz") {
+      need(1, 2);
+      return Operation(Gate::ZZ(params[0]), qubits);
+    }
+    if (name == "ccx") { need(0, 3); return Operation(Gate::CCX(), qubits); }
+    if (name == "cswap") { need(0, 3); return Operation(Gate::CSwap(), qubits); }
+    detail::throw_error<ParseError>("line ", line, ": unknown gate '", name,
+                                    "'");
+  }
+
+  Cursor cursor_;
+  Circuit circuit_;
+  std::map<std::string, Register> qregs_;
+  std::map<std::string, Register> cregs_;
+  int next_qubit_ = 0;
+  int next_clbit_ = 0;
+};
+
+/// QASM spelling of an exportable gate, with parameters rendered.
+std::string qasm_gate_name(const Gate& gate) {
+  std::ostringstream oss;
+  oss.precision(17);
+  switch (gate.kind()) {
+    case GateKind::kIdentity: return "id";
+    case GateKind::kX: return "x";
+    case GateKind::kY: return "y";
+    case GateKind::kZ: return "z";
+    case GateKind::kH: return "h";
+    case GateKind::kS: return "s";
+    case GateKind::kSdg: return "sdg";
+    case GateKind::kT: return "t";
+    case GateKind::kTdg: return "tdg";
+    case GateKind::kSqrtX: return "sx";
+    case GateKind::kRx: oss << "rx(" << gate.parameter().value() << ')'; return oss.str();
+    case GateKind::kRy: oss << "ry(" << gate.parameter().value() << ')'; return oss.str();
+    case GateKind::kRz: oss << "rz(" << gate.parameter().value() << ')'; return oss.str();
+    case GateKind::kPhase: oss << "u1(" << gate.parameter().value() << ')'; return oss.str();
+    case GateKind::kCX: return "cx";
+    case GateKind::kCZ: return "cz";
+    case GateKind::kSwap: return "swap";
+    case GateKind::kISwap: return "iswap";
+    case GateKind::kCPhase: oss << "cu1(" << gate.parameter().value() << ')'; return oss.str();
+    case GateKind::kZZ: oss << "rzz(" << gate.parameter().value() << ')'; return oss.str();
+    case GateKind::kCCX: return "ccx";
+    case GateKind::kCSwap: return "cswap";
+    default:
+      detail::throw_error<ValueError>("gate '", gate.name(),
+                                      "' has no QASM 2.0 spelling");
+  }
+}
+
+}  // namespace
+
+Circuit parse_qasm(const std::string& source) {
+  return QasmParser(source).parse();
+}
+
+std::string to_qasm(const Circuit& circuit) {
+  const int n = circuit.num_qubits();
+  std::ostringstream oss;
+  oss << "OPENQASM 2.0;\n";
+  oss << "include \"qelib1.inc\";\n";
+  oss << "qreg q[" << std::max(n, 1) << "];\n";
+  // One classical bit per measured qubit, in key order.
+  int clbits = 0;
+  std::map<std::string, int> creg_offset;
+  for (const auto& op : circuit.all_operations()) {
+    if (!op.gate().is_measurement()) continue;
+    const std::string& key = op.gate().measurement_key();
+    BGLS_REQUIRE(!creg_offset.contains(key), "duplicate measurement key '",
+                 key, "' cannot be exported");
+    creg_offset[key] = clbits;
+    clbits += static_cast<int>(op.qubits().size());
+  }
+  if (clbits > 0) oss << "creg c[" << clbits << "];\n";
+
+  for (const auto& op : circuit.all_operations()) {
+    const Gate& gate = op.gate();
+    BGLS_REQUIRE(!gate.is_parameterized(),
+                 "resolve parameters before exporting to QASM");
+    BGLS_REQUIRE(!gate.is_channel(), "channels cannot be exported to QASM");
+    if (gate.is_measurement()) {
+      const int base = creg_offset.at(gate.measurement_key());
+      for (std::size_t j = 0; j < op.qubits().size(); ++j) {
+        oss << "measure q[" << op.qubits()[j] << "] -> c["
+            << base + static_cast<int>(j) << "];\n";
+      }
+      continue;
+    }
+    oss << qasm_gate_name(gate) << ' ';
+    for (std::size_t j = 0; j < op.qubits().size(); ++j) {
+      oss << "q[" << op.qubits()[j] << ']'
+          << (j + 1 < op.qubits().size() ? "," : "");
+    }
+    oss << ";\n";
+  }
+  return oss.str();
+}
+
+}  // namespace bgls

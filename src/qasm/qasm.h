@@ -1,0 +1,39 @@
+/// \file qasm.h
+/// OpenQASM 2.0 import/export — the interop path of Sec. 3.2.4 ("usage
+/// with non-Cirq circuits"): most quantum software stacks can emit QASM,
+/// and this module turns it into a bgls Circuit (the role
+/// cirq.contrib.qasm_import plays for the Python package).
+///
+/// Supported subset (the qelib1 working set):
+///  - OPENQASM 2.0; / include "qelib1.inc"; headers
+///  - qreg / creg declarations (multiple registers; qubits are laid out
+///    in declaration order)
+///  - gates: id, x, y, z, h, s, sdg, t, tdg, sx, rx, ry, rz, p/u1, u2,
+///    u3/u, cx, cz, swap, iswap, cp/cu1, rzz, ccx, cswap
+///  - angle expressions with pi, + - * / and parentheses
+///  - whole-register broadcast (e.g. `h q;`)
+///  - measure (per-bit and whole-register), barrier (ignored)
+///
+/// Custom `gate` definitions, `if`, `reset`, and `opaque` are rejected
+/// with a ParseError naming the construct.
+
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace bgls {
+
+/// Parses OpenQASM 2.0 source into a Circuit. Measurement keys are the
+/// classical register names ("c" for `measure q -> c;`, "c[k]" for
+/// single-bit targets). Throws bgls::ParseError with line information on
+/// malformed input.
+[[nodiscard]] Circuit parse_qasm(const std::string& source);
+
+/// Serializes a circuit built from exportable gates back to OpenQASM
+/// 2.0. Throws ValueError for gates with no QASM counterpart (fused
+/// matrix gates, channels).
+[[nodiscard]] std::string to_qasm(const Circuit& circuit);
+
+}  // namespace bgls

@@ -1,0 +1,113 @@
+#include "stabilizer/near_clifford.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+using std::numbers::pi;
+
+constexpr double kAngleTolerance = 1e-12;
+
+/// Extracts the Rz-equivalent rotation angle and the global phase factor
+/// pulled out in front: gate = phase · Rz(θ).
+struct RzView {
+  double theta;
+  Complex global_phase;
+};
+
+bool rz_view(const Gate& gate, RzView* out) {
+  const Complex i{0.0, 1.0};
+  switch (gate.kind()) {
+    case GateKind::kRz:
+      *out = {gate.parameter().value(), Complex{1.0, 0.0}};
+      return true;
+    case GateKind::kPhase: {
+      // diag(1, e^{iθ}) = e^{iθ/2} Rz(θ).
+      const double theta = gate.parameter().value();
+      *out = {theta, std::exp(i * (theta / 2.0))};
+      return true;
+    }
+    case GateKind::kT:
+      *out = {pi / 4.0, std::exp(i * (pi / 8.0))};
+      return true;
+    case GateKind::kTdg:
+      *out = {-pi / 4.0, std::exp(-i * (pi / 8.0))};
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// If θ is a Clifford angle (multiple of π/2), applies the exact gate
+/// with its global phase and returns true.
+bool apply_clifford_angle(CHState& state, int q, double theta) {
+  const Complex i{0.0, 1.0};
+  // Reduce θ/(π/2) to the nearest integer.
+  const double steps = theta / (pi / 2.0);
+  const double rounded = std::round(steps);
+  if (std::abs(steps - rounded) > kAngleTolerance) return false;
+  const int k = static_cast<int>(std::llround(rounded)) & 3;  // mod 2π
+  // Rz(kπ/2) = e^{-ikπ/4} S^k (check: S^k = diag(1, i^k); e^{-ikπ/4}
+  // diag(1, i^k) = diag(e^{-ikπ/4}, e^{ikπ/4}) ✓).
+  state.scale_omega(std::exp(-i * (rounded * pi / 4.0)));
+  switch (k) {
+    case 0: break;
+    case 1: state.apply_s(q); break;
+    case 2: state.apply_z(q); break;
+    default: state.apply_sdg(q); break;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool has_near_clifford_support(const Operation& op) {
+  if (op.gate().is_clifford()) return true;
+  RzView view{};
+  return !op.gate().is_parameterized() && rz_view(op.gate(), &view);
+}
+
+void act_on_near_clifford(const Operation& op, CHState& state, Rng& rng,
+                          NearCliffordStats* stats) {
+  const Gate& gate = op.gate();
+  if (gate.is_clifford()) {
+    state.apply(op);
+    return;
+  }
+  RzView view{};
+  BGLS_REQUIRE(!gate.is_parameterized(), "resolve parameters before sampling");
+  if (!rz_view(gate, &view)) {
+    detail::throw_error<UnsupportedOperationError>(
+        "act_on_near_clifford supports Clifford gates and the Rz family; "
+        "got '",
+        gate.name(), "'");
+  }
+  const int q = op.qubits()[0];
+  state.scale_omega(view.global_phase);
+  if (apply_clifford_angle(state, q, view.theta)) return;
+
+  // Sum-over-Cliffords branch: R(θ) = c_I·I + c_S·S.
+  const double half = view.theta / 2.0;
+  const Complex c_identity{std::cos(half) - std::sin(half), 0.0};
+  const Complex c_s =
+      Complex{1.0, -1.0} * std::sin(half);  // √2 e^{-iπ/4} sin(θ/2)
+  const double w_identity = std::abs(c_identity);
+  const double w_s = std::abs(c_s);
+  const double total = w_identity + w_s;
+  if (stats != nullptr) ++stats->rotations_decomposed;
+  if (rng.uniform() * total < w_identity) {
+    // Identity branch: reweight ω by c_I / p_I (importance weighting).
+    state.scale_omega(c_identity * (total / w_identity));
+    if (stats != nullptr) ++stats->identity_branches;
+  } else {
+    state.scale_omega(c_s * (total / w_s));
+    state.apply_s(q);
+    if (stats != nullptr) ++stats->s_branches;
+  }
+}
+
+}  // namespace bgls

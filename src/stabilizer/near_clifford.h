@@ -1,0 +1,42 @@
+/// \file near_clifford.h
+/// Sum-over-Cliffords sampling for Clifford+Rz(θ) circuits — the
+/// package's act_on_near_clifford (Sec. 4.2 of the paper; technique from
+/// Bravyi et al. 2019).
+///
+/// Any diagonal rotation R(θ) = e^{-iθZ/2} decomposes optimally (in
+/// stabilizer extent) as
+///     R(θ) = (cos(θ/2) − sin(θ/2)) · I + √2 e^{−iπ/4} sin(θ/2) · S,
+/// so a non-Clifford gate can be replaced stochastically by I or S with
+/// probabilities proportional to the coefficient magnitudes, keeping the
+/// evolution inside the stabilizer formalism. A circuit with N such
+/// rotations has 2^N branches; each sample explores one, which is why
+/// the attained overlap lags the exact distribution (Figs. 4–5).
+
+#pragma once
+
+#include "stabilizer/ch_form.h"
+
+namespace bgls {
+
+/// Counters describing the stochastic branching of one or more
+/// act_on_near_clifford applications.
+struct NearCliffordStats {
+  std::size_t rotations_decomposed = 0;
+  std::size_t identity_branches = 0;
+  std::size_t s_branches = 0;
+};
+
+/// The BGLS apply_op hook for Clifford+Rz circuits: gates with a
+/// stabilizer effect apply exactly; Rz(θ) / Phase(θ) / T / T† are
+/// replaced by I or S sampled ∝ |coefficient| (Clifford angles are
+/// detected and applied exactly, with their global phase). ω absorbs
+/// coefficient/probability so each branch carries its sum-over-Cliffords
+/// weight. Throws UnsupportedOperationError for other non-Clifford
+/// gates.
+void act_on_near_clifford(const Operation& op, CHState& state, Rng& rng,
+                          NearCliffordStats* stats = nullptr);
+
+/// True when the operation can be applied by act_on_near_clifford.
+[[nodiscard]] bool has_near_clifford_support(const Operation& op);
+
+}  // namespace bgls

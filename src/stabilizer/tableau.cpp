@@ -1,0 +1,260 @@
+#include "stabilizer/tableau.h"
+
+#include <bit>
+
+#include "util/error.h"
+
+namespace bgls {
+
+TableauState::TableauState(int num_qubits, Bitstring initial)
+    : n_(num_qubits) {
+  BGLS_REQUIRE(num_qubits >= 1 && num_qubits <= 63,
+               "tableau supports 1..63 qubits, got ", num_qubits);
+  const auto rows = static_cast<std::size_t>(2 * n_ + 1);
+  x_.assign(rows, 0);
+  z_.assign(rows, 0);
+  r_.assign(rows, 0);
+  for (int q = 0; q < n_; ++q) {
+    // Destabilizer q = X_q, stabilizer q = Z_q (the |0...0⟩ tableau).
+    x_[static_cast<std::size_t>(q)] = std::uint64_t{1} << q;
+    z_[static_cast<std::size_t>(n_ + q)] = std::uint64_t{1} << q;
+  }
+  BGLS_REQUIRE(n_ == 63 || (initial >> n_) == 0,
+               "initial bitstring out of range");
+  for (int q = 0; q < n_; ++q) {
+    if (get_bit(initial, q)) apply_x(q);
+  }
+}
+
+void TableauState::rowsum(int h, int i) {
+  // Phase exponent accumulates 2*r_h + 2*r_i + sum_j g(...) mod 4; the
+  // result is always 0 or 2 for commuting products in valid tableaux.
+  const auto hs = static_cast<std::size_t>(h);
+  const auto is = static_cast<std::size_t>(i);
+  int phase = 2 * r_[hs] + 2 * r_[is];
+  for (int q = 0; q < n_; ++q) {
+    const bool x1 = x_bit(i, q), z1 = z_bit(i, q);
+    const bool x2 = x_bit(h, q), z2 = z_bit(h, q);
+    // g per Aaronson–Gottesman: exponent of i in (x1 z1)·(x2 z2).
+    int g = 0;
+    if (x1 && !z1) {                 // X · P
+      g = (z2 ? (x2 ? 1 : -1) : 0);  // X·Y = iZ... see derivation below
+    } else if (!x1 && z1) {          // Z · P
+      g = (x2 ? (z2 ? -1 : 1) : 0);
+    } else if (x1 && z1) {           // Y · P: g = z2 - x2
+      g = (z2 ? 1 : 0) - (x2 ? 1 : 0);
+    }
+    phase += g;
+  }
+  phase &= 3;
+  r_[hs] = static_cast<std::uint8_t>(phase == 2);
+  x_[hs] ^= x_[is];
+  z_[hs] ^= z_[is];
+}
+
+void TableauState::apply_h(int q) {
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  for (std::size_t row = 0; row < x_.size() - 1; ++row) {
+    const bool x = (x_[row] & bit) != 0;
+    const bool z = (z_[row] & bit) != 0;
+    if (x && z) r_[row] ^= 1;
+    // Swap the X and Z components on qubit q.
+    if (x != z) {
+      x_[row] ^= bit;
+      z_[row] ^= bit;
+    }
+  }
+}
+
+void TableauState::apply_s(int q) {
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  for (std::size_t row = 0; row < x_.size() - 1; ++row) {
+    const bool x = (x_[row] & bit) != 0;
+    const bool z = (z_[row] & bit) != 0;
+    if (x && z) r_[row] ^= 1;
+    if (x) z_[row] ^= bit;
+  }
+}
+
+void TableauState::apply_sdg(int q) {
+  apply_s(q);
+  apply_z(q);
+}
+
+void TableauState::apply_z(int q) {
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  for (std::size_t row = 0; row < x_.size() - 1; ++row) {
+    if (x_[row] & bit) r_[row] ^= 1;
+  }
+}
+
+void TableauState::apply_x(int q) {
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  for (std::size_t row = 0; row < x_.size() - 1; ++row) {
+    if (z_[row] & bit) r_[row] ^= 1;
+  }
+}
+
+void TableauState::apply_y(int q) {
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  for (std::size_t row = 0; row < x_.size() - 1; ++row) {
+    if (((x_[row] ^ z_[row]) & bit) != 0) r_[row] ^= 1;
+  }
+}
+
+void TableauState::apply_sqrt_x(int q) {
+  apply_h(q);
+  apply_s(q);
+  apply_h(q);
+}
+
+void TableauState::apply_cx(int control, int target) {
+  BGLS_REQUIRE(control != target, "CX needs distinct qubits");
+  const std::uint64_t cbit = std::uint64_t{1} << control;
+  const std::uint64_t tbit = std::uint64_t{1} << target;
+  for (std::size_t row = 0; row < x_.size() - 1; ++row) {
+    const bool xc = (x_[row] & cbit) != 0;
+    const bool zt = (z_[row] & tbit) != 0;
+    const bool xt = (x_[row] & tbit) != 0;
+    const bool zc = (z_[row] & cbit) != 0;
+    if (xc && zt && (xt == zc)) r_[row] ^= 1;
+    if (xc) x_[row] ^= tbit;
+    if (zt) z_[row] ^= cbit;
+  }
+}
+
+void TableauState::apply_cz(int a, int b) {
+  apply_h(b);
+  apply_cx(a, b);
+  apply_h(b);
+}
+
+void TableauState::apply_swap(int a, int b) {
+  apply_cx(a, b);
+  apply_cx(b, a);
+  apply_cx(a, b);
+}
+
+void TableauState::apply(const Operation& op) {
+  const auto q = op.qubits();
+  switch (op.gate().kind()) {
+    case GateKind::kIdentity: return;
+    case GateKind::kX: apply_x(q[0]); return;
+    case GateKind::kY: apply_y(q[0]); return;
+    case GateKind::kZ: apply_z(q[0]); return;
+    case GateKind::kH: apply_h(q[0]); return;
+    case GateKind::kS: apply_s(q[0]); return;
+    case GateKind::kSdg: apply_sdg(q[0]); return;
+    case GateKind::kSqrtX: apply_sqrt_x(q[0]); return;
+    case GateKind::kCX: apply_cx(q[0], q[1]); return;
+    case GateKind::kCZ: apply_cz(q[0], q[1]); return;
+    case GateKind::kSwap: apply_swap(q[0], q[1]); return;
+    default:
+      detail::throw_error<UnsupportedOperationError>(
+          "gate '", op.gate().name(), "' is not Clifford");
+  }
+}
+
+bool TableauState::is_deterministic_z(int q, int* outcome) const {
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  for (int p = n_; p < 2 * n_; ++p) {
+    if (x_[static_cast<std::size_t>(p)] & bit) return false;
+  }
+  if (outcome != nullptr) {
+    // Accumulate into the scratch row (2n) the product of stabilizers
+    // whose destabilizer partner anticommutes with Z_q.
+    auto* self = const_cast<TableauState*>(this);
+    const auto scratch = static_cast<std::size_t>(2 * n_);
+    self->x_[scratch] = 0;
+    self->z_[scratch] = 0;
+    self->r_[scratch] = 0;
+    for (int i = 0; i < n_; ++i) {
+      if (x_[static_cast<std::size_t>(i)] & bit) {
+        self->rowsum(2 * n_, i + n_);
+      }
+    }
+    *outcome = r_[scratch];
+  }
+  return true;
+}
+
+int TableauState::measure_z(int q, Rng& rng) {
+  int outcome = 0;
+  if (is_deterministic_z(q, &outcome)) return outcome;
+  outcome = rng.bernoulli(0.5) ? 1 : 0;
+  project_z(q, outcome);
+  return outcome;
+}
+
+double TableauState::project_z(int q, int outcome) {
+  BGLS_REQUIRE(q >= 0 && q < n_, "qubit ", q, " out of range");
+  BGLS_REQUIRE(outcome == 0 || outcome == 1, "outcome must be 0 or 1");
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  int pivot = -1;
+  for (int p = n_; p < 2 * n_; ++p) {
+    if (x_[static_cast<std::size_t>(p)] & bit) {
+      pivot = p;
+      break;
+    }
+  }
+  if (pivot < 0) {
+    int fixed = 0;
+    is_deterministic_z(q, &fixed);
+    BGLS_REQUIRE(fixed == outcome,
+                 "projection onto zero-probability outcome on qubit ", q);
+    return 1.0;
+  }
+  // Random outcome: clear x_q from every other row, then replace.
+  for (int i = 0; i < 2 * n_; ++i) {
+    if (i != pivot && (x_[static_cast<std::size_t>(i)] & bit)) {
+      rowsum(i, pivot);
+    }
+  }
+  const auto ps = static_cast<std::size_t>(pivot);
+  const auto ds = static_cast<std::size_t>(pivot - n_);
+  x_[ds] = x_[ps];
+  z_[ds] = z_[ps];
+  r_[ds] = r_[ps];
+  x_[ps] = 0;
+  z_[ps] = bit;
+  r_[ps] = static_cast<std::uint8_t>(outcome);
+  return 0.5;
+}
+
+double TableauState::probability(Bitstring b) const {
+  TableauState working = *this;
+  double prob = 1.0;
+  for (int q = 0; q < n_; ++q) {
+    const int desired = get_bit(b, q);
+    int fixed = 0;
+    if (working.is_deterministic_z(q, &fixed)) {
+      if (fixed != desired) return 0.0;
+      continue;
+    }
+    working.project_z(q, desired);
+    prob *= 0.5;
+  }
+  return prob;
+}
+
+Bitstring TableauState::sample(Rng& rng) const {
+  TableauState working = *this;
+  Bitstring bits = 0;
+  for (int q = 0; q < n_; ++q) {
+    bits = with_bit(bits, q, working.measure_z(q, rng));
+  }
+  return bits;
+}
+
+void apply_op(const Operation& op, TableauState& state, Rng& rng) {
+  (void)rng;
+  BGLS_REQUIRE(!op.gate().is_measurement() && !op.gate().is_channel(),
+               "measurements/channels are handled by the sampler");
+  state.apply(op);
+}
+
+double compute_probability(const TableauState& state, Bitstring b) {
+  return state.probability(b);
+}
+
+}  // namespace bgls

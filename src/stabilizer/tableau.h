@@ -1,0 +1,94 @@
+/// \file tableau.h
+/// Aaronson–Gottesman stabilizer tableau (the CHP simulator of
+/// "Improved simulation of stabilizer circuits", PRA 70, 052328
+/// (2004)) — the representation the paper's Sec. 4.1.2 describes the CH
+/// form as extending.
+///
+/// The state is tracked through 2n Pauli generators (n destabilizers,
+/// n stabilizers) stored as bit-packed X/Z components plus a sign bit.
+/// Unlike the CH form it carries no global phase and no amplitude
+/// structure: bitstring probabilities are recovered by simulating a
+/// sequential computational-basis measurement on a copy, which costs
+/// O(n³) — versus the CH form's O(n²) amplitude — and that gap is
+/// precisely why the CH form is the right substrate for gate-by-gate
+/// sampling (ablated in bench/micro_states).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace bgls {
+
+/// CHP-style stabilizer tableau on n ≤ 63 qubits.
+class TableauState {
+ public:
+  explicit TableauState(int num_qubits, Bitstring initial = 0);
+
+  [[nodiscard]] int num_qubits() const { return n_; }
+
+  /// Applies a Clifford operation (same gate set as CHState::apply).
+  void apply(const Operation& op);
+
+  // --- Individual gate updates ------------------------------------------
+  void apply_x(int q);
+  void apply_y(int q);
+  void apply_z(int q);
+  void apply_h(int q);
+  void apply_s(int q);
+  void apply_sdg(int q);
+  void apply_sqrt_x(int q);
+  void apply_cx(int control, int target);
+  void apply_cz(int a, int b);
+  void apply_swap(int a, int b);
+
+  /// True when a Z measurement of qubit q is deterministic; outcome in
+  /// *outcome when non-null.
+  [[nodiscard]] bool is_deterministic_z(int q, int* outcome = nullptr) const;
+
+  /// Samples and collapses a Z measurement of qubit q.
+  int measure_z(int q, Rng& rng);
+
+  /// Projects qubit q onto `outcome`; returns its probability (1.0 or
+  /// 0.5). Throws on probability 0.
+  double project_z(int q, int outcome);
+
+  /// |⟨b|ψ⟩|² by sequentially projecting a copy — O(n³); the BGLS
+  /// compute_probability ingredient for this representation.
+  [[nodiscard]] double probability(Bitstring b) const;
+
+  /// Samples a full bitstring by sequential measurement of a copy.
+  [[nodiscard]] Bitstring sample(Rng& rng) const;
+
+ private:
+  /// Row multiply: generator h ← generator h · generator i, with the
+  /// standard mod-4 phase bookkeeping (the CHP `rowsum`).
+  void rowsum(int h, int i);
+
+  [[nodiscard]] bool x_bit(int row, int q) const {
+    return (x_[static_cast<std::size_t>(row)] >> q) & 1u;
+  }
+  [[nodiscard]] bool z_bit(int row, int q) const {
+    return (z_[static_cast<std::size_t>(row)] >> q) & 1u;
+  }
+
+  int n_ = 0;
+  // Rows 0..n-1: destabilizers; rows n..2n-1: stabilizers; row 2n:
+  // scratch for deterministic-outcome evaluation.
+  std::vector<std::uint64_t> x_;
+  std::vector<std::uint64_t> z_;
+  std::vector<std::uint8_t> r_;  // sign bit per row
+};
+
+/// BGLS `apply_op` for tableaux (Clifford circuits only).
+void apply_op(const Operation& op, TableauState& state, Rng& rng);
+
+/// BGLS `compute_probability` for tableaux (O(n³) per bitstring).
+[[nodiscard]] double compute_probability(const TableauState& state,
+                                         Bitstring b);
+
+}  // namespace bgls

@@ -1,0 +1,245 @@
+#include "statevector/state.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+/// Kernels switch to OpenMP above this dimension; below it the fork/join
+/// overhead dominates.
+constexpr std::size_t kParallelThreshold = std::size_t{1} << 14;
+
+}  // namespace
+
+StateVectorState::StateVectorState(int num_qubits, Bitstring initial)
+    : num_qubits_(num_qubits) {
+  BGLS_REQUIRE(num_qubits >= 1 && num_qubits < 31,
+               "statevector supports 1..30 qubits, got ", num_qubits);
+  amplitudes_.assign(std::size_t{1} << num_qubits, Complex{0.0, 0.0});
+  BGLS_REQUIRE(initial < amplitudes_.size(), "initial bitstring out of range");
+  amplitudes_[initial] = Complex{1.0, 0.0};
+}
+
+double StateVectorState::probability(Bitstring b) const {
+  BGLS_REQUIRE(b < amplitudes_.size(), "bitstring out of range");
+  return std::norm(amplitudes_[b]);
+}
+
+void StateVectorState::apply(const Operation& op) {
+  const Gate& gate = op.gate();
+  BGLS_REQUIRE(gate.is_unitary(), "cannot apply non-unitary '", gate.name(),
+               "' directly; measurements/channels go through the sampler");
+  apply_matrix(gate.unitary(), op.qubits());
+}
+
+void StateVectorState::apply_matrix(const Matrix& m,
+                                    std::span<const Qubit> qubits) {
+  BGLS_REQUIRE(m.rows() == m.cols() &&
+                   m.rows() == (std::size_t{1} << qubits.size()),
+               "matrix dimension does not match qubit count");
+  for (const Qubit q : qubits) {
+    BGLS_REQUIRE(q >= 0 && q < num_qubits_, "qubit ", q, " out of range");
+  }
+  switch (qubits.size()) {
+    case 1:
+      apply_single_qubit(m, qubits[0]);
+      break;
+    case 2:
+      apply_two_qubit(m, qubits[0], qubits[1]);
+      break;
+    default:
+      apply_generic(m, qubits);
+  }
+}
+
+void StateVectorState::apply_single_qubit(const Matrix& m, Qubit q) {
+  const std::size_t stride = std::size_t{1} << q;
+  const std::size_t dim = amplitudes_.size();
+  const Complex m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+  const std::int64_t num_pairs = static_cast<std::int64_t>(dim >> 1);
+#pragma omp parallel for if (dim >= kParallelThreshold) schedule(static)
+  for (std::int64_t p = 0; p < num_pairs; ++p) {
+    // Base index: insert a 0 at bit position q of the pair index.
+    const std::size_t pp = static_cast<std::size_t>(p);
+    const std::size_t i0 = ((pp & ~(stride - 1)) << 1) | (pp & (stride - 1));
+    const std::size_t i1 = i0 | stride;
+    const Complex a0 = amplitudes_[i0];
+    const Complex a1 = amplitudes_[i1];
+    amplitudes_[i0] = m00 * a0 + m01 * a1;
+    amplitudes_[i1] = m10 * a0 + m11 * a1;
+  }
+}
+
+void StateVectorState::apply_two_qubit(const Matrix& m, Qubit q0, Qubit q1) {
+  // Gate-local index: q0 is the most significant bit.
+  const std::size_t s0 = std::size_t{1} << q0;
+  const std::size_t s1 = std::size_t{1} << q1;
+  const std::size_t dim = amplitudes_.size();
+  const std::size_t lo = std::min(s0, s1);
+  const std::size_t hi = std::max(s0, s1);
+  const std::int64_t num_groups = static_cast<std::int64_t>(dim >> 2);
+#pragma omp parallel for if (dim >= kParallelThreshold) schedule(static)
+  for (std::int64_t g = 0; g < num_groups; ++g) {
+    // Spread the group index around the two target bit positions.
+    std::size_t base = static_cast<std::size_t>(g);
+    base = ((base & ~(lo - 1)) << 1) | (base & (lo - 1));
+    base = ((base & ~(hi - 1)) << 1) | (base & (hi - 1));
+    const std::size_t i00 = base;
+    const std::size_t i01 = base | s1;
+    const std::size_t i10 = base | s0;
+    const std::size_t i11 = base | s0 | s1;
+    const Complex a00 = amplitudes_[i00];
+    const Complex a01 = amplitudes_[i01];
+    const Complex a10 = amplitudes_[i10];
+    const Complex a11 = amplitudes_[i11];
+    amplitudes_[i00] = m(0, 0) * a00 + m(0, 1) * a01 + m(0, 2) * a10 + m(0, 3) * a11;
+    amplitudes_[i01] = m(1, 0) * a00 + m(1, 1) * a01 + m(1, 2) * a10 + m(1, 3) * a11;
+    amplitudes_[i10] = m(2, 0) * a00 + m(2, 1) * a01 + m(2, 2) * a10 + m(2, 3) * a11;
+    amplitudes_[i11] = m(3, 0) * a00 + m(3, 1) * a01 + m(3, 2) * a10 + m(3, 3) * a11;
+  }
+}
+
+void StateVectorState::apply_generic(const Matrix& m,
+                                     std::span<const Qubit> qubits) {
+  const std::size_t k = qubits.size();
+  const std::size_t block = std::size_t{1} << k;
+  std::size_t support_mask = 0;
+  for (const Qubit q : qubits) support_mask |= std::size_t{1} << q;
+
+  std::vector<Complex> scratch(block);
+  for (std::size_t base = 0; base < amplitudes_.size(); ++base) {
+    if ((base & support_mask) != 0) continue;  // visit each group once
+    // Gather group amplitudes; gate-local index has qubits[0] as MSB.
+    for (std::size_t local = 0; local < block; ++local) {
+      std::size_t idx = base;
+      for (std::size_t j = 0; j < k; ++j) {
+        if ((local >> (k - 1 - j)) & 1u) idx |= std::size_t{1} << qubits[j];
+      }
+      scratch[local] = amplitudes_[idx];
+    }
+    for (std::size_t row = 0; row < block; ++row) {
+      Complex acc{0.0, 0.0};
+      for (std::size_t col = 0; col < block; ++col) {
+        acc += m(row, col) * scratch[col];
+      }
+      std::size_t idx = base;
+      for (std::size_t j = 0; j < k; ++j) {
+        if ((row >> (k - 1 - j)) & 1u) idx |= std::size_t{1} << qubits[j];
+      }
+      amplitudes_[idx] = acc;
+    }
+  }
+}
+
+void StateVectorState::project(std::span<const Qubit> qubits, Bitstring bits) {
+  std::size_t mask = 0;
+  std::size_t want = 0;
+  for (const Qubit q : qubits) {
+    BGLS_REQUIRE(q >= 0 && q < num_qubits_, "qubit ", q, " out of range");
+    mask |= std::size_t{1} << q;
+    if (get_bit(bits, q)) want |= std::size_t{1} << q;
+  }
+  double kept = 0.0;
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    if ((i & mask) == want) {
+      kept += std::norm(amplitudes_[i]);
+    } else {
+      amplitudes_[i] = Complex{0.0, 0.0};
+    }
+  }
+  BGLS_REQUIRE(kept > 0.0, "projection onto zero-probability outcome");
+  const double scale = 1.0 / std::sqrt(kept);
+  for (auto& a : amplitudes_) a *= scale;
+}
+
+double StateVectorState::norm_squared() const {
+  double acc = 0.0;
+  for (const auto& a : amplitudes_) acc += std::norm(a);
+  return acc;
+}
+
+void StateVectorState::renormalize() {
+  const double n2 = norm_squared();
+  BGLS_REQUIRE(n2 > 0.0, "cannot renormalize the zero vector");
+  const double scale = 1.0 / std::sqrt(n2);
+  for (auto& a : amplitudes_) a *= scale;
+}
+
+std::vector<double> StateVectorState::probabilities() const {
+  std::vector<double> probs(amplitudes_.size());
+  const std::int64_t dim = static_cast<std::int64_t>(amplitudes_.size());
+#pragma omp parallel for if (amplitudes_.size() >= kParallelThreshold) \
+    schedule(static)
+  for (std::int64_t i = 0; i < dim; ++i) {
+    probs[static_cast<std::size_t>(i)] =
+        std::norm(amplitudes_[static_cast<std::size_t>(i)]);
+  }
+  return probs;
+}
+
+double StateVectorState::marginal_one(Qubit q) const {
+  BGLS_REQUIRE(q >= 0 && q < num_qubits_, "qubit ", q, " out of range");
+  const std::size_t bit = std::size_t{1} << q;
+  double p1 = 0.0;
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    if (i & bit) p1 += std::norm(amplitudes_[i]);
+  }
+  return p1;
+}
+
+Bitstring StateVectorState::sample(Rng& rng) const {
+  const double target = rng.uniform() * norm_squared();
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < amplitudes_.size(); ++i) {
+    acc += std::norm(amplitudes_[i]);
+    if (target < acc) return i;
+  }
+  return amplitudes_.size() - 1;
+}
+
+double StateVectorState::max_abs_diff(const StateVectorState& other) const {
+  BGLS_REQUIRE(num_qubits_ == other.num_qubits_,
+               "comparing states of different width");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    worst = std::max(worst, std::abs(amplitudes_[i] - other.amplitudes_[i]));
+  }
+  return worst;
+}
+
+void apply_op(const Operation& op, StateVectorState& state, Rng& rng) {
+  const Gate& gate = op.gate();
+  if (gate.is_channel()) {
+    // Quantum trajectory: sample a Kraus branch by its Born weight.
+    const auto& ops = gate.channel().operators();
+    std::vector<double> weights;
+    weights.reserve(ops.size());
+    for (const auto& k : ops) {
+      StateVectorState branch = state;
+      branch.apply_matrix(k, op.qubits());
+      weights.push_back(branch.norm_squared());
+    }
+    const std::size_t chosen = rng.categorical(weights);
+    state.apply_matrix(ops[chosen], op.qubits());
+    state.renormalize();
+    return;
+  }
+  state.apply(op);
+}
+
+double compute_probability(const StateVectorState& state, Bitstring b) {
+  return state.probability(b);
+}
+
+void evolve(const Circuit& circuit, StateVectorState& state, Rng& rng) {
+  for (const auto& moment : circuit.moments()) {
+    for (const auto& op : moment.operations()) {
+      if (op.gate().is_measurement()) continue;
+      apply_op(op, state, rng);
+    }
+  }
+}
+
+}  // namespace bgls

@@ -1,0 +1,62 @@
+#include "util/bits.h"
+
+namespace bgls {
+
+std::string to_string(Bitstring bits, int num_qubits) {
+  BGLS_REQUIRE(num_qubits >= 0 && num_qubits <= kMaxQubits,
+               "num_qubits out of range: ", num_qubits);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(num_qubits));
+  for (int q = 0; q < num_qubits; ++q) {
+    out.push_back(get_bit(bits, q) ? '1' : '0');
+  }
+  return out;
+}
+
+Bitstring from_string(const std::string& text) {
+  BGLS_REQUIRE(text.size() <= static_cast<std::size_t>(kMaxQubits),
+               "bitstring too long: ", text.size());
+  Bitstring bits = 0;
+  for (std::size_t q = 0; q < text.size(); ++q) {
+    const char c = text[q];
+    BGLS_REQUIRE(c == '0' || c == '1', "invalid bitstring character '", c,
+                 "'");
+    bits = with_bit(bits, static_cast<int>(q), c == '1');
+  }
+  return bits;
+}
+
+CandidateList expand_candidates(Bitstring base, std::span<const int> support) {
+  BGLS_REQUIRE(support.size() <= static_cast<std::size_t>(kMaxGateArity),
+               "gate support too large: ", support.size());
+  CandidateList out;
+  const int k = static_cast<int>(support.size());
+  out.count = 1 << k;
+  for (int pattern = 0; pattern < out.count; ++pattern) {
+    Bitstring candidate = base;
+    for (int j = 0; j < k; ++j) {
+      candidate = with_bit(candidate, support[j], (pattern >> j) & 1);
+    }
+    out.values[static_cast<std::size_t>(pattern)] = candidate;
+  }
+  return out;
+}
+
+std::uint64_t to_big_endian_index(Bitstring bits, int num_qubits) {
+  std::uint64_t index = 0;
+  for (int q = 0; q < num_qubits; ++q) {
+    index = (index << 1) | static_cast<std::uint64_t>(get_bit(bits, q));
+  }
+  return index;
+}
+
+Bitstring from_big_endian_index(std::uint64_t index, int num_qubits) {
+  Bitstring bits = 0;
+  for (int q = num_qubits - 1; q >= 0; --q) {
+    bits = with_bit(bits, q, static_cast<int>(index & 1u));
+    index >>= 1;
+  }
+  return bits;
+}
+
+}  // namespace bgls

@@ -1,0 +1,79 @@
+/// \file bits.h
+/// Bitstring conventions and helpers.
+///
+/// A measurement outcome on an n-qubit system is the bitstring
+/// b0 b1 ... b_{n-1}. The library packs it into a 64-bit integer with
+/// **qubit q stored at bit position q** (qubit 0 = least-significant
+/// bit). Pretty printing emits b0 first, matching the paper's
+/// "b0 b1 ... bn" notation and Cirq's default qubit ordering of
+/// LineQubit ranges.
+///
+/// The gate-by-gate sampler only ever varies a bitstring over the
+/// support of one gate (at most 3 qubits here), so candidate expansion
+/// returns a small fixed-capacity buffer rather than allocating.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace bgls {
+
+/// Packed measurement bitstring; qubit q lives at bit q.
+using Bitstring = std::uint64_t;
+
+/// Maximum number of qubits representable in a packed Bitstring.
+inline constexpr int kMaxQubits = 64;
+
+/// Maximum gate arity supported by the sampler (CCX/CSWAP are 3-qubit).
+inline constexpr int kMaxGateArity = 3;
+
+/// Returns bit `q` of `bits`.
+[[nodiscard]] constexpr int get_bit(Bitstring bits, int q) {
+  return static_cast<int>((bits >> q) & 1u);
+}
+
+/// Returns `bits` with bit `q` set to `value`.
+[[nodiscard]] constexpr Bitstring with_bit(Bitstring bits, int q, int value) {
+  const Bitstring mask = Bitstring{1} << q;
+  return value ? (bits | mask) : (bits & ~mask);
+}
+
+/// Renders the n-qubit bitstring as "b0b1...b_{n-1}" (qubit 0 first).
+[[nodiscard]] std::string to_string(Bitstring bits, int num_qubits);
+
+/// Parses a "b0b1..." string produced by to_string.
+[[nodiscard]] Bitstring from_string(const std::string& text);
+
+/// Fixed-capacity candidate list produced by expanding a bitstring over a
+/// gate support (2^arity entries, arity <= kMaxGateArity).
+struct CandidateList {
+  std::array<Bitstring, (1u << kMaxGateArity)> values{};
+  int count = 0;
+
+  [[nodiscard]] std::span<const Bitstring> span() const {
+    return {values.data(), static_cast<std::size_t>(count)};
+  }
+};
+
+/// Enumerates every bitstring obtained from `base` by varying the bits at
+/// the qubits in `support` (all 2^|support| combinations, in the order
+/// where support[0] is the least-significant varying bit).
+[[nodiscard]] CandidateList expand_candidates(Bitstring base,
+                                              std::span<const int> support);
+
+/// Big-endian integer view of a bitstring (qubit 0 = most significant
+/// digit), matching how Cirq's plot_state_histogram labels GHZ outcomes.
+[[nodiscard]] std::uint64_t to_big_endian_index(Bitstring bits,
+                                                int num_qubits);
+
+/// Inverse of to_big_endian_index.
+[[nodiscard]] Bitstring from_big_endian_index(std::uint64_t index,
+                                              int num_qubits);
+
+}  // namespace bgls

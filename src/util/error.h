@@ -1,0 +1,63 @@
+/// \file error.h
+/// Typed exceptions and precondition checks used across the library.
+///
+/// Follows the C++ Core Guidelines: throw on contract violations with a
+/// descriptive message; never abort. All library errors derive from
+/// bgls::Error so callers can catch one type.
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bgls {
+
+/// Base class of every exception thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when an argument value violates a documented precondition
+/// (bad qubit index, non-normalized probabilities, invalid gate arity, ...).
+class ValueError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a parsed input (e.g. OpenQASM source) is malformed.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an operation is not supported by a given state
+/// representation (e.g. a non-Clifford gate on a stabilizer state).
+class UnsupportedOperationError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+
+template <typename ExceptionT, typename... Parts>
+[[noreturn]] void throw_error(Parts&&... parts) {
+  std::ostringstream oss;
+  (oss << ... << parts);
+  throw ExceptionT(oss.str());
+}
+
+}  // namespace detail
+
+/// Checks a precondition and throws bgls::ValueError with the provided
+/// message parts when it does not hold.
+#define BGLS_REQUIRE(cond, ...)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::bgls::detail::throw_error<::bgls::ValueError>(                 \
+          "precondition failed: " #cond " — ", __VA_ARGS__);           \
+    }                                                                  \
+  } while (false)
+
+}  // namespace bgls

@@ -1,0 +1,101 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace bgls {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  BGLS_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  BGLS_REQUIRE(cells.size() == headers_.size(), "row has ", cells.size(),
+               " cells, expected ", headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ConsoleTable::num(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string ConsoleTable::duration(double seconds) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(2);
+  if (seconds < 1e-6) {
+    oss << seconds * 1e9 << " ns";
+  } else if (seconds < 1e-3) {
+    oss << seconds * 1e6 << " us";
+  } else if (seconds < 1.0) {
+    oss << seconds * 1e3 << " ms";
+  } else {
+    oss << seconds << " s";
+  }
+  return oss.str();
+}
+
+void ConsoleTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+      os << (c + 1 == cells.size() ? " |\n" : " | ");
+    }
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << (c + 1 == headers_.size() ? "|\n" : "+");
+  }
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_bar_chart(std::ostream& os, const std::vector<std::string>& labels,
+                     const std::vector<double>& values, int width) {
+  BGLS_REQUIRE(labels.size() == values.size(),
+               "bar chart labels/values size mismatch");
+  double max_value = 0.0;
+  std::size_t max_label = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    BGLS_REQUIRE(values[i] >= 0.0, "bar chart values must be non-negative");
+    max_value = std::max(max_value, values[i]);
+    max_label = std::max(max_label, labels[i].size());
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const int bar =
+        max_value > 0.0
+            ? static_cast<int>(std::lround(values[i] / max_value * width))
+            : 0;
+    os << std::left << std::setw(static_cast<int>(max_label)) << labels[i]
+       << " | " << std::string(static_cast<std::size_t>(bar), '#') << ' '
+       << values[i] << '\n';
+  }
+}
+
+void print_histogram(std::ostream& os, const Counts& counts, int num_qubits,
+                     int width) {
+  std::vector<std::string> labels;
+  std::vector<double> values;
+  labels.reserve(counts.size());
+  values.reserve(counts.size());
+  for (const auto& [bits, count] : counts) {
+    labels.push_back(to_string(bits, num_qubits));
+    values.push_back(static_cast<double>(count));
+  }
+  print_bar_chart(os, labels, values, width);
+}
+
+}  // namespace bgls

@@ -1,0 +1,49 @@
+/// \file table.h
+/// Console rendering for the benchmark harness: aligned tables (the
+/// "rows the paper reports") and ASCII bar charts standing in for the
+/// paper's matplotlib figures.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace bgls {
+
+/// Simple aligned console table. Cells are strings; numeric helpers
+/// format with sensible defaults.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` significant digits.
+  [[nodiscard]] static std::string num(double value, int precision = 4);
+
+  /// Formats seconds as a human-friendly duration (ns/us/ms/s).
+  [[nodiscard]] static std::string duration(double seconds);
+
+  /// Renders the table with a separator under the header.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a horizontal ASCII bar chart of labelled non-negative values
+/// (used for measurement histograms, mirroring cirq.plot_state_histogram).
+void print_bar_chart(std::ostream& os, const std::vector<std::string>& labels,
+                     const std::vector<double>& values, int width = 50);
+
+/// Prints a sampled-counts histogram keyed by bitstring.
+void print_histogram(std::ostream& os, const Counts& counts, int num_qubits,
+                     int width = 50);
+
+}  // namespace bgls

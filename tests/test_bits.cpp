@@ -1,0 +1,95 @@
+// Tests for bitstring packing, printing, and candidate expansion.
+
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bgls {
+namespace {
+
+TEST(Bits, GetAndSet) {
+  Bitstring b = 0;
+  b = with_bit(b, 3, 1);
+  EXPECT_EQ(get_bit(b, 3), 1);
+  EXPECT_EQ(get_bit(b, 2), 0);
+  b = with_bit(b, 3, 0);
+  EXPECT_EQ(b, 0u);
+}
+
+TEST(Bits, SetIsIdempotent) {
+  Bitstring b = with_bit(0, 5, 1);
+  EXPECT_EQ(with_bit(b, 5, 1), b);
+}
+
+TEST(Bits, HighBitWorks) {
+  Bitstring b = with_bit(0, 63, 1);
+  EXPECT_EQ(get_bit(b, 63), 1);
+  EXPECT_EQ(to_string(b, 64).back(), '1');
+}
+
+TEST(Bits, ToStringIsQubitZeroFirst) {
+  // Qubit 0 set -> leftmost character is '1'.
+  EXPECT_EQ(to_string(with_bit(0, 0, 1), 3), "100");
+  EXPECT_EQ(to_string(with_bit(0, 2, 1), 3), "001");
+}
+
+TEST(Bits, FromStringRoundTrips) {
+  for (const auto* text : {"0", "1", "0101", "111000111"}) {
+    EXPECT_EQ(to_string(from_string(text), static_cast<int>(std::string(text).size())),
+              text);
+  }
+}
+
+TEST(Bits, FromStringRejectsJunk) {
+  EXPECT_THROW(from_string("01a1"), ValueError);
+}
+
+TEST(Bits, ExpandCandidatesSingleQubit) {
+  const std::vector<int> support{1};
+  const auto candidates = expand_candidates(from_string("101"), support);
+  ASSERT_EQ(candidates.count, 2);
+  EXPECT_EQ(to_string(candidates.values[0], 3), "101");
+  EXPECT_EQ(to_string(candidates.values[1], 3), "111");
+}
+
+TEST(Bits, ExpandCandidatesTwoQubits) {
+  const std::vector<int> support{0, 2};
+  const auto candidates = expand_candidates(from_string("010"), support);
+  ASSERT_EQ(candidates.count, 4);
+  // support[0] = qubit 0 is the least-significant varying bit.
+  EXPECT_EQ(to_string(candidates.values[0], 3), "010");
+  EXPECT_EQ(to_string(candidates.values[1], 3), "110");
+  EXPECT_EQ(to_string(candidates.values[2], 3), "011");
+  EXPECT_EQ(to_string(candidates.values[3], 3), "111");
+}
+
+TEST(Bits, ExpandCandidatesPreservesOtherBits) {
+  const std::vector<int> support{1};
+  const auto candidates = expand_candidates(from_string("1001"), support);
+  for (const auto c : candidates.span()) {
+    EXPECT_EQ(get_bit(c, 0), 1);
+    EXPECT_EQ(get_bit(c, 3), 1);
+  }
+}
+
+TEST(Bits, ExpandCandidatesRejectsWideSupport) {
+  const std::vector<int> support{0, 1, 2, 3};
+  EXPECT_THROW(expand_candidates(0, support), ValueError);
+}
+
+TEST(Bits, BigEndianIndexMatchesCirqConvention) {
+  // Bitstring "110" (qubits 0,1 set) reads as binary 110 = 6 big-endian.
+  EXPECT_EQ(to_big_endian_index(from_string("110"), 3), 6u);
+  EXPECT_EQ(to_big_endian_index(from_string("001"), 3), 1u);
+}
+
+TEST(Bits, BigEndianRoundTrip) {
+  for (std::uint64_t idx = 0; idx < 32; ++idx) {
+    EXPECT_EQ(to_big_endian_index(from_big_endian_index(idx, 5), 5), idx);
+  }
+}
+
+}  // namespace
+}  // namespace bgls

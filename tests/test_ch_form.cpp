@@ -1,0 +1,268 @@
+// CH-form stabilizer simulator tests. The backbone is the phase-exact
+// cross-check: every amplitude (including the global phase ω tracks)
+// must match brute-force statevector evolution on random Clifford
+// circuits across many seeds, widths, and depths.
+
+#include "stabilizer/ch_form.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/random.h"
+#include "statevector/state.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+void expect_matches_statevector(const Circuit& circuit, int n,
+                                double tol = 1e-9) {
+  CHState ch(n);
+  for (const auto& op : circuit.all_operations()) ch.apply(op);
+  const auto reference = testing::ideal_statevector(circuit, n);
+  const auto reconstructed = ch.to_statevector();
+  for (std::size_t b = 0; b < reference.size(); ++b) {
+    EXPECT_NEAR(std::abs(reconstructed[b] - reference[b]), 0.0, tol)
+        << "amplitude " << to_string(b, n);
+  }
+}
+
+TEST(ChForm, InitialState) {
+  CHState ch(3);
+  EXPECT_NEAR(std::abs(ch.amplitude(0) - Complex{1.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(ch.probability(from_string("100")), 0.0, 1e-12);
+}
+
+TEST(ChForm, NonZeroInitialState) {
+  CHState ch(3, from_string("101"));
+  EXPECT_NEAR(ch.probability(from_string("101")), 1.0, 1e-12);
+  EXPECT_NEAR(ch.probability(from_string("000")), 0.0, 1e-12);
+}
+
+TEST(ChForm, HadamardAmplitudes) {
+  CHState ch(1);
+  ch.apply_h(0);
+  EXPECT_NEAR(std::abs(ch.amplitude(0) - Complex{kInvSqrt2, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(ch.amplitude(1) - Complex{kInvSqrt2, 0.0}), 0.0, 1e-12);
+}
+
+TEST(ChForm, SingleGatePhases) {
+  // |+⟩ then S: amplitudes (1, i)/√2.
+  CHState ch(1);
+  ch.apply_h(0);
+  ch.apply_s(0);
+  EXPECT_NEAR(std::abs(ch.amplitude(1) - Complex{0.0, kInvSqrt2}), 0.0, 1e-12);
+  // Y|0⟩ = i|1⟩.
+  CHState chy(1);
+  chy.apply_y(0);
+  EXPECT_NEAR(std::abs(chy.amplitude(1) - Complex{0.0, 1.0}), 0.0, 1e-12);
+  // Z|+⟩ = |−⟩.
+  CHState chz(1);
+  chz.apply_h(0);
+  chz.apply_z(0);
+  EXPECT_NEAR(std::abs(chz.amplitude(1) + Complex{kInvSqrt2, 0.0}), 0.0, 1e-12);
+}
+
+TEST(ChForm, GhzState) {
+  CHState ch(3);
+  for (const auto& op : ghz_circuit(3).all_operations()) ch.apply(op);
+  EXPECT_NEAR(ch.probability(from_string("000")), 0.5, 1e-12);
+  EXPECT_NEAR(ch.probability(from_string("111")), 0.5, 1e-12);
+  EXPECT_NEAR(ch.probability(from_string("010")), 0.0, 1e-12);
+}
+
+TEST(ChForm, EveryGateMatchesStateVectorFromScrambledState) {
+  // Apply each supported gate after a fixed scrambling prefix and check
+  // all amplitudes (phase included).
+  const int n = 3;
+  const std::vector<Operation> prefix{h(0), s(1),        cnot(0, 1),
+                                      h(2), cnot(2, 0),  sdg(1),
+                                      h(1), cz(1, 2)};
+  const std::vector<Operation> candidates{
+      x(0),  x(2),       y(1),        z(0),          h(1),
+      s(2),  sdg(0),     cnot(1, 2),  cnot(2, 1),    cz(0, 2),
+      swap(0, 2),        Operation(Gate::SqrtX(), {1}),
+      Operation(Gate::I(), {0})};
+  for (const auto& op : candidates) {
+    Circuit circuit;
+    for (const auto& p : prefix) circuit.append(p);
+    circuit.append(op);
+    expect_matches_statevector(circuit, n);
+  }
+}
+
+class ChFormRandomClifford
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ChFormRandomClifford, AllAmplitudesMatchStateVector) {
+  const auto [n, depth, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  const Circuit circuit = random_clifford_circuit(n, depth, rng);
+  expect_matches_statevector(circuit, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChFormRandomClifford,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8),    // width
+                       ::testing::Values(5, 20, 60),     // depth
+                       ::testing::Range(0, 5)));         // seeds
+
+TEST(ChForm, FullPauliGroupCircuitMatches) {
+  // Stress phases: chains with many Y and Z gates interleaved.
+  Rng rng(31);
+  RandomCircuitOptions options;
+  options.num_moments = 40;
+  options.op_density = 0.9;
+  options.gate_domain = {Gate::X(),  Gate::Y(), Gate::Z(),   Gate::H(),
+                         Gate::S(),  Gate::Sdg(), Gate::SqrtX(),
+                         Gate::CX(), Gate::CZ(), Gate::Swap()};
+  const Circuit circuit = generate_random_circuit(4, options, rng);
+  expect_matches_statevector(circuit, 4);
+}
+
+TEST(ChForm, NormIsPreservedByRandomCircuits) {
+  Rng rng(17);
+  const Circuit circuit = random_clifford_circuit(6, 50, rng);
+  CHState ch(6);
+  for (const auto& op : circuit.all_operations()) ch.apply(op);
+  double total = 0.0;
+  for (Bitstring b = 0; b < (1u << 6); ++b) total += ch.probability(b);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ChForm, RejectsNonCliffordGate) {
+  CHState ch(2);
+  EXPECT_THROW(ch.apply(t(0)), UnsupportedOperationError);
+  EXPECT_THROW(ch.apply(rz(0.3, 0)), UnsupportedOperationError);
+  EXPECT_THROW(ch.apply(ccx(0, 1, 0)), ValueError);  // duplicate qubits
+}
+
+TEST(ChForm, DeterministicMeasurementOnBasisState) {
+  CHState ch(2, from_string("10"));
+  int outcome = -1;
+  EXPECT_TRUE(ch.is_deterministic_z(0, &outcome));
+  EXPECT_EQ(outcome, 1);
+  EXPECT_TRUE(ch.is_deterministic_z(1, &outcome));
+  EXPECT_EQ(outcome, 0);
+}
+
+TEST(ChForm, RandomMeasurementOnPlusState) {
+  CHState ch(1);
+  ch.apply_h(0);
+  EXPECT_FALSE(ch.is_deterministic_z(0));
+}
+
+TEST(ChForm, ProjectionCollapsesGhz) {
+  CHState ch(3);
+  for (const auto& op : ghz_circuit(3).all_operations()) ch.apply(op);
+  const double p = ch.project_z(0, 1);
+  EXPECT_NEAR(p, 0.5, 1e-12);
+  // Collapsed onto |111⟩ (normalized).
+  EXPECT_NEAR(ch.probability(from_string("111")), 1.0, 1e-9);
+  int outcome = -1;
+  EXPECT_TRUE(ch.is_deterministic_z(2, &outcome));
+  EXPECT_EQ(outcome, 1);
+}
+
+TEST(ChForm, ProjectionOntoImpossibleOutcomeThrows) {
+  CHState ch(1);  // |0⟩
+  EXPECT_THROW(ch.project_z(0, 1), ValueError);
+}
+
+TEST(ChForm, MeasureZStatistics) {
+  Rng rng(23);
+  int ones = 0;
+  const int reps = 20000;
+  for (int i = 0; i < reps; ++i) {
+    CHState ch(1);
+    ch.apply_h(0);
+    ones += ch.measure_z(0, rng);
+  }
+  EXPECT_NEAR(ones / static_cast<double>(reps), 0.5, 0.02);
+}
+
+TEST(ChForm, SequentialMeasurementMatchesDistribution) {
+  // Measuring all qubits of a random Clifford state one by one samples
+  // its exact output distribution.
+  Rng circuit_rng(41);
+  const int n = 4;
+  const Circuit circuit = random_clifford_circuit(n, 25, circuit_rng);
+  CHState final_state(n);
+  for (const auto& op : circuit.all_operations()) final_state.apply(op);
+
+  Rng rng(43);
+  Counts counts;
+  const int reps = 30000;
+  for (int i = 0; i < reps; ++i) {
+    CHState working = final_state;
+    Bitstring bits = 0;
+    for (int q = 0; q < n; ++q) {
+      bits = with_bit(bits, q, working.measure_z(q, rng));
+    }
+    ++counts[bits];
+  }
+  const auto ideal = testing::ideal_distribution(circuit, n);
+  EXPECT_LT(total_variation_distance(normalize(counts), ideal), 0.02);
+}
+
+TEST(ChForm, ProjectMultipleQubits) {
+  CHState ch(3);
+  for (const auto& op : ghz_circuit(3).all_operations()) ch.apply(op);
+  const std::vector<Qubit> qs{0, 1};
+  ch.project(qs, from_string("110"));
+  EXPECT_NEAR(ch.probability(from_string("111")), 1.0, 1e-9);
+}
+
+TEST(ChForm, ProbabilityAfterProjectionsStaysNormalized) {
+  Rng rng(53);
+  const Circuit circuit = random_clifford_circuit(5, 30, rng);
+  CHState ch(5);
+  for (const auto& op : circuit.all_operations()) ch.apply(op);
+  Rng mrng(59);
+  for (int q = 0; q < 5; ++q) ch.measure_z(q, mrng);
+  double total = 0.0;
+  for (Bitstring b = 0; b < (1u << 5); ++b) total += ch.probability(b);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ChForm, WideRegisterSmoke) {
+  // 60 qubits: way beyond statevector reach; checks the bit-packed
+  // updates hold up at width and amplitudes stay sane.
+  const int n = 60;
+  CHState ch(n);
+  for (int q = 0; q < n; ++q) ch.apply_h(q);
+  for (int q = 0; q + 1 < n; ++q) ch.apply_cx(q, q + 1);
+  for (int q = 0; q < n; ++q) ch.apply_s(q);
+  const double p = ch.probability(0);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(ChForm, RejectsOversizedRegister) {
+  EXPECT_THROW(CHState(64), ValueError);
+  EXPECT_THROW(CHState(0), ValueError);
+}
+
+TEST(ChForm, SwapMatchesThreeCnots) {
+  Rng rng(61);
+  const Circuit prefix = random_clifford_circuit(3, 10, rng);
+  CHState a(3), b(3);
+  for (const auto& op : prefix.all_operations()) {
+    a.apply(op);
+    b.apply(op);
+  }
+  a.apply_swap(0, 2);
+  b.apply_cx(0, 2);
+  b.apply_cx(2, 0);
+  b.apply_cx(0, 2);
+  for (Bitstring x = 0; x < 8; ++x) {
+    EXPECT_NEAR(std::abs(a.amplitude(x) - b.amplitude(x)), 0.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace bgls

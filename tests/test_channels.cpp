@@ -1,0 +1,69 @@
+// Tests for Kraus channels and CPTP validation.
+
+#include "channels/channels.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+void expect_cptp(const KrausChannel& ch) {
+  const std::size_t dim = ch.operators().front().rows();
+  Matrix acc(dim, dim);
+  for (const auto& k : ch.operators()) acc = acc + k.adjoint() * k;
+  EXPECT_TRUE(acc.approx_equal(Matrix::identity(dim), 1e-9)) << ch.name();
+}
+
+TEST(Channels, StandardChannelsAreCptp) {
+  expect_cptp(bit_flip(0.3));
+  expect_cptp(phase_flip(0.1));
+  expect_cptp(depolarize(0.25));
+  expect_cptp(amplitude_damp(0.4));
+  expect_cptp(phase_damp(0.7));
+}
+
+TEST(Channels, EdgeProbabilitiesAreCptp) {
+  expect_cptp(bit_flip(0.0));
+  expect_cptp(bit_flip(1.0));
+  expect_cptp(depolarize(1.0));
+}
+
+TEST(Channels, RejectsOutOfRangeProbability) {
+  EXPECT_THROW(bit_flip(-0.1), ValueError);
+  EXPECT_THROW(depolarize(1.5), ValueError);
+  EXPECT_THROW(amplitude_damp(2.0), ValueError);
+}
+
+TEST(Channels, RejectsNonTracePreservingSet) {
+  Matrix half(2, 2, {0.5, 0, 0, 0.5});
+  EXPECT_THROW(KrausChannel("bad", {half}), ValueError);
+}
+
+TEST(Channels, RejectsEmptyOperatorList) {
+  EXPECT_THROW(KrausChannel("empty", {}), ValueError);
+}
+
+TEST(Channels, AritySingleQubit) {
+  EXPECT_EQ(bit_flip(0.2).arity(), 1);
+}
+
+TEST(Channels, TwoQubitChannelArity) {
+  // A trivial 2-qubit identity channel.
+  KrausChannel ch("id2", {Matrix::identity(4)});
+  EXPECT_EQ(ch.arity(), 2);
+}
+
+TEST(Channels, NameIncludesParameter) {
+  EXPECT_EQ(depolarize(0.5).name(), "depolarize(0.5)");
+}
+
+TEST(Channels, BitFlipOperatorsAreScaledIdentityAndX) {
+  const auto ch = bit_flip(0.36);
+  EXPECT_NEAR(ch.operators()[0](0, 0).real(), 0.8, 1e-12);
+  EXPECT_NEAR(ch.operators()[1](0, 1).real(), 0.6, 1e-12);
+}
+
+}  // namespace
+}  // namespace bgls

@@ -1,0 +1,144 @@
+// Tests for operations, moments, circuits, and text diagrams.
+
+#include "circuit/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/diagram.h"
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+TEST(Operation, ValidatesArity) {
+  EXPECT_THROW(Operation(Gate::CX(), {0}), ValueError);
+  EXPECT_THROW(Operation(Gate::H(), {0, 1}), ValueError);
+}
+
+TEST(Operation, RejectsDuplicateQubits) {
+  EXPECT_THROW(Operation(Gate::CX(), {1, 1}), ValueError);
+}
+
+TEST(Operation, RejectsNegativeQubits) {
+  EXPECT_THROW(Operation(Gate::H(), {-1}), ValueError);
+}
+
+TEST(Operation, OverlapDetection) {
+  const auto a = cnot(0, 1);
+  const auto b = h(1);
+  const auto c = h(2);
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Operation, ToString) {
+  EXPECT_EQ(cnot(0, 1).to_string(), "CX(0, 1)");
+  EXPECT_EQ(h(3).to_string(), "H(3)");
+}
+
+TEST(Moment, RejectsOverlappingOperations) {
+  Moment m;
+  m.add(cnot(0, 1));
+  EXPECT_THROW(m.add(h(0)), ValueError);
+  EXPECT_TRUE(m.can_accept(h(2)));
+}
+
+TEST(Circuit, EarliestStrategyPacksOperations) {
+  Circuit c;
+  c.append(h(0));
+  c.append(h(1));  // fits into the same moment
+  EXPECT_EQ(c.depth(), 1u);
+  c.append(cnot(0, 1));  // conflicts, new moment
+  EXPECT_EQ(c.depth(), 2u);
+  c.append(h(2));  // slides all the way to moment 0
+  EXPECT_EQ(c.depth(), 2u);
+  EXPECT_EQ(c.moments()[0].operations().size(), 3u);
+}
+
+TEST(Circuit, NewMomentStrategy) {
+  Circuit c;
+  c.append(h(0), InsertStrategy::kNewThenInline);
+  c.append(h(1), InsertStrategy::kNewThenInline);
+  EXPECT_EQ(c.depth(), 2u);
+}
+
+TEST(Circuit, InitializerListMatchesPaperSnippet) {
+  // cirq.Circuit(H(q0), CNOT(q0, q1), measure(q0, q1)) from Sec. 3.1.
+  Circuit c{h(0), cnot(0, 1), measure({0, 1}, "z")};
+  EXPECT_EQ(c.depth(), 3u);
+  EXPECT_EQ(c.num_qubits(), 2);
+  EXPECT_TRUE(c.has_measurements());
+  EXPECT_TRUE(c.measurements_are_terminal());
+}
+
+TEST(Circuit, QubitSetAndWidth) {
+  Circuit c{h(0), h(4)};
+  EXPECT_EQ(c.num_qubits(), 5);
+  EXPECT_EQ(c.qubits().size(), 2u);
+}
+
+TEST(Circuit, AllOperationsInExecutionOrder) {
+  Circuit c{h(0), cnot(0, 1), h(1)};
+  const auto ops = c.all_operations();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].to_string(), "H(0)");
+  EXPECT_EQ(ops[1].to_string(), "CX(0, 1)");
+  EXPECT_EQ(ops[2].to_string(), "H(1)");
+}
+
+TEST(Circuit, MidCircuitMeasurementIsNotTerminal) {
+  Circuit c{h(0), measure({0}, "mid"), h(0)};
+  EXPECT_FALSE(c.measurements_are_terminal());
+}
+
+TEST(Circuit, RepeatedMeasurementIsNotTerminal) {
+  Circuit c{h(0), measure({0}, "a"), measure({0}, "b")};
+  EXPECT_FALSE(c.measurements_are_terminal());
+}
+
+TEST(Circuit, MeasurementKeysInOrder) {
+  Circuit c{measure({0}, "first"), measure({1}, "second"),
+            measure({2}, "first")};
+  const auto keys = c.measurement_keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "first");
+  EXPECT_EQ(keys[1], "second");
+}
+
+TEST(Circuit, HasChannels) {
+  Circuit c{h(0)};
+  EXPECT_FALSE(c.has_channels());
+  c.append(Operation(Gate::Channel(bit_flip(0.1)), {0}));
+  EXPECT_TRUE(c.has_channels());
+}
+
+TEST(Circuit, ParameterResolution) {
+  Circuit c{rz(Symbol{"g"}, 0)};
+  EXPECT_TRUE(c.is_parameterized());
+  const Circuit resolved = c.resolved(ParamResolver{{"g", 1.5}});
+  EXPECT_FALSE(resolved.is_parameterized());
+  EXPECT_TRUE(resolved.all_operations()[0].gate().unitary().approx_equal(
+      Gate::Rz(1.5).unitary()));
+}
+
+TEST(Circuit, AppendCircuitKeepsMomentStructure) {
+  Circuit a{h(0)};
+  Circuit b{h(0), h(0)};
+  a.append(b);
+  EXPECT_EQ(a.depth(), 3u);
+}
+
+TEST(Diagram, GhzDiagramShape) {
+  Circuit c{h(0), cnot(0, 1), measure({0, 1}, "z")};
+  const std::string diagram = to_text_diagram(c);
+  EXPECT_NE(diagram.find("0: ---H---@"), std::string::npos);
+  EXPECT_NE(diagram.find('|'), std::string::npos);
+  EXPECT_NE(diagram.find("M('z')"), std::string::npos);
+}
+
+TEST(Diagram, EmptyCircuit) {
+  EXPECT_EQ(to_text_diagram(Circuit{}), "(empty circuit)\n");
+}
+
+}  // namespace
+}  // namespace bgls

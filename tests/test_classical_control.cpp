@@ -1,0 +1,134 @@
+// Classically-controlled operations: feed-forward semantics, the full
+// teleportation protocol, and interaction with the sampler paths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulator.h"
+#include "mps/state.h"
+#include "statevector/state.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+TEST(ClassicalControl, OnlyUnitariesCanBeControlled) {
+  EXPECT_THROW(measure({0}, "m").controlled_by_measurement("k"), ValueError);
+  EXPECT_THROW(h(0).controlled_by_measurement(""), ValueError);
+  EXPECT_NO_THROW(x(0).controlled_by_measurement("k"));
+}
+
+TEST(ClassicalControl, ToStringShowsCondition) {
+  EXPECT_EQ(x(2).controlled_by_measurement("m").to_string(), "X(2).if('m')");
+}
+
+TEST(ClassicalControl, ConditionedOnUnmeasuredKeyThrows) {
+  Circuit circuit;
+  circuit.append(x(0).controlled_by_measurement("never"));
+  circuit.append(measure({0}, "m"));
+  Simulator<StateVectorState> sim{StateVectorState(1)};
+  Rng rng(1);
+  EXPECT_THROW(sim.run(circuit, 5, rng), ValueError);
+}
+
+TEST(ClassicalControl, GateFiresExactlyWhenConditionIsOne) {
+  // Measure a 50/50 qubit, then flip a second qubit iff the outcome was
+  // 1: the two records must always be equal.
+  Circuit circuit;
+  circuit.append(h(0));
+  circuit.append(measure({0}, "coin"));
+  circuit.append(x(1).controlled_by_measurement("coin"));
+  circuit.append(measure({1}, "copy"));
+  Simulator<StateVectorState> sim{StateVectorState(2)};
+  Rng rng(3);
+  const Result result = sim.run(circuit, 2000, rng);
+  int ones = 0;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    EXPECT_EQ(result.values("coin")[i], result.values("copy")[i]);
+    ones += static_cast<int>(result.values("coin")[i]);
+  }
+  EXPECT_NEAR(ones / 2000.0, 0.5, 0.05);
+  EXPECT_FALSE(sim.last_run_stats().used_sample_parallelization);
+}
+
+Circuit teleportation_circuit(double theta) {
+  Circuit circuit;
+  circuit.append(ry(theta, 0));
+  circuit.append(h(1));
+  circuit.append(cnot(1, 2));
+  circuit.append(cnot(0, 1));
+  circuit.append(h(0));
+  circuit.append(measure({1}, "m_x"));
+  circuit.append(measure({0}, "m_z"));
+  circuit.append(x(2).controlled_by_measurement("m_x"));
+  circuit.append(z(2).controlled_by_measurement("m_z"));
+  return circuit;
+}
+
+TEST(ClassicalControl, TeleportationOfBasisStates) {
+  // Teleporting |1⟩ (θ = π): Bob must always read 1; |0⟩: always 0.
+  for (const double theta : {0.0, 3.14159265358979323846}) {
+    Circuit circuit = teleportation_circuit(theta);
+    circuit.append(measure({2}, "bob"));
+    Simulator<StateVectorState> sim{StateVectorState(3)};
+    Rng rng(5);
+    const Result result = sim.run(circuit, 300, rng);
+    const int expected = theta > 1.0 ? 1 : 0;
+    for (const Bitstring v : result.values("bob")) {
+      EXPECT_EQ(static_cast<int>(v), expected);
+    }
+  }
+}
+
+TEST(ClassicalControl, TeleportationPreservesSuperpositionPhase) {
+  // Teleport |+⟩ and measure Bob in the X basis: deterministic 0. The
+  // Z correction is what makes this work — without phase feed-forward
+  // half the trajectories would give |−⟩.
+  Circuit circuit = teleportation_circuit(3.14159265358979323846 / 2.0);
+  // θ = π/2 gives (|0⟩ + |1⟩)/√2 = |+⟩.
+  circuit.append(h(2));
+  circuit.append(measure({2}, "bob_x"));
+  Simulator<StateVectorState> sim{StateVectorState(3)};
+  Rng rng(7);
+  const Result result = sim.run(circuit, 500, rng);
+  for (const Bitstring v : result.values("bob_x")) {
+    EXPECT_EQ(v, 0u);
+  }
+}
+
+TEST(ClassicalControl, TeleportationArbitraryStateStatistics) {
+  const double theta = 0.77;
+  Circuit circuit = teleportation_circuit(theta);
+  circuit.append(measure({2}, "bob"));
+  Simulator<StateVectorState> sim{StateVectorState(3)};
+  Rng rng(9);
+  const std::uint64_t reps = 20000;
+  const Result result = sim.run(circuit, reps, rng);
+  std::uint64_t ones = 0;
+  for (const Bitstring v : result.values("bob")) ones += v;
+  const double expected = std::sin(theta / 2.0) * std::sin(theta / 2.0);
+  EXPECT_NEAR(static_cast<double>(ones) / static_cast<double>(reps), expected,
+              0.01);
+}
+
+TEST(ClassicalControl, WorksOnMpsBackend) {
+  Circuit circuit = teleportation_circuit(3.14159265358979323846);
+  circuit.append(measure({2}, "bob"));
+  Simulator<MPSState> sim{MPSState(3)};
+  Rng rng(11);
+  const Result result = sim.run(circuit, 200, rng);
+  for (const Bitstring v : result.values("bob")) EXPECT_EQ(v, 1u);
+}
+
+TEST(ClassicalControl, UnconditionedCircuitsStillParallelize) {
+  Circuit circuit{h(0), cnot(0, 1), measure({0, 1}, "z")};
+  Simulator<StateVectorState> sim{StateVectorState(2)};
+  Rng rng(13);
+  sim.run(circuit, 100, rng);
+  EXPECT_TRUE(sim.last_run_stats().used_sample_parallelization);
+}
+
+}  // namespace
+}  // namespace bgls

@@ -1,0 +1,146 @@
+// Tests for gate decompositions and the noise-model wrapper.
+
+#include "circuit/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/noise.h"
+#include "circuit/random.h"
+#include "core/simulator.h"
+#include "densitymatrix/state.h"
+#include "mps/state.h"
+#include "statevector/state.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+TEST(Decompose, CcxNetworkIsExactlyToffoli) {
+  Circuit lowered;
+  for (auto& op : decompose_operation(ccx(0, 1, 2))) {
+    lowered.append(std::move(op));
+  }
+  Circuit reference;
+  reference.append(ccx(0, 1, 2));
+  EXPECT_TRUE(testing::circuit_unitary(lowered, 3)
+                  .approx_equal(testing::circuit_unitary(reference, 3), 1e-9));
+  for (const auto& op : lowered.all_operations()) {
+    EXPECT_LE(op.arity(), 2);
+  }
+}
+
+TEST(Decompose, CczIsExact) {
+  Circuit lowered;
+  for (auto& op :
+       decompose_operation(Operation(Gate::CCZ(), {0, 1, 2}))) {
+    lowered.append(std::move(op));
+  }
+  Circuit reference;
+  reference.append(Operation(Gate::CCZ(), {0, 1, 2}));
+  EXPECT_TRUE(testing::circuit_unitary(lowered, 3)
+                  .approx_equal(testing::circuit_unitary(reference, 3), 1e-9));
+}
+
+TEST(Decompose, CswapIsExact) {
+  Circuit lowered;
+  for (auto& op :
+       decompose_operation(Operation(Gate::CSwap(), {0, 1, 2}))) {
+    lowered.append(std::move(op));
+  }
+  Circuit reference;
+  reference.append(Operation(Gate::CSwap(), {0, 1, 2}));
+  EXPECT_TRUE(testing::circuit_unitary(lowered, 3)
+                  .approx_equal(testing::circuit_unitary(reference, 3), 1e-9));
+}
+
+TEST(Decompose, PassThroughForSmallGates) {
+  const auto ops = decompose_operation(cnot(0, 1));
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].to_string(), "CX(0, 1)");
+}
+
+TEST(Decompose, MeasurementsPassThrough) {
+  const auto ops = decompose_operation(measure({0, 1, 2}, "m"));
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_TRUE(ops[0].gate().is_measurement());
+}
+
+TEST(Decompose, CircuitLoweringPreservesDistribution) {
+  // A Toffoli-heavy circuit lowered to 2-qubit gates samples the same
+  // distribution — and becomes runnable on the MPS backend.
+  Circuit circuit{h(0), h(1), ccx(0, 1, 2), h(1),
+                  Operation(Gate::CCZ(), {0, 1, 2}), h(2)};
+  const Circuit lowered = decompose_to_arity(circuit, 2);
+  EXPECT_GT(lowered.num_operations(), circuit.num_operations());
+  const auto ideal = testing::ideal_distribution(circuit, 3);
+
+  Simulator<MPSState> mps{MPSState(3)};
+  Rng rng(3);
+  EXPECT_LT(total_variation_distance(normalize(mps.sample(lowered, 30000, rng)),
+                                     ideal),
+            0.02);
+}
+
+TEST(Decompose, ExpandSwapsGivesOnlyCx) {
+  Circuit circuit{h(0), swap(0, 1), swap(1, 2)};
+  const Circuit expanded = expand_swaps(circuit);
+  EXPECT_EQ(expanded.count_operations([](const Operation& op) {
+              return op.gate().kind() == GateKind::kSwap;
+            }),
+            0u);
+  EXPECT_TRUE(testing::circuit_unitary(expanded, 3)
+                  .approx_equal(testing::circuit_unitary(circuit, 3), 1e-9));
+}
+
+TEST(Decompose, UnknownLoweringThrows) {
+  // No decomposition to arity 1 of an entangling gate exists.
+  EXPECT_THROW(decompose_operation(ccx(0, 1, 2), 1), ValueError);
+}
+
+TEST(Noise, WithNoiseInsertsChannels) {
+  Circuit circuit{h(0), cnot(0, 1), measure({0, 1}, "z")};
+  const Circuit noisy = with_noise(circuit, depolarize(0.01));
+  // H touches 1 qubit, CX touches 2 — 3 channels total; measurement
+  // moment stays clean.
+  EXPECT_EQ(noisy.count_operations(
+                [](const Operation& op) { return op.gate().is_channel(); }),
+            3u);
+  EXPECT_TRUE(noisy.has_measurements());
+}
+
+TEST(Noise, RejectsMultiQubitChannel) {
+  Circuit circuit{h(0)};
+  KrausChannel two_qubit("id2", {Matrix::identity(4)});
+  EXPECT_THROW(with_noise(circuit, two_qubit), ValueError);
+}
+
+TEST(Noise, NoisySamplingMatchesDensityMatrix) {
+  Circuit circuit{h(0), cnot(0, 1)};
+  const Circuit noisy = with_noise(circuit, depolarize(0.15));
+
+  DensityMatrixState rho(2);
+  evolve_exact(noisy, rho);
+  Distribution ideal;
+  for (Bitstring b = 0; b < 4; ++b) ideal[b] = rho.probability(b);
+
+  Simulator<StateVectorState> sim{StateVectorState(2)};
+  Rng rng(7);
+  EXPECT_LT(total_variation_distance(normalize(sim.sample(noisy, 40000, rng)),
+                                     ideal),
+            0.02);
+}
+
+TEST(Noise, ZeroStrengthNoiseIsHarmless) {
+  Circuit circuit = ghz_circuit(3);
+  const Circuit noisy = with_noise(circuit, bit_flip(0.0));
+  Simulator<StateVectorState> sim{StateVectorState(3)};
+  Rng rng(9);
+  const Counts counts = sim.sample(noisy, 5000, rng);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_TRUE(counts.contains(from_string("000")));
+  EXPECT_TRUE(counts.contains(from_string("111")));
+}
+
+}  // namespace
+}  // namespace bgls

@@ -1,0 +1,156 @@
+// Tests for the gate zoo: unitaries, flags, parameters.
+
+#include "circuit/gate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+using std::numbers::pi;
+const Complex kI{0.0, 1.0};
+
+TEST(Gate, AllNamedUnitariesAreUnitary) {
+  const std::vector<Gate> gates{
+      Gate::I(),      Gate::X(),    Gate::Y(),     Gate::Z(),
+      Gate::H(),      Gate::S(),    Gate::Sdg(),   Gate::T(),
+      Gate::Tdg(),    Gate::SqrtX(), Gate::Rx(0.3), Gate::Ry(1.2),
+      Gate::Rz(-0.7), Gate::Phase(2.1), Gate::CX(), Gate::CZ(),
+      Gate::Swap(),   Gate::ISwap(), Gate::CPhase(0.4), Gate::ZZ(0.9),
+      Gate::CCX(),    Gate::CCZ(),  Gate::CSwap()};
+  for (const auto& gate : gates) {
+    EXPECT_TRUE(gate.unitary().is_unitary(1e-9)) << gate.name();
+    EXPECT_EQ(gate.unitary().rows(), std::size_t{1} << gate.arity())
+        << gate.name();
+  }
+}
+
+TEST(Gate, SquareRelations) {
+  EXPECT_TRUE((Gate::S().unitary() * Gate::S().unitary())
+                  .approx_equal(Gate::Z().unitary()));
+  EXPECT_TRUE((Gate::T().unitary() * Gate::T().unitary())
+                  .approx_equal(Gate::S().unitary()));
+  EXPECT_TRUE((Gate::SqrtX().unitary() * Gate::SqrtX().unitary())
+                  .approx_equal(Gate::X().unitary()));
+  EXPECT_TRUE((Gate::H().unitary() * Gate::H().unitary())
+                  .approx_equal(Matrix::identity(2)));
+}
+
+TEST(Gate, InversePairs) {
+  EXPECT_TRUE((Gate::S().unitary() * Gate::Sdg().unitary())
+                  .approx_equal(Matrix::identity(2)));
+  EXPECT_TRUE((Gate::T().unitary() * Gate::Tdg().unitary())
+                  .approx_equal(Matrix::identity(2)));
+}
+
+TEST(Gate, HadamardConjugatesXAndZ) {
+  const Matrix h = Gate::H().unitary();
+  EXPECT_TRUE((h * Gate::X().unitary() * h).approx_equal(Gate::Z().unitary()));
+  EXPECT_TRUE((h * Gate::Z().unitary() * h).approx_equal(Gate::X().unitary()));
+}
+
+TEST(Gate, CxMapsOneZeroToOneOne) {
+  const Matrix cx = Gate::CX().unitary();
+  // |10⟩ (control=1, target=0) is index 2; expect it to map to |11⟩ = 3.
+  EXPECT_EQ(cx(3, 2), (Complex{1, 0}));
+  EXPECT_EQ(cx(2, 2), (Complex{0, 0}));
+}
+
+TEST(Gate, RzMatchesDefinition) {
+  const double theta = 0.83;
+  const Matrix rz = Gate::Rz(theta).unitary();
+  EXPECT_NEAR(std::abs(rz(0, 0) - std::exp(-kI * (theta / 2.0))), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(rz(1, 1) - std::exp(kI * (theta / 2.0))), 0.0, 1e-12);
+}
+
+TEST(Gate, RzPiOverFourIsTUpToGlobalPhase) {
+  const Matrix rz = Gate::Rz(pi / 4.0).unitary();
+  const Matrix t = Gate::T().unitary();
+  // T = e^{i pi/8} Rz(pi/4).
+  const Matrix scaled = rz * std::exp(kI * (pi / 8.0));
+  EXPECT_TRUE(scaled.approx_equal(t, 1e-12));
+}
+
+TEST(Gate, ZzDiagonal) {
+  const Matrix zz = Gate::ZZ(0.5).unitary();
+  EXPECT_NEAR(std::abs(zz(0, 0) - std::exp(-kI * 0.25)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(zz(1, 1) - std::exp(kI * 0.25)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(zz(3, 3) - std::exp(-kI * 0.25)), 0.0, 1e-12);
+}
+
+TEST(Gate, CliffordFlags) {
+  EXPECT_TRUE(Gate::H().is_clifford());
+  EXPECT_TRUE(Gate::S().is_clifford());
+  EXPECT_TRUE(Gate::CX().is_clifford());
+  EXPECT_TRUE(Gate::Swap().is_clifford());
+  EXPECT_FALSE(Gate::T().is_clifford());
+  EXPECT_FALSE(Gate::Rz(pi / 2.0).is_clifford());  // dynamic angles excluded
+  EXPECT_FALSE(Gate::CCX().is_clifford());
+}
+
+TEST(Gate, DiagonalFlags) {
+  EXPECT_TRUE(Gate::Z().is_diagonal());
+  EXPECT_TRUE(Gate::T().is_diagonal());
+  EXPECT_TRUE(Gate::CZ().is_diagonal());
+  EXPECT_TRUE(Gate::ZZ(0.1).is_diagonal());
+  EXPECT_FALSE(Gate::X().is_diagonal());
+  EXPECT_FALSE(Gate::H().is_diagonal());
+}
+
+TEST(Gate, MeasurementGate) {
+  const Gate m = Gate::Measure("result", 3);
+  EXPECT_TRUE(m.is_measurement());
+  EXPECT_FALSE(m.is_unitary());
+  EXPECT_EQ(m.arity(), 3);
+  EXPECT_EQ(m.measurement_key(), "result");
+  EXPECT_THROW(m.unitary(), ValueError);
+}
+
+TEST(Gate, ChannelGate) {
+  const Gate ch = Gate::Channel(depolarize(0.1));
+  EXPECT_TRUE(ch.is_channel());
+  EXPECT_FALSE(ch.is_unitary());
+  EXPECT_EQ(ch.arity(), 1);
+  EXPECT_EQ(ch.channel().operators().size(), 4u);
+  EXPECT_THROW(ch.unitary(), ValueError);
+}
+
+TEST(Gate, SymbolicParameterResolution) {
+  const Gate g = Gate::Rz(Symbol{"gamma"});
+  EXPECT_TRUE(g.is_parameterized());
+  EXPECT_THROW(g.unitary(), ValueError);
+  ParamResolver resolver{{"gamma", 0.5}};
+  const Gate resolved = g.resolved(resolver);
+  EXPECT_FALSE(resolved.is_parameterized());
+  EXPECT_TRUE(resolved.unitary().approx_equal(Gate::Rz(0.5).unitary()));
+}
+
+TEST(Gate, ResolveMissingSymbolThrows) {
+  const Gate g = Gate::Rx(Symbol{"beta"});
+  ParamResolver empty;
+  EXPECT_THROW(g.resolved(empty), ValueError);
+}
+
+TEST(Gate, CustomMatrixGateValidation) {
+  EXPECT_THROW(Gate::SingleQubitMatrix(Matrix(2, 2, {1, 0, 0, 2})),
+               ValueError);
+  EXPECT_THROW(Gate::SingleQubitMatrix(Matrix::identity(4)), ValueError);
+  const Gate ok = Gate::SingleQubitMatrix(Gate::H().unitary(), "fused");
+  EXPECT_EQ(ok.name(), "fused");
+  EXPECT_TRUE(ok.unitary().approx_equal(Gate::H().unitary()));
+}
+
+TEST(Gate, Names) {
+  EXPECT_EQ(Gate::H().name(), "H");
+  EXPECT_EQ(Gate::Rz(0.25).name(), "Rz(0.25)");
+  EXPECT_EQ(Gate::Rz(Symbol{"g"}).name(), "Rz(g)");
+  EXPECT_EQ(Gate::Measure("z", 2).name(), "M('z')");
+}
+
+}  // namespace
+}  // namespace bgls

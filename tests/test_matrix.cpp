@@ -1,0 +1,116 @@
+// Tests for the dense complex matrix substrate.
+
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+const Complex kI{0.0, 1.0};
+
+TEST(Matrix, IdentityTimesAnything) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_TRUE((Matrix::identity(2) * m).approx_equal(m));
+  EXPECT_TRUE((m * Matrix::identity(2)).approx_equal(m));
+}
+
+TEST(Matrix, MatmulKnownProduct) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {5, 6, 7, 8});
+  Matrix expected(2, 2, {19, 22, 43, 50});
+  EXPECT_TRUE((a * b).approx_equal(expected));
+}
+
+TEST(Matrix, MatmulComplexEntries) {
+  Matrix a(2, 2, {kI, 0, 0, -kI});
+  EXPECT_TRUE((a * a).approx_equal(Matrix::identity(2) * Complex{-1.0, 0.0}));
+}
+
+TEST(Matrix, MatmulRejectsShapeMismatch) {
+  Matrix a(2, 3);
+  Matrix b(2, 2);
+  EXPECT_THROW(a * b, ValueError);
+}
+
+TEST(Matrix, RectangularMatmul) {
+  Matrix a(1, 3, {1, 2, 3});
+  Matrix b(3, 1, {4, 5, 6});
+  const Matrix c = a * b;
+  EXPECT_EQ(c.rows(), 1u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_NEAR(std::abs(c(0, 0) - Complex{32.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(Matrix, AdjointConjugatesAndTransposes) {
+  Matrix a(2, 2, {Complex{1, 1}, Complex{2, -1}, 0, kI});
+  const Matrix ad = a.adjoint();
+  EXPECT_EQ(ad(0, 0), (Complex{1, -1}));
+  EXPECT_EQ(ad(1, 0), (Complex{2, 1}));
+  EXPECT_EQ(ad(0, 1), (Complex{0, 0}));
+  EXPECT_EQ(ad(1, 1), -kI);
+}
+
+TEST(Matrix, KronOfIdentities) {
+  EXPECT_TRUE(Matrix::kron(Matrix::identity(2), Matrix::identity(4))
+                  .approx_equal(Matrix::identity(8)));
+}
+
+TEST(Matrix, KronKnownStructure) {
+  Matrix x(2, 2, {0, 1, 1, 0});
+  Matrix z(2, 2, {1, 0, 0, -1});
+  const Matrix xz = Matrix::kron(x, z);
+  // X ⊗ Z: block structure [[0, Z], [Z, 0]].
+  EXPECT_EQ(xz(0, 2), (Complex{1, 0}));
+  EXPECT_EQ(xz(1, 3), (Complex{-1, 0}));
+  EXPECT_EQ(xz(2, 0), (Complex{1, 0}));
+  EXPECT_EQ(xz(3, 1), (Complex{-1, 0}));
+  EXPECT_EQ(xz(0, 0), (Complex{0, 0}));
+}
+
+TEST(Matrix, ApplyMatchesMatmul) {
+  Matrix a(2, 2, {1, kI, -kI, 2});
+  const std::vector<Complex> x{Complex{1, 0}, Complex{0, 1}};
+  const auto y = a.apply(x);
+  EXPECT_NEAR(std::abs(y[0] - (Complex{1, 0} + kI * Complex{0, 1})), 0.0,
+              1e-12);
+  EXPECT_NEAR(std::abs(y[1] - (-kI * Complex{1, 0} + 2.0 * Complex{0, 1})),
+              0.0, 1e-12);
+}
+
+TEST(Matrix, TraceSumsDiagonal) {
+  Matrix a(2, 2, {1, 99, 99, kI});
+  EXPECT_NEAR(std::abs(a.trace() - Complex{1.0, 1.0}), 0.0, 1e-12);
+}
+
+TEST(Matrix, UnitaryDetection) {
+  const double s = 1.0 / std::sqrt(2.0);
+  Matrix h(2, 2, {s, s, s, -s});
+  EXPECT_TRUE(h.is_unitary());
+  Matrix not_unitary(2, 2, {1, 0, 0, 2});
+  EXPECT_FALSE(not_unitary.is_unitary());
+  EXPECT_FALSE(Matrix(2, 3).is_unitary());
+}
+
+TEST(Matrix, HermitianDetection) {
+  Matrix herm(2, 2, {1, kI, -kI, 2});
+  EXPECT_TRUE(herm.is_hermitian());
+  Matrix nonherm(2, 2, {1, kI, kI, 2});
+  EXPECT_FALSE(nonherm.is_hermitian());
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix a(2, 2, {3, 0, 0, 4});
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, ConstructorRejectsBadDataSize) {
+  EXPECT_THROW(Matrix(2, 2, {1, 2, 3}), ValueError);
+}
+
+}  // namespace
+}  // namespace bgls

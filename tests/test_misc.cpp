@@ -1,0 +1,97 @@
+// Odds and ends: the aggregate public header compiles and exposes the
+// API, timing helpers behave, and the QASM parser survives garbage
+// without crashing.
+
+#include "bgls.h"
+
+#include <gtest/gtest.h>
+
+namespace bgls {
+namespace {
+
+TEST(AggregateHeader, ExposesTheWholeApi) {
+  // Touch one symbol from each module through the single include.
+  Circuit circuit{h(0), cnot(0, 1), measure({0, 1}, "z")};
+  Simulator<StateVectorState> sim{StateVectorState(2)};
+  Rng rng(1);
+  const Result result = sim.run(circuit, 50, rng);
+  EXPECT_EQ(result.repetitions(), 50u);
+
+  EXPECT_TRUE(Gate::H().is_clifford());
+  EXPECT_EQ(CHState(2).num_qubits(), 2);
+  EXPECT_EQ(MPSState(2).num_qubits(), 2);
+  EXPECT_EQ(DensityMatrixState(2).num_qubits(), 2);
+  EXPECT_EQ(depolarize(0.1).arity(), 1);
+  EXPECT_NO_THROW(parse_qasm("OPENQASM 2.0;\nqreg q[1];\nh q[0];\n"));
+  EXPECT_EQ(Graph(3).num_vertices(), 3);
+  EXPECT_EQ(optimize_for_bgls(Circuit{}).num_operations(), 0u);
+  EXPECT_FALSE(to_text_diagram(circuit).empty());
+}
+
+TEST(Timing, StopwatchMeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  EXPECT_GT(watch.seconds(), 0.0);
+  watch.reset();
+  EXPECT_LT(watch.seconds(), 1.0);
+}
+
+TEST(Timing, MedianRuntimeReturnsPositive) {
+  const double t = median_runtime(
+      [] {
+        volatile double sink = 0.0;
+        for (int i = 0; i < 10000; ++i) sink += i;
+      },
+      3);
+  EXPECT_GT(t, 0.0);
+}
+
+TEST(QasmFuzz, GarbageInputsThrowParseErrorsNotCrashes) {
+  const std::vector<std::string> inputs{
+      "",
+      ";;;;",
+      "OPENQASM",
+      "OPENQASM 2.0",
+      "OPENQASM 2.0; qreg",
+      "OPENQASM 2.0; qreg q[;",
+      "OPENQASM 2.0; qreg q[0];",
+      "OPENQASM 2.0; qreg q[2]; h",
+      "OPENQASM 2.0; qreg q[2]; h q[",
+      "OPENQASM 2.0; qreg q[2]; rx( q[0];",
+      "OPENQASM 2.0; qreg q[2]; cx q[0],q[0];",  // duplicate qubit
+      "OPENQASM 2.0; qreg q[2]; measure q -> z;",
+      "OPENQASM 2.0; include \"qelib1.inc",
+      "OPENQASM 2.0; qreg q[1]; rz(1+) q[0];",
+      "OPENQASM 2.0; qreg q[1]; rz(foo) q[0];",
+  };
+  for (const auto& input : inputs) {
+    EXPECT_THROW(parse_qasm(input), Error) << input;
+  }
+}
+
+TEST(QasmFuzz, RandomTokenSoup) {
+  // Pseudo-random token streams: any outcome is fine except a crash or
+  // a non-bgls exception.
+  Rng rng(99);
+  const std::vector<std::string> tokens{
+      "OPENQASM", "2.0", ";", "qreg", "creg", "q", "[", "]", "1", "2",
+      "h",        "cx",  ",", "(",    ")",    "pi", "/", "measure", "->"};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string source = "OPENQASM 2.0;\nqreg q[2];\n";
+    const int len = 1 + static_cast<int>(rng.uniform_int(12));
+    for (int i = 0; i < len; ++i) {
+      source += tokens[rng.uniform_int(tokens.size())];
+      source += ' ';
+    }
+    try {
+      (void)parse_qasm(source);
+    } catch (const Error&) {
+      // expected for malformed input
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bgls

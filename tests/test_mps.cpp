@@ -1,0 +1,279 @@
+// MPS backend tests: exactness at unlimited bond dimension against the
+// statevector, amplitude slicing, truncation behavior, entanglement
+// bookkeeping, and sampler integration.
+
+#include "mps/state.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/random.h"
+#include "core/simulator.h"
+#include "statevector/state.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+void expect_matches_statevector(const Circuit& circuit, int n,
+                                double tol = 1e-8) {
+  MPSState mps(n);
+  for (const auto& op : circuit.all_operations()) {
+    if (!op.gate().is_measurement()) mps.apply(op);
+  }
+  const auto reference = testing::ideal_statevector(circuit, n);
+  for (std::size_t b = 0; b < reference.size(); ++b) {
+    EXPECT_NEAR(std::abs(mps.amplitude(b) - reference[b]), 0.0, tol)
+        << "amplitude " << to_string(b, n);
+  }
+}
+
+TEST(Mps, InitialProductState) {
+  MPSState mps(3, {}, from_string("101"));
+  EXPECT_NEAR(mps.probability(from_string("101")), 1.0, 1e-12);
+  EXPECT_NEAR(mps.probability(from_string("000")), 0.0, 1e-12);
+  EXPECT_EQ(mps.max_bond_dimension(), 1u);
+  EXPECT_NEAR(mps.norm(), 1.0, 1e-12);
+}
+
+TEST(Mps, SingleQubitGate) {
+  MPSState mps(2);
+  mps.apply(h(0));
+  EXPECT_NEAR(mps.probability(from_string("00")), 0.5, 1e-12);
+  EXPECT_NEAR(mps.probability(from_string("10")), 0.5, 1e-12);
+}
+
+TEST(Mps, BellPairCreatesBond) {
+  MPSState mps(2);
+  mps.apply(h(0));
+  mps.apply(cnot(0, 1));
+  EXPECT_EQ(mps.max_bond_dimension(), 2u);
+  EXPECT_NEAR(mps.probability(from_string("00")), 0.5, 1e-10);
+  EXPECT_NEAR(mps.probability(from_string("11")), 0.5, 1e-10);
+  EXPECT_NEAR(mps.probability(from_string("01")), 0.0, 1e-10);
+}
+
+TEST(Mps, GhzAcrossNonAdjacentQubits) {
+  // Gates between arbitrary (non-neighbor) qubits create direct bonds.
+  MPSState mps(4);
+  mps.apply(h(0));
+  mps.apply(cnot(0, 3));
+  mps.apply(cnot(3, 1));
+  mps.apply(cnot(1, 2));
+  EXPECT_NEAR(mps.probability(from_string("0000")), 0.5, 1e-10);
+  EXPECT_NEAR(mps.probability(from_string("1111")), 0.5, 1e-10);
+}
+
+class MpsRandomCircuits : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpsRandomCircuits, ExactAtUnlimitedBondDimension) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1009 + 5);
+  const int n = 5;
+  RandomCircuitOptions options;
+  options.num_moments = 10;
+  options.op_density = 0.8;
+  options.gate_domain = {Gate::H(),  Gate::T(), Gate::X(),
+                         Gate::Rz(0.37), Gate::Ry(0.81),
+                         Gate::CX(), Gate::CZ(), Gate::ISwap()};
+  const Circuit circuit = generate_random_circuit(n, options, rng);
+  expect_matches_statevector(circuit, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MpsRandomCircuits, ::testing::Range(0, 10));
+
+TEST(Mps, RepeatedGatesOnSamePairReuseBond) {
+  MPSState mps(2);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    mps.apply(Operation(Gate::ISwap(), {0, 1}));
+    mps.apply(rx(0.3, 0));
+    mps.apply(cnot(0, 1));
+  }
+  // Two qubits can never exceed bond dimension 2.
+  EXPECT_LE(mps.max_bond_dimension(), 2u);
+  EXPECT_NEAR(mps.norm(), 1.0, 1e-9);
+}
+
+TEST(Mps, ToStatevectorMatchesAmplitudes) {
+  Rng rng(7);
+  const Circuit circuit = random_clifford_circuit(4, 12, rng);
+  MPSState mps(4);
+  for (const auto& op : circuit.all_operations()) mps.apply(op);
+  const auto psi = mps.to_statevector();
+  for (Bitstring b = 0; b < 16; ++b) {
+    EXPECT_NEAR(std::abs(psi[b] - mps.amplitude(b)), 0.0, 1e-10);
+  }
+}
+
+TEST(Mps, NormStaysOneUnderUnitaries) {
+  Rng rng(11);
+  RandomCircuitOptions options;
+  options.num_moments = 15;
+  const Circuit circuit = generate_random_circuit(4, options, rng);
+  MPSState mps(4);
+  for (const auto& op : circuit.all_operations()) mps.apply(op);
+  EXPECT_NEAR(mps.norm(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(mps.estimated_fidelity(), 1.0);
+}
+
+// A circuit whose {0,1}|{2,3} Schmidt rank is generically 4: two Bell
+// pairs, then two entangling rounds across the cut with generic
+// rotations in between.
+Circuit schmidt_rank_four_circuit() {
+  Circuit circuit{h(0), cnot(0, 1), h(2), cnot(2, 3)};
+  circuit.append(ry(0.7, 1));
+  circuit.append(ry(1.1, 2));
+  circuit.append(cnot(1, 2));
+  circuit.append(ry(0.4, 1));
+  circuit.append(ry(-0.9, 2));
+  circuit.append(Operation(Gate::ISwap(), {1, 2}));
+  return circuit;
+}
+
+TEST(Mps, RankGrowsBeyondTwoAcrossBusyCut) {
+  MPSState exact(4);
+  for (const auto& op : schmidt_rank_four_circuit().all_operations()) {
+    exact.apply(op);
+  }
+  EXPECT_GT(exact.max_bond_dimension(), 2u);
+  EXPECT_DOUBLE_EQ(exact.estimated_fidelity(), 1.0);
+}
+
+TEST(Mps, TruncationCapsBondDimension) {
+  MPSOptions capped;
+  capped.max_bond_dim = 2;
+  MPSState mps(4, capped);
+  for (const auto& op : schmidt_rank_four_circuit().all_operations()) {
+    mps.apply(op);
+  }
+  EXPECT_LE(mps.max_bond_dimension(), 2u);
+  // Truncation really dropped weight...
+  EXPECT_LT(mps.estimated_fidelity(), 1.0 - 1e-6);
+  // ...but the state is still close to the exact one: the truncated
+  // distribution overlaps the ideal substantially.
+  const auto ideal =
+      testing::ideal_distribution(schmidt_rank_four_circuit(), 4);
+  mps.renormalize();
+  Distribution truncated;
+  for (Bitstring b = 0; b < 16; ++b) {
+    const double p = mps.probability(b);
+    if (p > 1e-15) truncated[b] = p;
+  }
+  EXPECT_GT(distribution_overlap(truncated, ideal), 0.3);
+}
+
+TEST(Mps, TruncationErrorSmallForLowEntanglement) {
+  // A GHZ circuit needs only χ = 2, so a χ = 2 cap is lossless.
+  MPSOptions capped;
+  capped.max_bond_dim = 2;
+  MPSState mps(5, capped);
+  for (const auto& op : ghz_circuit(5).all_operations()) mps.apply(op);
+  EXPECT_NEAR(mps.estimated_fidelity(), 1.0, 1e-12);
+  EXPECT_NEAR(mps.probability(from_string("11111")), 0.5, 1e-9);
+}
+
+TEST(Mps, ProjectCollapsesGhz) {
+  MPSState mps(3);
+  for (const auto& op : ghz_circuit(3).all_operations()) mps.apply(op);
+  const std::vector<Qubit> q0{0};
+  mps.project(q0, from_string("100"));
+  EXPECT_NEAR(mps.probability(from_string("111")), 1.0, 1e-9);
+}
+
+TEST(Mps, ProjectImpossibleOutcomeThrows) {
+  MPSState mps(1);
+  const std::vector<Qubit> q0{0};
+  EXPECT_THROW(mps.project(q0, from_string("1")), ValueError);
+}
+
+TEST(Mps, RejectsThreeQubitGate) {
+  MPSState mps(3);
+  EXPECT_THROW(mps.apply(ccx(0, 1, 2)), UnsupportedOperationError);
+}
+
+TEST(Mps, RejectsMeasurementGate) {
+  MPSState mps(2);
+  EXPECT_THROW(mps.apply(measure({0}, "m")), ValueError);
+}
+
+TEST(Mps, EntanglementGrowsWithDepthOnRandomCircuits) {
+  Rng rng(17);
+  RandomCircuitOptions options;
+  options.num_moments = 3;
+  options.op_density = 0.9;
+  const int n = 8;
+  const Circuit shallow = generate_random_circuit(n, options, rng);
+  options.num_moments = 20;
+  const Circuit deep = generate_random_circuit(n, options, rng);
+
+  MPSState mps_shallow(n);
+  for (const auto& op : shallow.all_operations()) mps_shallow.apply(op);
+  MPSState mps_deep(n);
+  for (const auto& op : deep.all_operations()) mps_deep.apply(op);
+  EXPECT_LE(mps_shallow.max_bond_dimension(), mps_deep.max_bond_dimension());
+}
+
+TEST(Mps, SamplerIntegrationMatchesIdeal) {
+  Rng circuit_rng(19);
+  RandomCircuitOptions options;
+  options.num_moments = 8;
+  const int n = 4;
+  const Circuit circuit = generate_random_circuit(n, options, circuit_rng);
+  Simulator<MPSState> sim{MPSState(n)};
+  Rng rng(23);
+  const Counts counts = sim.sample(circuit, 30000, rng);
+  const auto ideal = testing::ideal_distribution(circuit, n);
+  EXPECT_LT(total_variation_distance(normalize(counts), ideal), 0.02);
+}
+
+TEST(Mps, SamplerMidCircuitMeasurement) {
+  Circuit circuit = ghz_circuit(2);
+  circuit.append(measure({0}, "mid"));
+  circuit.append(measure({1}, "end"));
+  Simulator<MPSState> sim{MPSState(2)};
+  Rng rng(29);
+  const Result result = sim.run(circuit, 300, rng);
+  for (std::size_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(result.values("mid")[i], result.values("end")[i]);
+  }
+}
+
+TEST(Mps, SamplerChannelsMatchDensityMatrixIntuition) {
+  // bit_flip(1.0) is deterministic: |0⟩ → |1⟩.
+  Circuit circuit;
+  circuit.append(Operation(Gate::Channel(bit_flip(1.0)), {0}));
+  circuit.append(measure({0}, "m"));
+  Simulator<MPSState> sim{MPSState(1)};
+  Rng rng(31);
+  const Result result = sim.run(circuit, 50, rng);
+  EXPECT_EQ(result.histogram("m").at(1), 50u);
+}
+
+TEST(Mps, AmplitudeDampingOnMpsMatchesStateVectorSampler) {
+  Circuit circuit{h(0), cnot(0, 1)};
+  circuit.append(Operation(Gate::Channel(amplitude_damp(0.5)), {0}));
+
+  Simulator<MPSState> mps_sim{MPSState(2)};
+  Simulator<StateVectorState> sv_sim{StateVectorState(2)};
+  Rng rng1(37), rng2(41);
+  const auto mps_dist = normalize(mps_sim.sample(circuit, 20000, rng1));
+  const auto sv_dist = normalize(sv_sim.sample(circuit, 20000, rng2));
+  EXPECT_LT(total_variation_distance(mps_dist, sv_dist), 0.02);
+}
+
+TEST(Mps, LowEntanglementKeepsTensorsSmall) {
+  // Wide circuit with only local 1q gates plus 3 CNOTs: total tensor
+  // storage stays linear in width (the Fig. 7b regime).
+  Rng rng(43);
+  const int n = 24;
+  const Circuit circuit = random_fixed_cnot_circuit(n, 6, 3, rng);
+  MPSState mps(n);
+  for (const auto& op : circuit.all_operations()) mps.apply(op);
+  EXPECT_LE(mps.max_bond_dimension(), 2u);
+  EXPECT_LE(mps.tensor_size_total(), static_cast<std::size_t>(8 * n));
+}
+
+}  // namespace
+}  // namespace bgls

@@ -1,0 +1,99 @@
+// Tests for diagonal observable estimation from samples.
+
+#include "core/observables.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/random.h"
+#include "core/simulator.h"
+#include "qaoa/graph.h"
+#include "statevector/state.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+TEST(PauliZString, Eigenvalues) {
+  const PauliZString zz({0, 2});
+  EXPECT_EQ(zz.eigenvalue(from_string("000")), 1);
+  EXPECT_EQ(zz.eigenvalue(from_string("100")), -1);
+  EXPECT_EQ(zz.eigenvalue(from_string("101")), 1);
+  EXPECT_EQ(zz.eigenvalue(from_string("010")), 1);  // untouched qubit
+}
+
+TEST(PauliZString, IdentityString) {
+  const PauliZString id({});
+  EXPECT_EQ(id.eigenvalue(from_string("111")), 1);
+}
+
+TEST(PauliZString, RejectsDuplicates) {
+  EXPECT_THROW(PauliZString({1, 1}), ValueError);
+  EXPECT_THROW(PauliZString({-1}), ValueError);
+}
+
+TEST(DiagonalObservable, EigenvalueCombinesTerms) {
+  DiagonalObservable h;
+  h.add_constant(1.0);
+  h.add_term(0.5, {0});
+  h.add_term(-2.0, {0, 1});
+  // |00⟩: 1 + 0.5 - 2 = -0.5 ; |10⟩ (qubit0=1): 1 - 0.5 + 2 = 2.5.
+  EXPECT_DOUBLE_EQ(h.eigenvalue(from_string("00")), -0.5);
+  EXPECT_DOUBLE_EQ(h.eigenvalue(from_string("10")), 2.5);
+}
+
+TEST(DiagonalObservable, ExpectationFromCounts) {
+  DiagonalObservable h;
+  h.add_term(1.0, {0});
+  Counts counts{{from_string("0"), 75}, {from_string("1"), 25}};
+  // ⟨Z⟩ = 0.75 - 0.25 = 0.5.
+  EXPECT_DOUBLE_EQ(h.expectation(counts), 0.5);
+}
+
+TEST(DiagonalObservable, ExpectationFromDistribution) {
+  DiagonalObservable h;
+  h.add_term(2.0, {1});
+  Distribution dist{{from_string("00"), 0.5}, {from_string("01"), 0.5}};
+  EXPECT_DOUBLE_EQ(h.expectation(dist), 0.0);
+}
+
+TEST(DiagonalObservable, EmptyCountsThrow) {
+  DiagonalObservable h;
+  EXPECT_THROW(h.expectation(Counts{}), ValueError);
+}
+
+TEST(DiagonalObservable, MaxCutEigenvalueIsCutValue) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  const auto h = DiagonalObservable::max_cut(g.edges());
+  for (Bitstring b = 0; b < 16; ++b) {
+    EXPECT_DOUBLE_EQ(h.eigenvalue(b), static_cast<double>(g.cut_value(b)));
+  }
+}
+
+TEST(DiagonalObservable, SampledExpectationMatchesExact) {
+  // ⟨H⟩ from BGLS samples converges to the exact expectation.
+  Rng circuit_rng(3);
+  RandomCircuitOptions options;
+  options.num_moments = 8;
+  const int n = 3;
+  const Circuit circuit = generate_random_circuit(n, options, circuit_rng);
+
+  DiagonalObservable h;
+  h.add_term(1.0, {0});
+  h.add_term(0.7, {1, 2});
+  h.add_constant(0.1);
+
+  const double exact =
+      h.expectation(testing::ideal_distribution(circuit, n));
+  Simulator<StateVectorState> sim{StateVectorState(n)};
+  Rng rng(5);
+  const double sampled = h.expectation(sim.sample(circuit, 60000, rng));
+  EXPECT_NEAR(sampled, exact, 0.02);
+}
+
+}  // namespace
+}  // namespace bgls

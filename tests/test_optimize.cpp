@@ -1,0 +1,134 @@
+// Tests for optimize_for_bgls: fusion correctness, barriers, identity
+// elimination, and end-to-end distribution preservation.
+
+#include "core/optimize.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/random.h"
+#include "core/simulator.h"
+#include "statevector/state.h"
+#include "test_helpers.h"
+
+namespace bgls {
+namespace {
+
+TEST(Optimize, FiveSequentialGatesMergeIntoOne) {
+  // The paper's Sec. 3.2.2 example: five sequential single-qubit
+  // operations collapse into a single operation.
+  Circuit circuit{h(0), t(0), s(0), x(0), t(0)};
+  OptimizationReport report;
+  const Circuit optimized = optimize_for_bgls(circuit, &report);
+  EXPECT_EQ(optimized.num_operations(), 1u);
+  EXPECT_EQ(report.gates_fused, 5u);
+  EXPECT_TRUE(testing::circuit_unitary(optimized, 1)
+                  .approx_equal(testing::circuit_unitary(circuit, 1), 1e-9));
+}
+
+TEST(Optimize, HhDropsToIdentity) {
+  Circuit circuit{h(0), h(0)};
+  OptimizationReport report;
+  const Circuit optimized = optimize_for_bgls(circuit, &report);
+  EXPECT_EQ(optimized.num_operations(), 0u);
+  EXPECT_EQ(report.identities_dropped, 1u);
+}
+
+TEST(Optimize, LoneGateKeepsItsName) {
+  Circuit circuit{h(0), cnot(0, 1), t(1)};
+  const Circuit optimized = optimize_for_bgls(circuit);
+  const auto ops = optimized.all_operations();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].to_string(), "H(0)");
+  EXPECT_EQ(ops[2].to_string(), "T(1)");
+}
+
+TEST(Optimize, TwoQubitGatesAreBarriers) {
+  Circuit circuit{h(0), cnot(0, 1), h(0)};
+  const Circuit optimized = optimize_for_bgls(circuit);
+  // H ... CX ... H cannot merge across the CX.
+  EXPECT_EQ(optimized.num_operations(), 3u);
+}
+
+TEST(Optimize, MeasurementIsABarrier) {
+  Circuit circuit{h(0), measure({0}, "m")};
+  const Circuit optimized = optimize_for_bgls(circuit);
+  ASSERT_EQ(optimized.num_operations(), 2u);
+  EXPECT_EQ(optimized.all_operations()[0].to_string(), "H(0)");
+  EXPECT_TRUE(optimized.all_operations()[1].gate().is_measurement());
+}
+
+TEST(Optimize, ChannelIsABarrier) {
+  Circuit circuit{h(0)};
+  circuit.append(Operation(Gate::Channel(bit_flip(0.1)), {0}));
+  circuit.append(h(0));
+  const Circuit optimized = optimize_for_bgls(circuit);
+  EXPECT_EQ(optimized.num_operations(), 3u);
+}
+
+TEST(Optimize, SymbolicGatesPassThrough) {
+  Circuit circuit{h(0), rz(Symbol{"g"}, 0), h(0)};
+  const Circuit optimized = optimize_for_bgls(circuit);
+  EXPECT_EQ(optimized.num_operations(), 3u);
+  EXPECT_TRUE(optimized.is_parameterized());
+}
+
+TEST(Optimize, RunsOnSeparateQubitsFuseIndependently) {
+  Circuit circuit{h(0), t(0), h(1), s(1), x(2)};
+  OptimizationReport report;
+  const Circuit optimized = optimize_for_bgls(circuit, &report);
+  EXPECT_EQ(optimized.num_operations(), 3u);  // one per qubit
+  EXPECT_EQ(report.gates_fused, 4u);          // q0 pair + q1 pair
+}
+
+class OptimizeRandomCircuits : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizeRandomCircuits, PreservesCircuitUnitary) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 4;
+  RandomCircuitOptions options;
+  options.num_moments = 15;
+  options.op_density = 0.9;
+  const Circuit circuit = generate_random_circuit(n, options, rng);
+  const Circuit optimized = optimize_for_bgls(circuit);
+  EXPECT_LE(optimized.num_operations(), circuit.num_operations());
+  EXPECT_TRUE(testing::circuit_unitary(optimized, n)
+                  .approx_equal(testing::circuit_unitary(circuit, n), 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizeRandomCircuits,
+                         ::testing::Range(0, 10));
+
+TEST(Optimize, SampledDistributionUnchanged) {
+  Rng circuit_rng(3);
+  RandomCircuitOptions options;
+  options.num_moments = 12;
+  const Circuit circuit = generate_random_circuit(3, options, circuit_rng);
+  const Circuit optimized = optimize_for_bgls(circuit);
+
+  Simulator<StateVectorState> sim{StateVectorState(3)};
+  Rng rng1(5), rng2(5);
+  const auto original = normalize(sim.sample(circuit, 30000, rng1));
+  const auto fused = normalize(sim.sample(optimized, 30000, rng2));
+  EXPECT_LT(total_variation_distance(original, fused), 0.02);
+}
+
+TEST(Optimize, ReducesOperationCountOnDenseCircuits) {
+  Rng rng(7);
+  RandomCircuitOptions options;
+  options.num_moments = 30;
+  options.op_density = 0.9;
+  options.gate_domain = {Gate::H(), Gate::T(), Gate::S(), Gate::X(),
+                         Gate::CX()};
+  const Circuit circuit = generate_random_circuit(6, options, rng);
+  OptimizationReport report;
+  const Circuit optimized = optimize_for_bgls(circuit, &report);
+  EXPECT_LT(report.operations_after, report.operations_before);
+}
+
+TEST(Optimize, EmptyCircuit) {
+  const Circuit optimized = optimize_for_bgls(Circuit{});
+  EXPECT_EQ(optimized.num_operations(), 0u);
+}
+
+}  // namespace
+}  // namespace bgls

@@ -1,0 +1,165 @@
+// Graph / MaxCut / QAOA pipeline tests.
+
+#include "qaoa/qaoa.h"
+
+#include <gtest/gtest.h>
+
+#include "mps/state.h"
+#include "statevector/state.h"
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+Graph square_graph() {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  return g;
+}
+
+TEST(Graph, EdgesAndDegrees) {
+  const Graph g = square_graph();
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(Graph, DuplicateEdgeIgnored) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, RejectsSelfLoopAndRange) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), ValueError);
+  EXPECT_THROW(g.add_edge(0, 3), ValueError);
+}
+
+TEST(Graph, CutValue) {
+  const Graph g = square_graph();
+  // Alternating partition 0101 cuts all four edges.
+  EXPECT_EQ(g.cut_value(from_string("0101")), 4);
+  // All-same partition cuts nothing.
+  EXPECT_EQ(g.cut_value(from_string("0000")), 0);
+  // One vertex alone cuts its two incident edges.
+  EXPECT_EQ(g.cut_value(from_string("1000")), 2);
+}
+
+TEST(Graph, BruteForceMaxCut) {
+  const auto [partition, cut] = square_graph().brute_force_max_cut();
+  EXPECT_EQ(cut, 4);
+  EXPECT_EQ(square_graph().cut_value(partition), 4);
+}
+
+TEST(Graph, BruteForceOnTriangle) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  EXPECT_EQ(g.brute_force_max_cut().second, 2);  // odd cycle: n-1
+}
+
+TEST(Graph, ErdosRenyiDensityMatchesProbability) {
+  Rng rng(5);
+  int total_edges = 0;
+  const int trials = 60;
+  const int n = 10;
+  for (int i = 0; i < trials; ++i) {
+    total_edges +=
+        static_cast<int>(Graph::erdos_renyi(n, 0.3, rng).num_edges());
+  }
+  const double mean_edges = total_edges / static_cast<double>(trials);
+  const double expected = 0.3 * n * (n - 1) / 2.0;
+  EXPECT_NEAR(mean_edges, expected, 2.0);
+}
+
+TEST(Graph, ErdosRenyiExtremes) {
+  Rng rng(7);
+  EXPECT_EQ(Graph::erdos_renyi(6, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(Graph::erdos_renyi(6, 1.0, rng).num_edges(), 15u);
+}
+
+TEST(Qaoa, CircuitStructure) {
+  const Graph g = square_graph();
+  const Circuit c = qaoa_maxcut_circuit(g, 1);
+  // 4 H + 4 ZZ + 4 Rx + 1 measurement.
+  EXPECT_EQ(c.num_operations(), 13u);
+  EXPECT_TRUE(c.is_parameterized());
+  EXPECT_EQ(c.measurement_keys().front(), "cut");
+}
+
+TEST(Qaoa, TwoLayerCircuitHasPerLayerSymbols) {
+  const Graph g = square_graph();
+  const Circuit c = qaoa_maxcut_circuit(g, 2);
+  const std::vector<double> gammas{0.1, 0.2};
+  const std::vector<double> betas{0.3, 0.4};
+  const Circuit resolved = c.resolved(qaoa_resolver(gammas, betas));
+  EXPECT_FALSE(resolved.is_parameterized());
+}
+
+TEST(Qaoa, ResolverRejectsMismatchedLayers) {
+  const std::vector<double> gammas{0.1};
+  const std::vector<double> betas{0.3, 0.4};
+  EXPECT_THROW(qaoa_resolver(gammas, betas), ValueError);
+}
+
+TEST(Qaoa, AverageAndBestCut) {
+  const Graph g = square_graph();
+  Counts counts{{from_string("0101"), 3}, {from_string("0000"), 1}};
+  EXPECT_DOUBLE_EQ(average_cut(g, counts), 3.0);
+  const auto [best, cut] = best_cut(g, counts);
+  EXPECT_EQ(cut, 4);
+  EXPECT_EQ(best, from_string("0101"));
+}
+
+TEST(Qaoa, SolvesSquareWithStateVector) {
+  const Graph g = square_graph();
+  Rng rng(11);
+  const QaoaResult result =
+      solve_maxcut_qaoa(g, StateVectorState(4), 6, 6, 100, 400, rng);
+  EXPECT_EQ(result.solution_cut, 4);  // finds the optimum
+  EXPECT_EQ(result.grid.size(), 36u);
+  EXPECT_GT(result.best_energy, 2.0);  // beats random guessing
+}
+
+TEST(Qaoa, SolvesErdosRenyiWithMps) {
+  // The paper's setup at test scale: ER graph, MPS backend with capped
+  // bond dimension.
+  Rng graph_rng(13);
+  const Graph g = Graph::erdos_renyi(8, 0.3, graph_rng);
+  const auto [ideal_partition, ideal_cut] = g.brute_force_max_cut();
+
+  MPSOptions options;
+  options.max_bond_dim = 8;
+  Rng rng(17);
+  const QaoaResult result = solve_maxcut_qaoa(
+      g, MPSState(g.num_vertices(), options), 5, 5, 80, 400, rng);
+  // Best *sampled* partition on a small graph should match or nearly
+  // match the brute-force optimum.
+  EXPECT_GE(result.solution_cut, ideal_cut - 1);
+  EXPECT_EQ(g.cut_value(result.solution), result.solution_cut);
+}
+
+TEST(Qaoa, GridEnergiesVary) {
+  // The sweep must actually discriminate between parameter choices.
+  const Graph g = square_graph();
+  Rng rng(19);
+  const QaoaResult result =
+      solve_maxcut_qaoa(g, StateVectorState(4), 4, 4, 200, 100, rng);
+  double lo = 1e9, hi = -1e9;
+  for (const auto& point : result.grid) {
+    lo = std::min(lo, point.energy);
+    hi = std::max(hi, point.energy);
+  }
+  EXPECT_GT(hi - lo, 0.3);
+}
+
+}  // namespace
+}  // namespace bgls

@@ -1,0 +1,220 @@
+// OpenQASM 2.0 importer/exporter tests: gate coverage, broadcast,
+// expressions, registers, error reporting, and semantic round trips.
+
+#include "qasm/qasm.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/random.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+using std::numbers::pi;
+
+TEST(QasmParse, MinimalProgram) {
+  const Circuit c = parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q -> c;
+)");
+  EXPECT_EQ(c.num_qubits(), 2);
+  EXPECT_TRUE(c.has_measurements());
+  const auto ops = c.all_operations();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].to_string(), "H(0)");
+  EXPECT_EQ(ops[1].to_string(), "CX(0, 1)");
+  EXPECT_EQ(ops[2].gate().measurement_key(), "c");
+}
+
+TEST(QasmParse, AllSupportedGates) {
+  const Circuit c = parse_qasm(R"(
+OPENQASM 2.0;
+qreg q[3];
+id q[0]; x q[0]; y q[0]; z q[0]; h q[0]; s q[0]; sdg q[0];
+t q[0]; tdg q[0]; sx q[0];
+rx(0.5) q[0]; ry(0.25) q[1]; rz(-0.75) q[2];
+p(0.1) q[0]; u1(0.2) q[1];
+u2(0.1,0.2) q[0];
+u3(0.1,0.2,0.3) q[1];
+cx q[0],q[1]; cz q[1],q[2]; swap q[0],q[2]; iswap q[0],q[1];
+cp(0.4) q[0],q[1]; cu1(0.4) q[1],q[2]; rzz(0.3) q[0],q[2];
+ccx q[0],q[1],q[2]; cswap q[0],q[1],q[2];
+)");
+  EXPECT_EQ(c.num_operations(), 26u);
+}
+
+TEST(QasmParse, PiExpressions) {
+  const Circuit c = parse_qasm(R"(
+OPENQASM 2.0;
+qreg q[1];
+rz(pi/4) q[0];
+rz(-pi) q[0];
+rz(3*pi/2) q[0];
+rz(pi*(1+1)/4) q[0];
+rz(2e-1) q[0];
+)");
+  const auto ops = c.all_operations();
+  EXPECT_NEAR(ops[0].gate().parameter().value(), pi / 4.0, 1e-12);
+  EXPECT_NEAR(ops[1].gate().parameter().value(), -pi, 1e-12);
+  EXPECT_NEAR(ops[2].gate().parameter().value(), 3.0 * pi / 2.0, 1e-12);
+  EXPECT_NEAR(ops[3].gate().parameter().value(), pi / 2.0, 1e-12);
+  EXPECT_NEAR(ops[4].gate().parameter().value(), 0.2, 1e-12);
+}
+
+TEST(QasmParse, RegisterBroadcast) {
+  const Circuit c = parse_qasm(R"(
+OPENQASM 2.0;
+qreg q[4];
+h q;
+)");
+  EXPECT_EQ(c.num_operations(), 4u);
+}
+
+TEST(QasmParse, TwoQubitBroadcast) {
+  const Circuit c = parse_qasm(R"(
+OPENQASM 2.0;
+qreg a[3];
+qreg b[3];
+cx a,b;
+)");
+  const auto ops = c.all_operations();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].to_string(), "CX(0, 3)");
+  EXPECT_EQ(ops[2].to_string(), "CX(2, 5)");
+}
+
+TEST(QasmParse, MultipleQuantumRegistersGetDistinctQubits) {
+  const Circuit c = parse_qasm(R"(
+OPENQASM 2.0;
+qreg a[2];
+qreg b[2];
+x a[1];
+x b[0];
+)");
+  const auto ops = c.all_operations();
+  EXPECT_EQ(ops[0].to_string(), "X(1)");
+  EXPECT_EQ(ops[1].to_string(), "X(2)");
+}
+
+TEST(QasmParse, SingleBitMeasurement) {
+  const Circuit c = parse_qasm(R"(
+OPENQASM 2.0;
+qreg q[2];
+creg m[2];
+measure q[1] -> m[0];
+)");
+  const auto ops = c.all_operations();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].gate().measurement_key(), "m[0]");
+  EXPECT_EQ(ops[0].qubits()[0], 1);
+}
+
+TEST(QasmParse, BarrierAndCommentsIgnored) {
+  const Circuit c = parse_qasm(R"(
+OPENQASM 2.0;
+// a comment
+qreg q[2];
+h q[0]; // trailing comment
+barrier q;
+h q[1];
+)");
+  EXPECT_EQ(c.num_operations(), 2u);
+}
+
+TEST(QasmParse, Errors) {
+  EXPECT_THROW(parse_qasm("qreg q[2];"), ParseError);        // no header
+  EXPECT_THROW(parse_qasm("OPENQASM 3.0;\n"), ParseError);   // wrong version
+  EXPECT_THROW(parse_qasm("OPENQASM 2.0;\nqreg q[2];\nfoo q[0];"),
+               ParseError);                                  // unknown gate
+  EXPECT_THROW(parse_qasm("OPENQASM 2.0;\nqreg q[2];\nh q[5];"),
+               ParseError);                                  // range
+  EXPECT_THROW(parse_qasm("OPENQASM 2.0;\nqreg q[2];\nqreg q[3];"),
+               ParseError);                                  // redeclared
+  EXPECT_THROW(parse_qasm("OPENQASM 2.0;\nqreg q[1];\nrx() q[0];"),
+               ParseError);                                  // missing param
+  EXPECT_THROW(parse_qasm("OPENQASM 2.0;\nqreg q[1];\nh r[0];"),
+               ParseError);                                  // unknown reg
+  EXPECT_THROW(
+      parse_qasm("OPENQASM 2.0;\nqreg q[1];\ngate mygate a { h a; }"),
+      ParseError);                                           // gate defs
+  EXPECT_THROW(parse_qasm("OPENQASM 2.0;\nqreg q[1];\nrz(1/0) q[0];"),
+               ParseError);                                  // div by zero
+}
+
+TEST(QasmParse, SemanticsMatchNativeCircuit) {
+  // The imported circuit's unitary equals the natively built one.
+  const Circuit imported = parse_qasm(R"(
+OPENQASM 2.0;
+qreg q[2];
+h q[0];
+t q[1];
+cx q[0],q[1];
+rz(pi/8) q[0];
+)");
+  Circuit native{h(0), t(1), cnot(0, 1), rz(pi / 8.0, 0)};
+  EXPECT_TRUE(testing::circuit_unitary(imported, 2)
+                  .approx_equal(testing::circuit_unitary(native, 2), 1e-12));
+}
+
+TEST(QasmParse, U3MatchesKnownDecomposition) {
+  // u3(θ, φ, λ) with θ=π/2, φ=0, λ=π is the Hadamard (up to nothing —
+  // exactly H in the qelib1 convention).
+  const Circuit c = parse_qasm(R"(
+OPENQASM 2.0;
+qreg q[1];
+u3(pi/2,0,pi) q[0];
+)");
+  EXPECT_TRUE(c.all_operations()[0].gate().unitary().approx_equal(
+      Gate::H().unitary(), 1e-12));
+}
+
+TEST(QasmExport, RoundTripPreservesUnitary) {
+  Rng rng(3);
+  RandomCircuitOptions options;
+  options.num_moments = 10;
+  options.op_density = 0.8;
+  options.gate_domain = {Gate::H(),      Gate::T(),  Gate::S(),
+                         Gate::Rz(0.37), Gate::Rx(1.2), Gate::CX(),
+                         Gate::CZ(),     Gate::Swap()};
+  const int n = 4;
+  const Circuit original = generate_random_circuit(n, options, rng);
+  const Circuit round_tripped = parse_qasm(to_qasm(original));
+  EXPECT_TRUE(
+      testing::circuit_unitary(round_tripped, n)
+          .approx_equal(testing::circuit_unitary(original, n), 1e-9));
+}
+
+TEST(QasmExport, MeasurementsExport) {
+  Circuit c{h(0), cnot(0, 1), measure({0, 1}, "z")};
+  const std::string qasm = to_qasm(c);
+  EXPECT_NE(qasm.find("creg c[2];"), std::string::npos);
+  EXPECT_NE(qasm.find("measure q[0] -> c[0];"), std::string::npos);
+  const Circuit back = parse_qasm(qasm);
+  EXPECT_TRUE(back.has_measurements());
+}
+
+TEST(QasmExport, RejectsUnexportableGates) {
+  Circuit c_fused;
+  c_fused.append(
+      Operation(Gate::SingleQubitMatrix(Gate::H().unitary(), "fused"), {0}));
+  EXPECT_THROW(to_qasm(c_fused), ValueError);
+
+  Circuit c_channel;
+  c_channel.append(Operation(Gate::Channel(bit_flip(0.1)), {0}));
+  EXPECT_THROW(to_qasm(c_channel), ValueError);
+
+  Circuit c_symbolic{rz(Symbol{"g"}, 0)};
+  EXPECT_THROW(to_qasm(c_symbolic), ValueError);
+}
+
+}  // namespace
+}  // namespace bgls

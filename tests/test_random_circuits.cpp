@@ -1,0 +1,150 @@
+// Tests for the workload generators used across the paper's evaluation.
+
+#include "circuit/random.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+TEST(RandomCircuit, Deterministic) {
+  Rng rng1(1), rng2(1);
+  RandomCircuitOptions options;
+  const Circuit a = generate_random_circuit(4, options, rng1);
+  const Circuit b = generate_random_circuit(4, options, rng2);
+  ASSERT_EQ(a.num_operations(), b.num_operations());
+  const auto ops_a = a.all_operations();
+  const auto ops_b = b.all_operations();
+  for (std::size_t i = 0; i < ops_a.size(); ++i) {
+    EXPECT_EQ(ops_a[i].to_string(), ops_b[i].to_string());
+  }
+}
+
+TEST(RandomCircuit, RespectsGateDomain) {
+  Rng rng(2);
+  RandomCircuitOptions options;
+  options.gate_domain = {Gate::H(), Gate::S()};
+  options.num_moments = 20;
+  options.op_density = 1.0;
+  const Circuit c = generate_random_circuit(3, options, rng);
+  for (const auto& op : c.all_operations()) {
+    const auto kind = op.gate().kind();
+    EXPECT_TRUE(kind == GateKind::kH || kind == GateKind::kS);
+  }
+}
+
+TEST(RandomCircuit, DensityOneFillsMoments) {
+  Rng rng(3);
+  RandomCircuitOptions options;
+  options.gate_domain = {Gate::H()};
+  options.num_moments = 5;
+  options.op_density = 1.0;
+  const Circuit c = generate_random_circuit(4, options, rng);
+  EXPECT_EQ(c.num_operations(), 20u);
+}
+
+TEST(RandomCircuit, DensityZeroIsEmpty) {
+  Rng rng(4);
+  RandomCircuitOptions options;
+  options.op_density = 0.0;
+  const Circuit c = generate_random_circuit(4, options, rng);
+  EXPECT_EQ(c.num_operations(), 0u);
+}
+
+TEST(RandomCircuit, RejectsTooFewQubitsForDomain) {
+  Rng rng(5);
+  RandomCircuitOptions options;
+  options.gate_domain = {Gate::CX()};
+  EXPECT_THROW(generate_random_circuit(1, options, rng), ValueError);
+}
+
+TEST(RandomClifford, OnlyCliffordGates) {
+  Rng rng(6);
+  const Circuit c = random_clifford_circuit(5, 30, rng);
+  for (const auto& op : c.all_operations()) {
+    EXPECT_TRUE(op.gate().is_clifford()) << op.to_string();
+  }
+}
+
+TEST(RandomCliffordT, ContainsRequestedTCount) {
+  Rng rng(7);
+  const Circuit c = random_clifford_t_circuit(4, 20, 5, rng);
+  const auto t_count = c.count_operations([](const Operation& op) {
+    return op.gate().kind() == GateKind::kT;
+  });
+  EXPECT_EQ(t_count, 5u);
+}
+
+TEST(Ghz, LinearStructure) {
+  const Circuit c = ghz_circuit(4);
+  EXPECT_EQ(c.num_operations(), 4u);  // H + 3 CNOTs
+  EXPECT_EQ(c.num_qubits(), 4);
+}
+
+TEST(Ghz, SingleQubitIsJustH) {
+  const Circuit c = ghz_circuit(1);
+  EXPECT_EQ(c.num_operations(), 1u);
+}
+
+TEST(RandomGhz, EntanglesEveryQubit) {
+  Rng rng(8);
+  for (int n : {2, 5, 12}) {
+    const Circuit c = random_ghz_circuit(n, rng);
+    // H + (n-1) CNOTs and every qubit touched.
+    EXPECT_EQ(c.num_operations(), static_cast<std::size_t>(n));
+    EXPECT_EQ(static_cast<int>(c.qubits().size()), n);
+  }
+}
+
+TEST(RandomGhz, CnotSourcesAreAlreadyEntangled) {
+  Rng rng(9);
+  const Circuit c = random_ghz_circuit(8, rng);
+  std::set<Qubit> entangled{0};
+  for (const auto& op : c.all_operations()) {
+    if (op.gate().kind() != GateKind::kCX) continue;
+    EXPECT_TRUE(entangled.contains(op.qubits()[0]));
+    entangled.insert(op.qubits()[1]);
+  }
+}
+
+TEST(FixedCnot, ExactCnotBudget) {
+  Rng rng(10);
+  const Circuit c = random_fixed_cnot_circuit(10, 8, 3, rng);
+  const auto cnots = c.count_operations([](const Operation& op) {
+    return op.gate().kind() == GateKind::kCX;
+  });
+  EXPECT_EQ(cnots, 3u);
+}
+
+TEST(Replacement, TGatesReplacedByS) {
+  Rng rng(11);
+  const Circuit c = random_clifford_t_circuit(4, 10, 6, rng);
+  const Circuit replaced = with_t_gates_replaced(c, Gate::S());
+  EXPECT_EQ(replaced.count_operations([](const Operation& op) {
+              return op.gate().kind() == GateKind::kT;
+            }),
+            0u);
+  EXPECT_EQ(replaced.num_operations(), c.num_operations());
+}
+
+TEST(Replacement, RandomTSubstitutionCount) {
+  Rng rng(12);
+  const Circuit c = random_clifford_circuit(5, 30, rng);
+  const Circuit subbed = with_random_t_substitutions(c, 4, rng);
+  EXPECT_EQ(subbed.count_operations([](const Operation& op) {
+              return op.gate().kind() == GateKind::kT;
+            }),
+            4u);
+  EXPECT_EQ(subbed.num_operations(), c.num_operations());
+}
+
+TEST(Replacement, RejectsImpossibleSubstitutionCount) {
+  Rng rng(13);
+  Circuit tiny{h(0)};
+  EXPECT_THROW(with_random_t_substitutions(tiny, 5, rng), ValueError);
+}
+
+}  // namespace
+}  // namespace bgls

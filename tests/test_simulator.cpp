@@ -1,0 +1,335 @@
+// Core gate-by-gate sampler tests: correctness of the sampled
+// distribution on every code path (parallelized, trajectories, channels,
+// mid-circuit measurement, custom hooks).
+
+#include "core/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/random.h"
+#include "core/baseline.h"
+#include "densitymatrix/state.h"
+#include "statevector/state.h"
+#include "test_helpers.h"
+
+namespace bgls {
+namespace {
+
+Circuit with_terminal_measurement(Circuit circuit, int num_qubits,
+                                  const std::string& key = "m") {
+  std::vector<Qubit> qubits(static_cast<std::size_t>(num_qubits));
+  for (int q = 0; q < num_qubits; ++q) qubits[static_cast<std::size_t>(q)] = q;
+  circuit.append(measure(qubits, key));
+  return circuit;
+}
+
+TEST(Simulator, GhzGivesOnlyAllZerosAndAllOnes) {
+  const int n = 3;
+  const Circuit circuit = with_terminal_measurement(ghz_circuit(n), n, "z");
+  Simulator<StateVectorState> sim{StateVectorState(n)};
+  Rng rng(2);
+  const Result result = sim.run(circuit, 2000, rng);
+  const auto counts = result.histogram("z");
+  ASSERT_EQ(counts.size(), 2u);
+  const double zeros = static_cast<double>(counts.at(from_string("000")));
+  const double ones = static_cast<double>(counts.at(from_string("111")));
+  EXPECT_NEAR(zeros / 2000.0, 0.5, 0.05);
+  EXPECT_NEAR(ones / 2000.0, 0.5, 0.05);
+  EXPECT_TRUE(sim.last_run_stats().used_sample_parallelization);
+}
+
+class SimulatorRandomCircuits : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimulatorRandomCircuits, SampledDistributionMatchesIdeal) {
+  Rng circuit_rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 4;
+  RandomCircuitOptions options;
+  options.num_moments = 10;
+  options.op_density = 0.8;
+  const Circuit circuit = generate_random_circuit(n, options, circuit_rng);
+
+  Simulator<StateVectorState> sim{StateVectorState(n)};
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const Counts counts = sim.sample(circuit, 40000, rng);
+
+  const auto ideal = testing::ideal_distribution(circuit, n);
+  EXPECT_LT(total_variation_distance(normalize(counts), ideal), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorRandomCircuits,
+                         ::testing::Range(0, 10));
+
+TEST(Simulator, TrajectoryPathAgreesWithParallelPath) {
+  Rng circuit_rng(7);
+  const int n = 3;
+  RandomCircuitOptions options;
+  options.num_moments = 8;
+  const Circuit circuit = generate_random_circuit(n, options, circuit_rng);
+
+  Simulator<StateVectorState> parallel{StateVectorState(n)};
+  SimulatorOptions no_batching;
+  no_batching.disable_sample_parallelization = true;
+  Simulator<StateVectorState> sequential{StateVectorState(n), no_batching};
+
+  Rng rng1(1), rng2(2);
+  const auto fast = normalize(parallel.sample(circuit, 30000, rng1));
+  const auto slow = normalize(sequential.sample(circuit, 30000, rng2));
+  EXPECT_LT(total_variation_distance(fast, slow), 0.02);
+  EXPECT_TRUE(parallel.last_run_stats().used_sample_parallelization);
+  EXPECT_FALSE(sequential.last_run_stats().used_sample_parallelization);
+  EXPECT_EQ(sequential.last_run_stats().trajectories, 30000u);
+}
+
+TEST(Simulator, CustomHooksReproduceThePaperTriple) {
+  // The paper's constructor: Simulator(initial_state, apply_op,
+  // compute_probability).
+  const int n = 2;
+  const Circuit circuit =
+      with_terminal_measurement(ghz_circuit(n), n, "z");
+  Simulator<StateVectorState> sim{
+      StateVectorState(n),
+      [](const Operation& op, StateVectorState& state, Rng& rng) {
+        apply_op(op, state, rng);
+      },
+      [](const StateVectorState& state, Bitstring b) {
+        return state.probability(b);
+      }};
+  Rng rng(5);
+  const Result result = sim.run(circuit, 1000, rng);
+  const auto counts = result.histogram("z");
+  EXPECT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts.at(from_string("00")) + counts.at(from_string("11")),
+            1000u);
+}
+
+TEST(Simulator, DictionarySaturatesAtTwoToTheN) {
+  const int n = 3;
+  Rng circuit_rng(11);
+  RandomCircuitOptions options;
+  options.num_moments = 20;
+  const Circuit circuit = generate_random_circuit(n, options, circuit_rng);
+  Simulator<StateVectorState> sim{StateVectorState(n)};
+  Rng rng(3);
+  sim.sample(circuit, 100000, rng);
+  EXPECT_LE(sim.last_run_stats().max_dictionary_size, std::size_t{1} << n);
+  EXPECT_GE(sim.last_run_stats().max_dictionary_size, 2u);
+  EXPECT_EQ(sim.last_run_stats().trajectories, 1u);
+}
+
+TEST(Simulator, RunRequiresMeasurements) {
+  Simulator<StateVectorState> sim{StateVectorState(2)};
+  Rng rng(1);
+  EXPECT_THROW(sim.run(ghz_circuit(2), 10, rng), ValueError);
+}
+
+TEST(Simulator, RunRejectsUnresolvedParameters) {
+  Circuit circuit{rz(Symbol{"g"}, 0)};
+  circuit.append(measure({0}, "m"));
+  Simulator<StateVectorState> sim{StateVectorState(1)};
+  Rng rng(1);
+  EXPECT_THROW(sim.run(circuit, 10, rng), ValueError);
+}
+
+TEST(Simulator, DuplicateMeasurementKeyThrows) {
+  Circuit circuit{h(0), measure({0}, "k"), measure({1}, "k")};
+  Simulator<StateVectorState> sim{StateVectorState(2)};
+  Rng rng(1);
+  EXPECT_THROW(sim.run(circuit, 10, rng), ValueError);
+}
+
+TEST(Simulator, PartialMeasurementGivesMarginal) {
+  // Measure only qubit 1 of a 3-qubit random circuit.
+  Rng circuit_rng(13);
+  RandomCircuitOptions options;
+  options.num_moments = 8;
+  Circuit circuit = generate_random_circuit(3, options, circuit_rng);
+  const auto ideal =
+      testing::ideal_marginal_distribution(circuit, 3, std::vector<Qubit>{1});
+  circuit.append(measure({1}, "q1"));
+
+  Simulator<StateVectorState> sim{StateVectorState(3)};
+  Rng rng(17);
+  const Result result = sim.run(circuit, 30000, rng);
+  EXPECT_LT(total_variation_distance(result.distribution("q1"), ideal), 0.02);
+}
+
+TEST(Simulator, MultipleKeysAreJointlyConsistent) {
+  // GHZ: measuring qubit 0 under one key and qubits 1,2 under another
+  // must give perfectly correlated records.
+  Circuit circuit = ghz_circuit(3);
+  circuit.append(measure({0}, "first"));
+  circuit.append(measure({1, 2}, "rest"));
+  Simulator<StateVectorState> sim{StateVectorState(3)};
+  Rng rng(23);
+  const Result result = sim.run(circuit, 500, rng);
+  const auto& first = result.values("first");
+  const auto& rest = result.values("rest");
+  ASSERT_EQ(first.size(), 500u);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i] == 1, rest[i] == from_string("11"));
+    EXPECT_TRUE(rest[i] == 0 || rest[i] == from_string("11"));
+  }
+}
+
+TEST(Simulator, MidCircuitMeasurementXorChain) {
+  // H(0); M(0→mid); X(0); M(0→end): end must be the complement of mid.
+  Circuit circuit{h(0), measure({0}, "mid"), x(0), measure({0}, "end")};
+  Simulator<StateVectorState> sim{StateVectorState(1)};
+  Rng rng(29);
+  const Result result = sim.run(circuit, 400, rng);
+  const auto& mid = result.values("mid");
+  const auto& end = result.values("end");
+  int mid_ones = 0;
+  for (std::size_t i = 0; i < mid.size(); ++i) {
+    EXPECT_EQ(end[i], mid[i] ^ 1u);
+    mid_ones += static_cast<int>(mid[i]);
+  }
+  EXPECT_NEAR(mid_ones / 400.0, 0.5, 0.1);
+}
+
+TEST(Simulator, MidCircuitMeasurementCollapsesEntanglement) {
+  // GHZ, measure qubit 0 mid-circuit, then H on qubit 0 — the final
+  // joint distribution of (mid, q1) stays perfectly correlated.
+  Circuit circuit = ghz_circuit(2);
+  circuit.append(measure({0}, "mid"));
+  circuit.append(h(0));
+  circuit.append(measure({1}, "q1"));
+  Simulator<StateVectorState> sim{StateVectorState(2)};
+  Rng rng(31);
+  const Result result = sim.run(circuit, 400, rng);
+  for (std::size_t i = 0; i < 400; ++i) {
+    EXPECT_EQ(result.values("mid")[i], result.values("q1")[i]);
+  }
+}
+
+TEST(Simulator, DeterministicChannelForcesOutcome) {
+  Circuit circuit;
+  circuit.append(Operation(Gate::Channel(bit_flip(1.0)), {0}));
+  circuit.append(measure({0}, "m"));
+  Simulator<StateVectorState> sim{StateVectorState(1)};
+  Rng rng(37);
+  const Result result = sim.run(circuit, 100, rng);
+  EXPECT_EQ(result.histogram("m").at(1), 100u);
+  EXPECT_FALSE(sim.last_run_stats().used_sample_parallelization);
+}
+
+TEST(Simulator, DepolarizingChannelMatchesDensityMatrix) {
+  Circuit circuit{h(0), cnot(0, 1)};
+  circuit.append(Operation(Gate::Channel(depolarize(0.4)), {0}));
+  circuit.append(Operation(Gate::Channel(bit_flip(0.2)), {1}));
+
+  DensityMatrixState rho(2);
+  evolve_exact(circuit, rho);
+  Distribution ideal;
+  for (Bitstring b = 0; b < 4; ++b) ideal[b] = rho.probability(b);
+
+  Simulator<StateVectorState> sim{StateVectorState(2)};
+  Rng rng(41);
+  const Counts counts = sim.sample(circuit, 40000, rng);
+  EXPECT_LT(total_variation_distance(normalize(counts), ideal), 0.02);
+}
+
+TEST(Simulator, NonUnitalChannelMatchesDensityMatrix) {
+  // Amplitude damping on an entangled state exercises the joint
+  // Kraus-candidate update; a naive independent trajectory would bias
+  // the outcome distribution here.
+  Circuit circuit{h(0), cnot(0, 1)};
+  circuit.append(Operation(Gate::Channel(amplitude_damp(0.6)), {0}));
+  circuit.append(h(0));
+
+  DensityMatrixState rho(2);
+  evolve_exact(circuit, rho);
+  Distribution ideal;
+  for (Bitstring b = 0; b < 4; ++b) ideal[b] = rho.probability(b);
+
+  Simulator<StateVectorState> sim{StateVectorState(2)};
+  Rng rng(43);
+  const Counts counts = sim.sample(circuit, 60000, rng);
+  EXPECT_LT(total_variation_distance(normalize(counts), ideal), 0.02);
+}
+
+TEST(Simulator, DensityMatrixBackendSamplesCorrectly) {
+  Rng circuit_rng(47);
+  RandomCircuitOptions options;
+  options.num_moments = 6;
+  const Circuit circuit = generate_random_circuit(3, options, circuit_rng);
+  Simulator<DensityMatrixState> sim{DensityMatrixState(3)};
+  Rng rng(53);
+  const Counts counts = sim.sample(circuit, 30000, rng);
+  const auto ideal = testing::ideal_distribution(circuit, 3);
+  EXPECT_LT(total_variation_distance(normalize(counts), ideal), 0.02);
+}
+
+TEST(Simulator, SkipDiagonalUpdatesIsExact) {
+  Rng circuit_rng(59);
+  RandomCircuitOptions options;
+  options.num_moments = 12;
+  options.gate_domain = {Gate::H(), Gate::T(), Gate::S(),
+                         Gate::CZ(), Gate::ZZ(0.7)};
+  const Circuit circuit = generate_random_circuit(4, options, circuit_rng);
+
+  SimulatorOptions skip;
+  skip.skip_diagonal_updates = true;
+  Simulator<StateVectorState> sim{StateVectorState(4), skip};
+  Rng rng(61);
+  const Counts counts = sim.sample(circuit, 40000, rng);
+  const auto ideal = testing::ideal_distribution(circuit, 4);
+  EXPECT_LT(total_variation_distance(normalize(counts), ideal), 0.02);
+  EXPECT_GT(sim.last_run_stats().diagonal_updates_skipped, 0u);
+}
+
+TEST(Simulator, SameSeedSameResult) {
+  const Circuit circuit = with_terminal_measurement(ghz_circuit(3), 3);
+  Simulator<StateVectorState> sim{StateVectorState(3)};
+  Rng rng1(77), rng2(77);
+  const Result a = sim.run(circuit, 200, rng1);
+  const Result b = sim.run(circuit, 200, rng2);
+  EXPECT_EQ(a.values("m"), b.values("m"));
+}
+
+TEST(Simulator, StatsCountApplicationsAndProbabilities) {
+  const int n = 2;
+  const Circuit circuit = ghz_circuit(n);  // 2 ops
+  Simulator<StateVectorState> sim{StateVectorState(n)};
+  Rng rng(83);
+  sim.sample(circuit, 100, rng);
+  EXPECT_EQ(sim.last_run_stats().state_applications, 2u);
+  EXPECT_GT(sim.last_run_stats().probability_evaluations, 0u);
+}
+
+TEST(QubitByQubitBaseline, MatchesIdealDistribution) {
+  Rng circuit_rng(89);
+  RandomCircuitOptions options;
+  options.num_moments = 8;
+  const Circuit circuit = generate_random_circuit(3, options, circuit_rng);
+  Rng rng(97);
+  const Counts counts =
+      qubit_by_qubit_sample(circuit, StateVectorState(3), 30000, rng);
+  const auto ideal = testing::ideal_distribution(circuit, 3);
+  EXPECT_LT(total_variation_distance(normalize(counts), ideal), 0.02);
+}
+
+TEST(QubitByQubitBaseline, AgreesWithBglsOnGhz) {
+  const Circuit circuit = ghz_circuit(4);
+  Rng rng(101);
+  const Counts counts =
+      qubit_by_qubit_sample(circuit, StateVectorState(4), 4000, rng);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_TRUE(counts.contains(from_string("0000")));
+  EXPECT_TRUE(counts.contains(from_string("1111")));
+}
+
+TEST(Result, HistogramAndDistribution) {
+  Result result;
+  result.declare_key("k", {0, 1});
+  result.add_records("k", from_string("10"), 3);
+  result.add_record("k", from_string("01"));
+  EXPECT_EQ(result.repetitions(), 4u);
+  EXPECT_EQ(result.histogram("k").at(from_string("10")), 3u);
+  EXPECT_DOUBLE_EQ(result.distribution("k").at(from_string("01")), 0.25);
+  EXPECT_THROW(result.values("missing"), ValueError);
+  EXPECT_THROW(result.declare_key("k", {0}), ValueError);
+}
+
+}  // namespace
+}  // namespace bgls

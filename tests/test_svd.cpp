@@ -1,0 +1,127 @@
+// Property tests for the one-sided Jacobi complex SVD.
+
+#include "linalg/svd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace bgls {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = Complex{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    }
+  }
+  return m;
+}
+
+Matrix reconstruct(const SvdResult& f) {
+  Matrix sigma(f.singular_values.size(), f.singular_values.size());
+  for (std::size_t i = 0; i < f.singular_values.size(); ++i) {
+    sigma(i, i) = f.singular_values[i];
+  }
+  return f.u * sigma * f.vh;
+}
+
+void expect_valid_svd(const Matrix& a, const SvdResult& f, double tol = 1e-9) {
+  // Reconstruction.
+  EXPECT_LE(reconstruct(f).max_abs_diff(a), tol);
+  // Orthonormal columns of U and rows of Vh.
+  EXPECT_TRUE((f.u.adjoint() * f.u)
+                  .approx_equal(Matrix::identity(f.u.cols()), tol));
+  EXPECT_TRUE((f.vh * f.vh.adjoint())
+                  .approx_equal(Matrix::identity(f.vh.rows()), tol));
+  // Non-negative, descending singular values.
+  for (std::size_t i = 0; i < f.singular_values.size(); ++i) {
+    EXPECT_GE(f.singular_values[i], 0.0);
+    if (i > 0) EXPECT_LE(f.singular_values[i], f.singular_values[i - 1] + tol);
+  }
+}
+
+class SvdRandomShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SvdRandomShapes, ReconstructsAndIsOrthonormal) {
+  const auto [rows, cols, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const Matrix a = random_matrix(static_cast<std::size_t>(rows),
+                                 static_cast<std::size_t>(cols), rng);
+  expect_valid_svd(a, svd(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdRandomShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 2, 2},
+                      std::tuple{4, 2, 3}, std::tuple{2, 4, 4},
+                      std::tuple{8, 8, 5}, std::tuple{16, 4, 6},
+                      std::tuple{4, 16, 7}, std::tuple{32, 32, 8},
+                      std::tuple{3, 7, 9}, std::tuple{7, 3, 10}));
+
+TEST(Svd, DiagonalMatrixGivesItsEntries) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 5.0;
+  a(2, 2) = 3.0;
+  const auto f = svd(a);
+  EXPECT_NEAR(f.singular_values[0], 5.0, 1e-12);
+  EXPECT_NEAR(f.singular_values[1], 3.0, 1e-12);
+  EXPECT_NEAR(f.singular_values[2], 1.0, 1e-12);
+}
+
+TEST(Svd, RankDeficientMatrix) {
+  // Two identical columns -> rank 1.
+  Matrix a(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) {
+    a(r, 0) = static_cast<double>(r + 1);
+    a(r, 1) = static_cast<double>(r + 1);
+  }
+  const auto f = svd(a);
+  EXPECT_NEAR(f.singular_values[1], 0.0, 1e-9);
+  EXPECT_LE(reconstruct(f).max_abs_diff(a), 1e-9);
+}
+
+TEST(Svd, UnitaryInputHasUnitSingularValues) {
+  const double s = 1.0 / std::sqrt(2.0);
+  Matrix h(2, 2, {s, s, s, -s});
+  const auto f = svd(h);
+  EXPECT_NEAR(f.singular_values[0], 1.0, 1e-12);
+  EXPECT_NEAR(f.singular_values[1], 1.0, 1e-12);
+}
+
+TEST(Svd, SingularValuesMatchFrobeniusNorm) {
+  Rng rng(99);
+  const Matrix a = random_matrix(6, 4, rng);
+  const auto f = svd(a);
+  double ss = 0.0;
+  for (double sv : f.singular_values) ss += sv * sv;
+  EXPECT_NEAR(std::sqrt(ss), a.frobenius_norm(), 1e-9);
+}
+
+TEST(TruncatedRank, KeepsEverythingByDefault) {
+  const std::vector<double> values{3.0, 2.0, 1.0};
+  EXPECT_EQ(truncated_rank(values, 0, 0.0), 3u);
+}
+
+TEST(TruncatedRank, RespectsMaxKeep) {
+  const std::vector<double> values{3.0, 2.0, 1.0};
+  EXPECT_EQ(truncated_rank(values, 2, 0.0), 2u);
+}
+
+TEST(TruncatedRank, AppliesRelativeCutoff) {
+  const std::vector<double> values{1.0, 0.5, 1e-12};
+  EXPECT_EQ(truncated_rank(values, 0, 1e-8), 2u);
+}
+
+TEST(TruncatedRank, AlwaysKeepsOnePositive) {
+  const std::vector<double> values{1.0, 0.9};
+  EXPECT_GE(truncated_rank(values, 1, 0.99), 1u);
+}
+
+}  // namespace
+}  // namespace bgls

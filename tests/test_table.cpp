@@ -1,0 +1,61 @@
+// Tests for console table / histogram rendering.
+
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  ConsoleTable table({"n", "runtime"});
+  table.add_row({"2", "1.5 ms"});
+  table.add_row({"16", "12.0 ms"});
+  std::ostringstream oss;
+  table.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("| n  | runtime |"), std::string::npos);
+  EXPECT_NE(out.find("| 16 | 12.0 ms |"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  ConsoleTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), ValueError);
+}
+
+TEST(Table, DurationFormatting) {
+  EXPECT_EQ(ConsoleTable::duration(2.5), "2.50 s");
+  EXPECT_EQ(ConsoleTable::duration(0.0025), "2.50 ms");
+  EXPECT_EQ(ConsoleTable::duration(2.5e-6), "2.50 us");
+  EXPECT_EQ(ConsoleTable::duration(2.5e-9), "2.50 ns");
+}
+
+TEST(Table, BarChartScalesToWidth) {
+  std::ostringstream oss;
+  print_bar_chart(oss, {"a", "b"}, {1.0, 2.0}, 10);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("##########"), std::string::npos);  // the max bar
+  EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+TEST(Table, BarChartHandlesAllZeros) {
+  std::ostringstream oss;
+  print_bar_chart(oss, {"a"}, {0.0});
+  EXPECT_NE(oss.str().find("a"), std::string::npos);
+}
+
+TEST(Table, HistogramShowsBitstrings) {
+  Counts counts{{from_string("00"), 5}, {from_string("11"), 7}};
+  std::ostringstream oss;
+  print_histogram(oss, counts, 2);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("00"), std::string::npos);
+  EXPECT_NE(out.find("11"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgls

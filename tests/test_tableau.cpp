@@ -1,0 +1,162 @@
+// Aaronson–Gottesman tableau tests: cross-validated against the CH form
+// and the statevector on random Clifford circuits, plus measurement
+// semantics and BGLS-sampler integration.
+
+#include "stabilizer/tableau.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/random.h"
+#include "core/simulator.h"
+#include "stabilizer/ch_form.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+TEST(Tableau, InitialState) {
+  TableauState tab(3);
+  EXPECT_DOUBLE_EQ(tab.probability(from_string("000")), 1.0);
+  EXPECT_DOUBLE_EQ(tab.probability(from_string("100")), 0.0);
+}
+
+TEST(Tableau, NonZeroInitialState) {
+  TableauState tab(3, from_string("101"));
+  EXPECT_DOUBLE_EQ(tab.probability(from_string("101")), 1.0);
+}
+
+TEST(Tableau, PlusStateIsRandom) {
+  TableauState tab(1);
+  tab.apply_h(0);
+  EXPECT_FALSE(tab.is_deterministic_z(0));
+  EXPECT_DOUBLE_EQ(tab.probability(0), 0.5);
+  EXPECT_DOUBLE_EQ(tab.probability(1), 0.5);
+}
+
+TEST(Tableau, GhzProbabilities) {
+  TableauState tab(3);
+  for (const auto& op : ghz_circuit(3).all_operations()) tab.apply(op);
+  EXPECT_DOUBLE_EQ(tab.probability(from_string("000")), 0.5);
+  EXPECT_DOUBLE_EQ(tab.probability(from_string("111")), 0.5);
+  EXPECT_DOUBLE_EQ(tab.probability(from_string("010")), 0.0);
+}
+
+class TableauVsChForm : public ::testing::TestWithParam<int> {};
+
+TEST_P(TableauVsChForm, ProbabilitiesAgreeOnRandomCliffordCircuits) {
+  Rng circuit_rng(static_cast<std::uint64_t>(GetParam()) * 401 + 3);
+  const int n = 5;
+  const Circuit circuit = random_clifford_circuit(n, 30, circuit_rng);
+  TableauState tab(n);
+  CHState ch(n);
+  for (const auto& op : circuit.all_operations()) {
+    tab.apply(op);
+    ch.apply(op);
+  }
+  for (Bitstring b = 0; b < (Bitstring{1} << n); ++b) {
+    EXPECT_NEAR(tab.probability(b), ch.probability(b), 1e-9)
+        << to_string(b, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableauVsChForm, ::testing::Range(0, 10));
+
+TEST(Tableau, FullPauliSetAgainstStateVector) {
+  Rng circuit_rng(91);
+  RandomCircuitOptions options;
+  options.num_moments = 25;
+  options.op_density = 0.9;
+  options.gate_domain = {Gate::X(),  Gate::Y(),   Gate::Z(),    Gate::H(),
+                         Gate::S(),  Gate::Sdg(), Gate::SqrtX(), Gate::CX(),
+                         Gate::CZ(), Gate::Swap()};
+  const int n = 4;
+  const Circuit circuit = generate_random_circuit(n, options, circuit_rng);
+  TableauState tab(n);
+  for (const auto& op : circuit.all_operations()) tab.apply(op);
+  const auto psi = testing::ideal_statevector(circuit, n);
+  for (Bitstring b = 0; b < (Bitstring{1} << n); ++b) {
+    EXPECT_NEAR(tab.probability(b), std::norm(psi[b]), 1e-9);
+  }
+}
+
+TEST(Tableau, DeterministicMeasurement) {
+  TableauState tab(2, from_string("10"));
+  int outcome = -1;
+  EXPECT_TRUE(tab.is_deterministic_z(0, &outcome));
+  EXPECT_EQ(outcome, 1);
+}
+
+TEST(Tableau, ProjectionCollapsesGhz) {
+  TableauState tab(3);
+  for (const auto& op : ghz_circuit(3).all_operations()) tab.apply(op);
+  EXPECT_DOUBLE_EQ(tab.project_z(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(tab.probability(from_string("111")), 1.0);
+  int outcome = -1;
+  EXPECT_TRUE(tab.is_deterministic_z(2, &outcome));
+  EXPECT_EQ(outcome, 1);
+}
+
+TEST(Tableau, ProjectionOntoImpossibleOutcomeThrows) {
+  TableauState tab(1);
+  EXPECT_THROW(tab.project_z(0, 1), ValueError);
+}
+
+TEST(Tableau, MeasurementStatistics) {
+  Rng rng(7);
+  int ones = 0;
+  const int reps = 20000;
+  for (int i = 0; i < reps; ++i) {
+    TableauState tab(1);
+    tab.apply_h(0);
+    ones += tab.measure_z(0, rng);
+  }
+  EXPECT_NEAR(ones / static_cast<double>(reps), 0.5, 0.02);
+}
+
+TEST(Tableau, SampleMatchesDistribution) {
+  Rng circuit_rng(97);
+  const int n = 4;
+  const Circuit circuit = random_clifford_circuit(n, 20, circuit_rng);
+  TableauState tab(n);
+  for (const auto& op : circuit.all_operations()) tab.apply(op);
+
+  Rng rng(11);
+  Counts counts;
+  for (int i = 0; i < 30000; ++i) ++counts[tab.sample(rng)];
+  EXPECT_LT(total_variation_distance(normalize(counts),
+                                     testing::ideal_distribution(circuit, n)),
+            0.02);
+}
+
+TEST(Tableau, BglsSamplerIntegration) {
+  // The tableau works as a BGLS backend through its O(n³)
+  // compute_probability.
+  Rng circuit_rng(101);
+  const int n = 4;
+  const Circuit circuit = random_clifford_circuit(n, 15, circuit_rng);
+  Simulator<TableauState> sim{TableauState(n)};
+  Rng rng(13);
+  const Counts counts = sim.sample(circuit, 20000, rng);
+  EXPECT_LT(total_variation_distance(normalize(counts),
+                                     testing::ideal_distribution(circuit, n)),
+            0.025);
+}
+
+TEST(Tableau, RejectsNonClifford) {
+  TableauState tab(2);
+  EXPECT_THROW(tab.apply(t(0)), UnsupportedOperationError);
+}
+
+TEST(Tableau, WideRegisterSmoke) {
+  TableauState tab(60);
+  for (int q = 0; q < 60; ++q) tab.apply_h(q);
+  for (int q = 0; q + 1 < 60; ++q) tab.apply_cx(q, q + 1);
+  Rng rng(17);
+  const Bitstring sample = tab.sample(rng);
+  (void)sample;
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bgls

@@ -1,0 +1,235 @@
+// Tests for labeled tensors: isel, transpose, contraction, networks.
+
+#include "linalg/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace bgls {
+namespace {
+
+Tensor random_tensor(std::vector<std::string> labels,
+                     std::vector<std::size_t> dims, Rng& rng) {
+  Tensor t(std::move(labels), std::move(dims));
+  for (auto& v : t.data()) {
+    v = Complex{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  }
+  return t;
+}
+
+TEST(Tensor, ScalarHoldsValue) {
+  const auto t = Tensor::scalar(Complex{2.0, -1.0});
+  EXPECT_EQ(t.rank(), 0u);
+  EXPECT_EQ(t.scalar_value(), (Complex{2.0, -1.0}));
+}
+
+TEST(Tensor, RejectsDuplicateLabels) {
+  EXPECT_THROW(Tensor({"a", "a"}, {2, 2}), ValueError);
+}
+
+TEST(Tensor, AtIndexing) {
+  Tensor t({"i", "j"}, {2, 3});
+  const std::array<std::size_t, 2> idx{1, 2};
+  t.at(idx) = Complex{5.0, 0.0};
+  EXPECT_EQ(t.data()[1 * 3 + 2], (Complex{5.0, 0.0}));
+}
+
+TEST(Tensor, IselDropsAxisAndSelectsSlice) {
+  Tensor t({"i", "j"}, {2, 2});
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      const std::array<std::size_t, 2> idx{i, j};
+      t.at(idx) = Complex{static_cast<double>(10 * i + j), 0.0};
+    }
+  }
+  const Tensor sel = t.isel("i", 1);
+  EXPECT_EQ(sel.rank(), 1u);
+  EXPECT_EQ(sel.labels()[0], "j");
+  EXPECT_EQ(sel.data()[0], (Complex{10.0, 0.0}));
+  EXPECT_EQ(sel.data()[1], (Complex{11.0, 0.0}));
+}
+
+TEST(Tensor, IselMiddleAxis) {
+  Rng rng(1);
+  const Tensor t = random_tensor({"a", "b", "c"}, {2, 3, 4}, rng);
+  const Tensor sel = t.isel("b", 2);
+  for (std::size_t a = 0; a < 2; ++a) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const std::array<std::size_t, 3> in{a, 2, c};
+      const std::array<std::size_t, 2> out{a, c};
+      EXPECT_EQ(sel.at(out), t.at(in));
+    }
+  }
+}
+
+TEST(Tensor, TransposePermutesData) {
+  Rng rng(2);
+  const Tensor t = random_tensor({"a", "b", "c"}, {2, 3, 4}, rng);
+  const std::vector<std::string> order{"c", "a", "b"};
+  const Tensor p = t.transposed(order);
+  EXPECT_EQ(p.dims()[0], 4u);
+  for (std::size_t a = 0; a < 2; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      for (std::size_t c = 0; c < 4; ++c) {
+        const std::array<std::size_t, 3> in{a, b, c};
+        const std::array<std::size_t, 3> out{c, a, b};
+        EXPECT_EQ(p.at(out), t.at(in));
+      }
+    }
+  }
+}
+
+TEST(Tensor, TransposeRoundTrip) {
+  Rng rng(3);
+  const Tensor t = random_tensor({"x", "y"}, {3, 5}, rng);
+  const std::vector<std::string> rev{"y", "x"};
+  const std::vector<std::string> fwd{"x", "y"};
+  const Tensor round = t.transposed(rev).transposed(fwd);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(round.data()[i], t.data()[i]);
+  }
+}
+
+TEST(Tensor, MatrixRoundTrip) {
+  Rng rng(4);
+  const Tensor t = random_tensor({"r", "c"}, {4, 3}, rng);
+  const std::vector<std::string> rows{"r"};
+  const std::vector<std::string> cols{"c"};
+  const Matrix m = t.as_matrix(rows, cols);
+  const Tensor back = Tensor::from_matrix(m, {"r"}, {4}, {"c"}, {3});
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back.data()[i], t.data()[i]);
+  }
+}
+
+TEST(Tensor, ContractMatchesMatrixProduct) {
+  Rng rng(5);
+  const Tensor a = random_tensor({"i", "k"}, {3, 4}, rng);
+  const Tensor b = random_tensor({"k", "j"}, {4, 5}, rng);
+  const Tensor c = contract(a, b);
+  ASSERT_EQ(c.rank(), 2u);
+  const std::vector<std::string> ri{"i"}, rj{"j"}, rk{"k"};
+  const Matrix expected = a.as_matrix(ri, rk) * b.as_matrix(rk, rj);
+  const Matrix got = c.as_matrix(ri, rj);
+  EXPECT_LE(got.max_abs_diff(expected), 1e-12);
+}
+
+TEST(Tensor, ContractOverTwoSharedLabels) {
+  Rng rng(6);
+  const Tensor a = random_tensor({"i", "s", "t"}, {2, 3, 4}, rng);
+  const Tensor b = random_tensor({"s", "t", "j"}, {3, 4, 2}, rng);
+  const Tensor c = contract(a, b);
+  ASSERT_EQ(c.rank(), 2u);
+  // Check one entry by brute force.
+  Complex acc{0.0, 0.0};
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t t = 0; t < 4; ++t) {
+      const std::array<std::size_t, 3> ia{1, s, t};
+      const std::array<std::size_t, 3> ib{s, t, 0};
+      acc += a.at(ia) * b.at(ib);
+    }
+  }
+  const std::array<std::size_t, 2> ic{1, 0};
+  EXPECT_NEAR(std::abs(c.at(ic) - acc), 0.0, 1e-12);
+}
+
+TEST(Tensor, ContractDisjointIsOuterProduct) {
+  const auto sa = Tensor::scalar(Complex{2.0, 0.0});
+  Rng rng(7);
+  const Tensor b = random_tensor({"j"}, {3}, rng);
+  const Tensor c = contract(sa, b);
+  EXPECT_EQ(c.rank(), 1u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(std::abs(c.data()[j] - 2.0 * b.data()[j]), 0.0, 1e-12);
+  }
+}
+
+TEST(Tensor, ContractRejectsDimMismatch) {
+  Tensor a({"s"}, {2});
+  Tensor b({"s"}, {3});
+  EXPECT_THROW(contract(a, b), ValueError);
+}
+
+TEST(Tensor, ApplyMatrixActsOnAxes) {
+  // |0> on one qubit; applying X flips to |1>.
+  Tensor t({"p"}, {2});
+  t.data()[0] = Complex{1.0, 0.0};
+  Matrix x(2, 2, {0, 1, 1, 0});
+  const std::vector<std::string> axes{"p"};
+  const Tensor flipped = apply_matrix(t, x, axes);
+  EXPECT_NEAR(std::abs(flipped.data()[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(flipped.data()[1] - 1.0), 0.0, 1e-12);
+}
+
+TEST(Tensor, ApplyMatrixTwoAxesMatchesKron) {
+  Rng rng(8);
+  const Tensor t = random_tensor({"p", "q", "r"}, {2, 2, 3}, rng);
+  Matrix cx(4, 4, {1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 1, 0, 0, 1, 0});
+  const std::vector<std::string> axes{"p", "q"};
+  const Tensor applied = apply_matrix(t, cx, axes);
+  // Brute force: index (p q) as p*2+q.
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t p = 0; p < 2; ++p) {
+      for (std::size_t q = 0; q < 2; ++q) {
+        Complex acc{0.0, 0.0};
+        for (std::size_t pp = 0; pp < 2; ++pp) {
+          for (std::size_t qq = 0; qq < 2; ++qq) {
+            const std::array<std::size_t, 3> in{pp, qq, r};
+            acc += cx(p * 2 + q, pp * 2 + qq) * t.at(in);
+          }
+        }
+        const std::array<std::size_t, 3> out{p, q, r};
+        EXPECT_NEAR(std::abs(applied.at(out) - acc), 0.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Tensor, ContractNetworkChain) {
+  // Three-tensor chain contracting to a scalar.
+  Rng rng(9);
+  const Tensor a = random_tensor({"x"}, {4}, rng);
+  const Tensor b = random_tensor({"x", "y"}, {4, 5}, rng);
+  const Tensor c = random_tensor({"y"}, {5}, rng);
+  const Tensor result = contract_network({a, b, c});
+  ASSERT_EQ(result.rank(), 0u);
+  // Brute force.
+  Complex acc{0.0, 0.0};
+  for (std::size_t x = 0; x < 4; ++x) {
+    for (std::size_t y = 0; y < 5; ++y) {
+      const std::array<std::size_t, 1> ia{x};
+      const std::array<std::size_t, 2> ib{x, y};
+      const std::array<std::size_t, 1> ic{y};
+      acc += a.at(ia) * b.at(ib) * c.at(ic);
+    }
+  }
+  EXPECT_NEAR(std::abs(result.scalar_value() - acc), 0.0, 1e-10);
+}
+
+TEST(Tensor, ContractNetworkDisconnected) {
+  const Tensor result = contract_network(
+      {Tensor::scalar(Complex{2.0, 0.0}), Tensor::scalar(Complex{3.0, 0.0})});
+  EXPECT_NEAR(std::abs(result.scalar_value() - 6.0), 0.0, 1e-12);
+}
+
+TEST(Tensor, RenameLabel) {
+  Tensor t({"a"}, {2});
+  t.rename_label("a", "b");
+  EXPECT_TRUE(t.has_label("b"));
+  EXPECT_FALSE(t.has_label("a"));
+  EXPECT_THROW(t.rename_label("missing", "c"), ValueError);
+}
+
+TEST(Tensor, NormIsFrobenius) {
+  Tensor t({"a"}, {2});
+  t.data()[0] = Complex{3.0, 0.0};
+  t.data()[1] = Complex{0.0, 4.0};
+  EXPECT_DOUBLE_EQ(t.norm(), 5.0);
+}
+
+}  // namespace
+}  // namespace bgls
