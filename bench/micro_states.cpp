@@ -11,6 +11,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "circuit/random.h"
 #include "mps/state.h"
 #include "stabilizer/ch_form.h"
@@ -165,4 +168,28 @@ BENCHMARK(BM_Rng_Multinomial8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults the JSON output file so every run
+// leaves a machine-readable record (BENCH_micro_states.json) for the
+// perf-trajectory tracking, matching BENCH_fig2.json. Explicit
+// --benchmark_out flags still win.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro_states.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false, has_format = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    has_out |= arg.rfind("--benchmark_out=", 0) == 0;
+    has_format |= arg.rfind("--benchmark_out_format=", 0) == 0;
+  }
+  if (!has_out) args.push_back(out_flag.data());
+  if (!has_format) args.push_back(format_flag.data());
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,12 +6,18 @@
 ///  - bgls::Circuit / bgls::Gate / free operation builders (h, cnot,
 ///    measure, ...) — circuit construction (circuit/*.h);
 ///  - bgls::Simulator<State> — the gate-by-gate sampler (core/simulator.h);
+///  - bgls::BatchEngine<State> / bgls::ThreadPool — the parallel
+///    batch-sampling engine: shards trajectories and dictionary-batched
+///    repetition counts across deterministic RNG streams on a fixed-size
+///    thread pool, plus run_batch() for many-circuit sweeps
+///    (engine/engine.h; also reachable via SimulatorOptions::num_threads);
 ///  - state backends: bgls::StateVectorState, bgls::DensityMatrixState,
 ///    bgls::CHState (+ act_on_near_clifford), bgls::MPSState;
 ///  - bgls::optimize_for_bgls — circuit fusion for the sampler;
 ///  - bgls::parse_qasm / bgls::to_qasm — OpenQASM 2.0 interop;
 ///  - bgls::Graph / bgls::solve_maxcut_qaoa — the QAOA application;
-///  - bgls::Rng — seeded randomness for reproducible sampling.
+///  - bgls::Rng — seeded randomness for reproducible sampling, with
+///    jump()/split(i) deterministic stream derivation for parallel runs.
 
 #pragma once
 
@@ -27,6 +33,8 @@
 #include "core/result.h"
 #include "core/simulator.h"
 #include "densitymatrix/state.h"
+#include "engine/engine.h"
+#include "engine/thread_pool.h"
 #include "mps/state.h"
 #include "qaoa/qaoa.h"
 #include "qasm/qasm.h"

@@ -22,6 +22,29 @@ void Result::add_records(const std::string& key, Bitstring value,
   it->second.values.insert(it->second.values.end(), count, value);
 }
 
+void Result::append(const Result& other) {
+  if (&other == this) {
+    // Self-append would insert from a range inside the growing vector;
+    // double each key's records through a copy instead.
+    append(Result(*this));
+    return;
+  }
+  for (const std::string& key : other.keys_) {
+    const KeyData& incoming = other.key_data(key);
+    auto it = data_.find(key);
+    if (it == data_.end()) {
+      declare_key(key, incoming.qubits);
+      it = data_.find(key);
+    } else {
+      BGLS_REQUIRE(it->second.qubits == incoming.qubits,
+                   "cannot append results: key '", key,
+                   "' measures different qubits in the two results");
+    }
+    it->second.values.insert(it->second.values.end(), incoming.values.begin(),
+                             incoming.values.end());
+  }
+}
+
 const Result::KeyData& Result::key_data(const std::string& key) const {
   const auto it = data_.find(key);
   BGLS_REQUIRE(it != data_.end(), "unknown measurement key '", key, "'");

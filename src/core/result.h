@@ -31,6 +31,11 @@ class Result {
   void add_records(const std::string& key, Bitstring value,
                    std::uint64_t count);
 
+  /// Appends every record of `other` to this result (the BatchEngine's
+  /// shard merge). Keys unknown here are declared with the other
+  /// result's qubits; keys known to both must measure the same qubits.
+  void append(const Result& other);
+
   /// All keys in declaration order.
   [[nodiscard]] const std::vector<std::string>& keys() const { return keys_; }
 

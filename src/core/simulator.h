@@ -53,6 +53,18 @@
 
 namespace bgls {
 
+template <typename State>
+class BatchEngine;  // engine/engine.h — included at the end of this file
+
+/// Per-RNG-stream shard counters, filled by the BatchEngine (engine.h)
+/// when a run is sharded across streams.
+struct StreamStats {
+  /// Independent state evolutions executed in this shard.
+  std::size_t trajectories = 0;
+  /// apply_op invocations executed in this shard.
+  std::size_t state_applications = 0;
+};
+
 /// Instrumentation counters for the most recent run (used by the Fig. 2
 /// bench to demonstrate dictionary saturation and by the cost-model
 /// microbenches).
@@ -69,6 +81,11 @@ struct RunStats {
   bool used_sample_parallelization = false;
   /// Candidate updates skipped because the gate was diagonal.
   std::size_t diagonal_updates_skipped = 0;
+  /// Worker threads the run was executed with (1 for the serial path).
+  std::size_t threads_used = 1;
+  /// Per-stream shard counters in shard order (empty on the serial
+  /// path; one entry per RNG stream on engine runs).
+  std::vector<StreamStats> per_stream;
 };
 
 /// Tuning knobs.
@@ -79,6 +96,17 @@ struct SimulatorOptions {
   /// Force-disable the dictionary batching of Sec. 3.2.3 even when the
   /// circuit allows it (used by the Fig. 2 ablation).
   bool disable_sample_parallelization = false;
+  /// Worker threads for multi-repetition runs: 1 (default) keeps the
+  /// classic serial path, 0 auto-detects hardware concurrency, N > 1
+  /// routes run()/sample() through the BatchEngine (engine/engine.h).
+  /// Engine results are bit-identical for every thread count >= 1 given
+  /// the same seed and num_rng_streams; only the serial num_threads == 1
+  /// path draws from a different (single) stream.
+  int num_threads = 1;
+  /// Number of deterministic RNG shards an engine run is split into.
+  /// This — not the thread count — fixes the sampled values, so keep it
+  /// constant when comparing runs across machines or thread counts.
+  std::uint64_t num_rng_streams = 16;
 };
 
 /// Gate-by-gate sampler over an arbitrary state representation.
@@ -127,6 +155,12 @@ class Simulator {
   /// measurement records, mirroring cirq.Simulator.run. The circuit must
   /// contain at least one measurement and must be fully resolved.
   Result run(const Circuit& circuit, std::uint64_t repetitions, Rng& rng) {
+    if (options_.num_threads != 1 && repetitions > 1) {
+      return run_with_engine(
+          [&](BatchEngine<State>& engine) {
+            return engine.run(circuit, repetitions, rng);
+          });
+    }
     validate(circuit, /*require_measurements=*/true);
     Result result;
     for (const auto& op : circuit.all_operations()) {
@@ -163,6 +197,12 @@ class Simulator {
   /// gates (the form the paper's runtime benchmarks use). Returns
   /// outcome counts.
   Counts sample(const Circuit& circuit, std::uint64_t repetitions, Rng& rng) {
+    if (options_.num_threads != 1 && repetitions > 1) {
+      return run_with_engine(
+          [&](BatchEngine<State>& engine) {
+            return engine.sample(circuit, repetitions, rng);
+          });
+    }
     validate(circuit, /*require_measurements=*/false);
     if (can_parallelize(circuit)) {
       return sample_parallel(circuit, repetitions, rng);
@@ -177,7 +217,31 @@ class Simulator {
   /// Counters from the most recent run()/sample() call.
   [[nodiscard]] const RunStats& last_run_stats() const { return stats_; }
 
+  /// Current tuning knobs.
+  [[nodiscard]] const SimulatorOptions& options() const { return options_; }
+
+  /// Replaces the tuning knobs (used by the engine to force per-shard
+  /// runs onto the serial path).
+  void set_options(SimulatorOptions options) { options_ = options; }
+
+  /// True when run()/sample() would take the dictionary-batched path of
+  /// Sec. 3.2.3 for this circuit. The engine uses this to pick between
+  /// the multinomial (batched) and even (trajectory) repetition splits.
+  [[nodiscard]] bool can_parallelize_samples(const Circuit& circuit) const {
+    return can_parallelize(circuit);
+  }
+
  private:
+  /// Routes a multi-repetition call through a fresh BatchEngine and
+  /// adopts its merged counters so last_run_stats() stays meaningful.
+  template <typename Body>
+  auto run_with_engine(Body&& body) {
+    BatchEngine<State> engine(*this);
+    auto result = body(engine);
+    stats_ = engine.last_run_stats();
+    return result;
+  }
+
   void validate(const Circuit& circuit, bool require_measurements) {
     BGLS_REQUIRE(!circuit.is_parameterized(),
                  "circuit has unresolved parameters; resolve() it first");
@@ -387,3 +451,9 @@ class Simulator {
 };
 
 }  // namespace bgls
+
+// The engine templates need the full Simulator definition above, and
+// Simulator::run/sample instantiate BatchEngine when num_threads != 1 —
+// pulling the engine in here keeps "include core/simulator.h" a
+// complete, self-sufficient way to get the parallel paths too.
+#include "engine/engine.h"  // IWYU pragma: keep

@@ -1,0 +1,142 @@
+#include "engine/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "util/error.h"
+
+namespace bgls {
+
+ThreadPool::ThreadPool(int num_threads) {
+  BGLS_REQUIRE(num_threads >= 1, "thread pool needs at least one worker, got ",
+               num_threads);
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    queue_.clear();
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int ThreadPool::resolve_num_threads(int requested) {
+  // 0 is this library's "auto"; a negative count is most likely a
+  // different convention (e.g. OpenMP-style -1) — surface it rather
+  // than silently picking something.
+  BGLS_REQUIRE(requested >= 0,
+               "num_threads must be >= 0 (0 = auto-detect), got ", requested);
+  return requested == 0 ? hardware_threads() : requested;
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    BGLS_REQUIRE(!stopping_, "cannot submit to a stopping thread pool");
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    const std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1) {
+    body(0);
+    return;
+  }
+
+  // Shared batch state: workers claim indices from an atomic counter so
+  // uneven shard runtimes balance without any work stealing.
+  struct Batch {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::mutex mutex;
+    std::condition_variable finished;
+    std::exception_ptr error;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->count = count;
+  batch->body = &body;  // parallel_for blocks until done, so this is safe
+
+  const auto drain = [](const std::shared_ptr<Batch>& b) {
+    for (;;) {
+      const std::size_t i = b->next.fetch_add(1);
+      if (i >= b->count) break;
+      try {
+        (*b->body)(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(b->mutex);
+        if (!b->error) b->error = std::current_exception();
+      }
+      if (b->done.fetch_add(1) + 1 == b->count) {
+        const std::lock_guard<std::mutex> lock(b->mutex);
+        b->finished.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers =
+      std::min<std::size_t>(static_cast<std::size_t>(size()), count);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    submit([batch, drain] { drain(batch); });
+  }
+  drain(batch);  // the caller participates too
+
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->finished.wait(lock,
+                       [&] { return batch->done.load() == batch->count; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    try {
+      task();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace bgls

@@ -1,0 +1,81 @@
+/// \file thread_pool.h
+/// Fixed-size thread pool backing the parallel batch-sampling engine.
+///
+/// Deliberately work-stealing-free: the engine assigns work as indexed
+/// shards whose outputs land in preallocated slots, so all the pool has
+/// to provide is (a) a task queue with `submit` + `wait_idle` and (b) a
+/// blocking `parallel_for` that fans an index range out over the
+/// workers. Determinism never depends on scheduling — shard i always
+/// computes the same value no matter which worker runs it or in what
+/// order — so the simplest possible pool is the right one.
+///
+/// Exceptions thrown by tasks are captured and rethrown on the waiting
+/// thread (first one wins; the rest of the batch still runs to
+/// completion so the pool is reusable afterwards).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bgls {
+
+/// Fixed-size pool of worker threads processing a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; use resolve_num_threads to map
+  /// an options value onto a concrete count).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains nothing: pending tasks are abandoned, running tasks are
+  /// joined. Call wait_idle() first when completion matters.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  [[nodiscard]] static int hardware_threads();
+
+  /// Maps an options-style thread count onto a concrete one: 0 (auto)
+  /// becomes hardware_threads(), anything else is clamped to >= 1.
+  [[nodiscard]] static int resolve_num_threads(int requested);
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every running task finished.
+  /// Rethrows the first exception any task threw since the last wait.
+  void wait_idle();
+
+  /// Runs body(0) ... body(count - 1) across the workers *and the
+  /// calling thread* (total concurrency size() + 1) and blocks until
+  /// all complete. Rethrows the first exception thrown by any index
+  /// (the remaining indices still run). Indices are claimed
+  /// dynamically, so callers must not depend on execution order.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+}  // namespace bgls

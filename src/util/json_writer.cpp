@@ -1,0 +1,136 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace bgls {
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back({/*is_object=*/true, /*has_items=*/false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  BGLS_REQUIRE(!stack_.empty() && stack_.back().is_object && !after_key_,
+               "end_object called outside an object");
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back({/*is_object=*/false, /*has_items=*/false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  BGLS_REQUIRE(!stack_.empty() && !stack_.back().is_object,
+               "end_array called outside an array");
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  BGLS_REQUIRE(!stack_.empty() && stack_.back().is_object && !after_key_,
+               "key() is only legal directly inside an object");
+  if (stack_.back().has_items) out_ << ',';
+  stack_.back().has_items = true;
+  newline_indent();
+  write_escaped(name);
+  out_ << ": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  write_escaped(text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long number) {
+  before_value();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long number) {
+  before_value();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  if (!std::isfinite(number)) return null();
+  before_value();
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+  out_ << buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  return *this;
+}
+
+void JsonWriter::before_value() {
+  if (!stack_.empty() && stack_.back().is_object) {
+    BGLS_REQUIRE(after_key_, "object values need a key() first");
+    after_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (stack_.back().has_items) out_ << ',';
+    stack_.back().has_items = true;
+    newline_indent();
+  }
+}
+
+void JsonWriter::newline_indent() {
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::write_escaped(std::string_view text) {
+  out_ << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\t': out_ << "\\t"; break;
+      case '\r': out_ << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out_ << buffer;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+}  // namespace bgls

@@ -1,0 +1,76 @@
+/// \file json_writer.h
+/// Minimal streaming JSON writer for machine-readable bench output
+/// (BENCH_*.json files tracked across PRs to follow the perf
+/// trajectory). No external dependency; supports the subset the benches
+/// need: nested objects/arrays, strings, bools, integers, and doubles
+/// (non-finite doubles are emitted as null, which keeps the output
+/// strictly valid JSON).
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace bgls {
+
+/// Streaming writer emitting pretty-printed JSON to an ostream.
+///
+///   JsonWriter json(out);
+///   json.begin_object();
+///   json.key("figure").value("fig2");
+///   json.key("rows").begin_array();
+///   ...
+///   json.end_array().end_object();
+///
+/// The writer tracks nesting and comma placement; keys are only legal
+/// inside objects, values only inside arrays or after a key.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be followed by exactly one value or
+  /// container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool flag);
+  // One overload per standard integer width keeps calls with int,
+  // int64_t, uint64_t, and size_t unambiguous on every LP64/LLP64
+  // platform (size_t is `unsigned long` on Linux but `unsigned long
+  // long` elsewhere).
+  JsonWriter& value(long long number);
+  JsonWriter& value(unsigned long long number);
+  JsonWriter& value(int number) { return value(static_cast<long long>(number)); }
+  JsonWriter& value(long number) { return value(static_cast<long long>(number)); }
+  JsonWriter& value(unsigned number) {
+    return value(static_cast<unsigned long long>(number));
+  }
+  JsonWriter& value(unsigned long number) {
+    return value(static_cast<unsigned long long>(number));
+  }
+  JsonWriter& value(double number);
+  JsonWriter& null();
+
+ private:
+  void before_value();
+  void newline_indent();
+  void write_escaped(std::string_view text);
+
+  struct Scope {
+    bool is_object = false;
+    bool has_items = false;
+  };
+  std::ostream& out_;
+  std::vector<Scope> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace bgls

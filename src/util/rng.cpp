@@ -203,4 +203,31 @@ Rng Rng::split() {
   return Rng(child_seed);
 }
 
+void Rng::jump() {
+  // Standard xoshiro256++ jump polynomial (Blackman & Vigna): the result
+  // state equals 2^128 sequential engine steps.
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (std::uint64_t{1} << bit)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      (*this)();
+    }
+  }
+  state_ = {s0, s1, s2, s3};
+}
+
+Rng Rng::split(std::uint64_t index) const {
+  Rng child = *this;
+  for (std::uint64_t i = 0; i <= index; ++i) child.jump();
+  return child;
+}
+
 }  // namespace bgls

@@ -75,7 +75,23 @@ class Rng {
                                          std::span<const double> weights);
 
   /// Derives an independent child stream (for per-trajectory engines).
+  /// Stateful: advances this engine, so successive calls give distinct
+  /// children.
   Rng split();
+
+  /// Advances this engine by 2^128 steps using the standard xoshiro256++
+  /// jump polynomial. Streams separated by jumps never overlap for fewer
+  /// than 2^128 draws each, which makes them suitable as per-shard
+  /// engines in the parallel batch engine.
+  void jump();
+
+  /// Returns the `index`-th jump-derived child stream: a copy of this
+  /// engine advanced by (index + 1) jumps. Const — the parent stream is
+  /// untouched, so split(i) is a pure function of (state, i) and a fixed
+  /// seed yields the same stream family on every run and thread count.
+  /// Costs O(index) jump applications; for a long run of consecutive
+  /// streams, prefer jumping one engine incrementally.
+  [[nodiscard]] Rng split(std::uint64_t index) const;
 
  private:
   std::array<std::uint64_t, 4> state_{};

@@ -215,5 +215,79 @@ TEST(Rng, SplitStreamsAreIndependent) {
   EXPECT_LT(equal, 5);
 }
 
+TEST(Rng, JumpIsDeterministic) {
+  Rng a(99), b(99);
+  a.jump();
+  b.jump();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, JumpedStreamDivergesFromOriginal) {
+  Rng base(7);
+  Rng jumped = base;
+  jumped.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (base() == jumped());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, IndexedSplitIsPureAndLeavesParentUntouched) {
+  Rng parent(123);
+  const Rng before = parent;  // snapshot via copy
+  const Rng child_a = parent.split(3);
+  const Rng child_b = parent.split(3);
+  // split(i) is const and repeatable.
+  Rng ca = child_a, cb = child_b;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca(), cb());
+  // The parent stream was not advanced.
+  Rng p = parent, q = before;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(p(), q());
+}
+
+TEST(Rng, IndexedSplitMatchesIncrementalJumps) {
+  Rng parent(321);
+  Rng walker = parent;
+  for (std::uint64_t index = 0; index < 4; ++index) {
+    walker.jump();
+    Rng expected = walker;
+    Rng actual = parent.split(index);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(actual(), expected());
+  }
+}
+
+TEST(Rng, DistinctSplitIndicesGiveDistinctStreams) {
+  Rng parent(55);
+  Rng s0 = parent.split(0);
+  Rng s1 = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (s0() == s1());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, JumpStreamsAreStatisticallyIndependent) {
+  // Sanity check for the engine's per-shard streams: uniforms drawn from
+  // jump-separated streams should be uncorrelated.
+  Rng parent(2024);
+  Rng a = parent.split(0);
+  Rng b = parent.split(1);
+  const int n = 20000;
+  double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.uniform();
+    const double y = b.uniform();
+    sa += x;
+    sb += y;
+    saa += x * x;
+    sbb += y * y;
+    sab += x * y;
+  }
+  const double cov = sab / n - (sa / n) * (sb / n);
+  const double var_a = saa / n - (sa / n) * (sa / n);
+  const double var_b = sbb / n - (sb / n) * (sb / n);
+  const double corr = cov / std::sqrt(var_a * var_b);
+  // Null-hypothesis standard error is 1/sqrt(n) ≈ 0.007.
+  EXPECT_LT(std::abs(corr), 0.035);
+}
+
 }  // namespace
 }  // namespace bgls
