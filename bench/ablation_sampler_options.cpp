@@ -9,6 +9,8 @@
 
 #include <iostream>
 
+#include "bench_guard.h"
+
 #include "circuit/random.h"
 #include "core/simulator.h"
 #include "statevector/state.h"
@@ -16,6 +18,7 @@
 #include "util/timing.h"
 
 int main() {
+  BGLS_REQUIRE_RELEASE_BENCH("ablation_sampler_options");
   using namespace bgls;
 
   std::cout << "=== Ablation 1: skip_diagonal_updates on a diagonal-heavy "

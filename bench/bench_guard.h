@@ -1,0 +1,44 @@
+/// \file bench_guard.h
+/// Refuses to run benchmarks from a non-Release build.
+///
+/// The original BENCH_micro_states.json was once recorded from a DEBUG
+/// build (google-benchmark's "Library was built as DEBUG" warning was
+/// embedded in the JSON), silently poisoning the perf trajectory. Every
+/// bench main() now calls BGLS_REQUIRE_RELEASE_BENCH() first: with
+/// assertions enabled (no NDEBUG — Debug builds) it exits with an
+/// explanation unless BGLS_BENCH_ALLOW_DEBUG is set, in which case it
+/// only warns loudly.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bgls_bench {
+
+inline void require_release_build(const char* bench_name) {
+#ifdef NDEBUG
+  (void)bench_name;
+#else
+  if (std::getenv("BGLS_BENCH_ALLOW_DEBUG") == nullptr) {
+    std::fprintf(
+        stderr,
+        "%s: refusing to benchmark a non-Release build (assertions are "
+        "enabled, timings would be meaningless).\n"
+        "Configure with -DCMAKE_BUILD_TYPE=Release, or set "
+        "BGLS_BENCH_ALLOW_DEBUG=1 to run anyway.\n",
+        bench_name);
+    std::exit(EXIT_FAILURE);
+  }
+  std::fprintf(stderr,
+               "%s: ***WARNING*** non-Release build — timings are "
+               "meaningless; do not record them.\n",
+               bench_name);
+#endif
+}
+
+}  // namespace bgls_bench
+
+/// Call first in every bench main().
+#define BGLS_REQUIRE_RELEASE_BENCH(name) \
+  ::bgls_bench::require_release_build(name)

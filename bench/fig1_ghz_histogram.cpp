@@ -6,12 +6,15 @@
 
 #include <iostream>
 
+#include "bench_guard.h"
+
 #include "circuit/diagram.h"
 #include "core/simulator.h"
 #include "statevector/state.h"
 #include "util/table.h"
 
 int main() {
+  BGLS_REQUIRE_RELEASE_BENCH("fig1_ghz_histogram");
   using namespace bgls;
 
   std::cout << "=== Fig. 1: GHZ measurement histogram ===\n\n";

@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_guard.h"
+
 #include "circuit/noise.h"
 #include "circuit/random.h"
 #include "core/simulator.h"
@@ -68,6 +70,7 @@ struct SweepRow {
 }  // namespace
 
 int main(int argc, char** argv) {
+  BGLS_REQUIRE_RELEASE_BENCH("fig2_sample_parallelization");
   const std::string json_path = argc > 1 ? argv[1] : "BENCH_fig2.json";
 
   const int n = 8;

@@ -7,12 +7,20 @@
 /// methods have the same complexity class here — the CH amplitude costs
 /// O(n²) independent of depth, so f(n, d) = O(d·n²) either way and BGLS
 /// offers no direct benefit on pure Clifford circuits.
+///
+/// Results are also written as machine-readable JSON (BENCH_fig3.json,
+/// or the path given as argv[1]) for the perf trajectory tracking.
 
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench_guard.h"
 #include "circuit/random.h"
 #include "core/simulator.h"
 #include "stabilizer/ch_form.h"
+#include "util/json_writer.h"
 #include "util/table.h"
 #include "util/timing.h"
 
@@ -43,12 +51,37 @@ double time_qubit_by_qubit(const Circuit& circuit, int n,
   });
 }
 
+struct ScalingRow {
+  int depth = 0;
+  int width = 0;
+  double bgls_seconds = 0.0;
+  double qubit_by_qubit_seconds = 0.0;
+};
+
+void write_rows(JsonWriter& json, const std::vector<ScalingRow>& rows) {
+  json.begin_array();
+  for (const ScalingRow& row : rows) {
+    json.begin_object();
+    json.key("depth").value(row.depth);
+    json.key("width").value(row.width);
+    json.key("bgls_seconds").value(row.bgls_seconds);
+    json.key("qubit_by_qubit_seconds").value(row.qubit_by_qubit_seconds);
+    json.end_object();
+  }
+  json.end_array();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BGLS_REQUIRE_RELEASE_BENCH("fig3_clifford_scaling");
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_fig3.json";
+
   std::cout << "=== Fig. 3: Clifford sampling runtime scaling (CH form) "
                "===\n\n";
   const std::uint64_t reps = 100;
+  std::vector<ScalingRow> depth_rows, width_rows;
+  double depth_slope = 0.0, width_slope = 0.0;
 
   {
     std::cout << "(a) runtime vs depth, width fixed at n = 24, " << reps
@@ -63,12 +96,14 @@ int main() {
       const double tq = time_qubit_by_qubit(circuit, n, reps);
       depths.push_back(depth);
       bgls_times.push_back(tb);
+      depth_rows.push_back({depth, n, tb, tq});
       table.add_row({std::to_string(depth), ConsoleTable::duration(tb),
                      ConsoleTable::duration(tq)});
     }
     table.print(std::cout);
+    depth_slope = log_log_slope(depths, bgls_times);
     std::cout << "bgls log-log slope vs depth: "
-              << ConsoleTable::num(log_log_slope(depths, bgls_times), 3)
+              << ConsoleTable::num(depth_slope, 3)
               << " (≈1: linear in depth, amplitude cost is "
                  "depth-independent)\n\n";
   }
@@ -86,17 +121,38 @@ int main() {
       const double tq = time_qubit_by_qubit(circuit, n, reps);
       widths.push_back(n);
       bgls_times.push_back(tb);
+      width_rows.push_back({depth, n, tb, tq});
       table.add_row({std::to_string(n), ConsoleTable::duration(tb),
                      ConsoleTable::duration(tq)});
     }
     table.print(std::cout);
+    width_slope = log_log_slope(widths, bgls_times);
     std::cout << "bgls log-log slope vs width: "
-              << ConsoleTable::num(log_log_slope(widths, bgls_times), 3)
+              << ConsoleTable::num(width_slope, 3)
               << " (polynomial — the CH representation is efficient at any "
                  "width)\n";
   }
   std::cout << "\nBoth samplers scale comparably on pure Clifford circuits "
                "(the paper's point);\nthe CH framework pays off on "
                "near-Clifford circuits (Figs. 4-5).\n";
+
+  std::ofstream json_file(json_path);
+  if (!json_file) {
+    std::cerr << "could not open " << json_path << " for writing\n";
+    return 1;
+  }
+  JsonWriter json(json_file);
+  json.begin_object();
+  json.key("figure").value("fig3_clifford_scaling");
+  json.key("repetitions").value(reps);
+  json.key("depth_sweep");
+  write_rows(json, depth_rows);
+  json.key("width_sweep");
+  write_rows(json, width_rows);
+  json.key("bgls_log_log_slope_vs_depth").value(depth_slope);
+  json.key("bgls_log_log_slope_vs_width").value(width_slope);
+  json.end_object();
+  json_file << "\n";
+  std::cout << "\nwrote " << json_path << "\n";
   return 0;
 }

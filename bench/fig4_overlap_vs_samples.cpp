@@ -14,6 +14,8 @@
 #include <iostream>
 #include <numbers>
 
+#include "bench_guard.h"
+
 #include "circuit/random.h"
 #include "core/simulator.h"
 #include "stabilizer/near_clifford.h"
@@ -53,6 +55,7 @@ Counts sample_near_clifford(const Circuit& circuit, int n,
 }  // namespace
 
 int main() {
+  BGLS_REQUIRE_RELEASE_BENCH("fig4_overlap_vs_samples");
   // Workload chosen so the T gates actually interfere (they sit on
   // superposed qubits followed by further mixing): on larger random
   // Clifford circuits the branch-mixture error washes out into the

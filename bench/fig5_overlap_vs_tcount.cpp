@@ -8,6 +8,8 @@
 
 #include <iostream>
 
+#include "bench_guard.h"
+
 #include "circuit/random.h"
 #include "core/simulator.h"
 #include "stabilizer/near_clifford.h"
@@ -33,6 +35,7 @@ Distribution exact_distribution(const Circuit& circuit, int n) {
 }  // namespace
 
 int main() {
+  BGLS_REQUIRE_RELEASE_BENCH("fig5_overlap_vs_tcount");
   const int n = 6;
   const int moments = 100;  // the paper's 100-moment base circuit
   const std::uint64_t reps = 3000;

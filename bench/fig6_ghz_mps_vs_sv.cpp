@@ -15,6 +15,8 @@
 
 #include <iostream>
 
+#include "bench_guard.h"
+
 #include "circuit/random.h"
 #include "core/simulator.h"
 #include "mps/state.h"
@@ -50,6 +52,7 @@ double time_sv(const Circuit& circuit, int n, std::uint64_t reps) {
 }  // namespace
 
 int main() {
+  BGLS_REQUIRE_RELEASE_BENCH("fig6_ghz_mps_vs_sv");
   const std::uint64_t reps = 100;
 
   std::cout << "=== Fig. 6: random-GHZ sampling, MPS vs statevector ===\n\n";

@@ -10,6 +10,8 @@
 
 #include <iostream>
 
+#include "bench_guard.h"
+
 #include "circuit/random.h"
 #include "core/simulator.h"
 #include "mps/state.h"
@@ -24,6 +26,7 @@ using namespace bgls;
 }  // namespace
 
 int main() {
+  BGLS_REQUIRE_RELEASE_BENCH("fig7_random_mps_vs_sv");
   const std::uint64_t reps = 50;
 
   std::cout << "=== Fig. 7a: fixed-depth random circuits, MPS vs "

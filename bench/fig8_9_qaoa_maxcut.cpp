@@ -8,6 +8,8 @@
 
 #include <iostream>
 
+#include "bench_guard.h"
+
 #include "circuit/diagram.h"
 #include "mps/state.h"
 #include "qaoa/qaoa.h"
@@ -15,6 +17,7 @@
 #include "util/timing.h"
 
 int main() {
+  BGLS_REQUIRE_RELEASE_BENCH("fig8_9_qaoa_maxcut");
   using namespace bgls;
 
   std::cout << "=== Figs. 8-9: QAOA MaxCut on ER(10, 0.3) via MPS ===\n\n";

@@ -8,8 +8,15 @@
 ///  - MPS two-qubit splits and reduced-network amplitudes (O(n·χ³)),
 ///  - the exact BTRS binomial sampler that powers multinomial
 ///    dictionary splitting.
+///
+/// The statevector apply benches run twice: through the gate-class
+/// specialized kernels (statevector/kernels.h) and through the
+/// forced-generic dense path (the *_Generic variants), so one run of
+/// this binary records the kernel speedup in BENCH_micro_states.json.
 
 #include <benchmark/benchmark.h>
+
+#include "bench_guard.h"
 
 #include <string>
 #include <vector>
@@ -18,6 +25,7 @@
 #include "mps/state.h"
 #include "stabilizer/ch_form.h"
 #include "stabilizer/tableau.h"
+#include "statevector/kernels.h"
 #include "statevector/state.h"
 #include "util/rng.h"
 
@@ -25,7 +33,11 @@ namespace {
 
 using namespace bgls;
 
-void BM_StateVector_ApplyH(benchmark::State& state) {
+// Each statevector apply bench has a specialized-kernel and a
+// forced-generic variant so the speedup is recorded in one run.
+template <bool kForceGeneric>
+void apply_h_body(benchmark::State& state) {
+  const kernels::ForceGenericScope scope(kForceGeneric);
   const int n = static_cast<int>(state.range(0));
   StateVectorState psi(n);
   int q = 0;
@@ -35,9 +47,18 @@ void BM_StateVector_ApplyH(benchmark::State& state) {
   }
   state.SetComplexityN(1 << n);
 }
+void BM_StateVector_ApplyH(benchmark::State& state) {
+  apply_h_body<false>(state);
+}
 BENCHMARK(BM_StateVector_ApplyH)->Arg(8)->Arg(12)->Arg(16)->Arg(20)->Complexity(benchmark::oN);
+void BM_StateVector_ApplyH_Generic(benchmark::State& state) {
+  apply_h_body<true>(state);
+}
+BENCHMARK(BM_StateVector_ApplyH_Generic)->Arg(8)->Arg(12)->Arg(16)->Arg(20)->Complexity(benchmark::oN);
 
-void BM_StateVector_ApplyCnot(benchmark::State& state) {
+template <bool kForceGeneric>
+void apply_cnot_body(benchmark::State& state) {
+  const kernels::ForceGenericScope scope(kForceGeneric);
   const int n = static_cast<int>(state.range(0));
   StateVectorState psi(n);
   psi.apply(h(0));
@@ -47,7 +68,75 @@ void BM_StateVector_ApplyCnot(benchmark::State& state) {
     q = (q + 1) % n;
   }
 }
+void BM_StateVector_ApplyCnot(benchmark::State& state) {
+  apply_cnot_body<false>(state);
+}
 BENCHMARK(BM_StateVector_ApplyCnot)->Arg(8)->Arg(16)->Arg(20);
+void BM_StateVector_ApplyCnot_Generic(benchmark::State& state) {
+  apply_cnot_body<true>(state);
+}
+BENCHMARK(BM_StateVector_ApplyCnot_Generic)->Arg(8)->Arg(16)->Arg(20);
+
+template <bool kForceGeneric>
+void apply_cz_body(benchmark::State& state) {
+  // Diagonal kernel showcase: CZ rescales one quadrant of the index
+  // space, the generic path runs the full 4x4 matmul.
+  const kernels::ForceGenericScope scope(kForceGeneric);
+  const int n = static_cast<int>(state.range(0));
+  StateVectorState psi(n);
+  for (int q = 0; q < n; ++q) psi.apply(h(q));
+  int q = 0;
+  for (auto _ : state) {
+    psi.apply(cz(q, (q + 1) % n));
+    q = (q + 1) % n;
+  }
+}
+void BM_StateVector_ApplyCz(benchmark::State& state) {
+  apply_cz_body<false>(state);
+}
+BENCHMARK(BM_StateVector_ApplyCz)->Arg(8)->Arg(16)->Arg(20);
+void BM_StateVector_ApplyCz_Generic(benchmark::State& state) {
+  apply_cz_body<true>(state);
+}
+BENCHMARK(BM_StateVector_ApplyCz_Generic)->Arg(8)->Arg(16)->Arg(20);
+
+template <bool kForceGeneric>
+void apply_t_body(benchmark::State& state) {
+  const kernels::ForceGenericScope scope(kForceGeneric);
+  const int n = static_cast<int>(state.range(0));
+  StateVectorState psi(n);
+  for (int q = 0; q < n; ++q) psi.apply(h(q));
+  int q = 0;
+  for (auto _ : state) {
+    psi.apply(t(q));
+    q = (q + 1) % n;
+  }
+}
+void BM_StateVector_ApplyT(benchmark::State& state) {
+  apply_t_body<false>(state);
+}
+BENCHMARK(BM_StateVector_ApplyT)->Arg(20);
+void BM_StateVector_ApplyT_Generic(benchmark::State& state) {
+  apply_t_body<true>(state);
+}
+BENCHMARK(BM_StateVector_ApplyT_Generic)->Arg(20);
+
+void BM_StateVector_SampleN1000(benchmark::State& state) {
+  // Batched inverse-CDF draws: one probabilities pass, then O(n) per
+  // draw — the conventional direct baseline's sampling cost.
+  const int n = static_cast<int>(state.range(0));
+  Rng scramble(19);
+  RandomCircuitOptions options;
+  options.num_moments = 4;
+  const Circuit circuit = generate_random_circuit(n, options, scramble);
+  StateVectorState psi(n);
+  for (const auto& op : circuit.all_operations()) psi.apply(op);
+  Rng rng(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psi.sample_n(1000, rng));
+  }
+}
+BENCHMARK(BM_StateVector_SampleN1000)->Arg(12)->Arg(20);
 
 void BM_StateVector_Probability(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -173,6 +262,7 @@ BENCHMARK(BM_Rng_Multinomial8);
 // perf-trajectory tracking, matching BENCH_fig2.json. Explicit
 // --benchmark_out flags still win.
 int main(int argc, char** argv) {
+  BGLS_REQUIRE_RELEASE_BENCH("micro_states");
   std::vector<char*> args(argv, argv + argc);
   std::string out_flag = "--benchmark_out=BENCH_micro_states.json";
   std::string format_flag = "--benchmark_out_format=json";
@@ -189,6 +279,24 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
     return 1;
   }
+  // The JSON context's "library_build_type" describes the *benchmark
+  // library* package, not this code; record bgls's own build mode so
+  // the file is self-describing (bench_guard.h enforces release).
+#ifdef NDEBUG
+  benchmark::AddCustomContext("bgls_build_type", "release");
+#else
+  benchmark::AddCustomContext("bgls_build_type", "debug (allowed via env)");
+#endif
+#ifdef BGLS_HAVE_OPENMP
+  benchmark::AddCustomContext("bgls_openmp", "on");
+#else
+  benchmark::AddCustomContext("bgls_openmp", "off");
+#endif
+#ifdef BGLS_HAVE_AVX2
+  benchmark::AddCustomContext("bgls_avx2", "on");
+#else
+  benchmark::AddCustomContext("bgls_avx2", "off");
+#endif
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -4,26 +4,57 @@
 /// gates so the bitstring is updated once per run instead of once per
 /// gate. On random eight-qubit circuits with up to 50 layers the paper
 /// reports 1.5–2x runtime improvements.
+///
+/// Extended with the two-qubit-fusion ablation: each workload runs raw,
+/// with pass 1 only (the paper's fusion), and with pass 1 + pass 2
+/// (single-qubit runs absorbed into adjacent two-qubit gates). Results
+/// are also written as machine-readable JSON (BENCH_tips.json, or the
+/// path given as argv[1]) for the perf trajectory tracking.
 
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench_guard.h"
 #include "circuit/random.h"
 #include "core/optimize.h"
 #include "core/simulator.h"
 #include "statevector/state.h"
+#include "util/json_writer.h"
 #include "util/table.h"
 #include "util/timing.h"
 
-int main() {
-  using namespace bgls;
+namespace {
+
+using namespace bgls;
+
+struct AblationRow {
+  int layers = 0;
+  std::size_t ops_raw = 0;
+  std::size_t ops_pass1 = 0;
+  std::size_t ops_pass12 = 0;
+  std::size_t gates_fused_into_two_qubit = 0;
+  double raw_seconds = 0.0;
+  double pass1_seconds = 0.0;
+  double pass12_seconds = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BGLS_REQUIRE_RELEASE_BENCH("tips_circuit_optimization");
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_tips.json";
 
   const int n = 8;  // the paper's eight-qubit workload
   const std::uint64_t reps = 2000;
 
   std::cout << "=== tips: optimize_for_bgls speedup on random " << n
             << "-qubit circuits ===\n\n";
-  ConsoleTable table({"layers", "ops before", "ops after", "raw", "optimized",
-                      "speedup"});
+  ConsoleTable table({"layers", "ops raw", "ops 1q", "ops 1q+2q", "raw",
+                      "1q fused", "1q+2q fused", "speedup 1q",
+                      "speedup 1q+2q"});
+  std::vector<AblationRow> rows;
   for (const int layers : {10, 20, 30, 40, 50}) {
     Rng circuit_rng(static_cast<std::uint64_t>(layers));
     RandomCircuitOptions options;
@@ -34,22 +65,70 @@ int main() {
     options.gate_domain = {Gate::H(), Gate::T(), Gate::S(),  Gate::X(),
                            Gate::Z(), Gate::Rz(0.31), Gate::CX()};
     const Circuit circuit = generate_random_circuit(n, options, circuit_rng);
-    OptimizationReport report;
-    const Circuit optimized = optimize_for_bgls(circuit, &report);
+    OptimizationReport report1, report12;
+    const Circuit pass1 = optimize_for_bgls(
+        circuit, OptimizeOptions{.fuse_into_two_qubit_gates = false},
+        &report1);
+    const Circuit pass12 = optimize_for_bgls(circuit, &report12);
 
     Simulator<StateVectorState> sim{StateVectorState(n)};
-    Rng rng1(3), rng2(3);
-    const double raw =
+    Rng rng1(3), rng2(3), rng3(3);
+    AblationRow row;
+    row.layers = layers;
+    row.ops_raw = report1.operations_before;
+    row.ops_pass1 = report1.operations_after;
+    row.ops_pass12 = report12.operations_after;
+    row.gates_fused_into_two_qubit = report12.gates_fused_into_two_qubit;
+    row.raw_seconds =
         median_runtime([&] { sim.sample(circuit, reps, rng1); });
-    const double fast =
-        median_runtime([&] { sim.sample(optimized, reps, rng2); });
-    table.add_row({std::to_string(layers),
-                   std::to_string(report.operations_before),
-                   std::to_string(report.operations_after),
-                   ConsoleTable::duration(raw), ConsoleTable::duration(fast),
-                   ConsoleTable::num(raw / fast, 3) + "x"});
+    row.pass1_seconds =
+        median_runtime([&] { sim.sample(pass1, reps, rng2); });
+    row.pass12_seconds =
+        median_runtime([&] { sim.sample(pass12, reps, rng3); });
+    rows.push_back(row);
+    table.add_row(
+        {std::to_string(layers), std::to_string(row.ops_raw),
+         std::to_string(row.ops_pass1), std::to_string(row.ops_pass12),
+         ConsoleTable::duration(row.raw_seconds),
+         ConsoleTable::duration(row.pass1_seconds),
+         ConsoleTable::duration(row.pass12_seconds),
+         ConsoleTable::num(row.raw_seconds / row.pass1_seconds, 3) + "x",
+         ConsoleTable::num(row.raw_seconds / row.pass12_seconds, 3) + "x"});
   }
   table.print(std::cout);
-  std::cout << "\nExpected range per the paper's tips page: 1.5x - 2x.\n";
+  std::cout << "\nExpected range per the paper's tips page (pass 1): 1.5x - "
+               "2x; pass 2 absorbs\nsingle-qubit runs into neighboring "
+               "two-qubit gates on top of that.\n";
+
+  std::ofstream json_file(json_path);
+  if (!json_file) {
+    std::cerr << "could not open " << json_path << " for writing\n";
+    return 1;
+  }
+  JsonWriter json(json_file);
+  json.begin_object();
+  json.key("figure").value("tips_circuit_optimization");
+  json.key("num_qubits").value(n);
+  json.key("repetitions").value(reps);
+  json.key("rows").begin_array();
+  for (const AblationRow& row : rows) {
+    json.begin_object();
+    json.key("layers").value(row.layers);
+    json.key("operations_raw").value(row.ops_raw);
+    json.key("operations_after_pass1").value(row.ops_pass1);
+    json.key("operations_after_pass12").value(row.ops_pass12);
+    json.key("gates_fused_into_two_qubit")
+        .value(row.gates_fused_into_two_qubit);
+    json.key("raw_seconds").value(row.raw_seconds);
+    json.key("pass1_seconds").value(row.pass1_seconds);
+    json.key("pass12_seconds").value(row.pass12_seconds);
+    json.key("speedup_pass1").value(row.raw_seconds / row.pass1_seconds);
+    json.key("speedup_pass12").value(row.raw_seconds / row.pass12_seconds);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json_file << "\n";
+  std::cout << "\nwrote " << json_path << "\n";
   return 0;
 }

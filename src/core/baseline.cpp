@@ -39,4 +39,23 @@ Counts qubit_by_qubit_sample(const Circuit& circuit,
   return counts;
 }
 
+Counts direct_sample(const Circuit& circuit, StateVectorState initial_state,
+                     std::uint64_t repetitions, Rng& rng) {
+  Counts counts;
+  if (!circuit.has_channels()) {
+    StateVectorState final_state = std::move(initial_state);
+    evolve(circuit, final_state, rng);
+    for (const Bitstring bits : final_state.sample_n(repetitions, rng)) {
+      ++counts[bits];
+    }
+    return counts;
+  }
+  for (std::uint64_t rep = 0; rep < repetitions; ++rep) {
+    StateVectorState state = initial_state;
+    evolve(circuit, state, rng);
+    ++counts[state.sample(rng)];
+  }
+  return counts;
+}
+
 }  // namespace bgls

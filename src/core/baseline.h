@@ -28,4 +28,14 @@ namespace bgls {
 [[nodiscard]] Bitstring qubit_by_qubit_sample_once(
     const StateVectorState& final_state, Rng& rng);
 
+/// The cheapest conventional baseline: one full evolution, then all
+/// repetitions drawn from the final probability vector with batched
+/// inverse-CDF draws (StateVectorState::sample_n) — one O(2^n) pass
+/// plus O(n) per draw, instead of the qubit-by-qubit method's n
+/// marginal sweeps per draw. Channels fall back to one trajectory and
+/// one draw per repetition.
+[[nodiscard]] Counts direct_sample(const Circuit& circuit,
+                                   StateVectorState initial_state,
+                                   std::uint64_t repetitions, Rng& rng);
+
 }  // namespace bgls

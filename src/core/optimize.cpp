@@ -1,7 +1,10 @@
 #include "core/optimize.h"
 
+#include <array>
 #include <map>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "util/error.h"
 
@@ -17,18 +20,50 @@ struct PendingRun {
   std::optional<Operation> lone_op;
 };
 
+/// One emitted slot. Either a finished operation, or an open two-qubit
+/// fusion site whose 4x4 product later single-qubit runs on its lines
+/// may still be multiplied into.
+struct Slot {
+  std::optional<Operation> fixed;
+  // Open two-qubit site (when !fixed):
+  Matrix product;                // accumulated 4x4
+  std::array<Qubit, 2> qubits{};
+  std::optional<Operation> seed; // original op, kept while nothing absorbed
+};
+
 bool is_identity_up_to_tolerance(const Matrix& m) {
-  return m.max_abs_diff(Matrix::identity(2)) < 1e-10;
+  return m.max_abs_diff(Matrix::identity(m.rows())) < 1e-10;
+}
+
+/// Lifts a single-qubit unitary onto a two-qubit gate's line: the
+/// gate-local index has qubits[0] as the most significant bit, so the
+/// first line lifts as u ⊗ I and the second as I ⊗ u.
+Matrix lift_to_pair(const Matrix& u, bool on_first_line) {
+  return on_first_line ? Matrix::kron(u, Matrix::identity(2))
+                       : Matrix::kron(Matrix::identity(2), u);
 }
 
 }  // namespace
 
-Circuit optimize_for_bgls(const Circuit& circuit, OptimizationReport* report) {
+Circuit optimize_for_bgls(const Circuit& circuit,
+                          const OptimizeOptions& options,
+                          OptimizationReport* report) {
   OptimizationReport local_report;
   local_report.operations_before = circuit.num_operations();
+  const bool fuse1 = options.fuse_single_qubit_gates;
+  const bool fuse2 = fuse1 && options.fuse_into_two_qubit_gates;
 
-  Circuit out;
+  std::vector<Slot> out;
   std::map<Qubit, PendingRun> pending;
+  // Index into `out` of the open two-qubit site a qubit's next run may
+  // attach to. Any other emitted operation touching the qubit closes it
+  // (so attached runs never commute past an operation on their line).
+  std::map<Qubit, std::ptrdiff_t> attach;
+
+  const auto attach_site = [&](Qubit q) -> std::ptrdiff_t {
+    const auto it = attach.find(q);
+    return it == attach.end() ? -1 : it->second;
+  };
 
   const auto flush_qubit = [&](Qubit q) {
     const auto it = pending.find(q);
@@ -41,29 +76,76 @@ Circuit optimize_for_bgls(const Circuit& circuit, OptimizationReport* report) {
       local_report.gates_fused += run.gate_count;
       return;
     }
-    if (run.gate_count == 1) {
-      out.append(*run.lone_op);
-      return;
+    if (fuse2) {
+      if (const std::ptrdiff_t site = attach_site(q); site >= 0) {
+        Slot& slot = out[static_cast<std::size_t>(site)];
+        slot.product =
+            lift_to_pair(run.product, q == slot.qubits[0]) * slot.product;
+        slot.seed.reset();
+        local_report.gates_fused_into_two_qubit += run.gate_count;
+        return;
+      }
     }
-    local_report.gates_fused += run.gate_count;
-    out.append(Operation(
-        Gate::SingleQubitMatrix(std::move(run.product), "fused"), {q}));
+    Slot slot;
+    if (run.gate_count == 1) {
+      slot.fixed = std::move(*run.lone_op);
+    } else {
+      local_report.gates_fused += run.gate_count;
+      slot.fixed = Operation(
+          Gate::SingleQubitMatrix(std::move(run.product), "fused"), {q});
+    }
+    out.push_back(std::move(slot));
   };
 
   for (const auto& op : circuit.all_operations()) {
     const Gate& gate = op.gate();
-    const bool fusible = gate.is_unitary() && gate.arity() == 1 &&
-                         !gate.is_parameterized();
-    if (fusible) {
+    const bool plain_unitary = !op.is_classically_controlled() &&
+                               gate.is_unitary() && !gate.is_parameterized();
+    if (fuse1 && plain_unitary && gate.arity() == 1) {
       PendingRun& run = pending[op.qubits()[0]];
       run.product = gate.unitary() * run.product;
       ++run.gate_count;
       run.lone_op = op;
       continue;
     }
-    // Barrier: flush every qubit this operation touches, then emit it.
+    if (fuse2 && plain_unitary && gate.arity() == 2) {
+      const Qubit q0 = op.qubits()[0];
+      const Qubit q1 = op.qubits()[1];
+      Matrix product = gate.unitary();
+      bool absorbed = false;
+      for (const auto& [q, first_line] :
+           {std::pair{q0, true}, std::pair{q1, false}}) {
+        const auto it = pending.find(q);
+        if (it == pending.end()) continue;
+        PendingRun run = std::move(it->second);
+        pending.erase(it);
+        if (run.gate_count == 0) continue;
+        if (is_identity_up_to_tolerance(run.product)) {
+          ++local_report.identities_dropped;
+          local_report.gates_fused += run.gate_count;
+          continue;
+        }
+        // The run precedes the gate: U · (run lifted onto its line).
+        product = product * lift_to_pair(run.product, first_line);
+        local_report.gates_fused_into_two_qubit += run.gate_count;
+        absorbed = true;
+      }
+      Slot slot;
+      slot.product = std::move(product);
+      slot.qubits = {q0, q1};
+      if (!absorbed) slot.seed = op;
+      out.push_back(std::move(slot));
+      attach[q0] = attach[q1] = static_cast<std::ptrdiff_t>(out.size() - 1);
+      continue;
+    }
+    // Barrier: flush every qubit this operation touches (pending runs
+    // still precede it, so they may attach), close the open two-qubit
+    // sites on those lines, then emit it.
     for (const Qubit q : op.qubits()) flush_qubit(q);
-    out.append(op);
+    for (const Qubit q : op.qubits()) attach[q] = -1;
+    Slot barrier;
+    barrier.fixed = op;
+    out.push_back(std::move(barrier));
   }
   // Flush the tails (copy keys first: flush_qubit mutates the map).
   std::vector<Qubit> remaining;
@@ -71,9 +153,32 @@ Circuit optimize_for_bgls(const Circuit& circuit, OptimizationReport* report) {
   for (const auto& [q, run] : pending) remaining.push_back(q);
   for (const Qubit q : remaining) flush_qubit(q);
 
-  local_report.operations_after = out.num_operations();
+  Circuit result;
+  for (auto& slot : out) {
+    if (slot.fixed.has_value()) {
+      result.append(std::move(*slot.fixed));
+      continue;
+    }
+    if (slot.seed.has_value()) {  // nothing absorbed: keep the name
+      result.append(std::move(*slot.seed));
+      continue;
+    }
+    if (is_identity_up_to_tolerance(slot.product)) {
+      ++local_report.identities_dropped;
+      continue;
+    }
+    result.append(Operation(
+        Gate::TwoQubitMatrix(std::move(slot.product), "fused2"),
+        {slot.qubits[0], slot.qubits[1]}));
+  }
+
+  local_report.operations_after = result.num_operations();
   if (report != nullptr) *report = local_report;
-  return out;
+  return result;
+}
+
+Circuit optimize_for_bgls(const Circuit& circuit, OptimizationReport* report) {
+  return optimize_for_bgls(circuit, OptimizeOptions{}, report);
 }
 
 }  // namespace bgls

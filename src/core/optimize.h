@@ -8,6 +8,14 @@
 /// matrix gate so the bitstring is updated once instead of k times. The
 /// paper's tips page reports 1.5–2x speedups on random 8-qubit circuits
 /// of up to 50 layers (reproduced in bench/tips_circuit_optimization).
+///
+/// Beyond the paper, a second qsim-style pass absorbs those single-qubit
+/// runs into an adjacent two-qubit gate (before it or after it, whenever
+/// no other operation on the qubit intervenes), lifting A on the control
+/// line and B on the target line of U into U·(A ⊗ B) — one 4x4 gate
+/// where the sampler previously paid several state applications and
+/// candidate resamplings. Both passes are exact matrix products, so the
+/// sampled distribution is preserved exactly.
 
 #pragma once
 
@@ -15,22 +23,40 @@
 
 namespace bgls {
 
+/// Ablation switches for the optimizer passes (both on by default).
+struct OptimizeOptions {
+  /// Pass 1 (the paper's Sec. 3.2.2): fuse runs of consecutive
+  /// single-qubit unitary gates per qubit into one matrix gate.
+  bool fuse_single_qubit_gates = true;
+  /// Pass 2 (beyond the paper, qsim-style): absorb single-qubit runs
+  /// into an adjacent two-qubit unitary gate. Builds on pass 1's run
+  /// accumulation, so it is ignored when pass 1 is disabled.
+  bool fuse_into_two_qubit_gates = true;
+};
+
 /// What the optimizer did (for logging / benches).
 struct OptimizationReport {
   std::size_t operations_before = 0;
   std::size_t operations_after = 0;
-  /// Single-qubit gates absorbed into fused matrix gates.
+  /// Single-qubit gates absorbed into fused single-qubit matrix gates.
   std::size_t gates_fused = 0;
+  /// Single-qubit gates absorbed into adjacent two-qubit gates.
+  std::size_t gates_fused_into_two_qubit = 0;
   /// Fused products that reduced to the identity and were dropped.
   std::size_t identities_dropped = 0;
 };
 
-/// Fuses maximal runs of consecutive single-qubit unitary gates per
-/// qubit into single matrix gates, dropping products that collapse to
-/// the identity (up to 1e-10). Multi-qubit gates, measurements, channels
-/// and unresolved-parameter gates act as barriers and pass through
-/// unchanged. The sampled distribution is preserved exactly (fusion is
-/// an exact matrix product).
+/// Runs the fusion passes selected by `options` (see OptimizeOptions).
+/// Multi-qubit barriers, measurements, channels, classically-controlled
+/// and unresolved-parameter gates pass through unchanged and terminate
+/// the runs they touch. Identity products (up to 1e-10) are dropped.
+/// The sampled distribution is preserved exactly (fusion is an exact
+/// matrix product).
+[[nodiscard]] Circuit optimize_for_bgls(const Circuit& circuit,
+                                        const OptimizeOptions& options,
+                                        OptimizationReport* report = nullptr);
+
+/// Default-options overload (both fusion passes enabled).
 [[nodiscard]] Circuit optimize_for_bgls(const Circuit& circuit,
                                         OptimizationReport* report = nullptr);
 

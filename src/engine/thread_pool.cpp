@@ -4,6 +4,10 @@
 #include <memory>
 #include <utility>
 
+#ifdef BGLS_HAVE_OPENMP
+#include <omp.h>
+#endif
+
 #include "util/error.h"
 
 namespace bgls {
@@ -105,7 +109,17 @@ void ThreadPool::parallel_for(std::size_t count,
   for (std::size_t t = 0; t < helpers; ++t) {
     submit([batch, drain] { drain(batch); });
   }
-  drain(batch);  // the caller participates too
+  // The caller participates too — under the same no-nested-OpenMP rule
+  // as the workers, or its shards would fork full-width teams while
+  // every worker is busy.
+#ifdef BGLS_HAVE_OPENMP
+  const int caller_omp_threads = omp_get_max_threads();
+  omp_set_num_threads(1);
+#endif
+  drain(batch);
+#ifdef BGLS_HAVE_OPENMP
+  omp_set_num_threads(caller_omp_threads);
+#endif
 
   std::unique_lock<std::mutex> lock(batch->mutex);
   batch->finished.wait(lock,
@@ -114,6 +128,11 @@ void ThreadPool::parallel_for(std::size_t count,
 }
 
 void ThreadPool::worker_loop() {
+#ifdef BGLS_HAVE_OPENMP
+  // The pool already owns the parallelism: nested OpenMP teams inside
+  // the statevector kernels would oversubscribe the machine.
+  omp_set_num_threads(1);
+#endif
   for (;;) {
     std::function<void()> task;
     {

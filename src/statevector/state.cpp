@@ -1,7 +1,9 @@
 #include "statevector/state.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "statevector/kernels.h"
 #include "util/error.h"
 
 namespace bgls {
@@ -42,95 +44,9 @@ void StateVectorState::apply_matrix(const Matrix& m,
   for (const Qubit q : qubits) {
     BGLS_REQUIRE(q >= 0 && q < num_qubits_, "qubit ", q, " out of range");
   }
-  switch (qubits.size()) {
-    case 1:
-      apply_single_qubit(m, qubits[0]);
-      break;
-    case 2:
-      apply_two_qubit(m, qubits[0], qubits[1]);
-      break;
-    default:
-      apply_generic(m, qubits);
-  }
-}
-
-void StateVectorState::apply_single_qubit(const Matrix& m, Qubit q) {
-  const std::size_t stride = std::size_t{1} << q;
-  const std::size_t dim = amplitudes_.size();
-  const Complex m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
-  const std::int64_t num_pairs = static_cast<std::int64_t>(dim >> 1);
-#pragma omp parallel for if (dim >= kParallelThreshold) schedule(static)
-  for (std::int64_t p = 0; p < num_pairs; ++p) {
-    // Base index: insert a 0 at bit position q of the pair index.
-    const std::size_t pp = static_cast<std::size_t>(p);
-    const std::size_t i0 = ((pp & ~(stride - 1)) << 1) | (pp & (stride - 1));
-    const std::size_t i1 = i0 | stride;
-    const Complex a0 = amplitudes_[i0];
-    const Complex a1 = amplitudes_[i1];
-    amplitudes_[i0] = m00 * a0 + m01 * a1;
-    amplitudes_[i1] = m10 * a0 + m11 * a1;
-  }
-}
-
-void StateVectorState::apply_two_qubit(const Matrix& m, Qubit q0, Qubit q1) {
-  // Gate-local index: q0 is the most significant bit.
-  const std::size_t s0 = std::size_t{1} << q0;
-  const std::size_t s1 = std::size_t{1} << q1;
-  const std::size_t dim = amplitudes_.size();
-  const std::size_t lo = std::min(s0, s1);
-  const std::size_t hi = std::max(s0, s1);
-  const std::int64_t num_groups = static_cast<std::int64_t>(dim >> 2);
-#pragma omp parallel for if (dim >= kParallelThreshold) schedule(static)
-  for (std::int64_t g = 0; g < num_groups; ++g) {
-    // Spread the group index around the two target bit positions.
-    std::size_t base = static_cast<std::size_t>(g);
-    base = ((base & ~(lo - 1)) << 1) | (base & (lo - 1));
-    base = ((base & ~(hi - 1)) << 1) | (base & (hi - 1));
-    const std::size_t i00 = base;
-    const std::size_t i01 = base | s1;
-    const std::size_t i10 = base | s0;
-    const std::size_t i11 = base | s0 | s1;
-    const Complex a00 = amplitudes_[i00];
-    const Complex a01 = amplitudes_[i01];
-    const Complex a10 = amplitudes_[i10];
-    const Complex a11 = amplitudes_[i11];
-    amplitudes_[i00] = m(0, 0) * a00 + m(0, 1) * a01 + m(0, 2) * a10 + m(0, 3) * a11;
-    amplitudes_[i01] = m(1, 0) * a00 + m(1, 1) * a01 + m(1, 2) * a10 + m(1, 3) * a11;
-    amplitudes_[i10] = m(2, 0) * a00 + m(2, 1) * a01 + m(2, 2) * a10 + m(2, 3) * a11;
-    amplitudes_[i11] = m(3, 0) * a00 + m(3, 1) * a01 + m(3, 2) * a10 + m(3, 3) * a11;
-  }
-}
-
-void StateVectorState::apply_generic(const Matrix& m,
-                                     std::span<const Qubit> qubits) {
-  const std::size_t k = qubits.size();
-  const std::size_t block = std::size_t{1} << k;
-  std::size_t support_mask = 0;
-  for (const Qubit q : qubits) support_mask |= std::size_t{1} << q;
-
-  std::vector<Complex> scratch(block);
-  for (std::size_t base = 0; base < amplitudes_.size(); ++base) {
-    if ((base & support_mask) != 0) continue;  // visit each group once
-    // Gather group amplitudes; gate-local index has qubits[0] as MSB.
-    for (std::size_t local = 0; local < block; ++local) {
-      std::size_t idx = base;
-      for (std::size_t j = 0; j < k; ++j) {
-        if ((local >> (k - 1 - j)) & 1u) idx |= std::size_t{1} << qubits[j];
-      }
-      scratch[local] = amplitudes_[idx];
-    }
-    for (std::size_t row = 0; row < block; ++row) {
-      Complex acc{0.0, 0.0};
-      for (std::size_t col = 0; col < block; ++col) {
-        acc += m(row, col) * scratch[col];
-      }
-      std::size_t idx = base;
-      for (std::size_t j = 0; j < k; ++j) {
-        if ((row >> (k - 1 - j)) & 1u) idx |= std::size_t{1} << qubits[j];
-      }
-      amplitudes_[idx] = acc;
-    }
-  }
+  // Gate-class dispatch (kernels.h): diagonal, permutation, controlled
+  // and dense matrices each take a kernel shaped for their structure.
+  kernels::apply_matrix(amplitudes_, num_qubits_, m, qubits);
 }
 
 void StateVectorState::project(std::span<const Qubit> qubits, Bitstring bits) {
@@ -190,6 +106,9 @@ double StateVectorState::marginal_one(Qubit q) const {
 }
 
 Bitstring StateVectorState::sample(Rng& rng) const {
+  // Allocation-free single draw: one scan with early exit. Same
+  // stopping rule as sample_n's inverse-CDF search (first i with
+  // target < cdf[i]), so the two agree bit for bit per uniform drawn.
   const double target = rng.uniform() * norm_squared();
   double acc = 0.0;
   for (std::size_t i = 0; i + 1 < amplitudes_.size(); ++i) {
@@ -197,6 +116,31 @@ Bitstring StateVectorState::sample(Rng& rng) const {
     if (target < acc) return i;
   }
   return amplitudes_.size() - 1;
+}
+
+std::vector<Bitstring> StateVectorState::sample_n(std::uint64_t count,
+                                                  Rng& rng) const {
+  // One O(2^n) probabilities pass builds the CDF; each draw is then an
+  // O(n) inverse-CDF binary search instead of another O(2^n) scan.
+  std::vector<double> cdf(amplitudes_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    acc += std::norm(amplitudes_[i]);
+    cdf[i] = acc;
+  }
+  const double total = cdf.back();
+  BGLS_REQUIRE(total > 0.0, "cannot sample from the zero vector");
+  std::vector<Bitstring> draws(count);
+  for (auto& draw : draws) {
+    const double target = rng.uniform() * total;
+    // First index with target < cdf[i] — identical to the sequential
+    // scan's stopping rule, so draws match the pre-CDF implementation
+    // bit for bit (plateaus from zero-probability entries are skipped).
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), target);
+    draw = it == cdf.end() ? amplitudes_.size() - 1
+                           : static_cast<Bitstring>(it - cdf.begin());
+  }
+  return draws;
 }
 
 double StateVectorState::max_abs_diff(const StateVectorState& other) const {

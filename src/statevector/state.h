@@ -10,8 +10,10 @@
 /// The state exposes the full sampler-state interface: unitary gate
 /// application, unnormalized Kraus application (quantum trajectories),
 /// computational-basis projection (mid-circuit measurement collapse), and
-/// bitstring probabilities. Large kernels parallelize over amplitude
-/// blocks with OpenMP when compiled with BGLS_HAVE_OPENMP.
+/// bitstring probabilities. Gate application dispatches through the
+/// gate-class-specialized kernels in kernels.h; large passes parallelize
+/// over amplitude blocks with OpenMP when compiled with
+/// BGLS_HAVE_OPENMP (the BGLS_ENABLE_OPENMP build flag).
 
 #pragma once
 
@@ -74,18 +76,21 @@ class StateVectorState {
   /// Marginal probability that qubit q reads 1.
   [[nodiscard]] double marginal_one(Qubit q) const;
 
-  /// Samples a full bitstring from |ψ|² (used by the conventional
-  /// qubit-by-qubit baseline, which evolves first, then samples).
+  /// Samples a full bitstring from |ψ|². Equivalent to sample_n(1,
+  /// rng)[0]; prefer sample_n when drawing many samples from one state.
   [[nodiscard]] Bitstring sample(Rng& rng) const;
+
+  /// Draws `count` bitstrings from |ψ|² with one O(2^n) probabilities
+  /// pass and O(n) inverse-CDF binary searches per draw — the batched
+  /// form the conventional direct-sampling baseline uses (the per-draw
+  /// linear scan it replaces made the baseline benches scan-bound).
+  [[nodiscard]] std::vector<Bitstring> sample_n(std::uint64_t count,
+                                                Rng& rng) const;
 
   /// Max |amplitude difference| against another state.
   [[nodiscard]] double max_abs_diff(const StateVectorState& other) const;
 
  private:
-  void apply_single_qubit(const Matrix& m, Qubit q);
-  void apply_two_qubit(const Matrix& m, Qubit q0, Qubit q1);
-  void apply_generic(const Matrix& m, std::span<const Qubit> qubits);
-
   int num_qubits_ = 0;
   std::vector<Complex> amplitudes_;
 };

@@ -1,0 +1,405 @@
+// Kernel-equivalence and determinism tests for the gate-class
+// specialized statevector kernels (statevector/kernels.h): every
+// specialized path against the forced-generic reference on random
+// states and qubit placements, classification itself, and bit-identical
+// sampled histograms with kernels on/off and across OpenMP thread
+// counts.
+
+#include "statevector/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#ifdef BGLS_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+#include "circuit/random.h"
+#include "core/optimize.h"
+#include "core/simulator.h"
+#include "statevector/state.h"
+#include "test_helpers.h"
+
+namespace bgls {
+namespace {
+
+StateVectorState random_state(int n, Rng& rng) {
+  StateVectorState state(n);
+  RandomCircuitOptions options;
+  options.num_moments = 6;
+  options.op_density = 0.9;
+  const Circuit c = generate_random_circuit(n, options, rng);
+  for (const auto& op : c.all_operations()) state.apply(op);
+  return state;
+}
+
+/// Applies `m` to copies of `initial` through the specialized and the
+/// forced-generic path and returns the max amplitude difference.
+double kernel_vs_generic_diff(const StateVectorState& initial, const Matrix& m,
+                              const std::vector<Qubit>& qubits) {
+  StateVectorState specialized = initial;
+  StateVectorState generic = initial;
+  {
+    kernels::ForceGenericScope scope(false);
+    specialized.apply_matrix(m, qubits);
+  }
+  {
+    kernels::ForceGenericScope scope(true);
+    generic.apply_matrix(m, qubits);
+  }
+  return specialized.max_abs_diff(generic);
+}
+
+Matrix random_unitary_1q(Rng& rng) {
+  return Gate::Rz(rng.uniform(0.0, 6.28)).unitary() *
+         Gate::Ry(rng.uniform(0.0, 6.28)).unitary() *
+         Gate::Rz(rng.uniform(0.0, 6.28)).unitary();
+}
+
+Matrix random_unitary_2q(Rng& rng) {
+  const Matrix entangler = Gate::CX().unitary();
+  Matrix u = Matrix::kron(random_unitary_1q(rng), random_unitary_1q(rng));
+  u = entangler * u;
+  u = Matrix::kron(random_unitary_1q(rng), random_unitary_1q(rng)) * u;
+  return u;
+}
+
+/// Controlled-U with the control on the first or second listed qubit
+/// (gate-local MSB or LSB).
+Matrix controlled_1q(const Matrix& u, bool control_is_first) {
+  Matrix m = Matrix::identity(4);
+  if (control_is_first) {
+    m(2, 2) = u(0, 0);
+    m(2, 3) = u(0, 1);
+    m(3, 2) = u(1, 0);
+    m(3, 3) = u(1, 1);
+  } else {
+    m(1, 1) = u(0, 0);
+    m(1, 3) = u(0, 1);
+    m(3, 1) = u(1, 0);
+    m(3, 3) = u(1, 1);
+  }
+  return m;
+}
+
+TEST(KernelClassify, DiagonalGates) {
+  for (const Gate& gate : {Gate::Z(), Gate::S(), Gate::T(), Gate::Rz(0.3),
+                           Gate::Phase(1.1), Gate::CZ(), Gate::CPhase(0.7),
+                           Gate::ZZ(0.4), Gate::CCZ()}) {
+    const auto c = kernels::classify(gate.unitary());
+    EXPECT_EQ(c.cls, kernels::GateClass::kDiagonal) << gate.name();
+  }
+}
+
+TEST(KernelClassify, PermutationGates) {
+  for (const Gate& gate : {Gate::X(), Gate::Y(), Gate::CX(), Gate::Swap(),
+                           Gate::ISwap(), Gate::CCX(), Gate::CSwap()}) {
+    const auto c = kernels::classify(gate.unitary());
+    EXPECT_EQ(c.cls, kernels::GateClass::kPermutation) << gate.name();
+  }
+}
+
+TEST(KernelClassify, DenseGates) {
+  Rng rng(3);
+  for (const Matrix& m : {Gate::H().unitary(), Gate::SqrtX().unitary(),
+                          Gate::Rx(0.4).unitary(), random_unitary_1q(rng),
+                          random_unitary_2q(rng)}) {
+    EXPECT_EQ(kernels::classify(m).cls, kernels::GateClass::kDense);
+  }
+}
+
+TEST(KernelClassify, ControlledDenseGates) {
+  Rng rng(5);
+  const Matrix u = random_unitary_1q(rng);
+
+  const auto first = kernels::classify(controlled_1q(u, true));
+  EXPECT_EQ(first.cls, kernels::GateClass::kControlled);
+  EXPECT_EQ(first.control_positions, 1u);  // qubits[0] is the control
+  EXPECT_LT(first.inner.max_abs_diff(u), 1e-15);
+
+  const auto second = kernels::classify(controlled_1q(u, false));
+  EXPECT_EQ(second.cls, kernels::GateClass::kControlled);
+  EXPECT_EQ(second.control_positions, 2u);  // qubits[1] is the control
+
+  // Doubly-controlled dense gate: 8x8 identity except an H block on
+  // the |11x⟩ subspace.
+  Matrix cch = Matrix::identity(8);
+  const Matrix h = Gate::H().unitary();
+  cch(6, 6) = h(0, 0);
+  cch(6, 7) = h(0, 1);
+  cch(7, 6) = h(1, 0);
+  cch(7, 7) = h(1, 1);
+  const auto both = kernels::classify(cch);
+  EXPECT_EQ(both.cls, kernels::GateClass::kControlled);
+  EXPECT_EQ(both.control_positions, 3u);  // qubits[0] and qubits[1]
+  EXPECT_LT(both.inner.max_abs_diff(h), 1e-15);
+}
+
+TEST(KernelEquivalence, NamedSingleQubitGates) {
+  const int n = 6;
+  Rng rng(11);
+  for (const Gate& gate :
+       {Gate::I(), Gate::X(), Gate::Y(), Gate::Z(), Gate::H(), Gate::S(),
+        Gate::Sdg(), Gate::T(), Gate::Tdg(), Gate::SqrtX(), Gate::Rx(0.9),
+        Gate::Ry(1.3), Gate::Rz(0.5), Gate::Phase(2.1)}) {
+    const StateVectorState state = random_state(n, rng);
+    for (const Qubit q : {0, 2, n - 1}) {  // low, middle, high bit
+      EXPECT_LT(kernel_vs_generic_diff(state, gate.unitary(), {q}), 1e-12)
+          << gate.name() << " on qubit " << q;
+    }
+  }
+}
+
+TEST(KernelEquivalence, NamedTwoQubitGates) {
+  const int n = 6;
+  Rng rng(13);
+  const std::vector<std::vector<Qubit>> placements{
+      {0, 1}, {1, 0}, {4, 5}, {5, 4}, {0, 5}, {5, 0}, {2, 3}};
+  for (const Gate& gate : {Gate::CX(), Gate::CZ(), Gate::Swap(),
+                           Gate::ISwap(), Gate::CPhase(0.8), Gate::ZZ(1.7)}) {
+    const StateVectorState state = random_state(n, rng);
+    for (const auto& qubits : placements) {
+      EXPECT_LT(kernel_vs_generic_diff(state, gate.unitary(), qubits), 1e-12)
+          << gate.name() << " on (" << qubits[0] << ", " << qubits[1] << ")";
+    }
+  }
+}
+
+TEST(KernelEquivalence, NamedThreeQubitGates) {
+  const int n = 6;
+  Rng rng(17);
+  const std::vector<std::vector<Qubit>> placements{
+      {0, 1, 2}, {2, 1, 0}, {3, 5, 1}, {5, 4, 3}, {1, 3, 5}};
+  for (const Gate& gate : {Gate::CCX(), Gate::CCZ(), Gate::CSwap()}) {
+    const StateVectorState state = random_state(n, rng);
+    for (const auto& qubits : placements) {
+      EXPECT_LT(kernel_vs_generic_diff(state, gate.unitary(), qubits), 1e-12)
+          << gate.name();
+    }
+  }
+}
+
+TEST(KernelEquivalence, RandomDenseMatrices) {
+  const int n = 6;
+  Rng rng(19);
+  for (int trial = 0; trial < 10; ++trial) {
+    const StateVectorState state = random_state(n, rng);
+    const Qubit q = static_cast<Qubit>(rng.uniform_int(n));
+    EXPECT_LT(kernel_vs_generic_diff(state, random_unitary_1q(rng), {q}),
+              1e-12);
+    const Qubit q0 = static_cast<Qubit>(rng.uniform_int(n));
+    Qubit q1 = static_cast<Qubit>(rng.uniform_int(n));
+    if (q1 == q0) q1 = (q0 + 1) % n;
+    EXPECT_LT(
+        kernel_vs_generic_diff(state, random_unitary_2q(rng), {q0, q1}),
+        1e-12);
+  }
+}
+
+TEST(KernelEquivalence, ControlledDenseMatrices) {
+  const int n = 6;
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    const StateVectorState state = random_state(n, rng);
+    const Matrix u = random_unitary_1q(rng);
+    const Qubit q0 = static_cast<Qubit>(rng.uniform_int(n));
+    Qubit q1 = static_cast<Qubit>(rng.uniform_int(n));
+    if (q1 == q0) q1 = (q0 + 1) % n;
+    EXPECT_LT(
+        kernel_vs_generic_diff(state, controlled_1q(u, true), {q0, q1}),
+        1e-12);
+    EXPECT_LT(
+        kernel_vs_generic_diff(state, controlled_1q(u, false), {q0, q1}),
+        1e-12);
+  }
+}
+
+TEST(KernelEquivalence, ThreeQubitControlledDenseMatrices) {
+  // Exercises the kControlled dispatch with a dense 1q inner (two
+  // controls) and a dense 2q inner (one control) — the
+  // apply_dense_2q-with-fixed_mask path no named gate reaches.
+  const int n = 6;
+  Rng rng(53);
+  const std::vector<std::vector<Qubit>> placements{
+      {0, 1, 2}, {2, 1, 0}, {5, 0, 3}, {3, 5, 1}};
+  for (int trial = 0; trial < 4; ++trial) {
+    const StateVectorState state = random_state(n, rng);
+
+    // Two controls, dense 1q inner: identity except u on |11x⟩.
+    Matrix ccu = Matrix::identity(8);
+    const Matrix u1 = random_unitary_1q(rng);
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (std::size_t c = 0; c < 2; ++c) ccu(6 + r, 6 + c) = u1(r, c);
+    }
+    // One control, dense 2q inner: identity except u2 on |1xx⟩.
+    Matrix cu2 = Matrix::identity(8);
+    const Matrix u2 = random_unitary_2q(rng);
+    for (std::size_t r = 0; r < 4; ++r) {
+      for (std::size_t c = 0; c < 4; ++c) cu2(4 + r, 4 + c) = u2(r, c);
+    }
+    ASSERT_EQ(kernels::classify(ccu).cls, kernels::GateClass::kControlled);
+    ASSERT_EQ(kernels::classify(cu2).cls, kernels::GateClass::kControlled);
+    for (const auto& qubits : placements) {
+      EXPECT_LT(kernel_vs_generic_diff(state, ccu, qubits), 1e-12);
+      EXPECT_LT(kernel_vs_generic_diff(state, cu2, qubits), 1e-12);
+    }
+  }
+}
+
+TEST(KernelEquivalence, NonUnitaryKrausLikeMatrices) {
+  // Classification is structural, so it must also serve unnormalized
+  // Kraus branches: diagonal damping, a scaled anti-diagonal, and a
+  // singular lowering operator (dense: it has a zero row).
+  const int n = 5;
+  Rng rng(29);
+  const StateVectorState state = random_state(n, rng);
+  const Matrix damping(2, 2, {1.0, 0.0, 0.0, std::sqrt(0.5)});
+  const Matrix scaled_flip(2, 2, {0.0, 0.3, 2.0, 0.0});
+  const Matrix lowering(2, 2, {0.0, 0.6, 0.0, 0.0});
+  for (const Matrix& m : {damping, scaled_flip, lowering}) {
+    for (const Qubit q : {0, n - 1}) {
+      EXPECT_LT(kernel_vs_generic_diff(state, m, {q}), 1e-12);
+    }
+  }
+}
+
+TEST(KernelEquivalence, FusedOptimizerMatrices) {
+  // The optimizer's fused 1q/2q products are the dense matrices the
+  // sampler actually applies — exercise them end to end.
+  const int n = 5;
+  Rng circuit_rng(31), state_rng(37);
+  RandomCircuitOptions options;
+  options.num_moments = 20;
+  options.op_density = 0.9;
+  const Circuit circuit = generate_random_circuit(n, options, circuit_rng);
+  const Circuit optimized = optimize_for_bgls(circuit);
+  const StateVectorState state = random_state(n, state_rng);
+  for (const auto& op : optimized.all_operations()) {
+    if (!op.gate().is_unitary()) continue;
+    const std::vector<Qubit> qubits(op.qubits().begin(), op.qubits().end());
+    EXPECT_LT(kernel_vs_generic_diff(state, op.gate().unitary(), qubits),
+              1e-12)
+        << op.to_string();
+  }
+}
+
+TEST(KernelEquivalence, LargeStateAboveParallelThreshold) {
+  // 2^15 amplitudes exceeds the kernels' OpenMP threshold, so this
+  // covers the parallel loop shapes when OpenMP is enabled (and the
+  // blocked serial shapes when not).
+  const int n = 15;
+  StateVectorState big(n);
+  // Entangle across the register so amplitudes are non-trivial.
+  for (int q = 0; q < n; ++q) big.apply(h(q));
+  for (int q = 0; q + 1 < n; ++q) big.apply(cnot(q, q + 1));
+  for (int q = 0; q < n; q += 3) big.apply(t(q));
+  for (const Gate& gate : {Gate::H(), Gate::X(), Gate::T(), Gate::Rx(0.7)}) {
+    for (const Qubit q : {0, 7, n - 1}) {
+      EXPECT_LT(kernel_vs_generic_diff(big, gate.unitary(), {q}), 1e-12)
+          << gate.name() << " on qubit " << q;
+    }
+  }
+  for (const Gate& gate : {Gate::CX(), Gate::CZ(), Gate::ISwap()}) {
+    for (const auto& qubits : std::vector<std::vector<Qubit>>{
+             {0, 1}, {n - 1, 0}, {7, 8}, {n - 2, n - 1}}) {
+      EXPECT_LT(kernel_vs_generic_diff(big, gate.unitary(), qubits), 1e-12)
+          << gate.name();
+    }
+  }
+}
+
+TEST(KernelDeterminism, HistogramsBitIdenticalKernelsOnOff) {
+  Rng circuit_rng(43);
+  RandomCircuitOptions options;
+  options.num_moments = 15;
+  options.op_density = 0.9;
+  const Circuit circuit = generate_random_circuit(5, options, circuit_rng);
+
+  Simulator<StateVectorState> sim{StateVectorState(5)};
+  Counts specialized, generic;
+  {
+    kernels::ForceGenericScope scope(false);
+    Rng rng(47);
+    specialized = sim.sample(circuit, 5000, rng);
+  }
+  {
+    kernels::ForceGenericScope scope(true);
+    Rng rng(47);
+    generic = sim.sample(circuit, 5000, rng);
+  }
+#ifdef BGLS_HAVE_AVX2
+  // The AVX2 path is an explicit opt-in whose FMA rounding differs
+  // from the generic butterfly in the last ulp, so bitwise equality
+  // against the generic path cannot hold; the distributions still must
+  // agree closely. (Thread-count bit-identity holds even with AVX2 —
+  // see the OmpThreadCounts tests.)
+  EXPECT_LT(total_variation_distance(normalize(specialized),
+                                     normalize(generic)),
+            0.05);
+#else
+  // The specialized kernels perform magnitude-identical arithmetic, so
+  // with a fixed seed the sampled histogram must match the generic
+  // path's exactly — not just statistically.
+  EXPECT_EQ(specialized, generic);
+#endif
+}
+
+#ifdef BGLS_HAVE_OPENMP
+TEST(KernelDeterminism, AmplitudesBitIdenticalAcrossOmpThreadCounts) {
+  // Every kernel partitions the index space into disjoint blocks with
+  // identical per-index arithmetic, so thread count must not change a
+  // single bit.
+  const int n = 15;
+  const int saved = omp_get_max_threads();
+  const auto evolve_with_threads = [&](int threads) {
+    omp_set_num_threads(threads);
+    StateVectorState state(n);
+    for (int q = 0; q < n; ++q) state.apply(h(q));
+    for (int q = 0; q + 1 < n; ++q) state.apply(cnot(q, q + 1));
+    for (int q = 0; q < n; ++q) state.apply(rz(0.1 * (q + 1), q));
+    for (int q = 0; q + 2 < n; q += 2) state.apply(cz(q, q + 2));
+    for (int q = 0; q < n; ++q) state.apply(ry(0.05 * (q + 1), q));
+    return state;
+  };
+  const StateVectorState serial = evolve_with_threads(1);
+  const StateVectorState parallel = evolve_with_threads(4);
+  omp_set_num_threads(saved);
+  EXPECT_EQ(serial.max_abs_diff(parallel), 0.0);
+}
+
+TEST(KernelDeterminism, HistogramsBitIdenticalAcrossOmpThreadCounts) {
+  const int n = 15;
+  Circuit circuit = ghz_circuit(n);
+  for (int q = 0; q < n; q += 2) circuit.append(t(q));
+  const int saved = omp_get_max_threads();
+  const auto sample_with_threads = [&](int threads) {
+    omp_set_num_threads(threads);
+    Simulator<StateVectorState> sim{StateVectorState(n)};
+    Rng rng(53);
+    return sim.sample(circuit, 500, rng);
+  };
+  const Counts serial = sample_with_threads(1);
+  const Counts parallel = sample_with_threads(3);
+  omp_set_num_threads(saved);
+  EXPECT_EQ(serial, parallel);
+}
+#endif  // BGLS_HAVE_OPENMP
+
+TEST(Kernels, ForceGenericScopeRestoresState) {
+  const bool before = kernels::force_generic();
+  {
+    kernels::ForceGenericScope outer(true);
+    EXPECT_TRUE(kernels::force_generic());
+    {
+      kernels::ForceGenericScope inner(false);
+      EXPECT_FALSE(kernels::force_generic());
+    }
+    EXPECT_TRUE(kernels::force_generic());
+  }
+  EXPECT_EQ(kernels::force_generic(), before);
+}
+
+}  // namespace
+}  // namespace bgls

@@ -33,20 +33,106 @@ TEST(Optimize, HhDropsToIdentity) {
   EXPECT_EQ(report.identities_dropped, 1u);
 }
 
+/// Pass-1-only options, for tests pinning the paper's Sec. 3.2.2
+/// behavior where two-qubit gates act as barriers.
+OptimizeOptions single_qubit_only() {
+  return OptimizeOptions{.fuse_into_two_qubit_gates = false};
+}
+
 TEST(Optimize, LoneGateKeepsItsName) {
   Circuit circuit{h(0), cnot(0, 1), t(1)};
-  const Circuit optimized = optimize_for_bgls(circuit);
+  const Circuit optimized = optimize_for_bgls(circuit, single_qubit_only());
   const auto ops = optimized.all_operations();
   ASSERT_EQ(ops.size(), 3u);
   EXPECT_EQ(ops[0].to_string(), "H(0)");
   EXPECT_EQ(ops[2].to_string(), "T(1)");
 }
 
-TEST(Optimize, TwoQubitGatesAreBarriers) {
+TEST(Optimize, TwoQubitGatesAreBarriersForPassOne) {
   Circuit circuit{h(0), cnot(0, 1), h(0)};
-  const Circuit optimized = optimize_for_bgls(circuit);
+  const Circuit optimized = optimize_for_bgls(circuit, single_qubit_only());
   // H ... CX ... H cannot merge across the CX.
   EXPECT_EQ(optimized.num_operations(), 3u);
+}
+
+TEST(Optimize, TwoQubitFusionAbsorbsNeighborRuns) {
+  // Pass 2: H(0) and T(1) precede the CX, S(0) and H(1) trail it with
+  // nothing in between — all four collapse into one 4x4 gate.
+  Circuit circuit{h(0), t(1), cnot(0, 1), s(0), h(1)};
+  OptimizationReport report;
+  const Circuit optimized = optimize_for_bgls(circuit, &report);
+  EXPECT_EQ(optimized.num_operations(), 1u);
+  EXPECT_EQ(report.gates_fused_into_two_qubit, 4u);
+  EXPECT_TRUE(testing::circuit_unitary(optimized, 2)
+                  .approx_equal(testing::circuit_unitary(circuit, 2), 1e-9));
+}
+
+TEST(Optimize, TwoQubitFusionKeepsUnmodifiedGateNames) {
+  Circuit circuit{cnot(0, 1), cnot(1, 2)};
+  const Circuit optimized = optimize_for_bgls(circuit);
+  const auto ops = optimized.all_operations();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].to_string(), "CX(0, 1)");
+  EXPECT_EQ(ops[1].to_string(), "CX(1, 2)");
+}
+
+TEST(Optimize, TwoQubitFusionAcrossDisjointOperations) {
+  // H(2) may hop over nothing: it directly precedes CX(1, 2) on its
+  // line even though CX(0, 1) sits between them in program order.
+  Circuit circuit{cnot(0, 1), h(2), cnot(1, 2)};
+  OptimizationReport report;
+  const Circuit optimized = optimize_for_bgls(circuit, &report);
+  EXPECT_EQ(optimized.num_operations(), 2u);
+  EXPECT_EQ(report.gates_fused_into_two_qubit, 1u);
+  EXPECT_TRUE(testing::circuit_unitary(optimized, 3)
+                  .approx_equal(testing::circuit_unitary(circuit, 3), 1e-9));
+}
+
+TEST(Optimize, TwoQubitFusionClosedByMeasurement) {
+  // The trailing H comes after the measurement on its qubit, so it must
+  // not be absorbed backwards into the CX.
+  Circuit circuit{h(0), cnot(0, 1), measure({0}, "m")};
+  circuit.append(h(0), InsertStrategy::kNewThenInline);
+  OptimizationReport report;
+  const Circuit optimized = optimize_for_bgls(circuit, &report);
+  const auto ops = optimized.all_operations();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(report.gates_fused_into_two_qubit, 1u);  // only the leading H
+  EXPECT_TRUE(ops[1].gate().is_measurement());
+  EXPECT_EQ(ops[2].to_string(), "H(0)");
+}
+
+TEST(Optimize, ClassicallyControlledGatesAreBarriers) {
+  // A conditioned gate must neither fuse (it would lose its condition)
+  // nor let runs merge across it.
+  Circuit circuit{h(0), measure({0}, "m")};
+  circuit.append(x(0).controlled_by_measurement("m"),
+                 InsertStrategy::kNewThenInline);
+  circuit.append(x(0), InsertStrategy::kNewThenInline);
+  const Circuit optimized = optimize_for_bgls(circuit);
+  const auto ops = optimized.all_operations();
+  ASSERT_EQ(ops.size(), 4u);
+  EXPECT_TRUE(ops[2].is_classically_controlled());
+  EXPECT_EQ(ops[3].to_string(), "X(0)");
+}
+
+TEST(Optimize, AblationOptionsDisablePasses) {
+  Circuit circuit{h(0), t(0), cnot(0, 1), s(1)};
+  OptimizationReport report;
+  const Circuit untouched = optimize_for_bgls(
+      circuit, OptimizeOptions{.fuse_single_qubit_gates = false}, &report);
+  EXPECT_EQ(untouched.num_operations(), circuit.num_operations());
+  EXPECT_EQ(report.gates_fused, 0u);
+  EXPECT_EQ(report.gates_fused_into_two_qubit, 0u);
+
+  const Circuit pass1 = optimize_for_bgls(circuit, single_qubit_only(),
+                                          &report);
+  EXPECT_EQ(pass1.num_operations(), 3u);  // fused(H,T), CX, S
+  EXPECT_EQ(report.gates_fused_into_two_qubit, 0u);
+
+  const Circuit pass12 = optimize_for_bgls(circuit, &report);
+  EXPECT_EQ(pass12.num_operations(), 1u);
+  EXPECT_EQ(report.gates_fused_into_two_qubit, 3u);
 }
 
 TEST(Optimize, MeasurementIsABarrier) {

@@ -319,6 +319,29 @@ TEST(QubitByQubitBaseline, AgreesWithBglsOnGhz) {
   EXPECT_TRUE(counts.contains(from_string("1111")));
 }
 
+TEST(DirectSampleBaseline, MatchesIdealDistribution) {
+  Rng circuit_rng(89);
+  RandomCircuitOptions options;
+  options.num_moments = 8;
+  const Circuit circuit = generate_random_circuit(3, options, circuit_rng);
+  Rng rng(103);
+  const Counts counts =
+      direct_sample(circuit, StateVectorState(3), 30000, rng);
+  const auto ideal = testing::ideal_distribution(circuit, 3);
+  EXPECT_LT(total_variation_distance(normalize(counts), ideal), 0.02);
+}
+
+TEST(DirectSampleBaseline, ChannelsFallBackToTrajectories) {
+  Circuit circuit{h(0)};
+  circuit.append(Operation(Gate::Channel(bit_flip(0.5)), {0}));
+  Rng rng(107);
+  const Counts counts = direct_sample(circuit, StateVectorState(1), 5000, rng);
+  std::uint64_t total = 0;
+  for (const auto& [bits, count] : counts) total += count;
+  EXPECT_EQ(total, 5000u);
+  EXPECT_EQ(counts.size(), 2u);  // both outcomes occur
+}
+
 TEST(Result, HistogramAndDistribution) {
   Result result;
   result.declare_key("k", {0, 1});

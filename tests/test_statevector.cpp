@@ -182,6 +182,36 @@ TEST(StateVector, SampleMatchesDistribution) {
   }
 }
 
+TEST(StateVector, SampleNMatchesSingleDraws) {
+  Rng rng(13);
+  const StateVectorState state = random_state(4, rng);
+  // Same seed → sample_n's batched inverse-CDF draws must equal a
+  // sequence of single draws (one uniform consumed per draw).
+  Rng rng_batched(21), rng_single(21);
+  const auto batched = state.sample_n(500, rng_batched);
+  for (const Bitstring expected : batched) {
+    EXPECT_EQ(state.sample(rng_single), expected);
+  }
+}
+
+TEST(StateVector, SampleNMatchesDistribution) {
+  StateVectorState state(2);
+  state.apply(rx(1.0, 0));
+  state.apply(ry(0.7, 1));
+  Rng rng(17);
+  const std::uint64_t reps = 50000;
+  Counts counts;
+  for (const Bitstring bits : state.sample_n(reps, rng)) ++counts[bits];
+  for (std::size_t b = 0; b < 4; ++b) {
+    const double expected =
+        state.probability(b) * static_cast<double>(reps);
+    const auto it = counts.find(b);
+    const double observed =
+        it == counts.end() ? 0.0 : static_cast<double>(it->second);
+    EXPECT_NEAR(observed, expected, 5.0 * std::sqrt(expected + 1.0));
+  }
+}
+
 TEST(StateVector, DeterministicChannelFlips) {
   StateVectorState state(1);
   Rng rng(1);
