@@ -7,19 +7,35 @@
 ///     runtime across register widths (complementing Fig. 2's
 ///     repetition sweep).
 
+#include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "bench_guard.h"
+#include "bench_json.h"
 
 #include "circuit/random.h"
 #include "core/simulator.h"
 #include "statevector/state.h"
+#include "util/json_writer.h"
 #include "util/table.h"
 #include "util/timing.h"
 
-int main() {
+int main(int argc, char** argv) {
   BGLS_REQUIRE_RELEASE_BENCH("ablation_sampler_options");
   using namespace bgls;
+  const std::string json_path =
+      bench::bench_json_path(argc, argv, "BENCH_ablation.json");
+
+  double diag_plain_seconds = 0.0;
+  double diag_skip_seconds = 0.0;
+  std::size_t diag_updates_skipped = 0;
+  struct WidthRow {
+    int width = 0;
+    std::size_t dict_peak = 0;
+    double seconds = 0.0;
+  };
+  std::vector<WidthRow> width_rows;
 
   std::cout << "=== Ablation 1: skip_diagonal_updates on a diagonal-heavy "
                "circuit ===\n\n";
@@ -47,6 +63,9 @@ int main() {
         median_runtime([&] { plain.sample(circuit, reps, rng1); });
     const double t_skip =
         median_runtime([&] { skipping.sample(circuit, reps, rng2); });
+    diag_plain_seconds = t_plain;
+    diag_skip_seconds = t_skip;
+    diag_updates_skipped = skipping.last_run_stats().diagonal_updates_skipped;
 
     ConsoleTable table({"variant", "runtime", "candidate updates skipped"});
     table.add_row({"update on every gate", ConsoleTable::duration(t_plain),
@@ -73,6 +92,8 @@ int main() {
       Simulator<StateVectorState> sim{StateVectorState(n)};
       Rng rng(9);
       const double t = median_runtime([&] { sim.sample(circuit, reps, rng); });
+      width_rows.push_back(
+          {n, sim.last_run_stats().max_dictionary_size, t});
       table.add_row({std::to_string(n),
                      std::to_string(sim.last_run_stats().max_dictionary_size),
                      std::to_string(1u << n), ConsoleTable::duration(t)});
@@ -83,5 +104,30 @@ int main() {
                  "exceed the 2^n ceiling, and a\nconcentrated state keeps it "
                  "far below.\n";
   }
+
+  std::ofstream json_file = bench::open_bench_json(json_path);
+  if (!json_file) return 1;
+  JsonWriter json(json_file);
+  json.begin_object();
+  json.key("figure").value("ablation_sampler_options");
+  json.key("skip_diagonal_updates").begin_object();
+  json.key("plain_seconds").value(diag_plain_seconds);
+  json.key("skip_seconds").value(diag_skip_seconds);
+  json.key("speedup").value(diag_plain_seconds / diag_skip_seconds);
+  json.key("updates_skipped").value(diag_updates_skipped);
+  json.end_object();
+  json.key("dictionary_saturation").begin_array();
+  for (const WidthRow& row : width_rows) {
+    json.begin_object();
+    json.key("width").value(row.width);
+    json.key("dictionary_peak").value(row.dict_peak);
+    json.key("ceiling").value(std::uint64_t{1} << row.width);
+    json.key("batched_seconds").value(row.seconds);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json_file << "\n";
+  bench::report_bench_json(json_path);
   return 0;
 }

@@ -1,0 +1,37 @@
+/// \file bench_json.h
+/// Shared BENCH_*.json plumbing for the figure benches: resolve the
+/// output path from argv, open it (or fail loudly), and print the
+/// closing "wrote <path>" line. Keeps the diffable-JSON convention
+/// (ROADMAP "Perf trajectory tracking") in one place instead of copied
+/// into every bench main.
+
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+namespace bgls::bench {
+
+/// argv[1] when given, else the bench's default BENCH_*.json name.
+inline std::string bench_json_path(int argc, char** argv,
+                                   const std::string& default_path) {
+  return argc > 1 ? argv[1] : default_path;
+}
+
+/// Opens `path` for writing; on failure prints the shared error line.
+/// Callers test the stream and bail, as with a plain ofstream.
+inline std::ofstream open_bench_json(const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "could not open " << path << " for writing\n";
+  }
+  return file;
+}
+
+/// The closing "wrote <path>" line every bench prints.
+inline void report_bench_json(const std::string& path) {
+  std::cout << "\nwrote " << path << "\n";
+}
+
+}  // namespace bgls::bench

@@ -11,15 +11,19 @@
 ///      Rz(θ): exact at Clifford angles (multiples of π/2), fluctuating
 ///      in between.
 
+#include <fstream>
 #include <iostream>
 #include <numbers>
+#include <vector>
 
 #include "bench_guard.h"
+#include "bench_json.h"
 
 #include "circuit/random.h"
 #include "core/simulator.h"
 #include "stabilizer/near_clifford.h"
 #include "statevector/state.h"
+#include "util/json_writer.h"
 #include "util/table.h"
 
 namespace {
@@ -54,8 +58,23 @@ Counts sample_near_clifford(const Circuit& circuit, int n,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   BGLS_REQUIRE_RELEASE_BENCH("fig4_overlap_vs_samples");
+  const std::string json_path =
+      bench::bench_json_path(argc, argv, "BENCH_fig4.json");
+  struct BudgetRow {
+    std::uint64_t samples = 0;
+    double overlap_pure = 0.0;
+    double overlap_t = 0.0;
+  };
+  std::vector<BudgetRow> budget_rows;
+  struct AngleRow {
+    double theta_over_pi = 0.0;
+    double overlap = 0.0;
+    double extent = 0.0;
+    bool clifford_angle = false;
+  };
+  std::vector<AngleRow> angle_rows;
   // Workload chosen so the T gates actually interfere (they sit on
   // superposed qubits followed by further mixing): on larger random
   // Clifford circuits the branch-mixture error washes out into the
@@ -86,6 +105,7 @@ int main() {
       const double overlap_t = distribution_overlap(
           normalize(sample_near_clifford(clifford_t, n, reps, rng_t)),
           ideal_t);
+      budget_rows.push_back({reps, overlap_pure, overlap_t});
       table.add_row({std::to_string(reps), ConsoleTable::num(overlap_pure, 4),
                      ConsoleTable::num(overlap_t, 4)});
     }
@@ -121,6 +141,8 @@ int main() {
       const double c_s = std::sqrt(2.0) * std::abs(std::sin(theta / 2.0));
       const double extent =
           (c_identity + c_s) * (c_identity + c_s);
+      angle_rows.push_back({theta / pi, overlap,
+                            clifford_angle ? 1.0 : extent, clifford_angle});
       table.add_row({ConsoleTable::num(theta / pi, 3),
                      ConsoleTable::num(overlap, 4),
                      ConsoleTable::num(clifford_angle ? 1.0 : extent, 4),
@@ -131,5 +153,33 @@ int main() {
                  "noise) exactly\nat the Clifford angles θ ∈ {0, π/2, π, "
                  "3π/2, 2π}; dips track the stabilizer extent.\n";
   }
+
+  std::ofstream json_file = bench::open_bench_json(json_path);
+  if (!json_file) return 1;
+  JsonWriter json(json_file);
+  json.begin_object();
+  json.key("figure").value("fig4_overlap_vs_samples");
+  json.key("overlap_vs_budget").begin_array();
+  for (const BudgetRow& row : budget_rows) {
+    json.begin_object();
+    json.key("samples").value(row.samples);
+    json.key("overlap_pure_clifford").value(row.overlap_pure);
+    json.key("overlap_clifford_t").value(row.overlap_t);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("overlap_vs_angle").begin_array();
+  for (const AngleRow& row : angle_rows) {
+    json.begin_object();
+    json.key("theta_over_pi").value(row.theta_over_pi);
+    json.key("overlap").value(row.overlap);
+    json.key("extent").value(row.extent);
+    json.key("clifford_angle").value(row.clifford_angle);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json_file << "\n";
+  bench::report_bench_json(json_path);
   return 0;
 }

@@ -13,14 +13,18 @@
 /// entanglement"), a second table runs volume-law random circuits,
 /// where bond dimensions — and MPS runtime — genuinely explode.
 
+#include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "bench_guard.h"
+#include "bench_json.h"
 
 #include "circuit/random.h"
 #include "core/simulator.h"
 #include "mps/state.h"
 #include "statevector/state.h"
+#include "util/json_writer.h"
 #include "util/table.h"
 #include "util/timing.h"
 
@@ -51,9 +55,19 @@ double time_sv(const Circuit& circuit, int n, std::uint64_t reps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   BGLS_REQUIRE_RELEASE_BENCH("fig6_ghz_mps_vs_sv");
+  const std::string json_path =
+      bench::bench_json_path(argc, argv, "BENCH_fig6.json");
   const std::uint64_t reps = 100;
+  struct Row {
+    int width = 0;
+    double mps_seconds = 0.0;
+    double sv_seconds = 0.0;
+    std::size_t chi = 0;
+  };
+  std::vector<Row> ghz_rows, volume_rows;
+  double ghz_sv_slope = 0.0;
 
   std::cout << "=== Fig. 6: random-GHZ sampling, MPS vs statevector ===\n\n";
   {
@@ -67,12 +81,14 @@ int main() {
       const double ts = time_sv(circuit, n, reps);
       widths.push_back(n);
       sv_times.push_back(ts);
+      ghz_rows.push_back({n, tm, ts, chi});
       table.add_row({std::to_string(n), ConsoleTable::duration(tm),
                      ConsoleTable::duration(ts), std::to_string(chi)});
     }
     table.print(std::cout);
+    ghz_sv_slope = log_log_slope(widths, sv_times);
     std::cout << "\nstatevector log-log slope vs width: "
-              << ConsoleTable::num(log_log_slope(widths, sv_times), 3)
+              << ConsoleTable::num(ghz_sv_slope, 3)
               << " (super-linear; 2^n amplitudes)\n"
               << "Our compressing split keeps GHZ at chi = 2, so the MPS "
                  "series stays flat\n(deviation from the paper's quimb "
@@ -94,6 +110,7 @@ int main() {
       std::size_t chi = 0;
       const double tm = time_mps(circuit, n, /*reps=*/20, &chi);
       const double ts = time_sv(circuit, n, /*reps=*/20);
+      volume_rows.push_back({n, tm, ts, chi});
       table.add_row({std::to_string(n), ConsoleTable::duration(tm),
                      ConsoleTable::duration(ts), std::to_string(chi)});
     }
@@ -104,5 +121,32 @@ int main() {
                  "'one needs particular care with tensor network states' "
                  "message.\n";
   }
+
+  std::ofstream json_file = bench::open_bench_json(json_path);
+  if (!json_file) return 1;
+  const auto emit_rows = [](JsonWriter& json, const std::vector<Row>& rows) {
+    json.begin_array();
+    for (const Row& row : rows) {
+      json.begin_object();
+      json.key("width").value(row.width);
+      json.key("mps_seconds").value(row.mps_seconds);
+      json.key("sv_seconds").value(row.sv_seconds);
+      json.key("mps_chi").value(row.chi);
+      json.end_object();
+    }
+    json.end_array();
+  };
+  JsonWriter json(json_file);
+  json.begin_object();
+  json.key("figure").value("fig6_ghz_mps_vs_sv");
+  json.key("repetitions").value(reps);
+  json.key("sv_log_log_slope_ghz").value(ghz_sv_slope);
+  json.key("random_ghz");
+  emit_rows(json, ghz_rows);
+  json.key("volume_law");
+  emit_rows(json, volume_rows);
+  json.end_object();
+  json_file << "\n";
+  bench::report_bench_json(json_path);
   return 0;
 }

@@ -8,14 +8,18 @@
 ///      CNOTs, MPS sampling runtime scales near-linearly with width,
 ///      corroborating the O(n·χ³) amplitude cost.
 
+#include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "bench_guard.h"
+#include "bench_json.h"
 
 #include "circuit/random.h"
 #include "core/simulator.h"
 #include "mps/state.h"
 #include "statevector/state.h"
+#include "util/json_writer.h"
 #include "util/table.h"
 #include "util/timing.h"
 
@@ -25,9 +29,25 @@ using namespace bgls;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   BGLS_REQUIRE_RELEASE_BENCH("fig7_random_mps_vs_sv");
+  const std::string json_path =
+      bench::bench_json_path(argc, argv, "BENCH_fig7.json");
   const std::uint64_t reps = 50;
+  struct FixedDepthRow {
+    int width = 0;
+    double mps_seconds = 0.0;
+    double sv_seconds = -1.0;  // < 0 when the dense state is out of reach
+    std::size_t chi = 0;
+  };
+  std::vector<FixedDepthRow> fixed_depth_rows;
+  struct FixedCnotRow {
+    int width = 0;
+    double mps_seconds = 0.0;
+    std::size_t chi = 0;
+  };
+  std::vector<FixedCnotRow> fixed_cnot_rows;
+  double mps_slope = 0.0;
 
   std::cout << "=== Fig. 7a: fixed-depth random circuits, MPS vs "
                "statevector ===\n\n";
@@ -50,11 +70,13 @@ int main() {
 
       MPSState probe(n);
       for (const auto& op : circuit.all_operations()) probe.apply(op);
-      const std::string chi = std::to_string(probe.max_bond_dimension());
+      const std::size_t chi_value = probe.max_bond_dimension();
+      const std::string chi = std::to_string(chi_value);
 
       if (n > 22) {
         // 2^32 amplitudes would need 64 GiB: MPS keeps going where the
         // dense representation cannot.
+        fixed_depth_rows.push_back({n, tm, -1.0, chi_value});
         table.add_row({std::to_string(n), ConsoleTable::duration(tm),
                        "(out of reach)", chi, "-"});
         continue;
@@ -63,6 +85,7 @@ int main() {
       Rng rng2(9);
       const double ts =
           median_runtime([&] { sv_sim.sample(circuit, reps, rng2); });
+      fixed_depth_rows.push_back({n, tm, ts, chi_value});
       table.add_row({std::to_string(n), ConsoleTable::duration(tm),
                      ConsoleTable::duration(ts), chi,
                      ConsoleTable::num(ts / tm, 3) + "x"});
@@ -115,14 +138,53 @@ int main() {
       for (const auto& op : circuit.all_operations()) probe.apply(op);
       widths.push_back(n);
       times.push_back(t);
+      fixed_cnot_rows.push_back({n, t, probe.max_bond_dimension()});
       table.add_row({std::to_string(n), ConsoleTable::duration(t),
                      std::to_string(probe.max_bond_dimension())});
     }
     table.print(std::cout);
+    mps_slope = log_log_slope(widths, times);
     std::cout << "\nlog-log slope vs width: "
-              << ConsoleTable::num(log_log_slope(widths, times), 3)
+              << ConsoleTable::num(mps_slope, 3)
               << " (near-linear for a fixed degree of entanglement, "
                  "corroborating O(n·chi^3))\n";
   }
+
+  std::ofstream json_file = bench::open_bench_json(json_path);
+  if (!json_file) return 1;
+  JsonWriter json(json_file);
+  json.begin_object();
+  json.key("figure").value("fig7_random_mps_vs_sv");
+  json.key("repetitions").value(reps);
+  json.key("fixed_depth").begin_array();
+  for (const FixedDepthRow& row : fixed_depth_rows) {
+    json.begin_object();
+    json.key("width").value(row.width);
+    json.key("mps_seconds").value(row.mps_seconds);
+    json.key("sv_seconds");
+    if (row.sv_seconds < 0.0) {
+      json.null();
+    } else {
+      json.value(row.sv_seconds);
+    }
+    json.key("mps_chi").value(row.chi);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("fixed_cnots").begin_object();
+  json.key("mps_log_log_slope").value(mps_slope);
+  json.key("rows").begin_array();
+  for (const FixedCnotRow& row : fixed_cnot_rows) {
+    json.begin_object();
+    json.key("width").value(row.width);
+    json.key("mps_seconds").value(row.mps_seconds);
+    json.key("mps_chi").value(row.chi);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.end_object();
+  json_file << "\n";
+  bench::report_bench_json(json_path);
   return 0;
 }

@@ -6,19 +6,24 @@
 /// per configuration (Fig. 9a), and the final solution partition
 /// checked against brute force (Fig. 9b).
 
+#include <fstream>
 #include <iostream>
 
 #include "bench_guard.h"
+#include "bench_json.h"
 
 #include "circuit/diagram.h"
 #include "mps/state.h"
 #include "qaoa/qaoa.h"
+#include "util/json_writer.h"
 #include "util/table.h"
 #include "util/timing.h"
 
-int main() {
+int main(int argc, char** argv) {
   BGLS_REQUIRE_RELEASE_BENCH("fig8_9_qaoa_maxcut");
   using namespace bgls;
+  const std::string json_path =
+      bench::bench_json_path(argc, argv, "BENCH_fig8_9.json");
 
   std::cout << "=== Figs. 8-9: QAOA MaxCut on ER(10, 0.3) via MPS ===\n\n";
 
@@ -69,5 +74,30 @@ int main() {
             << ideal_cut << ")\n";
   std::cout << "\nend-to-end runtime: " << ConsoleTable::duration(elapsed)
             << " (the paper reports ~5 minutes for the Python stack)\n";
+
+  std::ofstream json_file = bench::open_bench_json(json_path);
+  if (!json_file) return 1;
+  JsonWriter json(json_file);
+  json.begin_object();
+  json.key("figure").value("fig8_9_qaoa_maxcut");
+  json.key("num_vertices").value(graph.num_vertices());
+  json.key("max_bond_dim").value(options.max_bond_dim);
+  json.key("end_to_end_seconds").value(elapsed);
+  json.key("qaoa_best_cut").value(result.solution_cut);
+  json.key("brute_force_cut").value(ideal_cut);
+  json.key("optimal_found").value(result.solution_cut == ideal_cut);
+  json.key("best_grid_points").begin_array();
+  for (int i = 0; i < 8; ++i) {
+    const QaoaGridPoint& point = grid[static_cast<std::size_t>(i)];
+    json.begin_object();
+    json.key("gamma").value(point.gamma);
+    json.key("beta").value(point.beta);
+    json.key("avg_cut").value(point.energy);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json_file << "\n";
+  bench::report_bench_json(json_path);
   return 0;
 }

@@ -9,20 +9,26 @@
 /// lookup — so BGLS's cost is dominated by the single state evolution
 /// and the conventional method's by per-sample marginal sweeps.
 
+#include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "bench_guard.h"
+#include "bench_json.h"
 
 #include "circuit/random.h"
 #include "core/baseline.h"
 #include "core/simulator.h"
 #include "statevector/state.h"
+#include "util/json_writer.h"
 #include "util/table.h"
 #include "util/timing.h"
 
-int main() {
+int main(int argc, char** argv) {
   BGLS_REQUIRE_RELEASE_BENCH("sec2_bgls_vs_marginals");
   using namespace bgls;
+  const std::string json_path =
+      bench::bench_json_path(argc, argv, "BENCH_sec2.json");
 
   const int n = 16;
   const std::uint64_t reps = 100;
@@ -30,6 +36,13 @@ int main() {
                "sampling (statevector, " << n << " qubits, " << reps
             << " samples) ===\n\n";
 
+  struct Row {
+    int depth = 0;
+    double bgls_seconds = 0.0;
+    double conventional_seconds = 0.0;
+    double direct_seconds = 0.0;
+  };
+  std::vector<Row> rows;
   ConsoleTable table(
       {"depth", "bgls", "qubit-by-qubit", "ratio", "direct (inverse-CDF)"});
   for (const int depth : {5, 10, 20, 40, 80}) {
@@ -41,20 +54,48 @@ int main() {
 
     Simulator<StateVectorState> sim{StateVectorState(n)};
     Rng rng1(1), rng2(2), rng3(3);
-    const double t_bgls =
+    Row row;
+    row.depth = depth;
+    row.bgls_seconds =
         median_runtime([&] { sim.sample(circuit, reps, rng1); });
-    const double t_conventional = median_runtime([&] {
+    row.conventional_seconds = median_runtime([&] {
       (void)qubit_by_qubit_sample(circuit, StateVectorState(n), reps, rng2);
     });
-    const double t_direct = median_runtime([&] {
+    row.direct_seconds = median_runtime([&] {
       (void)direct_sample(circuit, StateVectorState(n), reps, rng3);
     });
-    table.add_row({std::to_string(depth), ConsoleTable::duration(t_bgls),
-                   ConsoleTable::duration(t_conventional),
-                   ConsoleTable::num(t_conventional / t_bgls, 3) + "x",
-                   ConsoleTable::duration(t_direct)});
+    rows.push_back(row);
+    table.add_row({std::to_string(depth),
+                   ConsoleTable::duration(row.bgls_seconds),
+                   ConsoleTable::duration(row.conventional_seconds),
+                   ConsoleTable::num(row.conventional_seconds /
+                                     row.bgls_seconds, 3) + "x",
+                   ConsoleTable::duration(row.direct_seconds)});
   }
   table.print(std::cout);
+
+  std::ofstream json_file = bench::open_bench_json(json_path);
+  if (!json_file) return 1;
+  JsonWriter json(json_file);
+  json.begin_object();
+  json.key("figure").value("sec2_bgls_vs_marginals");
+  json.key("num_qubits").value(n);
+  json.key("repetitions").value(reps);
+  json.key("rows").begin_array();
+  for (const Row& row : rows) {
+    json.begin_object();
+    json.key("depth").value(row.depth);
+    json.key("bgls_seconds").value(row.bgls_seconds);
+    json.key("qubit_by_qubit_seconds").value(row.conventional_seconds);
+    json.key("direct_seconds").value(row.direct_seconds);
+    json.key("ratio_vs_bgls").value(row.conventional_seconds /
+                                    row.bgls_seconds);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json_file << "\n";
+  bench::report_bench_json(json_path);
   std::cout
       << "\nBoth methods pay the one-off O(d·2^n) evolution; the "
          "conventional method adds\nn marginal sweeps (each O(2^n)) per "

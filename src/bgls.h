@@ -6,11 +6,14 @@
 ///  - bgls::Circuit / bgls::Gate / free operation builders (h, cnot,
 ///    measure, ...) — circuit construction (circuit/*.h);
 ///  - bgls::Simulator<State> — the gate-by-gate sampler (core/simulator.h);
-///  - bgls::BatchEngine<State> / bgls::ThreadPool — the parallel
-///    batch-sampling engine: shards trajectories and dictionary-batched
-///    repetition counts across deterministic RNG streams on a fixed-size
-///    thread pool, plus run_batch() for many-circuit sweeps
-///    (engine/engine.h; also reachable via SimulatorOptions::num_threads);
+///  - bgls::BatchEngine<State> / bgls::EngineContext / bgls::ThreadPool
+///    — the parallel batch-sampling engine: shards trajectories and
+///    dictionary-batched repetition counts across deterministic RNG
+///    streams on a long-lived shared pool, two-level run_batch() for
+///    many-circuit sweeps, and submit()/run_async() futures for
+///    overlapping circuit construction with sampling (engine/engine.h;
+///    also reachable via SimulatorOptions::num_threads and
+///    Simulator::run_async);
 ///  - state backends: bgls::StateVectorState, bgls::DensityMatrixState,
 ///    bgls::CHState (+ act_on_near_clifford), bgls::MPSState;
 ///  - bgls::optimize_for_bgls — circuit fusion for the sampler;
@@ -33,6 +36,7 @@
 #include "core/result.h"
 #include "core/simulator.h"
 #include "densitymatrix/state.h"
+#include "engine/context.h"
 #include "engine/engine.h"
 #include "engine/thread_pool.h"
 #include "mps/state.h"

@@ -40,6 +40,9 @@ void Result::append(const Result& other) {
                    "cannot append results: key '", key,
                    "' measures different qubits in the two results");
     }
+    // No reserve here: an exact reserve per shard would pin capacity to
+    // size and force a full copy on every append; insert's geometric
+    // growth keeps the engine's shard-at-a-time merge amortized linear.
     it->second.values.insert(it->second.values.end(), incoming.values.begin(),
                              incoming.values.end());
   }

@@ -41,12 +41,15 @@
 
 #include <algorithm>
 #include <functional>
+#include <future>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "circuit/circuit.h"
 #include "core/result.h"
+#include "engine/context.h"  // the reusable pool cached behind the simulator
 #include "util/bits.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -56,13 +59,21 @@ namespace bgls {
 template <typename State>
 class BatchEngine;  // engine/engine.h — included at the end of this file
 
+/// The Sec. 3.2.3 bitstring→multiplicity dictionary the batched sampler
+/// resamples per gate.
+using BatchDictionary = std::map<Bitstring, std::uint64_t>;
+
 /// Per-RNG-stream shard counters, filled by the BatchEngine (engine.h)
 /// when a run is sharded across streams.
 struct StreamStats {
-  /// Independent state evolutions executed in this shard.
+  /// Independent state evolutions executed in this shard (0 on the
+  /// engine's snapshot-sharing batched path, where one shared evolution
+  /// serves every shard).
   std::size_t trajectories = 0;
   /// apply_op invocations executed in this shard.
   std::size_t state_applications = 0;
+  /// compute_probability invocations executed in this shard.
+  std::size_t probability_evaluations = 0;
 };
 
 /// Instrumentation counters for the most recent run (used by the Fig. 2
@@ -107,6 +118,20 @@ struct SimulatorOptions {
   /// This — not the thread count — fixes the sampled values, so keep it
   /// constant when comparing runs across machines or thread counts.
   std::uint64_t num_rng_streams = 16;
+  /// Reuse one long-lived thread pool across engine runs: the pool is
+  /// cached process-wide per thread count behind a shared EngineContext
+  /// (engine/context.h), and copying a Simulator shares its context.
+  /// false restores the v1 behavior — a fresh pool per delegated run —
+  /// which the fig2 pool-reuse bench measures against. Never affects
+  /// the sampled values, only where the threads come from.
+  bool reuse_thread_pool = true;
+  /// run_batch scheduling granularity: true (default) schedules one
+  /// pool job per (circuit, repetition-shard) pair so a few large
+  /// trajectory circuits still saturate the pool; false schedules one
+  /// job per circuit and runs its shards serially inside it. The shard
+  /// decomposition is identical in both modes, so results are
+  /// bit-identical either way.
+  bool two_level_batch_sharding = true;
 };
 
 /// Gate-by-gate sampler over an arbitrary state representation.
@@ -214,6 +239,20 @@ class Simulator {
     return counts;
   }
 
+  /// Asynchronous run(): schedules the whole run as a job on the
+  /// persistent process-wide pool and returns immediately with a future
+  /// over the merged Result. Bit-identical to
+  /// `run(circuit, repetitions, seed)` by construction — the job runs a
+  /// full copy of this simulator through the ordinary synchronous
+  /// run(), so it makes the same serial-vs-engine path choice
+  /// (num_threads, repetitions) and draws the same records. Async jobs
+  /// do not update last_run_stats() (that would race between in-flight
+  /// jobs); use BatchEngine::submit() when the per-run stats are
+  /// needed. Thread-safe against other run_async calls.
+  [[nodiscard]] std::future<Result> run_async(Circuit circuit,
+                                              std::uint64_t repetitions,
+                                              std::uint64_t seed);
+
   /// Counters from the most recent run()/sample() call.
   [[nodiscard]] const RunStats& last_run_stats() const { return stats_; }
 
@@ -231,22 +270,105 @@ class Simulator {
     return can_parallelize(circuit);
   }
 
+  /// The (unevolved) initial state the sampler copies per run. The
+  /// engine's snapshot-sharing batched path evolves one copy of it.
+  [[nodiscard]] const State& initial_state() const { return initial_state_; }
+
+  /// The apply_op ingredient (used by the engine to evolve the shared
+  /// snapshot).
+  [[nodiscard]] const ApplyOpFn& apply_fn() const { return apply_op_; }
+
+  /// True when both hooks are the library defaults. Native
+  /// compute_probability is a pure function of (state, bitstring), so
+  /// the engine may invoke it concurrently against one shared state;
+  /// user-provided hooks carry no such guarantee, so the engine keeps
+  /// them on the v1 path — private per-shard states, still parallel
+  /// across the pool.
+  [[nodiscard]] bool hooks_are_native() const { return hooks_are_native_; }
+
+  /// The lazily acquired engine context (null until a multi-threaded
+  /// run first needs a pool). Copies of this simulator share it.
+  [[nodiscard]] const std::shared_ptr<EngineContext>& engine_context() const {
+    return engine_context_;
+  }
+
+  /// Throws unless `circuit` is runnable (parameters resolved, and
+  /// measured when `require_measurements`). Shared precondition of the
+  /// serial paths and the engine's snapshot path.
+  void check_runnable(const Circuit& circuit, bool require_measurements) const {
+    BGLS_REQUIRE(!circuit.is_parameterized(),
+                 "circuit has unresolved parameters; resolve() it first");
+    BGLS_REQUIRE(!require_measurements || circuit.has_measurements(),
+                 "circuit has no measurements to sample; append measure()");
+  }
+
+  /// One Sec. 3.2.3 dictionary-resampling step against an already
+  /// evolved state: splits every unique bitstring's multiplicity across
+  /// its candidates with exact multinomial draws from `rng`, replacing
+  /// `dictionary` in place. Returns the number of probability
+  /// evaluations performed. Const and re-entrant — the engine calls it
+  /// concurrently from many shards against one shared read-only state,
+  /// but only when hooks_are_native() (native compute_probability hooks
+  /// are pure functions of their arguments); with user-provided hooks
+  /// the engine falls back to v1 per-shard private states and never
+  /// shares a snapshot.
+  std::size_t resample_dictionary(const State& state, const Operation& op,
+                                  BatchDictionary& dictionary,
+                                  Rng& rng) const {
+    const auto support = support_of(op);
+    BatchDictionary next;
+    std::array<double, (1u << kMaxGateArity)> weights{};
+    std::array<std::uint64_t, (1u << kMaxGateArity)> counts{};
+    std::size_t evaluations = 0;
+    for (const auto& [bits, multiplicity] : dictionary) {
+      const CandidateList candidates = expand_candidates(bits, support);
+      const auto n = static_cast<std::size_t>(candidates.count);
+      for (std::size_t i = 0; i < n; ++i) {
+        weights[i] = compute_probability_(state, candidates.values[i]);
+      }
+      evaluations += n;
+      rng.multinomial(multiplicity, {weights.data(), n}, {counts.data(), n});
+      for (std::size_t i = 0; i < n; ++i) {
+        if (counts[i] > 0) next[candidates.values[i]] += counts[i];
+      }
+    }
+    dictionary.swap(next);
+    return evaluations;
+  }
+
+  /// Extracts a key's packed value from a full bitstring: bit j of the
+  /// result is b[qubits[j]]. (Public: the engine packs measurement
+  /// records from merged shard histograms with the same convention.)
+  [[nodiscard]] static Bitstring pack_key_bits(Bitstring b,
+                                               std::span<const Qubit> qubits) {
+    Bitstring packed = 0;
+    for (std::size_t j = 0; j < qubits.size(); ++j) {
+      packed = with_bit(packed, static_cast<int>(j), get_bit(b, qubits[j]));
+    }
+    return packed;
+  }
+
  private:
-  /// Routes a multi-repetition call through a fresh BatchEngine and
-  /// adopts its merged counters so last_run_stats() stays meaningful.
+  /// Routes a multi-repetition call through a BatchEngine sharing the
+  /// cached context and adopts its merged counters so last_run_stats()
+  /// stays meaningful.
   template <typename Body>
   auto run_with_engine(Body&& body) {
-    BatchEngine<State> engine(*this);
+    BatchEngine<State> engine = make_engine();
     auto result = body(engine);
     stats_ = engine.last_run_stats();
     return result;
   }
 
+  /// Builds an engine around a copy of this simulator. With
+  /// reuse_thread_pool the engine shares this simulator's cached
+  /// process-wide context (acquired on first use, re-acquired if the
+  /// configured thread count changed); otherwise the engine creates a
+  /// private pool per run — the v1 behavior.
+  BatchEngine<State> make_engine();
+
   void validate(const Circuit& circuit, bool require_measurements) {
-    BGLS_REQUIRE(!circuit.is_parameterized(),
-                 "circuit has unresolved parameters; resolve() it first");
-    BGLS_REQUIRE(!require_measurements || circuit.has_measurements(),
-                 "circuit has no measurements to sample; append measure()");
+    check_runnable(circuit, require_measurements);
     stats_ = RunStats{};
   }
 
@@ -262,17 +384,6 @@ class Simulator {
       if (op.is_classically_controlled()) return false;
     }
     return true;
-  }
-
-  /// Extracts a key's packed value from a full bitstring: bit j of the
-  /// result is b[qubits[j]].
-  [[nodiscard]] static Bitstring pack_key_bits(Bitstring b,
-                                               std::span<const Qubit> qubits) {
-    Bitstring packed = 0;
-    for (std::size_t j = 0; j < qubits.size(); ++j) {
-      packed = with_bit(packed, static_cast<int>(j), get_bit(b, qubits[j]));
-    }
-    return packed;
   }
 
   [[nodiscard]] static std::vector<int> support_of(const Operation& op) {
@@ -298,14 +409,15 @@ class Simulator {
   }
 
   /// Dictionary-batched sampling (Sec. 3.2.3): evolves one state and
-  /// splits every unique bitstring's multiplicity across its candidates
-  /// with exact multinomial draws.
+  /// resamples the dictionary after each gate. The per-gate step lives
+  /// in resample_dictionary() so the engine's snapshot-sharing path can
+  /// drive the identical arithmetic per shard.
   Counts sample_parallel(const Circuit& circuit, std::uint64_t repetitions,
                          Rng& rng) {
     stats_.used_sample_parallelization = true;
     stats_.trajectories = 1;
     State state = initial_state_;
-    std::map<Bitstring, std::uint64_t> dictionary{{Bitstring{0}, repetitions}};
+    BatchDictionary dictionary{{Bitstring{0}, repetitions}};
     stats_.max_dictionary_size = 1;
 
     for (const auto& op : circuit.all_operations()) {
@@ -316,24 +428,8 @@ class Simulator {
         ++stats_.diagonal_updates_skipped;
         continue;
       }
-      const auto support = support_of(op);
-      std::map<Bitstring, std::uint64_t> next;
-      std::array<double, (1u << kMaxGateArity)> weights{};
-      std::array<std::uint64_t, (1u << kMaxGateArity)> counts{};
-      for (const auto& [bits, multiplicity] : dictionary) {
-        const CandidateList candidates = expand_candidates(bits, support);
-        const auto n = static_cast<std::size_t>(candidates.count);
-        for (std::size_t i = 0; i < n; ++i) {
-          weights[i] = compute_probability_(state, candidates.values[i]);
-        }
-        stats_.probability_evaluations += n;
-        rng.multinomial(multiplicity, {weights.data(), n},
-                        {counts.data(), n});
-        for (std::size_t i = 0; i < n; ++i) {
-          if (counts[i] > 0) next[candidates.values[i]] += counts[i];
-        }
-      }
-      dictionary.swap(next);
+      stats_.probability_evaluations +=
+          resample_dictionary(state, op, dictionary, rng);
       stats_.max_dictionary_size =
           std::max(stats_.max_dictionary_size, dictionary.size());
     }
@@ -448,6 +544,9 @@ class Simulator {
   ProbabilityFn compute_probability_;
   bool hooks_are_native_ = true;
   RunStats stats_;
+  /// Lazily acquired shared engine context (pool). Copying the
+  /// simulator copies the pointer, so copies share one pool.
+  std::shared_ptr<EngineContext> engine_context_;
 };
 
 }  // namespace bgls
@@ -457,3 +556,48 @@ class Simulator {
 // pulling the engine in here keeps "include core/simulator.h" a
 // complete, self-sufficient way to get the parallel paths too.
 #include "engine/engine.h"  // IWYU pragma: keep
+
+namespace bgls {
+
+// Out of line: needs the complete BatchEngine/EngineContext definitions.
+template <typename State>
+BatchEngine<State> Simulator<State>::make_engine() {
+  if (!options_.reuse_thread_pool) {
+    return BatchEngine<State>(*this);
+  }
+  const int resolved = ThreadPool::resolve_num_threads(options_.num_threads);
+  if (!engine_context_ || engine_context_->num_threads() != resolved) {
+    engine_context_ = EngineContext::shared(resolved);
+  }
+  return BatchEngine<State>(*this, engine_context_);
+}
+
+template <typename State>
+std::future<Result> Simulator<State>::run_async(Circuit circuit,
+                                                std::uint64_t repetitions,
+                                                std::uint64_t seed) {
+  // The job always schedules on the immortal shared pool (a private
+  // pool could be torn down by its own worker once the job holds the
+  // last reference), and *inside* the job a plain copy of this
+  // simulator runs synchronously — same path choice, same draws as
+  // run(circuit, repetitions, seed). The copy is forced onto the shared
+  // pool too: reuse_thread_pool = false would otherwise spawn and join
+  // a private pool inside every job — exactly the per-call cost async
+  // exists to avoid, oversubscribing the machine under many in-flight
+  // jobs. Pool choice is scheduling-only, so the forced reuse never
+  // changes the sampled records. A multi-threaded inner run fans its
+  // shards out on this same pool; nested parallel_for is safe (see
+  // thread_pool.h).
+  const int resolved = ThreadPool::resolve_num_threads(options_.num_threads);
+  std::shared_ptr<EngineContext> context = EngineContext::shared(resolved);
+  Simulator<State> copy = *this;
+  copy.options_.reuse_thread_pool = true;
+  auto task = std::make_shared<std::packaged_task<Result()>>(
+      [sim = std::move(copy), circuit = std::move(circuit), repetitions,
+       seed]() mutable { return sim.run(circuit, repetitions, seed); });
+  std::future<Result> future = task->get_future();
+  context->pool().submit([task] { (*task)(); });
+  return future;
+}
+
+}  // namespace bgls

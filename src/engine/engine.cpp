@@ -48,8 +48,9 @@ RunStats merge_shard_stats(std::span<const RunStats> shards,
     merged.trajectories += shard.trajectories;
     merged.used_sample_parallelization |= shard.used_sample_parallelization;
     merged.diagonal_updates_skipped += shard.diagonal_updates_skipped;
-    merged.per_stream.push_back(
-        StreamStats{shard.trajectories, shard.state_applications});
+    merged.per_stream.push_back(StreamStats{shard.trajectories,
+                                            shard.state_applications,
+                                            shard.probability_evaluations});
   }
   return merged;
 }

@@ -1,5 +1,5 @@
 /// \file engine.h
-/// Parallel batch-sampling engine (the scaling layer above the
+/// Parallel batch-sampling engine v2 (the scaling layer above the
 /// gate-by-gate Simulator).
 ///
 /// The paper's dictionary batching (Sec. 3.2.3) parallelizes *samples*
@@ -13,31 +13,50 @@
 ///    repetition count across streams and merges the per-shard
 ///    histograms (a sum of independent multinomials with the same
 ///    outcome distribution is the full multinomial, so the merged
-///    histogram is statistically identical to a single-shard run);
+///    histogram is statistically identical to a single-shard run). v2
+///    amortizes the state evolution: one snapshot is evolved per gate
+///    and shared read-only across every repetition shard, so the
+///    per-gate state cost is paid once instead of once per shard;
 ///  - run_batch() spreads many circuits (QAOA parameter sweeps,
-///    randomized benchmarking) across the pool, one stream per circuit.
+///    randomized benchmarking) across the pool with two-level
+///    (circuit × repetition-shard) sharding, so a few large trajectory
+///    circuits still saturate the pool;
+///  - submit()/run_async() schedule a whole run as an asynchronous pool
+///    job and return a std::future, so callers overlap circuit
+///    construction with sampling. Exceptions thrown inside a job — or
+///    inside any of its shards — propagate through the future.
+///
+/// The pool itself is long-lived: engines share a process-wide
+/// EngineContext (context.h) cached per thread count, so tight loops of
+/// small runs stop paying thread-spawn latency per call
+/// (SimulatorOptions::reuse_thread_pool opts back into the v1
+/// pool-per-run behavior).
 ///
 /// Determinism is a hard guarantee: the shard decomposition depends only
 /// on (repetitions, SimulatorOptions::num_rng_streams) and — on the
 /// batched path, whose multinomial split draws from a seed-derived
 /// planning stream — the caller's seed; every shard owns a jump-derived
-/// Rng stream fixed by that same seed. The thread count never enters,
-/// so a fixed seed yields bit-identical merged histograms for *any*
-/// thread count.
-/// Threads only decide which core executes a shard, never what the
-/// shard computes.
+/// Rng stream fixed by that same seed. The thread count, sync-vs-async
+/// submission, pool reuse, and run_batch's sharding level never enter,
+/// so a fixed seed yields bit-identical merged histograms for *any* of
+/// those configurations. Threads only decide which core executes a
+/// shard, never what the shard computes.
 
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "circuit/circuit.h"
 #include "core/result.h"
 #include "core/simulator.h"
+#include "engine/context.h"
 #include "engine/thread_pool.h"
 #include "util/rng.h"
 
@@ -73,24 +92,52 @@ namespace engine_detail {
 }  // namespace engine_detail
 
 /// Multi-threaded driver for a Simulator<State>: shards repetitions (or
-/// whole circuits) across a fixed-size thread pool with one RNG stream
+/// whole circuits) across a long-lived thread pool with one RNG stream
 /// per shard, and merges the results deterministically in shard order.
 ///
 /// Thread count comes from the prototype simulator's
-/// SimulatorOptions::num_threads (0 = hardware concurrency); the number
-/// of RNG streams — and therefore the sampled values — comes from
+/// SimulatorOptions::num_threads (0 = hardware concurrency) — or, when
+/// an EngineContext is shared in, from the context; the number of RNG
+/// streams — and therefore the sampled values — comes from
 /// SimulatorOptions::num_rng_streams and is independent of the thread
 /// count.
+///
+/// Concurrency contract: submit()/run_async() are safe to call from any
+/// number of threads concurrently; the synchronous run()/sample()/
+/// run_batch() mutate last_run_stats() and must not be called
+/// concurrently on one engine (each async job runs through its own
+/// internal engine, so in-flight jobs never contend).
 template <typename State>
 class BatchEngine {
  public:
+  /// Outcome of an asynchronously submitted job: the merged Result plus
+  /// the job's own RunStats (async jobs never touch last_run_stats(),
+  /// which would race between in-flight jobs).
+  struct JobOutcome {
+    Result result;
+    RunStats stats;
+  };
+
   /// Wraps a copy of `prototype`; the copy is forced to num_threads = 1
-  /// so per-shard runs never re-enter the engine.
+  /// so per-shard runs never re-enter the engine. The pool is acquired
+  /// lazily on first need: a process-wide shared one when the prototype
+  /// options say reuse_thread_pool, a private one otherwise.
   explicit BatchEngine(Simulator<State> prototype)
-      : prototype_(std::move(prototype)) {
+      : BatchEngine(std::move(prototype), nullptr) {}
+
+  /// Same, but shares a long-lived `context` (its thread count wins
+  /// over the prototype's options). Used by Simulator's cached-context
+  /// delegation and by async jobs.
+  BatchEngine(Simulator<State> prototype,
+              std::shared_ptr<EngineContext> context)
+      : prototype_(std::move(prototype)), context_(std::move(context)) {
     SimulatorOptions options = prototype_.options();
-    num_threads_ = ThreadPool::resolve_num_threads(options.num_threads);
+    num_threads_ = context_
+                       ? context_->num_threads()
+                       : ThreadPool::resolve_num_threads(options.num_threads);
     num_streams_ = options.num_rng_streams < 1 ? 1 : options.num_rng_streams;
+    reuse_pool_ = options.reuse_thread_pool;
+    two_level_ = options.two_level_batch_sharding;
     options.num_threads = 1;
     prototype_.set_options(options);
   }
@@ -101,22 +148,19 @@ class BatchEngine {
   /// Number of deterministic RNG shards per run.
   [[nodiscard]] std::uint64_t num_streams() const { return num_streams_; }
 
+  /// The engine context once acquired (null until a run needed the
+  /// pool). Exposed so tests can assert pool sharing.
+  [[nodiscard]] std::shared_ptr<EngineContext> context() const {
+    const std::lock_guard<std::mutex> lock(context_mutex_);
+    return context_;
+  }
+
   /// Parallel equivalent of Simulator::run: same contract, measurement
   /// records merged in shard order.
   Result run(const Circuit& circuit, std::uint64_t repetitions, Rng& rng) {
-    Result merged;
-    for (const auto& op : circuit.all_operations()) {
-      if (op.gate().is_measurement()) {
-        merged.declare_key(op.gate().measurement_key(),
-                           {op.qubits().begin(), op.qubits().end()});
-      }
-    }
-    std::vector<Result> shard_results = run_shards<Result>(
-        circuit, repetitions, rng,
-        [](Simulator<State>& sim, const Circuit& c, std::uint64_t reps,
-           Rng& r) { return sim.run(c, reps, r); });
-    for (const Result& shard : shard_results) merged.append(shard);
-    return merged;
+    JobOutcome outcome = run_job(circuit, repetitions, rng);
+    stats_ = std::move(outcome.stats);
+    return std::move(outcome.result);
   }
 
   /// Convenience overload with a seed instead of an engine.
@@ -129,60 +173,325 @@ class BatchEngine {
   /// Parallel equivalent of Simulator::sample: final-bitstring counts
   /// over all qubits, merged by summation.
   Counts sample(const Circuit& circuit, std::uint64_t repetitions, Rng& rng) {
-    const std::vector<Counts> shard_counts = run_shards<Counts>(
-        circuit, repetitions, rng,
+    // Validated here, not in the shards: zero-repetition shards never
+    // run, which must not let an unrunnable circuit slip through
+    // silently.
+    prototype_.check_runnable(circuit, /*require_measurements=*/false);
+    const bool batched = prototype_.can_parallelize_samples(circuit);
+    if (batched && prototype_.hooks_are_native()) {
+      BatchedOutcome outcome = sample_batched_shared(circuit, repetitions, rng);
+      stats_ = std::move(outcome.stats);
+      return engine_detail::merge_counts(outcome.shard_counts);
+    }
+    // Custom hooks never share a snapshot (no thread-safety guarantee
+    // against one state probed from many shards): they keep the v1
+    // per-shard private evolution, still fanned out across the pool.
+    auto [shard_counts, stats] = run_sharded<Counts>(
+        circuit, repetitions, rng, /*multinomial=*/batched,
         [](Simulator<State>& sim, const Circuit& c, std::uint64_t reps,
            Rng& r) { return sim.sample(c, reps, r); });
+    stats_ = std::move(stats);
     return engine_detail::merge_counts(shard_counts);
+  }
+
+  /// Schedules run() as an asynchronous job on the shared pool and
+  /// returns a future over the merged Result plus the job's RunStats.
+  /// Bit-identical to run(circuit, repetitions, seed). Thread-safe:
+  /// any number of threads may submit concurrently; each job samples
+  /// through its own internal engine sharing this engine's pool, so
+  /// jobs never contend on engine state. Exceptions thrown inside the
+  /// job (including inside any shard) surface from future::get().
+  /// Concurrency note: the pool holds num_threads - 1 workers (the
+  /// synchronous paths add the calling thread) and the job occupies
+  /// one, so a lone async job fans its shards out num_threads - 1 wide
+  /// — at num_threads == 2 it runs serially. Results are unaffected;
+  /// submit several jobs (or raise num_threads by one) to saturate.
+  [[nodiscard]] std::future<JobOutcome> submit(Circuit circuit,
+                                               std::uint64_t repetitions,
+                                               std::uint64_t seed) {
+    return dispatch_async<JobOutcome>(
+        std::move(circuit), repetitions, seed,
+        [](BatchEngine<State>& worker, const Circuit& c, std::uint64_t reps,
+           Rng& rng) {
+          JobOutcome outcome;
+          outcome.result = worker.run(c, reps, rng);
+          outcome.stats = worker.last_run_stats();
+          return outcome;
+        });
+  }
+
+  /// submit() without the stats: a plain future over the Result.
+  [[nodiscard]] std::future<Result> run_async(Circuit circuit,
+                                              std::uint64_t repetitions,
+                                              std::uint64_t seed) {
+    return dispatch_async<Result>(
+        std::move(circuit), repetitions, seed,
+        [](BatchEngine<State>& worker, const Circuit& c, std::uint64_t reps,
+           Rng& rng) { return worker.run(c, reps, rng); });
   }
 
   /// Many-circuit batch API (QAOA parameter sweeps, randomized
   /// benchmarking): runs every circuit for `repetitions` and returns the
-  /// per-circuit results in input order. Each circuit owns one RNG
-  /// stream and runs serially inside one pool slot, so the outputs are
-  /// independent of the thread count.
+  /// per-circuit results in input order.
+  ///
+  /// v2 shards two levels deep: every circuit owns a root stream, and a
+  /// trajectory circuit's repetitions are further sharded across
+  /// num_rng_streams jump-derived streams (dictionary-batched circuits
+  /// keep one shard — their single evolution already amortizes the
+  /// repetitions, so splitting would only multiply state-evolution
+  /// cost). With two_level_batch_sharding each (circuit, shard) pair is
+  /// its own pool job, so a handful of large trajectory circuits still
+  /// saturates the pool; without it each circuit is one job running its
+  /// shards serially. The decomposition is identical in both modes and
+  /// independent of the thread count, so the outputs are bit-identical
+  /// across threads and sharding levels.
   std::vector<Result> run_batch(std::span<const Circuit> circuits,
                                 std::uint64_t repetitions, Rng& rng) {
+    struct CircuitPlan {
+      std::vector<Rng> streams;
+      std::vector<std::uint64_t> shard_reps;
+      std::size_t first_slot = 0;
+    };
     Rng root = rng.split();
-    const std::vector<Rng> streams =
-        engine_detail::make_streams(root, circuits.size());
-    std::vector<Result> results(circuits.size());
-    std::vector<RunStats> shard_stats(circuits.size());
-    execute(circuits.size(), [&](std::size_t i) {
+    std::vector<CircuitPlan> plans(circuits.size());
+    std::size_t total_shards = 0;
+    const std::uint64_t max_shards = repetitions < 1 ? 1 : repetitions;
+    const auto traj_shards = static_cast<std::size_t>(
+        num_streams_ < max_shards ? num_streams_ : max_shards);
+    for (std::size_t i = 0; i < circuits.size(); ++i) {
+      CircuitPlan& plan = plans[i];
+      // Validate up front: zero-repetition shards never construct a
+      // per-shard Simulator, so without this an unrunnable circuit
+      // would silently yield an empty Result instead of throwing.
+      prototype_.check_runnable(circuits[i], /*require_measurements=*/true);
+      // Stateful split: each circuit's root leaves the jump chain, so
+      // shard streams of different circuits never coincide.
+      const Rng circuit_root = root.split();
+      const std::size_t shards =
+          prototype_.can_parallelize_samples(circuits[i]) ? 1 : traj_shards;
+      plan.streams = engine_detail::make_streams(circuit_root, shards);
+      plan.shard_reps =
+          shards == 1 ? std::vector<std::uint64_t>{repetitions}
+                      : engine_detail::even_split(repetitions, shards);
+      plan.first_slot = total_shards;
+      total_shards += shards;
+    }
+
+    std::vector<Result> shard_results(total_shards);
+    std::vector<RunStats> shard_stats(total_shards);
+    const auto run_shard = [&](std::size_t i, std::size_t s) {
+      const CircuitPlan& plan = plans[i];
+      if (plan.shard_reps[s] == 0) return;
       Simulator<State> local = prototype_;
-      Rng stream = streams[i];
-      results[i] = local.run(circuits[i], repetitions, stream);
-      shard_stats[i] = local.last_run_stats();
-    });
+      Rng stream = plan.streams[s];
+      const std::size_t slot = plan.first_slot + s;
+      shard_results[slot] = local.run(circuits[i], plan.shard_reps[s], stream);
+      shard_stats[slot] = local.last_run_stats();
+    };
+    if (two_level_) {
+      std::vector<std::pair<std::size_t, std::size_t>> jobs;
+      jobs.reserve(total_shards);
+      for (std::size_t i = 0; i < circuits.size(); ++i) {
+        for (std::size_t s = 0; s < plans[i].streams.size(); ++s) {
+          jobs.emplace_back(i, s);
+        }
+      }
+      execute(jobs.size(), [&](std::size_t j) {
+        run_shard(jobs[j].first, jobs[j].second);
+      });
+    } else {
+      execute(circuits.size(), [&](std::size_t i) {
+        for (std::size_t s = 0; s < plans[i].streams.size(); ++s) {
+          run_shard(i, s);
+        }
+      });
+    }
+
+    std::vector<Result> results(circuits.size());
+    for (std::size_t i = 0; i < circuits.size(); ++i) {
+      for (const auto& op : circuits[i].all_operations()) {
+        if (op.gate().is_measurement()) {
+          results[i].declare_key(op.gate().measurement_key(),
+                                 {op.qubits().begin(), op.qubits().end()});
+        }
+      }
+      for (std::size_t s = 0; s < plans[i].streams.size(); ++s) {
+        results[i].append(shard_results[plans[i].first_slot + s]);
+      }
+    }
     stats_ = engine_detail::merge_shard_stats(shard_stats, num_threads_);
     return results;
   }
 
-  /// Aggregated counters from the most recent run()/sample()/run_batch(),
-  /// including the per-stream shard counters.
+  /// Aggregated counters from the most recent synchronous
+  /// run()/sample()/run_batch(), including the per-stream shard
+  /// counters. Async jobs report through JobOutcome::stats instead.
   [[nodiscard]] const RunStats& last_run_stats() const { return stats_; }
 
  private:
-  /// Shards `repetitions` across the RNG streams, runs `body` per shard
-  /// on the pool, and returns the per-shard outputs in shard order.
-  template <typename Out, typename RunFn>
-  std::vector<Out> run_shards(const Circuit& circuit,
-                              std::uint64_t repetitions, Rng& rng,
-                              RunFn body) {
+  /// Per-shard dictionaries plus the run's merged counters — the output
+  /// of the snapshot-sharing batched path.
+  struct BatchedOutcome {
+    std::vector<Counts> shard_counts;
+    RunStats stats;
+  };
+
+  /// Below this many total dictionary entries a fan-out costs more than
+  /// the resampling itself; the shards then run inline on the calling
+  /// thread. Scheduling-only: shard i's draws are fixed by its stream
+  /// either way, so the threshold never changes results.
+  static constexpr std::size_t kInlineResampleThreshold = 64;
+
+  /// run()'s body, shared with async jobs: declares the measurement
+  /// keys, shards the repetitions, merges records in shard order.
+  JobOutcome run_job(const Circuit& circuit, std::uint64_t repetitions,
+                     Rng& rng) {
+    // Validated here, not in the shards: zero-repetition shards never
+    // run, which must not let an unrunnable circuit slip through
+    // silently.
+    prototype_.check_runnable(circuit, /*require_measurements=*/true);
+    JobOutcome outcome;
+    // Collected once: all_operations() materializes the flattened list,
+    // and the batched merge below revisits the keys per unique
+    // bitstring.
+    std::vector<std::pair<std::string, std::vector<Qubit>>> keys;
+    for (const auto& op : circuit.all_operations()) {
+      if (op.gate().is_measurement()) {
+        keys.emplace_back(
+            op.gate().measurement_key(),
+            std::vector<Qubit>{op.qubits().begin(), op.qubits().end()});
+        outcome.result.declare_key(keys.back().first, keys.back().second);
+      }
+    }
     const bool batched = prototype_.can_parallelize_samples(circuit);
+    if (batched && prototype_.hooks_are_native()) {
+      BatchedOutcome shared = sample_batched_shared(circuit, repetitions, rng);
+      for (const Counts& shard : shared.shard_counts) {
+        for (const auto& [bits, count] : shard) {
+          for (const auto& [key, qubits] : keys) {
+            outcome.result.add_records(
+                key, Simulator<State>::pack_key_bits(bits, qubits), count);
+          }
+        }
+      }
+      outcome.stats = std::move(shared.stats);
+      return outcome;
+    }
+    // Custom hooks keep the v1 per-shard private evolution (see
+    // sample()); the shard decomposition and streams match the shared
+    // path, so for hooks computing the native values the histograms are
+    // bit-identical either way.
+    auto [shard_results, stats] = run_sharded<Result>(
+        circuit, repetitions, rng, /*multinomial=*/batched,
+        [](Simulator<State>& sim, const Circuit& c, std::uint64_t reps,
+           Rng& r) { return sim.run(c, reps, r); });
+    for (const Result& shard : shard_results) outcome.result.append(shard);
+    outcome.stats = std::move(stats);
+    return outcome;
+  }
+
+  /// The v2 batched path: evolves ONE state snapshot per gate and
+  /// shares it read-only across every repetition shard, so the state
+  /// evolution is paid once instead of once per shard. Stream-for-
+  /// stream identical to running each shard's dictionary through its
+  /// own evolved copy (the evolution is deterministic and consumes no
+  /// randomness on this path), so results match the v1 engine bit for
+  /// bit. Only called with native hooks — they are pure functions safe
+  /// to probe one shared state concurrently; custom hooks take the
+  /// per-shard fallback in sample()/run_job() instead.
+  BatchedOutcome sample_batched_shared(const Circuit& circuit,
+                                       std::uint64_t repetitions, Rng& rng) {
     const std::uint64_t max_shards = repetitions < 1 ? 1 : repetitions;
     const auto shards = static_cast<std::size_t>(
         num_streams_ < max_shards ? num_streams_ : max_shards);
     Rng root = rng.split();
     Rng plan = root.split();
-    const std::vector<Rng> streams =
-        engine_detail::make_streams(root, shards);
-    // Trajectories are i.i.d., so an even split keeps the load balanced;
-    // the batched path uses the multinomial split of Sec. 3.2.3 so each
-    // shard's dictionary starts from an honest random share.
+    std::vector<Rng> streams = engine_detail::make_streams(root, shards);
     const std::vector<std::uint64_t> shard_reps =
-        batched ? engine_detail::multinomial_split(repetitions, shards, plan)
-                : engine_detail::even_split(repetitions, shards);
+        engine_detail::multinomial_split(repetitions, shards, plan);
+    // The shared evolution consumes no randomness (this path forbids
+    // channels), but custom apply hooks receive a dedicated
+    // deterministic stream in case they draw.
+    Rng evolution = plan;
+
+    State state = prototype_.initial_state();
+    std::vector<BatchDictionary> dictionaries(shards);
+    std::vector<std::size_t> shard_peak(shards, 0);
+    for (std::size_t i = 0; i < shards; ++i) {
+      if (shard_reps[i] > 0) {
+        dictionaries[i].emplace(Bitstring{0}, shard_reps[i]);
+        shard_peak[i] = 1;
+      }
+    }
+
+    BatchedOutcome outcome;
+    RunStats& stats = outcome.stats;
+    stats.used_sample_parallelization = true;
+    stats.trajectories = 1;  // one shared evolution serves every shard
+    stats.threads_used = static_cast<std::size_t>(num_threads_);
+    stats.per_stream.resize(shards);
+    stats.max_dictionary_size = 1;
+
+    const SimulatorOptions& options = prototype_.options();
+    for (const auto& op : circuit.all_operations()) {
+      if (op.gate().is_measurement()) continue;
+      prototype_.apply_fn()(op, state, evolution);
+      ++stats.state_applications;
+      if (options.skip_diagonal_updates && op.gate().is_diagonal()) {
+        ++stats.diagonal_updates_skipped;
+        continue;
+      }
+      const auto step = [&](std::size_t i) {
+        if (dictionaries[i].empty()) return;
+        stats.per_stream[i].probability_evaluations +=
+            prototype_.resample_dictionary(state, op, dictionaries[i],
+                                           streams[i]);
+        shard_peak[i] = std::max(shard_peak[i], dictionaries[i].size());
+      };
+      std::size_t total_entries = 0;
+      for (const BatchDictionary& d : dictionaries) total_entries += d.size();
+      if (total_entries < kInlineResampleThreshold) {
+        for (std::size_t i = 0; i < shards; ++i) step(i);
+      } else {
+        execute(shards, step);
+      }
+    }
+
+    for (std::size_t i = 0; i < shards; ++i) {
+      stats.probability_evaluations +=
+          stats.per_stream[i].probability_evaluations;
+      stats.max_dictionary_size =
+          std::max(stats.max_dictionary_size, shard_peak[i]);
+    }
+    outcome.shard_counts.resize(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      outcome.shard_counts[i] = {dictionaries[i].begin(),
+                                 dictionaries[i].end()};
+    }
+    return outcome;
+  }
+
+  /// Per-shard sharding: one cloned simulator + one stream per shard,
+  /// outputs in shard order. `multinomial` picks the batched-path
+  /// repetition split (Sec. 3.2.3 multinomial, used by the custom-hook
+  /// fallback so it stays shard-for-shard aligned with the shared
+  /// snapshot path); trajectory shards use the even split, with the
+  /// planning stream drawn (and discarded) to keep stream derivation
+  /// aligned across both paths.
+  template <typename Out, typename RunFn>
+  std::pair<std::vector<Out>, RunStats> run_sharded(const Circuit& circuit,
+                                                    std::uint64_t repetitions,
+                                                    Rng& rng, bool multinomial,
+                                                    RunFn body) {
+    const std::uint64_t max_shards = repetitions < 1 ? 1 : repetitions;
+    const auto shards = static_cast<std::size_t>(
+        num_streams_ < max_shards ? num_streams_ : max_shards);
+    Rng root = rng.split();
+    Rng plan = root.split();
+    const std::vector<Rng> streams = engine_detail::make_streams(root, shards);
+    const std::vector<std::uint64_t> shard_reps =
+        multinomial ? engine_detail::multinomial_split(repetitions, shards, plan)
+                    : engine_detail::even_split(repetitions, shards);
 
     std::vector<Out> outputs(shards);
     std::vector<RunStats> shard_stats(shards);
@@ -193,8 +502,54 @@ class BatchEngine {
       outputs[i] = body(local, circuit, shard_reps[i], stream);
       shard_stats[i] = local.last_run_stats();
     });
-    stats_ = engine_detail::merge_shard_stats(shard_stats, num_threads_);
-    return outputs;
+    return {std::move(outputs),
+            engine_detail::merge_shard_stats(shard_stats, num_threads_)};
+  }
+
+  /// Returns the engine context, acquiring it on first use (the shared
+  /// process-wide one under reuse_thread_pool, a private one
+  /// otherwise). Thread-safe: submit()/run_async() may race here.
+  std::shared_ptr<EngineContext> ensure_context() {
+    const std::lock_guard<std::mutex> lock(context_mutex_);
+    if (!context_) {
+      context_ = reuse_pool_ ? EngineContext::shared(num_threads_)
+                             : std::make_shared<EngineContext>(num_threads_);
+    }
+    return context_;
+  }
+
+  /// Context for asynchronous jobs: always the persistent process-wide
+  /// pool, even when reuse_thread_pool is off. A private pool could be
+  /// torn down by its own worker (the job may hold the last reference
+  /// once the submitting engine dies), which would make a thread join
+  /// itself; the shared cache's pools are immortal, so the hazard
+  /// cannot arise.
+  std::shared_ptr<EngineContext> async_context() {
+    if (reuse_pool_) return ensure_context();
+    return EngineContext::shared(num_threads_);
+  }
+
+  /// Shared body of submit()/run_async(): schedules `body` as a pool
+  /// job running through its own worker engine (sharing this engine's
+  /// pool, so in-flight jobs never contend on engine state) and returns
+  /// the future. Exceptions from `body` — including from any shard —
+  /// surface from future::get() via the packaged_task.
+  template <typename Out, typename Body>
+  [[nodiscard]] std::future<Out> dispatch_async(Circuit circuit,
+                                                std::uint64_t repetitions,
+                                                std::uint64_t seed,
+                                                Body body) {
+    std::shared_ptr<EngineContext> context = async_context();
+    auto task = std::make_shared<std::packaged_task<Out()>>(
+        [context, prototype = prototype_, circuit = std::move(circuit),
+         repetitions, seed, body]() {
+          BatchEngine<State> worker(prototype, context);
+          Rng rng(seed);
+          return body(worker, circuit, repetitions, rng);
+        });
+    std::future<Out> future = task->get_future();
+    context->pool().submit([task] { (*task)(); });
+    return future;
   }
 
   /// Runs job(0..count-1), on the pool when more than one thread is
@@ -206,18 +561,16 @@ class BatchEngine {
       for (std::size_t i = 0; i < count; ++i) job(i);
       return;
     }
-    if (!pool_) {
-      // The caller participates in parallel_for, so spawn one fewer
-      // worker than the configured concurrency.
-      pool_ = std::make_unique<ThreadPool>(num_threads_ - 1);
-    }
-    pool_->parallel_for(count, job);
+    ensure_context()->pool().parallel_for(count, job);
   }
 
   Simulator<State> prototype_;
+  mutable std::mutex context_mutex_;
+  std::shared_ptr<EngineContext> context_;
   int num_threads_ = 1;
   std::uint64_t num_streams_ = 1;
-  std::unique_ptr<ThreadPool> pool_;
+  bool reuse_pool_ = true;
+  bool two_level_ = true;
   RunStats stats_;
 };
 

@@ -9,6 +9,17 @@
 /// computes the same value no matter which worker runs it or in what
 /// order — so the simplest possible pool is the right one.
 ///
+/// The pool is long-lived and shared (engine/context.h caches one per
+/// thread count process-wide), which the engine's async API leans on:
+///  - submit() is safe from any number of threads concurrently;
+///  - parallel_for() may be called from *inside* a pool worker (an
+///    async job fanning its shards out on its own pool): the caller
+///    always drains its own batch to completion, and helper tasks that
+///    arrive late exit immediately, so nested use cannot deadlock —
+///    every claimed index is actively being executed by some thread;
+///  - concurrent parallel_for() calls each own an independent batch and
+///    interleave safely on the shared queue.
+///
 /// Exceptions thrown by tasks are captured and rethrown on the waiting
 /// thread (first one wins; the rest of the batch still runs to
 /// completion so the pool is reusable afterwards).
@@ -50,7 +61,8 @@ class ThreadPool {
   /// becomes hardware_threads(), anything else is clamped to >= 1.
   [[nodiscard]] static int resolve_num_threads(int requested);
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution. Thread-safe: any
+  /// number of threads may submit concurrently.
   void submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and every running task finished.
@@ -61,7 +73,9 @@ class ThreadPool {
   /// calling thread* (total concurrency size() + 1) and blocks until
   /// all complete. Rethrows the first exception thrown by any index
   /// (the remaining indices still run). Indices are claimed
-  /// dynamically, so callers must not depend on execution order.
+  /// dynamically, so callers must not depend on execution order. Safe
+  /// to call concurrently from several threads and from inside a pool
+  /// worker (see file comment).
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 

@@ -14,6 +14,12 @@
 /// gate-class-specialized kernels in kernels.h; large passes parallelize
 /// over amplitude blocks with OpenMP when compiled with
 /// BGLS_HAVE_OPENMP (the BGLS_ENABLE_OPENMP build flag).
+///
+/// All const accessors (amplitude, probability, amplitudes, ...) are
+/// pure reads and safe to call concurrently from many threads while no
+/// mutator runs — the batch engine's snapshot-sharing path relies on
+/// this, probing one shared evolved state from every repetition shard
+/// at once.
 
 #pragma once
 

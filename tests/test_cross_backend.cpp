@@ -11,13 +11,43 @@
 #include "core/optimize.h"
 #include "core/simulator.h"
 #include "densitymatrix/state.h"
+#include "engine/engine.h"
 #include "mps/state.h"
 #include "stabilizer/ch_form.h"
 #include "statevector/state.h"
+#include "engine_test_helpers.h"
 #include "test_helpers.h"
 
 namespace bgls {
 namespace {
+
+Circuit measured_on_all(Circuit circuit, int num_qubits) {
+  return testing::with_terminal_measurement(std::move(circuit), num_qubits,
+                                            "m");
+}
+
+/// Runs `circuit` through a direct single-threaded Simulator::run and
+/// through a 4-thread BatchEngine (8 RNG streams) and returns both
+/// normalized histograms — the two execution paths every backend must
+/// support interchangeably.
+template <typename State>
+std::pair<Distribution, Distribution> direct_and_engine_distributions(
+    const Circuit& circuit, State initial, std::uint64_t reps,
+    std::uint64_t seed) {
+  Simulator<State> direct{initial};
+  Rng direct_rng(seed);
+  const Distribution direct_dist =
+      direct.run(circuit, reps, direct_rng).distribution("m");
+
+  SimulatorOptions engine_options;
+  engine_options.num_threads = 4;
+  engine_options.num_rng_streams = 8;
+  BatchEngine<State> engine{Simulator<State>{std::move(initial),
+                                             engine_options}};
+  const Distribution engine_dist =
+      engine.run(circuit, reps, seed + 1).distribution("m");
+  return {direct_dist, engine_dist};
+}
 
 class CrossBackendClifford : public ::testing::TestWithParam<int> {};
 
@@ -157,6 +187,81 @@ TEST(CrossBackend, MidCircuitMeasurementAgreesAcrossBackends) {
   EXPECT_LT(total_variation_distance(sv, ch), 0.025);
   EXPECT_LT(total_variation_distance(sv, mps), 0.025);
 }
+
+// Randomized differential suite: seeded random Clifford+T circuits
+// sampled through statevector, density-matrix, and MPS backends — each
+// both directly (Simulator::run, one thread) and through the
+// BatchEngine — must all agree with the brute-force ideal distribution
+// within sampling tolerance. The stabilizer backend joins on the
+// pure-Clifford (T→S) subset, where its simulation is exact.
+class CrossBackendDifferential : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr int kQubits = 4;
+  static constexpr std::uint64_t kReps = 20000;
+  static constexpr double kTolerance = 0.035;
+
+  [[nodiscard]] Circuit clifford_t_circuit() const {
+    Rng circuit_rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+    return random_clifford_t_circuit(kQubits, 12, 6, circuit_rng);
+  }
+};
+
+TEST_P(CrossBackendDifferential, CliffordTAgreesAcrossBackendsAndPaths) {
+  const Circuit circuit = measured_on_all(clifford_t_circuit(), kQubits);
+  const auto ideal = testing::ideal_distribution(circuit, kQubits);
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 977 + 3;
+
+  const auto [sv_direct, sv_engine] = direct_and_engine_distributions(
+      circuit, StateVectorState(kQubits), kReps, seed);
+  const auto [dm_direct, dm_engine] = direct_and_engine_distributions(
+      circuit, DensityMatrixState(kQubits), kReps, seed + 100);
+  const auto [mps_direct, mps_engine] = direct_and_engine_distributions(
+      circuit, MPSState(kQubits), kReps, seed + 200);
+
+  for (const auto& [label, dist] :
+       std::initializer_list<std::pair<const char*, const Distribution*>>{
+           {"sv direct", &sv_direct},   {"sv engine", &sv_engine},
+           {"dm direct", &dm_direct},   {"dm engine", &dm_engine},
+           {"mps direct", &mps_direct}, {"mps engine", &mps_engine}}) {
+    EXPECT_LT(total_variation_distance(*dist, ideal), kTolerance) << label;
+  }
+}
+
+TEST_P(CrossBackendDifferential, StabilizerExactOnPureCliffordSubset) {
+  // Replace every T with S: the circuit becomes pure Clifford, which
+  // the CH-form backend simulates exactly — no branch mixture, so its
+  // samples must (a) never land outside the ideal support and (b) match
+  // the ideal distribution within sampling noise, on both paths.
+  const Circuit clifford = measured_on_all(
+      with_t_gates_replaced(clifford_t_circuit(), Gate::S()), kQubits);
+  const auto ideal = testing::ideal_distribution(clifford, kQubits);
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 577 + 11;
+
+  const auto [direct, engine] = direct_and_engine_distributions(
+      clifford, CHState(kQubits), kReps, seed);
+  for (const auto& [label, dist] :
+       std::initializer_list<std::pair<const char*, const Distribution*>>{
+           {"ch direct", &direct}, {"ch engine", &engine}}) {
+    EXPECT_LT(total_variation_distance(*dist, ideal), kTolerance) << label;
+    for (const auto& [bits, p] : *dist) {
+      EXPECT_TRUE(ideal.contains(bits))
+          << label << " sampled zero-probability bitstring " << bits;
+      (void)p;
+    }
+  }
+
+  // Exactness also means bit-exact reproducibility through the engine.
+  SimulatorOptions engine_options;
+  engine_options.num_threads = 4;
+  engine_options.num_rng_streams = 8;
+  BatchEngine<CHState> repeat{
+      Simulator<CHState>{CHState(kQubits), engine_options}};
+  EXPECT_EQ(repeat.run(clifford, 2000, seed).histogram("m"),
+            repeat.run(clifford, 2000, seed).histogram("m"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossBackendDifferential,
+                         ::testing::Range(0, 3));
 
 TEST(CrossBackend, DeterministicSeedsAcrossBackends) {
   // Same seed, same backend => identical counts (regression guard for

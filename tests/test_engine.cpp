@@ -14,6 +14,7 @@
 #include "circuit/noise.h"
 #include "circuit/random.h"
 #include "core/simulator.h"
+#include "engine_test_helpers.h"
 #include "statevector/state.h"
 #include "test_helpers.h"
 #include "util/error.h"
@@ -22,30 +23,19 @@
 namespace bgls {
 namespace {
 
-constexpr std::uint64_t kSeed = 1234;
+using testing::with_terminal_measurement;
 
-Circuit with_terminal_measurement(Circuit circuit, int num_qubits,
-                                  const std::string& key) {
-  std::vector<Qubit> qubits;
-  for (int q = 0; q < num_qubits; ++q) qubits.push_back(q);
-  circuit.append(measure(qubits, key));
-  return circuit;
-}
+constexpr std::uint64_t kSeed = 1234;
 
 /// A unitary circuit eligible for the dictionary-batched path.
 Circuit batched_workload(int n) {
-  Rng circuit_rng(17);
-  RandomCircuitOptions options;
-  options.num_moments = 12;
-  options.op_density = 0.7;
-  return with_terminal_measurement(generate_random_circuit(n, options, circuit_rng),
-                                   n, "m");
+  return testing::batched_workload(n, /*circuit_seed=*/17, /*num_moments=*/12,
+                                   /*op_density=*/0.7);
 }
 
 /// A noisy circuit forced onto the per-trajectory path.
 Circuit trajectory_workload(int n) {
-  Circuit noisy = with_noise(ghz_circuit(n), depolarize(0.05));
-  return with_terminal_measurement(std::move(noisy), n, "m");
+  return testing::trajectory_workload(n, /*depolarize_p=*/0.05);
 }
 
 /// A circuit with mid-circuit measurement + classical feed-forward
@@ -61,10 +51,7 @@ Circuit feed_forward_workload() {
 
 Simulator<StateVectorState> make_simulator(int n, int num_threads,
                                            std::uint64_t num_streams = 8) {
-  SimulatorOptions options;
-  options.num_threads = num_threads;
-  options.num_rng_streams = num_streams;
-  return Simulator<StateVectorState>{StateVectorState(n), options};
+  return testing::make_sv_simulator(n, num_threads, num_streams);
 }
 
 Counts engine_histogram(const Circuit& circuit, int n, int num_threads,
@@ -191,6 +178,19 @@ TEST(BatchEngine, RunBatchIsDeterministicAndOrdered) {
       EXPECT_EQ(histograms, reference);
     }
   }
+}
+
+TEST(BatchEngine, RunBatchValidatesEvenWithZeroRepetitions) {
+  // Zero-repetition shards never reach a per-shard Simulator::run, so
+  // run_batch must validate up front: an unrunnable circuit has to
+  // throw, not silently come back as an empty Result.
+  const int n = 2;
+  std::vector<Circuit> circuits;
+  circuits.push_back(ghz_circuit(n));  // no measurements
+  BatchEngine<StateVectorState> engine{make_simulator(n, 2)};
+  Rng rng(kSeed);
+  EXPECT_THROW(engine.run_batch(circuits, 0, rng), ValueError);
+  EXPECT_THROW(engine.run_batch(circuits, 100, rng), ValueError);
 }
 
 TEST(BatchEngine, PerStreamStatsSumToTotals) {

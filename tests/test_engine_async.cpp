@@ -1,0 +1,305 @@
+// Tests for the engine's asynchronous job API: futures resolve with the
+// merged Result and the job's own RunStats, concurrent submission from
+// many threads is race-free, shard exceptions propagate through the
+// future (not std::terminate), and the pool behind it all is genuinely
+// shared and long-lived.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/noise.h"
+#include "circuit/random.h"
+#include "core/simulator.h"
+#include "engine/context.h"
+#include "engine/engine.h"
+#include "engine_test_helpers.h"
+#include "statevector/state.h"
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+using testing::with_terminal_measurement;
+
+constexpr std::uint64_t kSeed = 4321;
+
+Circuit batched_workload(int n) {
+  return testing::batched_workload(n, /*circuit_seed=*/23, /*num_moments=*/10,
+                                   /*op_density=*/0.7);
+}
+
+Circuit trajectory_workload(int n) {
+  return testing::trajectory_workload(n, /*depolarize_p=*/0.05);
+}
+
+Simulator<StateVectorState> make_simulator(int n, int num_threads,
+                                           std::uint64_t num_streams = 8) {
+  return testing::make_sv_simulator(n, num_threads, num_streams);
+}
+
+TEST(BatchEngineAsync, SubmitResolvesWithSyncResultAndPerStreamStats) {
+  const int n = 3;
+  const Circuit circuit = trajectory_workload(n);
+  const std::uint64_t reps = 120;
+
+  BatchEngine<StateVectorState> engine{make_simulator(n, 2)};
+  const Result sync = engine.run(circuit, reps, kSeed);
+  const RunStats sync_stats = engine.last_run_stats();
+
+  auto future = engine.submit(circuit, reps, kSeed);
+  const auto outcome = future.get();
+
+  EXPECT_EQ(outcome.result.histogram("m"), sync.histogram("m"));
+  EXPECT_EQ(outcome.result.values("m"), sync.values("m"));
+  ASSERT_EQ(outcome.stats.per_stream.size(), sync_stats.per_stream.size());
+  std::size_t trajectories = 0;
+  for (std::size_t i = 0; i < outcome.stats.per_stream.size(); ++i) {
+    const StreamStats& async_shard = outcome.stats.per_stream[i];
+    const StreamStats& sync_shard = sync_stats.per_stream[i];
+    EXPECT_EQ(async_shard.trajectories, sync_shard.trajectories);
+    EXPECT_EQ(async_shard.state_applications, sync_shard.state_applications);
+    EXPECT_EQ(async_shard.probability_evaluations,
+              sync_shard.probability_evaluations);
+    trajectories += async_shard.trajectories;
+  }
+  EXPECT_EQ(trajectories, reps);
+  EXPECT_EQ(outcome.stats.trajectories, sync_stats.trajectories);
+  EXPECT_EQ(outcome.stats.state_applications, sync_stats.state_applications);
+}
+
+TEST(BatchEngineAsync, BatchedPathPerStreamCarriesProbabilityEvaluations) {
+  const int n = 4;
+  const Circuit circuit = batched_workload(n);
+  BatchEngine<StateVectorState> engine{make_simulator(n, 2)};
+  auto outcome = engine.submit(circuit, 5000, kSeed).get();
+  ASSERT_FALSE(outcome.stats.per_stream.empty());
+  EXPECT_TRUE(outcome.stats.used_sample_parallelization);
+  // One shared snapshot evolution serves every shard.
+  EXPECT_EQ(outcome.stats.trajectories, 1u);
+  std::size_t evaluations = 0;
+  for (const StreamStats& shard : outcome.stats.per_stream) {
+    evaluations += shard.probability_evaluations;
+  }
+  EXPECT_EQ(evaluations, outcome.stats.probability_evaluations);
+  EXPECT_GT(evaluations, 0u);
+}
+
+TEST(BatchEngineAsync, RunAsyncMatchesSyncRun) {
+  const int n = 4;
+  const Circuit circuit = batched_workload(n);
+  BatchEngine<StateVectorState> engine{make_simulator(n, 2)};
+  const Result sync = engine.run(circuit, 3000, kSeed);
+  auto future = engine.run_async(circuit, 3000, kSeed);
+  EXPECT_EQ(future.get().histogram("m"), sync.histogram("m"));
+}
+
+TEST(BatchEngineAsync, SimulatorRunAsyncMatchesRun) {
+  const int n = 3;
+  const Circuit circuit = trajectory_workload(n);
+  Simulator<StateVectorState> sim = make_simulator(n, 2);
+  const Counts sync = sim.run(circuit, 200, kSeed).histogram("m");
+  auto future = sim.run_async(circuit, 200, kSeed);
+  EXPECT_EQ(future.get().histogram("m"), sync);
+}
+
+TEST(BatchEngineAsync, SimulatorRunAsyncMatchesRunOnSerialPaths) {
+  // run() stays serial when num_threads == 1 or repetitions <= 1;
+  // run_async must reproduce those paths bit for bit too, not silently
+  // reroute through the engine's different stream layout.
+  const int n = 3;
+  const Circuit circuit = trajectory_workload(n);
+  for (std::uint64_t seed = kSeed; seed < kSeed + 5; ++seed) {
+    Simulator<StateVectorState> serial = make_simulator(n, 1);
+    EXPECT_EQ(serial.run_async(circuit, 200, seed).get().histogram("m"),
+              serial.run(circuit, 200, seed).histogram("m"));
+
+    Simulator<StateVectorState> single_rep = make_simulator(n, 4);
+    EXPECT_EQ(single_rep.run_async(circuit, 1, seed).get().histogram("m"),
+              single_rep.run(circuit, 1, seed).histogram("m"));
+  }
+}
+
+TEST(BatchEngineAsync, ManyJobsFromManyThreadsAreRaceFreeAndDeterministic) {
+  const int n = 3;
+  const Circuit circuit = trajectory_workload(n);
+  const std::uint64_t reps = 60;
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 6;
+
+  // Reference histograms computed serially, one per distinct seed.
+  BatchEngine<StateVectorState> reference_engine{make_simulator(n, 2)};
+  std::vector<Counts> reference;
+  for (int j = 0; j < kThreads * kJobsPerThread; ++j) {
+    reference.push_back(
+        reference_engine.run(circuit, reps, kSeed + j).histogram("m"));
+  }
+
+  BatchEngine<StateVectorState> engine{make_simulator(n, 2)};
+  std::vector<std::future<BatchEngine<StateVectorState>::JobOutcome>> futures(
+      static_cast<std::size_t>(kThreads * kJobsPerThread));
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        const int job = t * kJobsPerThread + j;
+        futures[static_cast<std::size_t>(job)] =
+            engine.submit(circuit, reps, kSeed + job);
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  for (int job = 0; job < kThreads * kJobsPerThread; ++job) {
+    const auto outcome = futures[static_cast<std::size_t>(job)].get();
+    EXPECT_EQ(outcome.result.histogram("m"),
+              reference[static_cast<std::size_t>(job)])
+        << "job " << job << " diverged from its serial reference";
+  }
+}
+
+TEST(BatchEngineAsync, AsyncWorksOnSingleThreadEngine) {
+  const int n = 2;
+  const Circuit circuit =
+      with_terminal_measurement(ghz_circuit(n), n, "m");
+  BatchEngine<StateVectorState> engine{make_simulator(n, 1)};
+  const Counts sync = engine.run(circuit, 300, kSeed).histogram("m");
+  EXPECT_EQ(engine.submit(circuit, 300, kSeed).get().result.histogram("m"),
+            sync);
+}
+
+TEST(BatchEngineAsync, JobOutlivesTheEngineThatSubmittedIt) {
+  const int n = 3;
+  const Circuit circuit = trajectory_workload(n);
+  Counts sync;
+  std::future<Result> future;
+  {
+    BatchEngine<StateVectorState> engine{make_simulator(n, 2)};
+    sync = engine.run(circuit, 150, kSeed).histogram("m");
+    future = engine.run_async(circuit, 150, kSeed);
+    // The engine dies here; the job holds the context (pool) alive.
+  }
+  EXPECT_EQ(future.get().histogram("m"), sync);
+}
+
+// A simulator whose apply hook always throws: every shard fails.
+Simulator<StateVectorState> throwing_simulator(int n, int num_threads) {
+  SimulatorOptions options;
+  options.num_threads = num_threads;
+  options.num_rng_streams = 4;
+  return Simulator<StateVectorState>{
+      StateVectorState(n),
+      [](const Operation&, StateVectorState&, Rng&) {
+        throw std::runtime_error("shard exploded");
+      },
+      [](const StateVectorState& state, Bitstring b) {
+        return compute_probability(state, b);
+      },
+      options};
+}
+
+TEST(BatchEngineAsync, TrajectoryShardExceptionPropagatesThroughFuture) {
+  // Mid-circuit measurement + feed-forward forces the per-trajectory
+  // path, so the throw happens inside pool shards.
+  Circuit circuit;
+  circuit.append(h(0));
+  circuit.append(measure({0}, "mid"));
+  circuit.append(x(1).controlled_by_measurement("mid"));
+  circuit.append(measure({1}, "out"));
+
+  BatchEngine<StateVectorState> engine{throwing_simulator(2, 2)};
+  auto future = engine.submit(circuit, 50, kSeed);
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The engine (and its pool) stay usable after a failed job.
+  Rng rng(kSeed);
+  EXPECT_THROW(engine.run(circuit, 50, rng), std::runtime_error);
+  BatchEngine<StateVectorState> healthy{make_simulator(2, 2)};
+  EXPECT_EQ(healthy.run(circuit, 50, kSeed).repetitions(), 50u);
+}
+
+TEST(BatchEngineAsync, BatchedEvolutionExceptionPropagatesThroughFuture) {
+  // A unitary terminal-measurement circuit with custom (non-native)
+  // hooks takes the per-shard batched fallback; the evolution throw
+  // inside a shard must surface from the future.
+  const Circuit circuit =
+      with_terminal_measurement(ghz_circuit(2), 2, "m");
+  BatchEngine<StateVectorState> engine{throwing_simulator(2, 2)};
+  auto future = engine.submit(circuit, 100, kSeed);
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(BatchEngineAsync, SnapshotPathExceptionPropagatesThroughFuture) {
+  // Native hooks route a unitary terminal-measurement circuit through
+  // the snapshot-sharing path inside the async job; the job's
+  // validation throw (no measurements to sample) must surface from the
+  // future, and zero-repetition jobs must validate too — shards that
+  // never run cannot swallow the error.
+  BatchEngine<StateVectorState> engine{make_simulator(2, 2)};
+  EXPECT_THROW(engine.submit(ghz_circuit(2), 100, kSeed).get(), ValueError);
+  EXPECT_THROW(engine.submit(ghz_circuit(2), 0, kSeed).get(), ValueError);
+  Rng rng(kSeed);
+  EXPECT_THROW(engine.run(ghz_circuit(2), 0, rng), ValueError);
+  // The engine stays usable afterwards.
+  const Circuit good = with_terminal_measurement(ghz_circuit(2), 2, "m");
+  EXPECT_EQ(engine.run(good, 50, kSeed).repetitions(), 50u);
+}
+
+TEST(EngineContext, SharedCacheReturnsOnePoolPerThreadCount) {
+  const std::shared_ptr<EngineContext> a = EngineContext::shared(3);
+  const std::shared_ptr<EngineContext> b = EngineContext::shared(3);
+  const std::shared_ptr<EngineContext> c = EngineContext::shared(5);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(a->num_threads(), 3);
+  // num_threads - 1 workers; the synchronous caller is the +1.
+  EXPECT_EQ(a->pool().size(), 2);
+  EXPECT_EQ(EngineContext::shared(1)->pool().size(), 1);
+}
+
+TEST(EngineContext, SimulatorCachesAndSharesItsContext) {
+  const int n = 3;
+  const Circuit circuit = trajectory_workload(n);
+  Simulator<StateVectorState> sim = make_simulator(n, 2);
+  EXPECT_EQ(sim.engine_context(), nullptr);
+  Rng rng(kSeed);
+  sim.run(circuit, 40, rng);
+  const std::shared_ptr<EngineContext> context = sim.engine_context();
+  ASSERT_NE(context, nullptr);
+  EXPECT_EQ(context, EngineContext::shared(2));
+
+  // A second run reuses the same pool instead of building a new one.
+  Rng rng2(kSeed);
+  sim.run(circuit, 40, rng2);
+  EXPECT_EQ(sim.engine_context(), context);
+
+  // Copies share the context — the copy/move story for the cached pool.
+  Simulator<StateVectorState> copy = sim;
+  EXPECT_EQ(copy.engine_context(), context);
+}
+
+TEST(EngineContext, ReuseOptOutBuildsPrivatePools) {
+  const int n = 3;
+  const Circuit circuit = trajectory_workload(n);
+  SimulatorOptions options;
+  options.num_threads = 2;
+  options.num_rng_streams = 4;
+  options.reuse_thread_pool = false;
+  Simulator<StateVectorState> sim{StateVectorState(n), options};
+  Rng rng(kSeed);
+  const Counts fresh = sim.run(circuit, 80, rng).histogram("m");
+  // No context is cached on the simulator in opt-out mode.
+  EXPECT_EQ(sim.engine_context(), nullptr);
+
+  // Opting out never changes the sampled values.
+  Simulator<StateVectorState> reusing = make_simulator(n, 2, 4);
+  Rng rng2(kSeed);
+  EXPECT_EQ(reusing.run(circuit, 80, rng2).histogram("m"), fresh);
+}
+
+}  // namespace
+}  // namespace bgls

@@ -1,0 +1,243 @@
+// Determinism regression suite for the batch engine: for a fixed seed,
+// the merged histogram must be bit-identical across every execution
+// configuration — thread count, sync vs async submission, pool reuse on
+// or off, and one-level vs two-level run_batch sharding. This pins the
+// engine's core invariant (threads only decide *where* a shard runs,
+// never *what* it computes) on every code path the v2 engine added.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/noise.h"
+#include "circuit/random.h"
+#include "core/simulator.h"
+#include "engine/engine.h"
+#include "engine_test_helpers.h"
+#include "statevector/state.h"
+
+namespace bgls {
+namespace {
+
+constexpr std::uint64_t kSeed = 20230715;
+
+using testing::histogram_hash;
+using testing::with_terminal_measurement;
+
+Circuit batched_workload(int n) {
+  return testing::batched_workload(n, /*circuit_seed=*/41, /*num_moments=*/12,
+                                   /*op_density=*/0.8);
+}
+
+Circuit trajectory_workload(int n) {
+  return testing::trajectory_workload(n, /*depolarize_p=*/0.04);
+}
+
+Circuit feed_forward_workload() {
+  Circuit circuit;
+  circuit.append(h(0));
+  circuit.append(measure({0}, "mid"));
+  circuit.append(x(1).controlled_by_measurement("mid"));
+  circuit.append(measure({1}, "out"));
+  return circuit;
+}
+
+Simulator<StateVectorState> make_simulator(int n, int num_threads,
+                                           bool reuse_pool = true) {
+  return testing::make_sv_simulator(n, num_threads, /*num_streams=*/8,
+                                    reuse_pool);
+}
+
+struct Workload {
+  const char* name;
+  Circuit circuit;
+  int qubits;
+  std::uint64_t repetitions;
+  std::string key;
+};
+
+std::vector<Workload> workloads() {
+  std::vector<Workload> all;
+  all.push_back({"batched", batched_workload(4), 4, 4000, "m"});
+  all.push_back({"trajectory", trajectory_workload(3), 3, 500, "m"});
+  all.push_back({"feed-forward", feed_forward_workload(), 2, 400, "out"});
+  return all;
+}
+
+TEST(EngineDeterminism, HashIdenticalAcrossThreadCountsSyncAndAsync) {
+  for (const Workload& workload : workloads()) {
+    std::uint64_t reference = 0;
+    bool first = true;
+    for (const int threads : {1, 2, 8}) {
+      BatchEngine<StateVectorState> engine{
+          make_simulator(workload.qubits, threads)};
+      const std::uint64_t sync_hash = histogram_hash(
+          engine.run(workload.circuit, workload.repetitions, kSeed)
+              .histogram(workload.key));
+      const std::uint64_t async_hash = histogram_hash(
+          engine.submit(workload.circuit, workload.repetitions, kSeed)
+              .get()
+              .result.histogram(workload.key));
+      EXPECT_EQ(async_hash, sync_hash)
+          << workload.name << ": async diverged from sync at " << threads
+          << " threads";
+      if (first) {
+        reference = sync_hash;
+        first = false;
+      } else {
+        EXPECT_EQ(sync_hash, reference)
+            << workload.name << ": thread count " << threads
+            << " changed the histogram";
+      }
+    }
+  }
+}
+
+TEST(EngineDeterminism, HashIdenticalWithAndWithoutPoolReuse) {
+  for (const Workload& workload : workloads()) {
+    for (const int threads : {2, 8}) {
+      BatchEngine<StateVectorState> reusing{
+          make_simulator(workload.qubits, threads, /*reuse_pool=*/true)};
+      BatchEngine<StateVectorState> fresh{
+          make_simulator(workload.qubits, threads, /*reuse_pool=*/false)};
+      EXPECT_EQ(
+          histogram_hash(
+              reusing.run(workload.circuit, workload.repetitions, kSeed)
+                  .histogram(workload.key)),
+          histogram_hash(
+              fresh.run(workload.circuit, workload.repetitions, kSeed)
+                  .histogram(workload.key)))
+          << workload.name << ": pool reuse changed the histogram at "
+          << threads << " threads";
+    }
+  }
+}
+
+TEST(EngineDeterminism, SimulatorDelegationMatchesDirectEngineUse) {
+  for (const Workload& workload : workloads()) {
+    BatchEngine<StateVectorState> engine{make_simulator(workload.qubits, 2)};
+    const std::uint64_t direct = histogram_hash(
+        engine.run(workload.circuit, workload.repetitions, kSeed)
+            .histogram(workload.key));
+    Simulator<StateVectorState> sim = make_simulator(workload.qubits, 2);
+    Rng rng(kSeed);
+    const std::uint64_t delegated = histogram_hash(
+        sim.run(workload.circuit, workload.repetitions, rng)
+            .histogram(workload.key));
+    const std::uint64_t async = histogram_hash(
+        sim.run_async(workload.circuit, workload.repetitions, kSeed)
+            .get()
+            .histogram(workload.key));
+    EXPECT_EQ(delegated, direct) << workload.name;
+    EXPECT_EQ(async, direct) << workload.name;
+  }
+}
+
+TEST(EngineDeterminism, CustomHooksMatchNativeHooksThroughEngine) {
+  // User-provided hooks never share a snapshot (no thread-safety
+  // guarantee against one state probed from many shards): the engine
+  // falls back to v1 per-shard private evolution for them. The shard
+  // decomposition and streams match the shared path, so hooks that
+  // compute the same values as the native ones must produce
+  // bit-identical histograms — this pins the shared-snapshot path to
+  // the v1 per-shard path bit for bit. (Channel circuits are excluded:
+  // native and custom hooks legitimately route channels differently.)
+  const Workload workload{"batched", batched_workload(4), 4, 4000, "m"};
+  {
+    for (const int threads : {2, 8}) {
+      SimulatorOptions options;
+      options.num_threads = threads;
+      options.num_rng_streams = 8;
+      Simulator<StateVectorState> native{StateVectorState(workload.qubits),
+                                         options};
+      Simulator<StateVectorState> custom{
+          StateVectorState(workload.qubits),
+          [](const Operation& op, StateVectorState& state, Rng& rng) {
+            apply_op(op, state, rng);
+          },
+          [](const StateVectorState& state, Bitstring b) {
+            return compute_probability(state, b);
+          },
+          options};
+      ASSERT_TRUE(native.hooks_are_native());
+      ASSERT_FALSE(custom.hooks_are_native());
+      BatchEngine<StateVectorState> native_engine{std::move(native)};
+      BatchEngine<StateVectorState> custom_engine{std::move(custom)};
+      EXPECT_EQ(
+          histogram_hash(
+              custom_engine.run(workload.circuit, workload.repetitions, kSeed)
+                  .histogram(workload.key)),
+          histogram_hash(
+              native_engine.run(workload.circuit, workload.repetitions, kSeed)
+                  .histogram(workload.key)))
+          << workload.name << ": custom hooks changed the histogram at "
+          << threads << " threads";
+    }
+  }
+}
+
+TEST(EngineDeterminism, RunBatchIdenticalAcrossShardingLevelsAndThreads) {
+  std::vector<Circuit> circuits;
+  circuits.push_back(batched_workload(3));
+  circuits.push_back(trajectory_workload(3));
+  circuits.push_back(
+      with_terminal_measurement(ghz_circuit(3), 3, "m"));
+
+  std::vector<std::uint64_t> reference;
+  bool first = true;
+  for (const int threads : {1, 2, 8}) {
+    for (const bool two_level : {true, false}) {
+      SimulatorOptions options;
+      options.num_threads = threads;
+      options.num_rng_streams = 8;
+      options.two_level_batch_sharding = two_level;
+      BatchEngine<StateVectorState> engine{
+          Simulator<StateVectorState>{StateVectorState(3), options}};
+      Rng rng(kSeed);
+      const std::vector<Result> results =
+          engine.run_batch(circuits, 400, rng);
+      ASSERT_EQ(results.size(), circuits.size());
+      std::vector<std::uint64_t> hashes;
+      for (const Result& result : results) {
+        EXPECT_EQ(result.repetitions(), 400u);
+        hashes.push_back(histogram_hash(result.histogram("m")));
+      }
+      if (first) {
+        reference = hashes;
+        first = false;
+      } else {
+        EXPECT_EQ(hashes, reference)
+            << "threads=" << threads << " two_level=" << two_level
+            << " changed a run_batch histogram";
+      }
+    }
+  }
+}
+
+TEST(EngineDeterminism, SnapshotPathMatchesPerShardStatistics) {
+  // The snapshot-sharing batched path must sample the same distribution
+  // as the serial dictionary path (different stream layout, same
+  // statistics): compare the merged engine histogram against a serial
+  // run at matched repetitions.
+  const int n = 3;
+  const Circuit circuit =
+      with_terminal_measurement(ghz_circuit(n), n, "m");
+  const std::uint64_t reps = 40000;
+
+  Simulator<StateVectorState> serial{StateVectorState(n)};
+  Rng serial_rng(kSeed);
+  const Distribution serial_dist =
+      serial.run(circuit, reps, serial_rng).distribution("m");
+
+  BatchEngine<StateVectorState> engine{make_simulator(n, 2)};
+  const Distribution engine_dist =
+      engine.run(circuit, reps, kSeed + 1).distribution("m");
+
+  EXPECT_LT(total_variation_distance(serial_dist, engine_dist), 0.02);
+}
+
+}  // namespace
+}  // namespace bgls
