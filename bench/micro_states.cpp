@@ -35,15 +35,29 @@ using namespace bgls;
 
 // Each statevector apply bench has a specialized-kernel and a
 // forced-generic variant so the speedup is recorded in one run.
+/// Pre-built per-qubit operations, the pattern the samplers execute
+/// (Circuit::all_operations() copies share each gate's memoized
+/// unitary+classification, so construction cost is paid once, not per
+/// apply).
+std::vector<Operation> per_qubit_ops(int n, Operation (*make)(Qubit)) {
+  std::vector<Operation> ops;
+  ops.reserve(static_cast<std::size_t>(n));
+  for (int q = 0; q < n; ++q) ops.push_back(make(q));
+  return ops;
+}
+
 template <bool kForceGeneric>
 void apply_h_body(benchmark::State& state) {
   const kernels::ForceGenericScope scope(kForceGeneric);
   const int n = static_cast<int>(state.range(0));
   StateVectorState psi(n);
-  int q = 0;
+  const std::vector<Operation> ops = per_qubit_ops(n, [](Qubit q) {
+    return h(q);
+  });
+  std::size_t q = 0;
   for (auto _ : state) {
-    psi.apply(h(q));
-    q = (q + 1) % n;
+    psi.apply(ops[q]);
+    q = (q + 1) % ops.size();
   }
   state.SetComplexityN(1 << n);
 }
@@ -62,10 +76,12 @@ void apply_cnot_body(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   StateVectorState psi(n);
   psi.apply(h(0));
-  int q = 0;
+  std::vector<Operation> ops;
+  for (int q = 0; q < n; ++q) ops.push_back(cnot(q, (q + 1) % n));
+  std::size_t q = 0;
   for (auto _ : state) {
-    psi.apply(cnot(q, (q + 1) % n));
-    q = (q + 1) % n;
+    psi.apply(ops[q]);
+    q = (q + 1) % ops.size();
   }
 }
 void BM_StateVector_ApplyCnot(benchmark::State& state) {
@@ -85,10 +101,12 @@ void apply_cz_body(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   StateVectorState psi(n);
   for (int q = 0; q < n; ++q) psi.apply(h(q));
-  int q = 0;
+  std::vector<Operation> ops;
+  for (int q = 0; q < n; ++q) ops.push_back(cz(q, (q + 1) % n));
+  std::size_t q = 0;
   for (auto _ : state) {
-    psi.apply(cz(q, (q + 1) % n));
-    q = (q + 1) % n;
+    psi.apply(ops[q]);
+    q = (q + 1) % ops.size();
   }
 }
 void BM_StateVector_ApplyCz(benchmark::State& state) {
@@ -106,20 +124,45 @@ void apply_t_body(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   StateVectorState psi(n);
   for (int q = 0; q < n; ++q) psi.apply(h(q));
-  int q = 0;
+  const std::vector<Operation> ops = per_qubit_ops(n, [](Qubit q) {
+    return t(q);
+  });
+  std::size_t q = 0;
   for (auto _ : state) {
-    psi.apply(t(q));
-    q = (q + 1) % n;
+    psi.apply(ops[q]);
+    q = (q + 1) % ops.size();
   }
 }
+// Arg(8) exposes the per-apply fixed costs (matrix build +
+// classification, now memoized on Gate): at 256 amplitudes the
+// amplitude pass is nearly free, so this is where the gate cache shows.
 void BM_StateVector_ApplyT(benchmark::State& state) {
   apply_t_body<false>(state);
 }
-BENCHMARK(BM_StateVector_ApplyT)->Arg(20);
+BENCHMARK(BM_StateVector_ApplyT)->Arg(8)->Arg(20);
 void BM_StateVector_ApplyT_Generic(benchmark::State& state) {
   apply_t_body<true>(state);
 }
-BENCHMARK(BM_StateVector_ApplyT_Generic)->Arg(20);
+BENCHMARK(BM_StateVector_ApplyT_Generic)->Arg(8)->Arg(20);
+
+// The gate-classification cache, measured directly: a cold compile
+// (matrix construction + structural classification, what every apply
+// used to pay) against the memoized lookup every apply now performs.
+void BM_Gate_CompileUnitaryUncached(benchmark::State& state) {
+  const Gate gate = Gate::CX();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::compile(gate.unitary()));
+  }
+}
+BENCHMARK(BM_Gate_CompileUnitaryUncached);
+
+void BM_Gate_CompiledUnitaryCached(benchmark::State& state) {
+  const Gate gate = Gate::CX();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gate.compiled_unitary());
+  }
+}
+BENCHMARK(BM_Gate_CompiledUnitaryCached);
 
 void BM_StateVector_SampleN1000(benchmark::State& state) {
   // Batched inverse-CDF draws: one probabilities pass, then O(n) per

@@ -5,6 +5,14 @@
 /// statevector-vs-MPS runtime gap on wide shallow circuits (Fig. 7a's
 /// regime at example scale).
 ///
+/// POWER-USER PATH: this example deliberately stays on the raw
+/// templated core — MPSState/StateVectorState driven through
+/// Simulator<State> directly, the zero-overhead compile-time API the
+/// runtime Session (api/session.h) dispatches into. Use this form when
+/// the representation is fixed at compile time and you want nothing
+/// between you and the sampler; use Session/RunRequest (see
+/// examples/quickstart.cpp) when the choice happens per request.
+///
 ///   $ ./mps_sampling
 
 #include <iostream>

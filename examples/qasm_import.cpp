@@ -1,16 +1,16 @@
 /// \file qasm_import.cpp
 /// Interop with non-Cirq circuits (Sec. 3.2.4): parse an OpenQASM 2.0
-/// program, show the imported circuit, sample it with BGLS, and export
-/// it back to QASM.
+/// program, show the imported circuit, sample it through the runtime
+/// API (bgls::Session — the same path the bgls_run CLI drives), and
+/// export it back to QASM.
 ///
 ///   $ ./qasm_import
 
 #include <iostream>
 
+#include "api/session.h"
 #include "circuit/diagram.h"
-#include "core/simulator.h"
 #include "qasm/qasm.h"
-#include "statevector/state.h"
 #include "util/table.h"
 
 int main() {
@@ -32,11 +32,18 @@ measure q -> c;
   const Circuit circuit = parse_qasm(source);
   std::cout << "Imported circuit:\n" << to_text_diagram(circuit) << "\n";
 
-  Simulator<StateVectorState> sim{StateVectorState(circuit.num_qubits())};
-  Rng rng(4);
-  const Result result = sim.run(circuit, 20000, rng);
+  // The Rz(pi/4) makes the circuit non-Clifford, so automatic selection
+  // routes it to the dense statevector backend.
+  Session session;
+  const RunResult result = session.run(RunRequest()
+                                           .with_circuit(circuit)
+                                           .with_repetitions(20000)
+                                           .with_seed(4));
+  std::cout << "Backend: " << result.backend_name << " ("
+            << result.selection_reason << ")\n";
   std::cout << "Sampled histogram for key 'c':\n";
-  print_histogram(std::cout, result.histogram("c"), circuit.num_qubits());
+  print_histogram(std::cout, result.measurements.histogram("c"),
+                  circuit.num_qubits());
 
   std::cout << "\nRe-exported QASM:\n" << to_qasm(circuit);
   return 0;

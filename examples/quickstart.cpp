@@ -1,16 +1,21 @@
 /// \file quickstart.cpp
-/// The paper's Sec. 3.1 quickstart, in C++: build a 2-qubit GHZ circuit
-/// with a terminal measurement, construct a bgls::Simulator from the
-/// three ingredients (initial state, apply_op, compute_probability),
-/// run it, and plot the histogram (Fig. 1).
+/// The paper's Sec. 3.1 quickstart on the runtime API: build a 2-qubit
+/// GHZ circuit with a terminal measurement, hand it to a bgls::Session
+/// as a RunRequest, and plot the histogram (Fig. 1). The Session picks
+/// the cheapest backend automatically (a pure-Clifford GHZ routes to
+/// the stabilizer representation) and one explicit-backend run shows
+/// the override knob.
+///
+/// The templated core (Simulator<State> assembled from the paper's
+/// three ingredients) remains available as the zero-overhead power-user
+/// path — see examples/mps_sampling.cpp for it in raw form.
 ///
 ///   $ ./quickstart
 
 #include <iostream>
 
+#include "api/session.h"
 #include "circuit/diagram.h"
-#include "core/simulator.h"
-#include "statevector/state.h"
 #include "util/table.h"
 
 int main() {
@@ -25,30 +30,39 @@ int main() {
 
   std::cout << "Circuit:\n" << to_text_diagram(circuit) << "\n";
 
-  // The paper's three-ingredient constructor. For library state types
-  // the two hooks can also be defaulted: Simulator<StateVectorState>
-  // sim{StateVectorState(nqubits)};
-  Simulator<StateVectorState> simulator{
-      StateVectorState(nqubits),
-      [](const Operation& op, StateVectorState& state, Rng& rng) {
-        apply_op(op, state, rng);
-      },
-      [](const StateVectorState& state, Bitstring b) {
-        return compute_probability(state, b);
-      }};
-
-  Rng rng(/*seed=*/2023);
-  const Result results = simulator.run(circuit, /*repetitions=*/10, rng);
-
+  // One Session serves every request; Backend kAuto (the default) asks
+  // the circuit analyzer to route each circuit to the cheapest
+  // representation.
+  Session session;
+  const RunResult results = session.run(RunRequest()
+                                            .with_circuit(circuit)
+                                            .with_repetitions(10)
+                                            .with_seed(2023));
+  std::cout << "Backend: " << results.backend_name << " ("
+            << results.selection_reason << ")\n";
   std::cout << "Measurement results for key 'z' (10 repetitions):\n";
-  print_histogram(std::cout, results.histogram("z"), nqubits);
+  print_histogram(std::cout, results.measurements.histogram("z"), nqubits);
 
   // More repetitions make the 50/50 GHZ structure obvious; the
   // dictionary-batched sampler makes this almost free (Sec. 3.2.3).
-  const Result many = simulator.run(circuit, 100000, rng);
+  const RunResult many = session.run(RunRequest()
+                                         .with_circuit(circuit)
+                                         .with_repetitions(100000)
+                                         .with_seed(2024));
   std::cout << "\nWith 100000 repetitions:\n";
-  print_histogram(std::cout, many.histogram("z"), nqubits);
+  print_histogram(std::cout, many.measurements.histogram("z"), nqubits);
   std::cout << "\npeak unique-bitstring dictionary size: "
-            << simulator.last_run_stats().max_dictionary_size << "\n";
+            << many.stats.max_dictionary_size << "\n";
+
+  // The same request forced onto the dense statevector backend — the
+  // override knob a heterogeneous service exposes per request.
+  const RunResult forced = session.run(RunRequest()
+                                           .with_circuit(circuit)
+                                           .with_repetitions(100000)
+                                           .with_seed(2024)
+                                           .with_backend(BackendId::kStateVector));
+  std::cout << "\nForced onto '" << forced.backend_name
+            << "': same 50/50 structure:\n";
+  print_histogram(std::cout, forced.measurements.histogram("z"), nqubits);
   return 0;
 }

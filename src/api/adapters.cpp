@@ -1,0 +1,21 @@
+#include "api/adapters.h"
+
+namespace bgls {
+
+std::shared_ptr<Backend> make_statevector_backend() {
+  return std::make_shared<StateVectorBackend>();
+}
+
+std::shared_ptr<Backend> make_densitymatrix_backend() {
+  return std::make_shared<DensityMatrixBackend>();
+}
+
+std::shared_ptr<Backend> make_stabilizer_backend() {
+  return std::make_shared<StabilizerBackend>();
+}
+
+std::shared_ptr<Backend> make_mps_backend() {
+  return std::make_shared<MpsBackend>();
+}
+
+}  // namespace bgls

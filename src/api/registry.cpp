@@ -1,0 +1,102 @@
+#include "api/registry.h"
+
+#include "api/adapters.h"
+#include "util/error.h"
+
+namespace bgls {
+
+using detail::ascii_lower;
+
+void BackendRegistry::register_backend(std::shared_ptr<Backend> backend,
+                                       std::vector<std::string> aliases) {
+  BGLS_REQUIRE(backend != nullptr, "cannot register a null backend");
+  Entry entry;
+  entry.backend = std::move(backend);
+  entry.primary_name = ascii_lower(entry.backend->name());
+  BGLS_REQUIRE(!entry.primary_name.empty(),
+               "backend name must not be empty");
+  entry.all_names.push_back(entry.primary_name);
+  for (const std::string& alias : aliases) {
+    entry.all_names.push_back(ascii_lower(alias));
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::string& name : entry.all_names) {
+    BGLS_REQUIRE(find_entry_locked(name) == nullptr, "backend name '", name,
+                 "' is already registered");
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const BackendRegistry::Entry* BackendRegistry::find_entry_locked(
+    std::string_view lower) const {
+  for (const Entry& entry : entries_) {
+    for (const std::string& name : entry.all_names) {
+      if (name == lower) return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::shared_ptr<Backend> BackendRegistry::find(std::string_view name) const {
+  const std::string lower = ascii_lower(name);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = find_entry_locked(lower);
+  return entry == nullptr ? nullptr : entry->backend;
+}
+
+std::shared_ptr<Backend> BackendRegistry::find(BackendId id) const {
+  if (id == BackendId::kAuto) return nullptr;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : entries_) {
+    if (entry.backend->id() == id) return entry.backend;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<Backend> BackendRegistry::require(std::string_view name) const {
+  std::shared_ptr<Backend> backend = find(name);
+  if (backend == nullptr) {
+    std::string known;
+    for (const std::string& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    detail::throw_error<ValueError>("no backend registered under '", name,
+                                    "'; known backends: ", known);
+  }
+  return backend;
+}
+
+std::shared_ptr<Backend> BackendRegistry::require(BackendId id) const {
+  std::shared_ptr<Backend> backend = find(id);
+  if (backend == nullptr) {
+    detail::throw_error<ValueError>("no backend registered for id '",
+                                    backend_id_name(id), "'");
+  }
+  return backend;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.primary_name);
+  return out;
+}
+
+BackendRegistry& BackendRegistry::global() {
+  // Immortal and preloaded exactly once; registration afterwards is the
+  // caller's (thread-safe) business.
+  static BackendRegistry* registry = [] {
+    auto* r = new BackendRegistry();
+    r->register_backend(make_statevector_backend(), {"sv"});
+    r->register_backend(make_densitymatrix_backend(), {"dm", "density_matrix"});
+    r->register_backend(make_stabilizer_backend(), {"ch"});
+    r->register_backend(make_mps_backend());
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace bgls

@@ -1,0 +1,71 @@
+/// \file registry.h
+/// Name/id lookup of runtime backends.
+///
+/// The registry is the runtime analogue of the paper's pluggable
+/// simulation triple: library adapters are preloaded in the global()
+/// instance, and user code can register its own Backend subclasses
+/// under new names — after which every Session (and the bgls_run CLI's
+/// --backend flag) can route requests to them by string.
+///
+/// Thread-safe: registration and lookup may race from any threads.
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/backend.h"
+
+namespace bgls {
+
+/// Registry of named Backend instances.
+class BackendRegistry {
+ public:
+  BackendRegistry() = default;
+  BackendRegistry(const BackendRegistry&) = delete;
+  BackendRegistry& operator=(const BackendRegistry&) = delete;
+
+  /// Registers `backend` under backend->name() plus the given aliases
+  /// (all matched case-insensitively). Throws ValueError when any name
+  /// is already taken — shadowing a backend silently would change what
+  /// existing requests run on.
+  void register_backend(std::shared_ptr<Backend> backend,
+                        std::vector<std::string> aliases = {});
+
+  /// The backend registered under `name` (or an alias); nullptr when
+  /// unknown.
+  [[nodiscard]] std::shared_ptr<Backend> find(std::string_view name) const;
+
+  /// The first registered backend with this id; nullptr when none (and
+  /// always for kAuto).
+  [[nodiscard]] std::shared_ptr<Backend> find(BackendId id) const;
+
+  /// find() or throw ValueError listing the registered names.
+  [[nodiscard]] std::shared_ptr<Backend> require(std::string_view name) const;
+  [[nodiscard]] std::shared_ptr<Backend> require(BackendId id) const;
+
+  /// Primary names in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// The process-wide registry, preloaded with the four library
+  /// adapters: statevector (alias sv), densitymatrix (aliases dm,
+  /// density_matrix), stabilizer (alias ch), mps.
+  [[nodiscard]] static BackendRegistry& global();
+
+ private:
+  struct Entry {
+    std::shared_ptr<Backend> backend;
+    std::string primary_name;  // lowercase
+    std::vector<std::string> all_names;  // lowercase, primary first
+  };
+
+  [[nodiscard]] const Entry* find_entry_locked(std::string_view lower) const;
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace bgls

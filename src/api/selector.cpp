@@ -1,0 +1,125 @@
+#include "api/selector.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.h"
+
+namespace bgls {
+namespace {
+
+/// True for the rotation kinds the sum-over-Cliffords channel absorbs
+/// (stabilizer/near_clifford.h): Rz, Phase, T, T†.
+bool is_near_clifford_rotation(const Gate& gate) {
+  switch (gate.kind()) {
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kRz:
+    case GateKind::kPhase:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+CircuitProfile profile_circuit(const Circuit& circuit) {
+  CircuitProfile profile;
+  profile.num_qubits = circuit.num_qubits();
+  profile.has_mid_circuit_measurements =
+      circuit.has_measurements() && !circuit.measurements_are_terminal();
+  for (const auto& moment : circuit.moments()) {
+    for (const auto& op : moment.operations()) {
+      ++profile.num_operations;
+      if (op.is_classically_controlled()) profile.has_classical_control = true;
+      const Gate& gate = op.gate();
+      if (gate.is_measurement()) continue;
+      profile.max_gate_arity = std::max(profile.max_gate_arity, gate.arity());
+      if (gate.is_channel()) {
+        profile.has_channels = true;
+        profile.clifford_only = false;
+        profile.near_clifford = false;
+      } else if (!gate.is_clifford()) {
+        profile.clifford_only = false;
+        if (!is_near_clifford_rotation(gate)) profile.near_clifford = false;
+      }
+      if (gate.arity() >= 2) {
+        ++profile.entangling_gates;
+        // Chain-local = qubit ids form a contiguous adjacent run.
+        std::vector<Qubit> qubits(op.qubits().begin(), op.qubits().end());
+        std::sort(qubits.begin(), qubits.end());
+        for (std::size_t j = 0; j + 1 < qubits.size(); ++j) {
+          if (qubits[j + 1] - qubits[j] != 1) {
+            profile.nearest_neighbor_1d = false;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return profile;
+}
+
+BackendSelector::Selection BackendSelector::select(
+    const Circuit& circuit) const {
+  return select(profile_circuit(circuit));
+}
+
+BackendSelector::Selection BackendSelector::select(
+    const CircuitProfile& p) const {
+  // 1. Pure Clifford: polynomial and exact beats everything dense.
+  if (p.clifford_only && !p.has_channels &&
+      p.num_qubits <= thresholds_.max_stabilizer_qubits) {
+    return {BackendId::kStabilizer,
+            "pure-Clifford circuit: CH-form stabilizer simulation is exact "
+            "at polynomial cost"};
+  }
+  // 2. Channels: exact Kraus ground truth while the 4^n cost allows,
+  //    then the trajectory path over pure states.
+  if (p.has_channels) {
+    if (p.num_qubits <= thresholds_.max_density_matrix_qubits) {
+      return {BackendId::kDensityMatrix,
+              "channel-bearing circuit on a small register: density matrix "
+              "branches channels exactly"};
+    }
+    if (p.num_qubits <= thresholds_.max_statevector_qubits) {
+      return {BackendId::kStateVector,
+              "channel-bearing circuit too wide for a density matrix: "
+              "statevector quantum trajectories"};
+    }
+    if (p.max_gate_arity <= 2) {
+      return {BackendId::kMps,
+              "channel-bearing circuit too wide for dense amplitudes: MPS "
+              "quantum trajectories"};
+    }
+  }
+  // 3. Too wide for dense amplitudes: tensor networks or nothing.
+  if (p.num_qubits > thresholds_.max_statevector_qubits) {
+    if (!p.has_channels && p.max_gate_arity <= 2) {
+      return {BackendId::kMps,
+              "register too wide for dense amplitudes: matrix product "
+              "state"};
+    }
+    detail::throw_error<UnsupportedOperationError>(
+        "no shipped backend can run ", p.num_qubits,
+        " qubits with these operations (gates of arity ", p.max_gate_arity,
+        p.has_channels ? ", with channels" : "",
+        "); decompose_to_arity() may help");
+  }
+  // 4. Wide, chain-local, and sparsely entangling: bond dimensions stay
+  //    small, so MPS beats paying 2^n amplitudes per gate.
+  if (p.max_gate_arity <= 2 && p.nearest_neighbor_1d &&
+      p.num_qubits >= thresholds_.min_mps_qubits &&
+      p.entangling_gates_per_qubit() <=
+          thresholds_.max_mps_entangling_gates_per_qubit) {
+    return {BackendId::kMps,
+            "wide 1D nearest-neighbor circuit with low entangling-gate "
+            "density: matrix product state"};
+  }
+  // 5. Dense default.
+  return {BackendId::kStateVector,
+          "dense or strongly entangling circuit: statevector"};
+}
+
+}  // namespace bgls

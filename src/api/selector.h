@@ -1,0 +1,107 @@
+/// \file selector.h
+/// Automatic backend selection for BackendId::kAuto requests.
+///
+/// The gate-by-gate algorithm's selling point (Bravyi–Gosset–Liu; the
+/// paper's Sec. 4) is that the same sampling loop runs over whichever
+/// state representation is cheapest for the circuit at hand:
+/// polynomial stabilizer simulation when the circuit is Clifford,
+/// tensor networks when entanglement stays low, dense amplitudes
+/// otherwise, and a density matrix when channels need exact small-n
+/// ground truth. profile_circuit() extracts the routing features in one
+/// pass; BackendSelector turns them into a choice with a stated reason.
+///
+/// Selection rules, in precedence order:
+///  1. pure Clifford (no channels)            → stabilizer (exact, poly);
+///  2. channel-bearing                        → densitymatrix when the
+///     register is small enough, else the statevector trajectory path;
+///  3. wider than the statevector limit       → mps (only dense option);
+///  4. 1D nearest-neighbor, low entangling-gate density, wide enough
+///     that dense amplitudes start to hurt    → mps;
+///  5. everything else                        → statevector.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "api/run_types.h"
+#include "circuit/circuit.h"
+
+namespace bgls {
+
+/// Routing features of a circuit, extracted in one pass.
+struct CircuitProfile {
+  int num_qubits = 0;
+  std::size_t num_operations = 0;
+  /// Largest non-measurement gate arity.
+  int max_gate_arity = 0;
+  /// Every non-measurement gate is Clifford.
+  bool clifford_only = true;
+  /// Clifford plus Rz/Phase/T/T† rotations (the sum-over-Cliffords
+  /// regime of Sec. 4.2).
+  bool near_clifford = true;
+  bool has_channels = false;
+  bool has_mid_circuit_measurements = false;
+  bool has_classical_control = false;
+  /// Non-measurement operations touching ≥ 2 qubits (each costs an MPS
+  /// contraction + SVD and is what grows bond dimension).
+  std::size_t entangling_gates = 0;
+  /// Every multi-qubit operation acts on adjacent qubit ids |i-j| == 1
+  /// (the chain topology MPS handles without long-range bonds).
+  bool nearest_neighbor_1d = true;
+
+  /// Entangling-gate density: entangling gates per qubit — a cheap
+  /// proxy for how fast bond dimension can grow.
+  [[nodiscard]] double entangling_gates_per_qubit() const {
+    return num_qubits == 0
+               ? 0.0
+               : static_cast<double>(entangling_gates) / num_qubits;
+  }
+};
+
+/// Extracts the routing features of `circuit`.
+[[nodiscard]] CircuitProfile profile_circuit(const Circuit& circuit);
+
+/// Picks a backend for a circuit according to the rules above.
+class BackendSelector {
+ public:
+  /// Tunable routing boundaries.
+  struct Thresholds {
+    /// Densitymatrix costs 4^n; above this the trajectory path wins.
+    int max_density_matrix_qubits = 10;
+    /// Dense amplitude limit (StateVectorState supports ≤ 30).
+    int max_statevector_qubits = 30;
+    /// CH-form register limit (bit-packed rows).
+    int max_stabilizer_qubits = 63;
+    /// Below this width dense amplitudes are cheap enough that MPS
+    /// bookkeeping isn't worth it.
+    int min_mps_qubits = 12;
+    /// 1D circuits with at most this many entangling gates per qubit
+    /// route to MPS (low expected bond growth).
+    double max_mps_entangling_gates_per_qubit = 3.0;
+  };
+
+  /// The choice plus a human-readable justification (surfaced in
+  /// RunResult::selection_reason).
+  struct Selection {
+    BackendId id = BackendId::kStateVector;
+    std::string reason;
+  };
+
+  BackendSelector() = default;
+  explicit BackendSelector(Thresholds thresholds) : thresholds_(thresholds) {}
+
+  [[nodiscard]] const Thresholds& thresholds() const { return thresholds_; }
+
+  /// Profiles and selects. Throws UnsupportedOperationError when no
+  /// shipped representation can run the circuit.
+  [[nodiscard]] Selection select(const Circuit& circuit) const;
+
+  /// Selects from an existing profile.
+  [[nodiscard]] Selection select(const CircuitProfile& profile) const;
+
+ private:
+  Thresholds thresholds_;
+};
+
+}  // namespace bgls

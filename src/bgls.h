@@ -3,6 +3,12 @@
 /// equivalent of `import bgls` in the Python package).
 ///
 /// Namespaced API tour:
+///  - bgls::Session / bgls::RunRequest / bgls::RunResult — the runtime
+///    front door: pick a backend per request (or Backend kAuto for the
+///    circuit analyzer), run/run_async/run_batch over type-erased
+///    circuits (api/session.h); bgls::Backend / bgls::BackendRegistry /
+///    bgls::BackendSelector for custom backends and routing
+///    (api/backend.h, api/registry.h, api/selector.h);
 ///  - bgls::Circuit / bgls::Gate / free operation builders (h, cnot,
 ///    measure, ...) — circuit construction (circuit/*.h);
 ///  - bgls::Simulator<State> — the gate-by-gate sampler (core/simulator.h);
@@ -24,6 +30,12 @@
 
 #pragma once
 
+#include "api/adapters.h"
+#include "api/backend.h"
+#include "api/registry.h"
+#include "api/run_types.h"
+#include "api/selector.h"
+#include "api/session.h"
 #include "channels/channels.h"
 #include "circuit/circuit.h"
 #include "circuit/decompose.h"

@@ -1,12 +1,36 @@
 #include "circuit/gate.h"
 
 #include <cmath>
+#include <mutex>
 #include <numbers>
 #include <sstream>
 
 #include "util/error.h"
 
 namespace bgls {
+
+/// Once-filled memoization slot shared by all copies of a gate.
+/// call_once gives the thread-safety the samplers need (many engine
+/// shards may hit the same cold gate at once) and re-throws/retries
+/// cleanly when unitary() itself throws (symbolic parameters).
+struct Gate::UnitaryCache {
+  std::once_flag once;
+  std::shared_ptr<const kernels::CompiledMatrix> compiled;
+};
+
+Gate::Gate(GateKind kind, int arity)
+    : kind_(kind),
+      arity_(arity),
+      unitary_cache_(std::make_shared<UnitaryCache>()) {}
+
+std::shared_ptr<const kernels::CompiledMatrix> Gate::compiled_unitary() const {
+  std::call_once(unitary_cache_->once, [&] {
+    unitary_cache_->compiled = std::make_shared<const kernels::CompiledMatrix>(
+        kernels::compile(unitary()));
+  });
+  return unitary_cache_->compiled;
+}
+
 namespace {
 
 constexpr double kInvSqrt2 = 0.70710678118654752440;
@@ -159,6 +183,9 @@ Gate Gate::resolved(const ParamResolver& resolver) const {
   if (!param_.has_value() || !param_->is_symbolic()) return *this;
   Gate g = *this;
   g.param_ = resolver.resolve(*param_);
+  // The parameter changed: the copy must not share the memoized
+  // unitary/classification of this gate.
+  g.unitary_cache_ = std::make_shared<UnitaryCache>();
   return g;
 }
 

@@ -23,6 +23,7 @@
 #include "channels/channels.h"
 #include "circuit/param.h"
 #include "linalg/matrix.h"
+#include "statevector/kernels.h"  // CompiledMatrix (depends only on linalg)
 
 namespace bgls {
 
@@ -143,6 +144,20 @@ class Gate {
   /// channels, and unresolved symbolic gates.
   [[nodiscard]] Matrix unitary() const;
 
+  /// The gate's unitary bundled with its kernel classification
+  /// (kernels.h), computed once per gate and memoized: copies of this
+  /// gate — including the per-run Operation copies
+  /// Circuit::all_operations() hands the samplers — share one cache
+  /// slot, so matrix construction and structural classification stop
+  /// re-running on every apply. Thread-safe (first caller wins, racers
+  /// wait). Throws exactly like unitary() for measurements, channels,
+  /// and unresolved symbolic parameters — and never caches in those
+  /// cases, so a later resolved() copy still works. resolved() gives
+  /// the returned copy a fresh slot whenever it changes the parameter
+  /// (the only mutation a Gate value can undergo).
+  [[nodiscard]] std::shared_ptr<const kernels::CompiledMatrix>
+  compiled_unitary() const;
+
   /// Measurement key; only valid for measurement gates.
   [[nodiscard]] const std::string& measurement_key() const;
 
@@ -157,7 +172,9 @@ class Gate {
   [[nodiscard]] std::vector<std::string> diagram_symbols() const;
 
  private:
-  Gate(GateKind kind, int arity) : kind_(kind), arity_(arity) {}
+  struct UnitaryCache;
+
+  Gate(GateKind kind, int arity);
 
   GateKind kind_ = GateKind::kIdentity;
   int arity_ = 1;
@@ -166,6 +183,9 @@ class Gate {
   std::shared_ptr<const KrausChannel> channel_;
   std::string key_;
   std::string custom_name_;
+  /// Shared memoization slot for compiled_unitary(); copies of a gate
+  /// point at the same slot, so the first apply fills it for everyone.
+  std::shared_ptr<UnitaryCache> unitary_cache_;
 };
 
 }  // namespace bgls

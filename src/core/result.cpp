@@ -1,5 +1,6 @@
 #include "core/result.h"
 
+#include "circuit/circuit.h"
 #include "util/error.h"
 
 namespace bgls {
@@ -76,6 +77,16 @@ Counts Result::histogram(const std::string& key) const {
 
 Distribution Result::distribution(const std::string& key) const {
   return normalize(histogram(key));
+}
+
+void declare_measurement_keys(const Circuit& circuit, Result& result) {
+  for (const auto& moment : circuit.moments()) {
+    for (const auto& op : moment.operations()) {
+      if (!op.gate().is_measurement()) continue;
+      result.declare_key(op.gate().measurement_key(),
+                         {op.qubits().begin(), op.qubits().end()});
+    }
+  }
 }
 
 }  // namespace bgls

@@ -67,4 +67,12 @@ class Result {
   std::map<std::string, KeyData> data_;
 };
 
+class Circuit;
+
+/// Declares every measurement key of `circuit` (with its qubits, in
+/// gate order) on `result` — the shared preamble of Simulator::run, the
+/// engine's batch paths, and the Session facade, so a 0-repetition run
+/// still yields a well-formed result with all keys present.
+void declare_measurement_keys(const Circuit& circuit, Result& result);
+
 }  // namespace bgls

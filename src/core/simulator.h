@@ -188,12 +188,7 @@ class Simulator {
     }
     validate(circuit, /*require_measurements=*/true);
     Result result;
-    for (const auto& op : circuit.all_operations()) {
-      if (op.gate().is_measurement()) {
-        result.declare_key(op.gate().measurement_key(),
-                           {op.qubits().begin(), op.qubits().end()});
-      }
-    }
+    declare_measurement_keys(circuit, result);
     if (can_parallelize(circuit)) {
       const auto counts = sample_parallel(circuit, repetitions, rng);
       for (const auto& [bits, count] : counts) {

@@ -45,7 +45,10 @@ void DensityMatrixState::apply(const Operation& op) {
   const Gate& gate = op.gate();
   BGLS_REQUIRE(gate.is_unitary(), "cannot apply non-unitary '", gate.name(),
                "' directly");
-  apply_matrix(gate.unitary(), op.qubits());
+  // The memoized gate matrix (Gate::compiled_unitary) skips rebuilding
+  // the unitary per apply; this backend has no kernel dispatch, so only
+  // the matrix half of the cache is consumed.
+  apply_matrix(gate.compiled_unitary()->matrix, op.qubits());
 }
 
 void DensityMatrixState::apply_matrix(const Matrix& m,

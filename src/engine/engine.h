@@ -309,12 +309,7 @@ class BatchEngine {
 
     std::vector<Result> results(circuits.size());
     for (std::size_t i = 0; i < circuits.size(); ++i) {
-      for (const auto& op : circuits[i].all_operations()) {
-        if (op.gate().is_measurement()) {
-          results[i].declare_key(op.gate().measurement_key(),
-                                 {op.qubits().begin(), op.qubits().end()});
-        }
-      }
+      declare_measurement_keys(circuits[i], results[i]);
       for (std::size_t s = 0; s < plans[i].streams.size(); ++s) {
         results[i].append(shard_results[plans[i].first_slot + s]);
       }

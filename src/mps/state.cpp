@@ -34,7 +34,9 @@ void MPSState::apply(const Operation& op) {
   const Gate& gate = op.gate();
   BGLS_REQUIRE(gate.is_unitary(), "cannot apply non-unitary '", gate.name(),
                "' directly; measurements/channels go through the sampler");
-  apply_matrix(gate.unitary(), op.qubits());
+  // Memoized gate matrix (Gate::compiled_unitary): skips rebuilding the
+  // unitary on every apply of the same gate.
+  apply_matrix(gate.compiled_unitary()->matrix, op.qubits());
 }
 
 void MPSState::apply_matrix(const Matrix& m, std::span<const Qubit> qubits) {

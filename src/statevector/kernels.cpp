@@ -748,15 +748,14 @@ Classification classify(const Matrix& m) {
 
 // --- Dispatch -----------------------------------------------------------
 
-void apply_matrix(std::span<Complex> amplitudes, int num_qubits,
-                  const Matrix& m, std::span<const int> qubits) {
-  (void)num_qubits;
+namespace {
+
+/// Routes an already classified matrix to its shaped kernel (shared by
+/// both public apply_matrix overloads).
+void dispatch_classified(std::span<Complex> amplitudes, const Matrix& m,
+                         const Classification& c,
+                         std::span<const int> qubits) {
   const std::size_t k = qubits.size();
-  if (force_generic() || k > kMaxKernelArity) {
-    apply_generic(amplitudes, m, qubits);
-    return;
-  }
-  const Classification c = classify(m);
   switch (c.cls) {
     case GateClass::kDiagonal:
       apply_diagonal(amplitudes, qubits, c.phases);
@@ -796,6 +795,37 @@ void apply_matrix(std::span<Complex> amplitudes, int num_qubits,
     default:
       apply_generic_k(amplitudes, qubits, m);
   }
+}
+
+}  // namespace
+
+CompiledMatrix compile(Matrix m) {
+  CompiledMatrix out;
+  out.matrix = std::move(m);
+  out.classification = classify(out.matrix);
+  return out;
+}
+
+void apply_matrix(std::span<Complex> amplitudes, int num_qubits,
+                  const Matrix& m, std::span<const int> qubits) {
+  (void)num_qubits;
+  if (force_generic() || qubits.size() > kMaxKernelArity) {
+    apply_generic(amplitudes, m, qubits);
+    return;
+  }
+  dispatch_classified(amplitudes, m, classify(m), qubits);
+}
+
+void apply_matrix(std::span<Complex> amplitudes, int num_qubits,
+                  const CompiledMatrix& compiled,
+                  std::span<const int> qubits) {
+  (void)num_qubits;
+  if (force_generic() || qubits.size() > kMaxKernelArity) {
+    apply_generic(amplitudes, compiled.matrix, qubits);
+    return;
+  }
+  dispatch_classified(amplitudes, compiled.matrix, compiled.classification,
+                      qubits);
 }
 
 bool force_generic() {

@@ -84,12 +84,32 @@ struct Classification {
 /// dense reference on the library's named gates.
 [[nodiscard]] Classification classify(const Matrix& m);
 
+/// A gate matrix bundled with its precomputed classification — the
+/// memoizable unit. Gate caches one per gate (Gate::compiled_unitary),
+/// so classification runs once per distinct gate instead of once per
+/// apply_matrix call.
+struct CompiledMatrix {
+  Matrix matrix;
+  Classification classification;
+};
+
+/// Classifies `m` and bundles it. Pure; the apply_matrix overload below
+/// consumes the result without re-classifying.
+[[nodiscard]] CompiledMatrix compile(Matrix m);
+
 /// Applies the 2^k x 2^k matrix `m` to the listed qubits of a 2^n
 /// amplitude vector, dispatching through classify(). The gate-local
 /// index uses qubits[0] as the most significant bit (gate.h
 /// convention). Matrices need not be unitary (Kraus branches).
 void apply_matrix(std::span<Complex> amplitudes, int num_qubits,
                   const Matrix& m, std::span<const int> qubits);
+
+/// Same, but reuses the precomputed classification (identical dispatch
+/// and arithmetic, so results are bit-identical to the classifying
+/// overload; force_generic() is still honored).
+void apply_matrix(std::span<Complex> amplitudes, int num_qubits,
+                  const CompiledMatrix& compiled,
+                  std::span<const int> qubits);
 
 /// True when specialized kernels are disabled and every apply takes the
 /// generic dense path. Initialized from the BGLS_FORCE_GENERIC_KERNELS

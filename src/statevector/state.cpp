@@ -33,20 +33,31 @@ void StateVectorState::apply(const Operation& op) {
   const Gate& gate = op.gate();
   BGLS_REQUIRE(gate.is_unitary(), "cannot apply non-unitary '", gate.name(),
                "' directly; measurements/channels go through the sampler");
-  apply_matrix(gate.unitary(), op.qubits());
+  // Memoized per gate: the matrix is built and classified once, and
+  // every later apply of this gate (or any copy of it) skips straight
+  // to the shaped kernel.
+  const std::shared_ptr<const kernels::CompiledMatrix> compiled =
+      gate.compiled_unitary();
+  check_targets(compiled->matrix, op.qubits());
+  kernels::apply_matrix(amplitudes_, num_qubits_, *compiled, op.qubits());
 }
 
 void StateVectorState::apply_matrix(const Matrix& m,
                                     std::span<const Qubit> qubits) {
+  check_targets(m, qubits);
+  // Gate-class dispatch (kernels.h): diagonal, permutation, controlled
+  // and dense matrices each take a kernel shaped for their structure.
+  kernels::apply_matrix(amplitudes_, num_qubits_, m, qubits);
+}
+
+void StateVectorState::check_targets(const Matrix& m,
+                                     std::span<const Qubit> qubits) const {
   BGLS_REQUIRE(m.rows() == m.cols() &&
                    m.rows() == (std::size_t{1} << qubits.size()),
                "matrix dimension does not match qubit count");
   for (const Qubit q : qubits) {
     BGLS_REQUIRE(q >= 0 && q < num_qubits_, "qubit ", q, " out of range");
   }
-  // Gate-class dispatch (kernels.h): diagonal, permutation, controlled
-  // and dense matrices each take a kernel shaped for their structure.
-  kernels::apply_matrix(amplitudes_, num_qubits_, m, qubits);
 }
 
 void StateVectorState::project(std::span<const Qubit> qubits, Bitstring bits) {

@@ -97,6 +97,9 @@ class StateVectorState {
   [[nodiscard]] double max_abs_diff(const StateVectorState& other) const;
 
  private:
+  /// Shared precondition checks of apply()/apply_matrix().
+  void check_targets(const Matrix& m, std::span<const Qubit> qubits) const;
+
   int num_qubits_ = 0;
   std::vector<Complex> amplitudes_;
 };

@@ -2,10 +2,14 @@
 
 #include "circuit/gate.h"
 
+#include "circuit/circuit.h"
+
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <numbers>
+#include <thread>
+#include <vector>
 
 #include "util/error.h"
 
@@ -150,6 +154,81 @@ TEST(Gate, Names) {
   EXPECT_EQ(Gate::Rz(0.25).name(), "Rz(0.25)");
   EXPECT_EQ(Gate::Rz(Symbol{"g"}).name(), "Rz(g)");
   EXPECT_EQ(Gate::Measure("z", 2).name(), "M('z')");
+}
+
+// --- compiled_unitary(): the memoized matrix + kernel classification ----
+
+TEST(GateCompiledUnitary, MatchesUnitaryAndClassification) {
+  for (const Gate& gate : {Gate::H(), Gate::T(), Gate::CX(), Gate::CZ(),
+                           Gate::Rz(0.7), Gate::CCX()}) {
+    const auto compiled = gate.compiled_unitary();
+    ASSERT_NE(compiled, nullptr) << gate.name();
+    EXPECT_LT(compiled->matrix.max_abs_diff(gate.unitary()), 1e-15)
+        << gate.name();
+    EXPECT_EQ(compiled->classification.cls,
+              kernels::classify(gate.unitary()).cls)
+        << gate.name();
+  }
+}
+
+TEST(GateCompiledUnitary, CopiesShareOneMemoizedValue) {
+  const Gate gate = Gate::T();
+  const Gate copy = gate;  // copied BEFORE the first compile
+  const auto first = gate.compiled_unitary();
+  // Same pointer from the original, its copy, and later calls: the
+  // compile ran once and is shared.
+  EXPECT_EQ(copy.compiled_unitary().get(), first.get());
+  EXPECT_EQ(gate.compiled_unitary().get(), first.get());
+  const Gate late_copy = gate;
+  EXPECT_EQ(late_copy.compiled_unitary().get(), first.get());
+}
+
+TEST(GateCompiledUnitary, OperationCopiesThroughCircuitShareTheCache) {
+  // The hot path: all_operations() copies Operations every run; those
+  // copies must hit the same cache slot, not re-classify.
+  Circuit circuit{h(0)};
+  const auto first =
+      circuit.all_operations().front().gate().compiled_unitary();
+  const auto second =
+      circuit.all_operations().front().gate().compiled_unitary();
+  EXPECT_EQ(first.get(), second.get());
+}
+
+TEST(GateCompiledUnitary, SymbolicGatesThrowAndResolveFresh) {
+  const Gate symbolic = Gate::Rz(Symbol{"g"});
+  EXPECT_THROW((void)symbolic.compiled_unitary(), ValueError);
+  // Throwing does not poison the slot: resolving yields a working gate.
+  const Gate quarter = symbolic.resolved(ParamResolver{{"g", pi / 4}});
+  const Gate half = symbolic.resolved(ParamResolver{{"g", pi / 2}});
+  EXPECT_LT(quarter.compiled_unitary()->matrix.max_abs_diff(
+                Gate::Rz(pi / 4).unitary()),
+            1e-15);
+  EXPECT_LT(
+      half.compiled_unitary()->matrix.max_abs_diff(Gate::Rz(pi / 2).unitary()),
+      1e-15);
+  // Mutation invalidates: the two resolutions hold distinct caches.
+  EXPECT_NE(quarter.compiled_unitary().get(), half.compiled_unitary().get());
+}
+
+TEST(GateCompiledUnitary, NonUnitaryGatesThrowLikeUnitary) {
+  EXPECT_THROW((void)Gate::Measure("m", 1).compiled_unitary(), ValueError);
+}
+
+TEST(GateCompiledUnitary, ConcurrentFirstAccessYieldsOneValue) {
+  const Gate gate = Gate::CZ();
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const kernels::CompiledMatrix>> seen(kThreads);
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back(
+          [&, i] { seen[static_cast<std::size_t>(i)] = gate.compiled_unitary(); });
+    }
+  }
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)].get(), seen[0].get());
+  }
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 #include "core/optimize.h"
 #include "core/simulator.h"
 #include "statevector/state.h"
+#include "engine_test_helpers.h"
 #include "test_helpers.h"
 
 namespace bgls {
@@ -386,6 +387,46 @@ TEST(KernelDeterminism, HistogramsBitIdenticalAcrossOmpThreadCounts) {
   EXPECT_EQ(serial, parallel);
 }
 #endif  // BGLS_HAVE_OPENMP
+
+TEST(KernelEquivalence, CompiledMatrixOverloadMatchesClassifyingOverload) {
+  // The precomputed-classification overload (what Gate::compiled_unitary
+  // feeds) must run the identical kernels as the classifying one.
+  Rng rng(211);
+  StateVectorState initial = random_state(6, rng);
+  for (const Gate& gate : {Gate::H(), Gate::T(), Gate::CX(), Gate::CZ(),
+                           Gate::CCX(), Gate::Rz(0.9)}) {
+    std::vector<Qubit> qubits;
+    for (int q = 0; q < gate.arity(); ++q) qubits.push_back(q + 1);
+    const kernels::CompiledMatrix compiled = kernels::compile(gate.unitary());
+    std::vector<Complex> via_compiled(initial.amplitudes().begin(),
+                                      initial.amplitudes().end());
+    kernels::apply_matrix(via_compiled, 6, compiled, qubits);
+    StateVectorState via_classify = initial;
+    via_classify.apply_matrix(gate.unitary(), qubits);
+    for (std::size_t i = 0; i < via_compiled.size(); ++i) {
+      ASSERT_EQ(via_compiled[i], via_classify.amplitudes()[i]) << gate.name();
+    }
+  }
+}
+
+TEST(KernelEquivalence, SamplingIdenticalThroughGateCacheAndRawMatrices) {
+  // End to end: apply(op) now routes through the per-gate cache; it
+  // must sample bit-identically to explicit apply_matrix(unitary()).
+  Rng circuit_rng(97);
+  const Circuit circuit = testing::with_terminal_measurement(
+      random_clifford_t_circuit(4, 10, 5, circuit_rng), 4, "m");
+  Simulator<StateVectorState> cached{StateVectorState(4)};
+  Simulator<StateVectorState> raw{
+      StateVectorState(4),
+      [](const Operation& op, StateVectorState& state, Rng&) {
+        state.apply_matrix(op.gate().unitary(), op.qubits());
+      },
+      [](const StateVectorState& state, Bitstring b) {
+        return state.probability(b);
+      }};
+  EXPECT_EQ(cached.run(circuit, 2000, 5).histogram("m"),
+            raw.run(circuit, 2000, 5).histogram("m"));
+}
 
 TEST(Kernels, ForceGenericScopeRestoresState) {
   const bool before = kernels::force_generic();
