@@ -1,0 +1,131 @@
+/// \file service_throughput.cpp
+/// Service-layer throughput bench: jobs/second through the
+/// JobScheduler for a stream of small heterogeneous requests — the
+/// many-users-many-small-jobs shape the daemon serves — plus the
+/// per-job overhead the scheduler adds over direct Session::run calls,
+/// and the cost of streaming progress. Emits BENCH_service.json
+/// (bench_diff.py tracks the trajectory across PRs).
+///
+///   $ ./service_throughput [BENCH_service.json]
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "bench_guard.h"
+#include "bench_json.h"
+#include "circuit/random.h"
+#include "service/scheduler.h"
+#include "util/json_writer.h"
+
+namespace {
+
+using namespace bgls;
+
+Circuit small_circuit(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomCircuitOptions options;
+  options.num_moments = 12;
+  options.op_density = 0.8;
+  Circuit circuit = generate_random_circuit(4, options, rng);
+  circuit.append(measure({0, 1, 2, 3}, "m"));
+  return circuit;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BGLS_REQUIRE_RELEASE_BENCH("service_throughput");
+  const std::string json_path =
+      bgls::bench::bench_json_path(argc, argv, "BENCH_service.json");
+  std::ofstream json_file = bgls::bench::open_bench_json(json_path);
+  if (!json_file) return 1;
+
+  constexpr int kJobs = 200;
+  constexpr std::uint64_t kReps = 1024;
+
+  std::vector<Circuit> circuits;
+  circuits.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    circuits.push_back(small_circuit(static_cast<std::uint64_t>(i)));
+  }
+
+  JsonWriter json(json_file);
+  json.begin_object();
+  json.key("bench").value("service_throughput");
+  json.key("jobs").value(kJobs);
+  json.key("repetitions_per_job").value(kReps);
+  json.key("rows").begin_array();
+
+  std::cout << "=== Service scheduler throughput (" << kJobs
+            << " jobs x " << kReps << " reps) ===\n\n";
+
+  // Baseline: direct Session::run calls, no queue.
+  {
+    Session session;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kJobs; ++i) {
+      (void)session.run(RunRequest()
+                            .with_circuit(circuits[static_cast<std::size_t>(i)])
+                            .with_repetitions(kReps)
+                            .with_seed(static_cast<std::uint64_t>(i)));
+    }
+    const double seconds = seconds_since(start);
+    std::cout << "direct Session::run    : " << seconds << " s ("
+              << kJobs / seconds << " jobs/s)\n";
+    json.begin_object();
+    json.key("path").value("session_direct");
+    json.key("seconds").value(seconds);
+    json.key("jobs_per_second").value(kJobs / seconds);
+    json.end_object();
+  }
+
+  // Scheduler at 1 and 2 runners; progress streaming on the last row.
+  for (const auto& [runners, progress_every, label] :
+       {std::tuple<int, std::uint64_t, const char*>{1, 0, "scheduler_1"},
+        {2, 0, "scheduler_2"},
+        {2, 256, "scheduler_2_streaming"}}) {
+    service::SchedulerOptions options;
+    options.max_concurrent_jobs = runners;
+    options.max_queue_depth = kJobs + 1;
+    service::JobScheduler scheduler(options);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::uint64_t> ids;
+    ids.reserve(kJobs);
+    for (int i = 0; i < kJobs; ++i) {
+      RunRequest request =
+          RunRequest()
+              .with_circuit(circuits[static_cast<std::size_t>(i)])
+              .with_repetitions(kReps)
+              .with_seed(static_cast<std::uint64_t>(i));
+      if (progress_every > 0) request.with_progress(progress_every, nullptr);
+      ids.push_back(scheduler.submit(std::move(request)));
+    }
+    for (const std::uint64_t id : ids) (void)scheduler.wait(id);
+    const double seconds = seconds_since(start);
+    std::cout << label << std::string(23 - std::string(label).size(), ' ')
+              << ": " << seconds << " s (" << kJobs / seconds
+              << " jobs/s)\n";
+    json.begin_object();
+    json.key("path").value(label);
+    json.key("runners").value(runners);
+    json.key("progress_every").value(progress_every);
+    json.key("seconds").value(seconds);
+    json.key("jobs_per_second").value(kJobs / seconds);
+    json.end_object();
+  }
+
+  json.end_array();
+  json.end_object();
+  json_file << "\n";
+  bgls::bench::report_bench_json(json_path);
+  return 0;
+}

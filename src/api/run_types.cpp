@@ -37,6 +37,8 @@ SimulatorOptions RunRequest::simulator_options() const {
   options.num_rng_streams = num_rng_streams;
   options.reuse_thread_pool = reuse_thread_pool;
   options.two_level_batch_sharding = two_level_batch_sharding;
+  options.cancel_token = cancel_token;
+  options.progress = progress;
   return options;
 }
 

@@ -20,9 +20,11 @@
 #include <utility>
 
 #include "circuit/circuit.h"
+#include "core/progress.h"
 #include "core/result.h"
 #include "core/simulator.h"
 #include "mps/state.h"
+#include "util/cancellation.h"
 
 namespace bgls {
 
@@ -119,6 +121,25 @@ struct RunRequest {
   bool optimize_circuit = false;
   /// Truncation knobs forwarded to the MPS backend.
   MPSOptions mps_options;
+  /// Scheduling priority for queued execution (service JobScheduler):
+  /// higher runs first, ties run in submission order. Ignored by
+  /// direct Session runs.
+  int priority = 0;
+  /// Wall-clock budget in milliseconds; 0 = none. Session::run/
+  /// run_async arm it on entry, the service scheduler at submit (so
+  /// queue wait counts against it). An exceeded deadline aborts the run
+  /// with DeadlineExceededError / a `timeout` job state.
+  std::uint64_t deadline_ms = 0;
+  /// Cooperative cancellation handle (util/cancellation.h); inert by
+  /// default. Callers keep a copy and cancel() it to abort the run
+  /// with CancelledError. The deadline above is armed on this token
+  /// (one is created when needed).
+  CancellationToken cancel_token;
+  /// Streaming partial histograms (core/progress.h): run() emits
+  /// cumulative per-key histograms every `progress.every` completed
+  /// repetitions, deterministically for a fixed seed. run_batch
+  /// ignores it.
+  ProgressOptions progress;
 
   // --- Builder-style setters (each returns *this) -----------------------
   RunRequest& with_circuit(Circuit c) {
@@ -176,6 +197,23 @@ struct RunRequest {
   }
   RunRequest& with_mps_options(MPSOptions options) {
     mps_options = options;
+    return *this;
+  }
+  RunRequest& with_priority(int p) {
+    priority = p;
+    return *this;
+  }
+  RunRequest& with_deadline_ms(std::uint64_t ms) {
+    deadline_ms = ms;
+    return *this;
+  }
+  RunRequest& with_cancel_token(CancellationToken token) {
+    cancel_token = std::move(token);
+    return *this;
+  }
+  RunRequest& with_progress(std::uint64_t every, ProgressFn sink) {
+    progress.every = every;
+    progress.sink = std::move(sink);
     return *this;
   }
 

@@ -17,6 +17,19 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// Arms the request's wall-clock deadline on its cancellation token
+// (creating one when the caller did not supply a handle). Called on
+// entry of every Session run path, so deadline_ms counts from
+// submission — including pool wait for run_async.
+void arm_cancellation(RunRequest& request) {
+  if (request.deadline_ms == 0) return;
+  if (!request.cancel_token.valid()) {
+    request.cancel_token = CancellationToken::make();
+  }
+  request.cancel_token.set_deadline_after(
+      std::chrono::milliseconds(request.deadline_ms));
+}
+
 }  // namespace
 
 Session::Session(SessionOptions options)
@@ -97,11 +110,15 @@ RunResult Session::run(RunRequest request) {
     request.optimize_circuit = false;
     apply_optimization(request.circuit, *resolution.backend);
   }
+  arm_cancellation(request);
   const int resolved = ThreadPool::resolve_num_threads(request.num_threads);
   if (resolved > 1) ensure_context(resolved);
   const auto start = std::chrono::steady_clock::now();
   RunResult out = resolution.backend->run(request);
   out.wall_seconds = seconds_since(start);
+  // Mirrored into the stats so routing decisions survive aggregation
+  // (the service daemon's stats endpoint reads RunStats, not RunResult).
+  out.stats.selection_reason = resolution.reason;
   out.selection_reason = std::move(resolution.reason);
   return out;
 }
@@ -120,6 +137,9 @@ std::future<RunResult> Session::run_async(RunRequest request) {
     request.optimize_circuit = false;
     apply_optimization(request.circuit, *resolution.backend);
   }
+  // Armed at submission: a job that waits out its whole budget in the
+  // pool queue times out without sampling (the service contract).
+  arm_cancellation(request);
   const int resolved = ThreadPool::resolve_num_threads(request.num_threads);
   // The job always runs on the immortal shared pool, and — like
   // Simulator::run_async — the inner run is forced onto pool reuse: a
@@ -131,9 +151,11 @@ std::future<RunResult> Session::run_async(RunRequest request) {
   auto task = std::make_shared<std::packaged_task<RunResult()>>(
       [backend = resolution.backend, reason = std::move(resolution.reason),
        request = std::move(request)]() {
+        request.cancel_token.throw_if_stopped();
         const auto start = std::chrono::steady_clock::now();
         RunResult out = backend->run(request);
         out.wall_seconds = seconds_since(start);
+        out.stats.selection_reason = reason;
         out.selection_reason = reason;
         return out;
       });
@@ -146,6 +168,8 @@ std::vector<RunResult> Session::run_batch(std::span<const Circuit> circuits,
                                           RunRequest request) {
   std::vector<RunResult> results(circuits.size());
   if (circuits.empty()) return results;
+  // One deadline/token covers the whole batch (it is one submission).
+  arm_cancellation(request);
 
   // Route every circuit (on its unoptimized form, exactly like run()),
   // then group by (backend, width) so each group runs through one
@@ -203,7 +227,11 @@ std::vector<RunResult> Session::run_batch(std::span<const Circuit> circuits,
     for (std::size_t j = 0; j < group.indices.size(); ++j) {
       const std::size_t i = group.indices[j];
       results[i] = std::move(group_results[j]);
+      // Per-job reason in both places: RunResult for callers, RunStats
+      // so kAuto routing decisions survive into stats aggregation
+      // (engine counters are shared by the group, the reason is not).
       results[i].selection_reason = reasons[i];
+      results[i].stats.selection_reason = reasons[i];
     }
   }
   return results;

@@ -89,4 +89,12 @@ void declare_measurement_keys(const Circuit& circuit, Result& result) {
   }
 }
 
+std::map<std::string, Counts> key_histograms(const Result& result) {
+  std::map<std::string, Counts> histograms;
+  for (const std::string& key : result.keys()) {
+    histograms[key] = result.histogram(key);
+  }
+  return histograms;
+}
+
 }  // namespace bgls

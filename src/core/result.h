@@ -75,4 +75,10 @@ class Circuit;
 /// still yields a well-formed result with all keys present.
 void declare_measurement_keys(const Circuit& circuit, Result& result);
 
+/// All of a result's histograms keyed by measurement key — the
+/// progress-snapshot shape (core/progress.h), shared by the serial
+/// sampler's final update and the engine's per-shard reporting.
+[[nodiscard]] std::map<std::string, Counts> key_histograms(
+    const Result& result);
+
 }  // namespace bgls

@@ -48,9 +48,11 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "core/progress.h"
 #include "core/result.h"
 #include "engine/context.h"  // the reusable pool cached behind the simulator
 #include "util/bits.h"
+#include "util/cancellation.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -97,6 +99,12 @@ struct RunStats {
   /// Per-stream shard counters in shard order (empty on the serial
   /// path; one entry per RNG stream on engine runs).
   std::vector<StreamStats> per_stream;
+  /// Why the runtime layer routed this run to its backend — filled by
+  /// Session for kAuto requests, including every job of a run_batch, so
+  /// per-job routing decisions survive into stats reporting (the
+  /// service daemon's stats endpoint). Empty for direct templated runs
+  /// and explicit backend picks.
+  std::string selection_reason;
 };
 
 /// Tuning knobs.
@@ -132,6 +140,18 @@ struct SimulatorOptions {
   /// decomposition is identical in both modes, so results are
   /// bit-identical either way.
   bool two_level_batch_sharding = true;
+  /// Cooperative stop handle, polled at bounded intervals (per gate on
+  /// the trajectory and dictionary-batched loops; additionally per
+  /// shard/chunk in the engine). Inert by default. Scheduling-only: an
+  /// aborted run throws CancelledError/DeadlineExceededError and
+  /// discards its partial work; it never alters what an uncancelled run
+  /// samples, nor any shared state later runs depend on.
+  CancellationToken cancel_token{};
+  /// Streaming partial histograms (core/progress.h): run() emits
+  /// cumulative per-key histograms every `progress.every` completed
+  /// repetitions in canonical shard order. sample()/run_batch ignore
+  /// it. Observation-only: never changes the sampled records.
+  ProgressOptions progress{};
 };
 
 /// Gate-by-gate sampler over an arbitrary state representation.
@@ -187,6 +207,8 @@ class Simulator {
           });
     }
     validate(circuit, /*require_measurements=*/true);
+    options_.cancel_token.throw_if_stopped();
+    const bool streaming = options_.progress.enabled();
     Result result;
     declare_measurement_keys(circuit, result);
     if (can_parallelize(circuit)) {
@@ -198,11 +220,31 @@ class Simulator {
                              pack_key_bits(bits, op.qubits()), count);
         }
       }
+      // Dictionary batching completes every repetition together at the
+      // final gate, so streaming degenerates to the one final update.
+      if (streaming) emit_final_progress(result, repetitions);
       return result;
     }
+    std::map<std::string, Counts> cumulative;
     for (std::uint64_t rep = 0; rep < repetitions; ++rep) {
       run_one_trajectory(circuit, rng, &result);
+      if (!streaming) continue;
+      for (const std::string& key : result.keys()) {
+        ++cumulative[key][result.values(key).back()];
+      }
+      // Canonical single-shard checkpoints: every `every` repetitions
+      // plus the final one (see core/progress.h).
+      const std::uint64_t done = rep + 1;
+      if (done % options_.progress.every == 0 || done == repetitions) {
+        ProgressUpdate update;
+        update.completed_repetitions = done;
+        update.total_repetitions = repetitions;
+        update.final = done == repetitions;
+        update.histograms = cumulative;
+        options_.progress.sink(update);
+      }
     }
+    if (streaming && repetitions == 0) emit_final_progress(result, 0);
     return result;
   }
 
@@ -417,6 +459,7 @@ class Simulator {
 
     for (const auto& op : circuit.all_operations()) {
       if (op.gate().is_measurement()) continue;
+      options_.cancel_token.throw_if_stopped();
       apply_op_(op, state, rng);
       ++stats_.state_applications;
       if (options_.skip_diagonal_updates && op.gate().is_diagonal()) {
@@ -467,6 +510,18 @@ class Simulator {
     return candidates.values[chosen % num_candidates];
   }
 
+  /// Emits the final ProgressUpdate carrying the run's complete
+  /// histograms (the degenerate stream of the batched path and of
+  /// 0-repetition runs).
+  void emit_final_progress(const Result& result, std::uint64_t repetitions) {
+    ProgressUpdate update;
+    update.completed_repetitions = repetitions;
+    update.total_repetitions = repetitions;
+    update.final = true;
+    update.histograms = key_histograms(result);
+    options_.progress.sink(update);
+  }
+
   /// One full trajectory; returns the final bitstring and (optionally)
   /// appends measurement records.
   Bitstring run_one_trajectory(const Circuit& circuit, Rng& rng,
@@ -478,6 +533,7 @@ class Simulator {
     std::map<std::string, Bitstring> records;
     ++stats_.trajectories;
     for (const auto& op : circuit.all_operations()) {
+      options_.cancel_token.throw_if_stopped();
       const Gate& gate = op.gate();
       if (gate.is_measurement()) {
         // b is a faithful sample of the instantaneous distribution, so

@@ -63,4 +63,22 @@ Counts merge_counts(std::span<const Counts> shards) {
   return merged;
 }
 
+void accumulate_stats(RunStats& total, const RunStats& chunk) {
+  total.state_applications += chunk.state_applications;
+  total.probability_evaluations += chunk.probability_evaluations;
+  total.max_dictionary_size =
+      std::max(total.max_dictionary_size, chunk.max_dictionary_size);
+  total.trajectories += chunk.trajectories;
+  total.used_sample_parallelization |= chunk.used_sample_parallelization;
+  total.diagonal_updates_skipped += chunk.diagonal_updates_skipped;
+}
+
+void accumulate_result_histograms(std::map<std::string, Counts>& cumulative,
+                                  const Result& chunk) {
+  for (const std::string& key : chunk.keys()) {
+    Counts& target = cumulative[key];
+    for (const Bitstring value : chunk.values(key)) ++target[value];
+  }
+}
+
 }  // namespace bgls::engine_detail

@@ -46,18 +46,22 @@
 
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "core/progress.h"
 #include "core/result.h"
 #include "core/simulator.h"
 #include "engine/context.h"
 #include "engine/thread_pool.h"
+#include "util/cancellation.h"
 #include "util/rng.h"
 
 namespace bgls {
@@ -88,6 +92,17 @@ namespace engine_detail {
 
 /// Sums shard histograms into one.
 [[nodiscard]] Counts merge_counts(std::span<const Counts> shards);
+
+/// Accumulates one chunk's counters into a shard's running total (the
+/// progress-chunked shard loop runs one shard as several sequential
+/// Simulator::run calls): counters sum, the dictionary peak maxes, the
+/// parallelization flag ORs. threads_used/per_stream are left for
+/// merge_shard_stats.
+void accumulate_stats(RunStats& total, const RunStats& chunk);
+
+/// Adds `chunk`'s histograms into a cumulative per-key map.
+void accumulate_result_histograms(std::map<std::string, Counts>& cumulative,
+                                  const Result& chunk);
 
 }  // namespace engine_detail
 
@@ -138,6 +153,13 @@ class BatchEngine {
     num_streams_ = options.num_rng_streams < 1 ? 1 : options.num_rng_streams;
     reuse_pool_ = options.reuse_thread_pool;
     two_level_ = options.two_level_batch_sharding;
+    token_ = options.cancel_token;
+    // The engine owns progress emission (canonical shard-ordered
+    // updates via ProgressCollector); per-shard simulators must not
+    // also stream. The cancellation token stays in the shard options so
+    // deep trajectories abort at gate granularity too.
+    progress_ = options.progress;
+    options.progress = {};
     options.num_threads = 1;
     prototype_.set_options(options);
   }
@@ -177,6 +199,7 @@ class BatchEngine {
     // run, which must not let an unrunnable circuit slip through
     // silently.
     prototype_.check_runnable(circuit, /*require_measurements=*/false);
+    token_.throw_if_stopped();
     const bool batched = prototype_.can_parallelize_samples(circuit);
     if (batched && prototype_.hooks_are_native()) {
       BatchedOutcome outcome = sample_batched_shared(circuit, repetitions, rng);
@@ -282,6 +305,7 @@ class BatchEngine {
     const auto run_shard = [&](std::size_t i, std::size_t s) {
       const CircuitPlan& plan = plans[i];
       if (plan.shard_reps[s] == 0) return;
+      token_.throw_if_stopped();
       Simulator<State> local = prototype_;
       Rng stream = plan.streams[s];
       const std::size_t slot = plan.first_slot + s;
@@ -345,6 +369,7 @@ class BatchEngine {
     // run, which must not let an unrunnable circuit slip through
     // silently.
     prototype_.check_runnable(circuit, /*require_measurements=*/true);
+    token_.throw_if_stopped();
     JobOutcome outcome;
     // Collected once: all_operations() materializes the flattened list,
     // and the batched merge below revisits the keys per unique
@@ -370,6 +395,9 @@ class BatchEngine {
         }
       }
       outcome.stats = std::move(shared.stats);
+      if (progress_.enabled()) {
+        emit_batched_progress(shared.shard_counts, keys, repetitions);
+      }
       return outcome;
     }
     // Custom hooks keep the v1 per-shard private evolution (see
@@ -379,10 +407,48 @@ class BatchEngine {
     auto [shard_results, stats] = run_sharded<Result>(
         circuit, repetitions, rng, /*multinomial=*/batched,
         [](Simulator<State>& sim, const Circuit& c, std::uint64_t reps,
-           Rng& r) { return sim.run(c, reps, r); });
+           Rng& r) { return sim.run(c, reps, r); },
+        &progress_);
     for (const Result& shard : shard_results) outcome.result.append(shard);
     outcome.stats = std::move(stats);
     return outcome;
+  }
+
+  /// The batched path's degenerate stream: every shard's repetitions
+  /// complete together at the final gate, so after the run the shard
+  /// prefixes are emitted in canonical order. A shard's repetition
+  /// count is recovered from its multinomial dictionary (the counts sum
+  /// to the shard's split), so the sequence is fixed by the seed alone.
+  void emit_batched_progress(
+      std::span<const Counts> shard_counts,
+      std::span<const std::pair<std::string, std::vector<Qubit>>> keys,
+      std::uint64_t repetitions) {
+    std::map<std::string, Counts> cumulative;
+    std::uint64_t completed = 0;
+    std::uint64_t last_emitted = 0;
+    bool final_emitted = false;
+    for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+      std::uint64_t shard_reps = 0;
+      for (const auto& [bits, count] : shard_counts[i]) {
+        shard_reps += count;
+        for (const auto& [key, qubits] : keys) {
+          cumulative[key][Simulator<State>::pack_key_bits(bits, qubits)] +=
+              count;
+        }
+      }
+      completed += shard_reps;
+      const bool final = i + 1 == shard_counts.size();
+      if (completed > last_emitted || (final && !final_emitted)) {
+        ProgressUpdate update;
+        update.completed_repetitions = completed;
+        update.total_repetitions = repetitions;
+        update.final = final;
+        update.histograms = cumulative;
+        progress_.sink(update);
+        last_emitted = completed;
+        final_emitted = final;
+      }
+    }
   }
 
   /// The v2 batched path: evolves ONE state snapshot per gate and
@@ -430,6 +496,9 @@ class BatchEngine {
     const SimulatorOptions& options = prototype_.options();
     for (const auto& op : circuit.all_operations()) {
       if (op.gate().is_measurement()) continue;
+      // Cooperative stop at gate granularity: one gate (evolution +
+      // resampling fan-out) bounds the cancellation latency.
+      token_.throw_if_stopped();
       prototype_.apply_fn()(op, state, evolution);
       ++stats.state_applications;
       if (options.skip_diagonal_updates && op.gate().is_diagonal()) {
@@ -473,11 +542,20 @@ class BatchEngine {
   /// snapshot path); trajectory shards use the even split, with the
   /// planning stream drawn (and discarded) to keep stream derivation
   /// aligned across both paths.
+  ///
+  /// When `progress` is enabled (Result outputs only), trajectory
+  /// shards run as sequential chunks of `progress->every` repetitions
+  /// on one stream — identical draws to the single call, since the
+  /// per-trajectory path consumes the stream repetition by repetition —
+  /// reporting each canonical checkpoint to a ProgressCollector;
+  /// multinomial shards report completion only (chunking a dictionary
+  /// run would change its draws). The chunk boundaries double as
+  /// cooperative cancellation points.
   template <typename Out, typename RunFn>
-  std::pair<std::vector<Out>, RunStats> run_sharded(const Circuit& circuit,
-                                                    std::uint64_t repetitions,
-                                                    Rng& rng, bool multinomial,
-                                                    RunFn body) {
+  std::pair<std::vector<Out>, RunStats> run_sharded(
+      const Circuit& circuit, std::uint64_t repetitions, Rng& rng,
+      bool multinomial, RunFn body,
+      const ProgressOptions* progress = nullptr) {
     const std::uint64_t max_shards = repetitions < 1 ? 1 : repetitions;
     const auto shards = static_cast<std::size_t>(
         num_streams_ < max_shards ? num_streams_ : max_shards);
@@ -488,17 +566,65 @@ class BatchEngine {
         multinomial ? engine_detail::multinomial_split(repetitions, shards, plan)
                     : engine_detail::even_split(repetitions, shards);
 
+    std::unique_ptr<ProgressCollector> collector;
+    if (progress != nullptr && progress->enabled()) {
+      collector = std::make_unique<ProgressCollector>(
+          *progress, shard_reps, /*chunked=*/!multinomial);
+    }
+
     std::vector<Out> outputs(shards);
     std::vector<RunStats> shard_stats(shards);
     execute(shards, [&](std::size_t i) {
-      if (shard_reps[i] == 0) return;  // nothing to sample in this shard
+      if (shard_reps[i] == 0) {
+        // Nothing to sample, but the canonical update sequence still
+        // needs the shard's (empty) checkpoint.
+        if (collector) collector->report(i, 0, {});
+        return;
+      }
+      token_.throw_if_stopped();
       Simulator<State> local = prototype_;
       Rng stream = streams[i];
+      if constexpr (std::is_same_v<Out, Result>) {
+        if (collector && !multinomial) {
+          run_chunked_shard(local, circuit, shard_reps[i], stream, i,
+                            *collector, outputs[i], shard_stats[i]);
+          return;
+        }
+      }
       outputs[i] = body(local, circuit, shard_reps[i], stream);
       shard_stats[i] = local.last_run_stats();
+      if constexpr (std::is_same_v<Out, Result>) {
+        if (collector) {
+          collector->report(i, shard_reps[i], key_histograms(outputs[i]));
+        }
+      }
     });
     return {std::move(outputs),
             engine_detail::merge_shard_stats(shard_stats, num_threads_)};
+  }
+
+  /// One trajectory shard as sequential checkpoint-sized chunks on its
+  /// stream (see run_sharded): draws are identical to a single
+  /// Simulator::run of the full shard, the per-chunk results append
+  /// into the same shard output, and each checkpoint reports to the
+  /// collector.
+  void run_chunked_shard(Simulator<State>& local, const Circuit& circuit,
+                         std::uint64_t reps, Rng& stream, std::size_t shard,
+                         ProgressCollector& collector, Result& out,
+                         RunStats& stats) {
+    std::map<std::string, Counts> cumulative;
+    std::uint64_t done = 0;
+    while (done < reps) {
+      token_.throw_if_stopped();
+      const std::uint64_t next =
+          ProgressCollector::next_checkpoint(done, reps, progress_.every);
+      const Result chunk = local.run(circuit, next - done, stream);
+      engine_detail::accumulate_result_histograms(cumulative, chunk);
+      out.append(chunk);
+      engine_detail::accumulate_stats(stats, local.last_run_stats());
+      done = next;
+      collector.report(shard, done, cumulative);
+    }
   }
 
   /// Returns the engine context, acquiring it on first use (the shared
@@ -566,6 +692,12 @@ class BatchEngine {
   std::uint64_t num_streams_ = 1;
   bool reuse_pool_ = true;
   bool two_level_ = true;
+  /// Cooperative stop handle from the prototype options, polled in the
+  /// shard loops (the per-shard simulators poll it per gate too).
+  CancellationToken token_;
+  /// Streaming knobs lifted off the prototype options (the engine is
+  /// the sole emitter; see the constructor).
+  ProgressOptions progress_;
   RunStats stats_;
 };
 

@@ -1,0 +1,87 @@
+#include "service/client.h"
+
+namespace bgls::service {
+
+ServiceClient::ServiceClient(const Endpoint& endpoint)
+    : socket_(connect_to(endpoint)) {}
+
+JsonValue ServiceClient::roundtrip(const std::string& line) {
+  socket_.write_all(line);
+  std::string response;
+  if (!socket_.read_line(response)) {
+    detail::throw_error<IoError>("server closed the connection");
+  }
+  return JsonValue::parse(response);
+}
+
+void ServiceClient::require_ok(const JsonValue& response) {
+  if (response.bool_or("ok", false)) return;
+  throw ServiceError(response.string_or("code", "error"),
+                     response.string_or("error", "request failed"));
+}
+
+std::string ServiceClient::extract_report(const JsonValue& response) {
+  require_ok(response);
+  const JsonValue* report = response.find("report");
+  BGLS_REQUIRE(report != nullptr, "response carries no report");
+  return report->as_string();
+}
+
+std::uint64_t ServiceClient::submit(const SubmitArgs& args) {
+  const JsonValue response = roundtrip(submit_request_line(args));
+  require_ok(response);
+  return response.u64_or("job", 0);
+}
+
+JsonValue ServiceClient::status(std::uint64_t job) {
+  const JsonValue response = roundtrip(job_request_line("status", job));
+  require_ok(response);
+  return response;
+}
+
+JsonValue ServiceClient::wait(std::uint64_t job, std::uint64_t timeout_ms) {
+  return roundtrip(wait_request_line(job, timeout_ms));
+}
+
+std::string ServiceClient::result_report(std::uint64_t job) {
+  return extract_report(roundtrip(job_request_line("result", job)));
+}
+
+std::string ServiceClient::wait_report(std::uint64_t job,
+                                       std::uint64_t timeout_ms) {
+  return extract_report(wait(job, timeout_ms));
+}
+
+bool ServiceClient::cancel(std::uint64_t job) {
+  const JsonValue response = roundtrip(job_request_line("cancel", job));
+  require_ok(response);
+  return response.bool_or("cancelled", false);
+}
+
+std::string ServiceClient::stream(
+    std::uint64_t job,
+    const std::function<void(const JsonValue&)>& on_progress) {
+  socket_.write_all(job_request_line("stream", job));
+  std::string line;
+  while (socket_.read_line(line)) {
+    const JsonValue frame = JsonValue::parse(line);
+    if (frame.string_or("type", "") == "progress") {
+      if (on_progress) on_progress(frame);
+      continue;
+    }
+    return extract_report(frame);
+  }
+  detail::throw_error<IoError>("server closed the stream mid-job");
+}
+
+JsonValue ServiceClient::stats() {
+  const JsonValue response = roundtrip(op_request_line("stats"));
+  require_ok(response);
+  return response;
+}
+
+void ServiceClient::shutdown_server() {
+  require_ok(roundtrip(op_request_line("shutdown")));
+}
+
+}  // namespace bgls::service

@@ -1,0 +1,344 @@
+#include "service/daemon.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "service/protocol.h"
+#include "util/json_writer.h"
+
+namespace bgls::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Builds one compact response line ({"ok":...,...}\n) via a filler
+/// callback receiving the open JsonWriter object scope.
+template <typename Fill>
+std::string response_line(bool ok, Fill fill) {
+  std::ostringstream os;
+  JsonWriter json(os, JsonWriter::Style::kCompact);
+  json.begin_object();
+  json.key("ok").value(ok);
+  fill(json);
+  json.end_object();
+  os << "\n";
+  return os.str();
+}
+
+std::string error_line(const std::string& code, const std::string& message) {
+  return response_line(false, [&](JsonWriter& json) {
+    json.key("code").value(code);
+    json.key("error").value(message);
+  });
+}
+
+/// Maps a terminal non-done job state onto its wire error code.
+std::string state_error_code(JobState state) {
+  return std::string(job_state_name(state));
+}
+
+}  // namespace
+
+ServiceDaemon::ServiceDaemon(DaemonOptions options)
+    : options_(std::move(options)), scheduler_(options_.scheduler) {}
+
+ServiceDaemon::~ServiceDaemon() { stop(); }
+
+void ServiceDaemon::start() {
+  BGLS_REQUIRE(!started_, "daemon already started");
+  server_.listen_on(options_.endpoint);
+  started_ = true;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void ServiceDaemon::stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  server_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    // Unblock handler threads stuck in read_line; fds are released when
+    // the Connection objects die below, after the joins.
+    for (auto& connection : connections_) connection->socket.shutdown_both();
+  }
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  started_ = false;
+  {
+    const std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void ServiceDaemon::wait_for_shutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+}
+
+void ServiceDaemon::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Socket socket = server_.accept();
+    if (!socket.valid()) break;  // close()d
+    reap_connections();
+    auto connection = std::make_unique<Connection>();
+    connection->socket = std::move(socket);
+    Connection* raw = connection.get();
+    connection->thread = std::thread([this, raw] { handle_connection(*raw); });
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void ServiceDaemon::reap_connections() {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ServiceDaemon::handle_connection(Connection& connection) {
+  std::string line;
+  try {
+    while (connection.socket.read_line(line)) {
+      if (line.empty()) continue;
+      handle_line(line, connection.socket);
+    }
+  } catch (const IoError&) {
+    // Peer vanished mid-request/response — normal client churn.
+  }
+  connection.done.store(true, std::memory_order_release);
+}
+
+void ServiceDaemon::handle_line(const std::string& line, Socket& socket) {
+  JsonValue message;
+  try {
+    message = JsonValue::parse(line);
+  } catch (const ParseError& e) {
+    socket.write_all(error_line("parse_error", e.what()));
+    return;
+  }
+  std::string op;
+  try {
+    op = message.string_or("op", "");
+    if (op == "submit") {
+      handle_submit(message, socket);
+    } else if (op == "status") {
+      handle_status(message, socket);
+    } else if (op == "cancel") {
+      handle_cancel(message, socket);
+    } else if (op == "result") {
+      handle_result_or_wait(message, socket, /*wait=*/false);
+    } else if (op == "wait") {
+      handle_result_or_wait(message, socket, /*wait=*/true);
+    } else if (op == "stream") {
+      handle_stream(message, socket);
+    } else if (op == "stats") {
+      handle_stats(socket);
+    } else if (op == "shutdown") {
+      socket.write_all(response_line(true, [](JsonWriter&) {}));
+      {
+        const std::lock_guard<std::mutex> lock(shutdown_mutex_);
+        shutdown_requested_ = true;
+      }
+      shutdown_cv_.notify_all();
+    } else {
+      socket.write_all(
+          error_line("unknown_op", "unknown op '" + op + "'"));
+    }
+  } catch (const IoError&) {
+    throw;  // connection-level: let the handler loop exit
+  } catch (const QueueFullError& e) {
+    socket.write_all(error_line("queue_full", e.what()));
+  } catch (const ParseError& e) {
+    socket.write_all(error_line("parse_error", e.what()));
+  } catch (const std::exception& e) {
+    // Unknown job ids, malformed fields, capability errors, ...
+    socket.write_all(error_line("bad_request", e.what()));
+  }
+}
+
+void ServiceDaemon::handle_submit(const JsonValue& message, Socket& socket) {
+  RunRequest request = parse_submit(message);
+  // Same width the CLI reports (no clamping) — the report must match
+  // bgls_run byte for byte.
+  const RunReportContext context =
+      report_context(request, request.circuit.num_qubits());
+  const std::uint64_t id = scheduler_.submit(std::move(request));
+  {
+    // Store this job's report context and prune entries for jobs the
+    // scheduler's retention bound has evicted, so the daemon's side
+    // table stays bounded alongside jobs_.
+    const std::uint64_t min_retained = scheduler_.min_retained_id();
+    const std::lock_guard<std::mutex> lock(contexts_mutex_);
+    contexts_.emplace(id, context);
+    contexts_.erase(contexts_.begin(),
+                    contexts_.lower_bound(min_retained));
+  }
+  socket.write_all(response_line(true, [&](JsonWriter& json) {
+    json.key("job").value(id);
+    json.key("state").value(job_state_name(JobState::kQueued));
+  }));
+}
+
+std::uint64_t ServiceDaemon::job_field(const JsonValue& message) const {
+  const JsonValue* job = message.find("job");
+  BGLS_REQUIRE(job != nullptr, "request needs a 'job' field");
+  return job->as_u64();
+}
+
+void ServiceDaemon::handle_status(const JsonValue& message, Socket& socket) {
+  const JobInfo info = scheduler_.info(job_field(message));
+  socket.write_all(response_line(true, [&](JsonWriter& json) {
+    json.key("job").value(info.id);
+    json.key("state").value(job_state_name(info.state));
+    json.key("priority").value(info.priority);
+    json.key("completed").value(info.completed_repetitions);
+    json.key("total").value(info.total_repetitions);
+    json.key("updates").value(
+        static_cast<std::uint64_t>(info.progress_updates));
+    if (!info.error.empty()) json.key("error").value(info.error);
+    if (info.result) {
+      json.key("backend").value(info.result->backend_name);
+      json.key("selection_reason").value(info.result->selection_reason);
+    }
+  }));
+}
+
+void ServiceDaemon::handle_cancel(const JsonValue& message, Socket& socket) {
+  const std::uint64_t id = job_field(message);
+  const bool cancelled = scheduler_.cancel(id);
+  socket.write_all(response_line(true, [&](JsonWriter& json) {
+    json.key("job").value(id);
+    json.key("cancelled").value(cancelled);
+  }));
+}
+
+void ServiceDaemon::send_result(const JobInfo& info, Socket& socket,
+                                const std::string& type) {
+  if (info.state == JobState::kDone) {
+    RunReportContext context;
+    {
+      const std::lock_guard<std::mutex> lock(contexts_mutex_);
+      const auto it = contexts_.find(info.id);
+      if (it == contexts_.end()) {
+        // Evicted by retention between the info() snapshot and here.
+        socket.write_all(error_line(
+            "unknown_job", "job " + std::to_string(info.id) +
+                               " was evicted by the retention bound"));
+        return;
+      }
+      context = it->second;
+    }
+    const std::string report = run_report_string(context, *info.result);
+    socket.write_all(response_line(true, [&](JsonWriter& json) {
+      if (!type.empty()) json.key("type").value(type);
+      json.key("job").value(info.id);
+      json.key("state").value(job_state_name(info.state));
+      json.key("backend").value(info.result->backend_name);
+      json.key("selection_reason").value(info.result->selection_reason);
+      json.key("report").value(report);
+    }));
+    return;
+  }
+  if (!is_terminal(info.state)) {
+    socket.write_all(error_line(
+        "not_done", "job " + std::to_string(info.id) + " is " +
+                        std::string(job_state_name(info.state))));
+    return;
+  }
+  socket.write_all(response_line(false, [&](JsonWriter& json) {
+    if (!type.empty()) json.key("type").value(type);
+    json.key("job").value(info.id);
+    json.key("code").value(state_error_code(info.state));
+    json.key("state").value(job_state_name(info.state));
+    json.key("error").value(info.error);
+  }));
+}
+
+void ServiceDaemon::handle_result_or_wait(const JsonValue& message,
+                                          Socket& socket, bool wait) {
+  const std::uint64_t id = job_field(message);
+  JobInfo info = scheduler_.info(id);
+  if (wait) {
+    // Bounded waits keep stop() responsive: poll the scheduler in
+    // slices instead of blocking unboundedly on the condition variable.
+    const std::uint64_t timeout_ms = message.u64_or("timeout_ms", 0);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (!is_terminal(info.state) &&
+           !stopping_.load(std::memory_order_acquire)) {
+      if (timeout_ms > 0 && std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+      info = scheduler_.wait(id, 200ms);
+    }
+  }
+  send_result(info, socket, "");
+}
+
+void ServiceDaemon::handle_stream(const JsonValue& message, Socket& socket) {
+  const std::uint64_t id = job_field(message);
+  std::size_t cursor = 0;
+  while (true) {
+    for (const ProgressUpdate& update : scheduler_.progress_since(id, cursor)) {
+      ++cursor;
+      socket.write_all(response_line(true, [&](JsonWriter& json) {
+        json.key("type").value("progress");
+        json.key("job").value(id);
+        json.key("completed").value(update.completed_repetitions);
+        json.key("total").value(update.total_repetitions);
+        json.key("final").value(update.final);
+        json.key("histograms");
+        write_progress_histograms(json, update);
+      }));
+    }
+    const JobInfo info = scheduler_.info(id);
+    if (is_terminal(info.state) &&
+        scheduler_.progress_since(id, cursor).empty()) {
+      send_result(info, socket, "result");
+      return;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      send_result(info, socket, "result");
+      return;
+    }
+    scheduler_.wait_progress(id, cursor, 200ms);
+  }
+}
+
+void ServiceDaemon::handle_stats(Socket& socket) {
+  const SchedulerStats stats = scheduler_.stats();
+  socket.write_all(response_line(true, [&](JsonWriter& json) {
+    json.key("submitted").value(stats.submitted);
+    json.key("rejected").value(stats.rejected);
+    json.key("completed").value(stats.completed);
+    json.key("failed").value(stats.failed);
+    json.key("cancelled").value(stats.cancelled);
+    json.key("timed_out").value(stats.timed_out);
+    json.key("queue_depth").value(
+        static_cast<std::uint64_t>(stats.queue_depth));
+    json.key("running").value(static_cast<std::uint64_t>(stats.running));
+    json.key("completed_per_backend").begin_object();
+    for (const auto& [backend, count] : stats.completed_per_backend) {
+      json.key(backend).value(count);
+    }
+    json.end_object();
+  }));
+}
+
+}  // namespace bgls::service

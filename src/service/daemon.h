@@ -1,0 +1,126 @@
+/// \file daemon.h
+/// ServiceDaemon — the long-lived sampling service process behind
+/// `bgls_serve` (tools/): a JobScheduler fronted by an ndjson socket
+/// protocol (service/protocol.h) over a Unix-domain or TCP endpoint.
+///
+/// One thread accepts connections; each connection gets a handler
+/// thread processing request lines until the peer disconnects (clients
+/// may pipeline many requests over one connection — submit, poll other
+/// jobs, stream, cancel). The daemon is embeddable: tests and
+/// examples/service_client.cpp start one in-process with start()/stop()
+/// and drive it through ServiceClient over a real socket, which is
+/// exactly the code path the standalone binary runs.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/report.h"
+#include "service/scheduler.h"
+#include "service/socket.h"
+#include "util/json_parser.h"
+
+namespace bgls::service {
+
+/// Construction knobs for the daemon.
+struct DaemonOptions {
+  /// Where to listen (unix:/path or tcp:host:port; tcp port 0 picks an
+  /// ephemeral port, readable from endpoint() after start()).
+  Endpoint endpoint;
+  /// Scheduler sizing (runner threads, queue depth).
+  SchedulerOptions scheduler{};
+};
+
+/// The service process: scheduler + acceptor + per-connection handlers.
+class ServiceDaemon {
+ public:
+  explicit ServiceDaemon(DaemonOptions options);
+
+  /// stop()s if still running.
+  ~ServiceDaemon();
+
+  ServiceDaemon(const ServiceDaemon&) = delete;
+  ServiceDaemon& operator=(const ServiceDaemon&) = delete;
+
+  /// Binds the endpoint and starts accepting. Throws IoError on bind
+  /// failures.
+  void start();
+
+  /// Stops accepting, disconnects every client, and joins all handler
+  /// threads. Jobs already submitted keep their state (the scheduler
+  /// lives until destruction). Idempotent.
+  void stop();
+
+  /// Blocks until a client sent the `shutdown` op (or stop() ran).
+  /// The bgls_serve main loop: start(); wait_for_shutdown(); stop().
+  void wait_for_shutdown();
+
+  /// The bound endpoint (TCP: with the resolved ephemeral port).
+  [[nodiscard]] const Endpoint& endpoint() const {
+    return server_.endpoint();
+  }
+
+  [[nodiscard]] JobScheduler& scheduler() { return scheduler_; }
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void handle_connection(Connection& connection);
+  /// Dispatches one request line. Responses (and stream progress
+  /// lines) are written to the connection socket directly.
+  void handle_line(const std::string& line, Socket& socket);
+
+  void handle_submit(const JsonValue& message, Socket& socket);
+  void handle_status(const JsonValue& message, Socket& socket);
+  void handle_cancel(const JsonValue& message, Socket& socket);
+  void handle_result_or_wait(const JsonValue& message, Socket& socket,
+                             bool wait);
+  void handle_stream(const JsonValue& message, Socket& socket);
+  void handle_stats(Socket& socket);
+
+  /// Sends the terminal-state response for a job ("result" shape: the
+  /// canonical report on kDone, an error code otherwise). `type` tags
+  /// stream frames ("result") and is omitted when empty.
+  void send_result(const JobInfo& info, Socket& socket,
+                   const std::string& type);
+
+  /// Joins and drops finished connections (called from the acceptor).
+  void reap_connections();
+
+  [[nodiscard]] std::uint64_t job_field(const JsonValue& message) const;
+
+  DaemonOptions options_;
+  JobScheduler scheduler_;
+  ServerSocket server_;
+  std::thread acceptor_;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  /// Report contexts per job (the submit knobs echoed into the
+  /// canonical report), kept daemon-side so `result` can rebuild the
+  /// byte-exact bgls_run output.
+  mutable std::mutex contexts_mutex_;
+  std::map<std::uint64_t, RunReportContext> contexts_;
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace bgls::service

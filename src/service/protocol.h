@@ -1,0 +1,76 @@
+/// \file protocol.h
+/// The bgls service wire protocol, shared by the `bgls_serve` daemon,
+/// the `bgls_client` tool/library, and the tests.
+///
+/// Transport: newline-delimited JSON (ndjson) over a Unix-domain or TCP
+/// stream socket — one request object per line, one response object per
+/// line (the `stream` op additionally emits one progress object per
+/// line before its final response). Requests carry an "op" field:
+///
+///   {"op":"submit","qasm":"...", "reps":N, "seed":N, "backend":"auto",
+///    "threads":N, "streams":N, "optimize":false, "no_batch":false,
+///    "priority":N, "deadline_ms":N, "progress_every":N}
+///   {"op":"status","job":N}        {"op":"cancel","job":N}
+///   {"op":"wait","job":N,"timeout_ms":N}
+///   {"op":"result","job":N}        {"op":"stream","job":N}
+///   {"op":"stats"}                 {"op":"shutdown"}
+///
+/// Every response carries "ok" (bool); failures add "code" (a stable
+/// slug: parse_error/unknown_op/unknown_job/queue_full/not_done/
+/// cancelled/timeout/failed) and "error" (a human-readable message).
+/// `result`/`wait` responses embed the canonical bgls_run report
+/// (service/report.h) as an escaped string in "report", so clients can
+/// reproduce the CLI's byte-exact output. Job lifecycle states on the
+/// wire are job_state_name() strings: queued → running → done | failed
+/// | cancelled | timeout.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/run_types.h"
+#include "core/progress.h"
+#include "util/json_parser.h"
+#include "util/json_writer.h"
+
+namespace bgls::service {
+
+/// Client-side submission knobs (the JSON fields of the submit op).
+struct SubmitArgs {
+  std::string qasm;
+  std::string backend = "auto";
+  std::uint64_t repetitions = 1024;
+  std::uint64_t seed = 0;
+  int threads = 1;
+  std::uint64_t streams = 16;
+  bool optimize = false;
+  /// Disable dictionary batching (per-trajectory sampling): the knob
+  /// that makes unitary circuits stream partial histograms and react
+  /// to cancellation at repetition granularity.
+  bool no_batch = false;
+  int priority = 0;
+  std::uint64_t deadline_ms = 0;
+  std::uint64_t progress_every = 0;
+};
+
+/// Serializes a submit request as one ndjson line (with trailing \n).
+[[nodiscard]] std::string submit_request_line(const SubmitArgs& args);
+
+/// One-field request lines ({"op":...,"job":...}).
+[[nodiscard]] std::string job_request_line(const std::string& op,
+                                           std::uint64_t job);
+[[nodiscard]] std::string wait_request_line(std::uint64_t job,
+                                            std::uint64_t timeout_ms);
+[[nodiscard]] std::string op_request_line(const std::string& op);
+
+/// Daemon-side: builds the RunRequest for a parsed submit message
+/// (parses the embedded QASM). Throws ParseError/ValueError with the
+/// offending field.
+[[nodiscard]] RunRequest parse_submit(const JsonValue& message);
+
+/// Serializes a ProgressUpdate's histograms as an object keyed by
+/// measurement key, each value an object of decimal-bitstring → count.
+void write_progress_histograms(JsonWriter& json, const ProgressUpdate& update);
+
+}  // namespace bgls::service

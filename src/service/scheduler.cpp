@@ -1,0 +1,347 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bgls::service {
+
+std::string_view job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kTimedOut: return "timeout";
+  }
+  return "?";
+}
+
+bool is_terminal(JobState state) {
+  return state != JobState::kQueued && state != JobState::kRunning;
+}
+
+/// Internal job record. Guarded by the scheduler mutex except where
+/// noted.
+struct JobScheduler::Job {
+  std::uint64_t id = 0;
+  std::uint64_t seq = 0;  // FIFO tie-break within a priority class
+  int priority = 0;
+  RunRequest request;
+  /// Job-owned stop handle; also reachable by the caller when they
+  /// supplied a token in the request. Cancel/deadline-safe to touch
+  /// without the lock.
+  CancellationToken token;
+  JobState state = JobState::kQueued;
+  std::string error;
+  std::shared_ptr<const RunResult> result;
+  std::vector<ProgressUpdate> updates;
+  std::uint64_t completed_repetitions = 0;
+  std::uint64_t start_order = 0;
+  std::chrono::steady_clock::time_point submitted_at;
+  std::chrono::steady_clock::time_point started_at;
+  std::chrono::steady_clock::time_point finished_at;
+};
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+/// Max-heap order: higher priority first, then earlier submission.
+/// (std::push_heap keeps the *largest* element at the front, so the
+/// comparator says "a is worse than b".)
+bool JobScheduler::heap_less(const JobPtr& a, const JobPtr& b) {
+  if (a->priority != b->priority) return a->priority < b->priority;
+  return a->seq > b->seq;
+}
+
+JobScheduler::JobScheduler(SchedulerOptions options)
+    : options_(options), session_(options.session) {
+  const int runners = std::max(1, options_.max_concurrent_jobs);
+  runners_.reserve(static_cast<std::size_t>(runners));
+  for (int i = 0; i < runners; ++i) {
+    runners_.emplace_back([this] { runner_loop(); });
+  }
+}
+
+JobScheduler::~JobScheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    // Queued jobs become cancelled without running; running jobs get
+    // their tokens cancelled and finish (as kCancelled) on their own
+    // runner before it observes stopping_.
+    for (auto& [id, job] : jobs_) {
+      if (job->state == JobState::kQueued) {
+        job->state = JobState::kCancelled;
+        job->error = "scheduler shut down";
+        job->finished_at = std::chrono::steady_clock::now();
+        ++stats_.cancelled;
+      }
+      job->token.cancel();
+    }
+    queue_.clear();
+  }
+  work_available_.notify_all();
+  job_changed_.notify_all();
+  for (std::thread& runner : runners_) runner.join();
+}
+
+std::uint64_t JobScheduler::submit(RunRequest request) {
+  JobPtr job = std::make_shared<Job>();
+  job->priority = request.priority;
+  job->submitted_at = std::chrono::steady_clock::now();
+
+  // The job's stop handle: reuse a caller-supplied token (so the caller
+  // can cancel directly) or mint one. The deadline is armed *now* —
+  // time spent queued counts against the budget, the service contract.
+  job->token = request.cancel_token.valid() ? request.cancel_token
+                                            : CancellationToken::make();
+  if (request.deadline_ms > 0) {
+    job->token.set_deadline_after(
+        std::chrono::milliseconds(request.deadline_ms));
+  }
+  request.cancel_token = job->token;
+  // Deadline already armed; Session::run must not re-arm it later
+  // (that would restart the clock at execution).
+  request.deadline_ms = 0;
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    BGLS_REQUIRE(!stopping_, "scheduler is shutting down");
+    if (queue_.size() >= options_.max_queue_depth) {
+      ++stats_.rejected;
+      detail::throw_error<QueueFullError>(
+          "job rejected: queue is full (", queue_.size(), " of ",
+          options_.max_queue_depth,
+          " slots); retry later or raise max_queue_depth");
+    }
+    job->id = next_id_++;
+    job->seq = job->id;
+    job->request = std::move(request);
+
+    // Record every progress update on the job (for poll/stream
+    // replays), then forward to any caller-supplied sink.
+    Job* raw = job.get();  // jobs_ keeps the record alive for our lifetime
+    ProgressFn user_sink = std::move(raw->request.progress.sink);
+    if (raw->request.progress.every > 0) {
+      raw->request.progress.sink = [this, raw,
+                                    user_sink](const ProgressUpdate& update) {
+        {
+          const std::lock_guard<std::mutex> inner(mutex_);
+          raw->updates.push_back(update);
+          raw->completed_repetitions = update.completed_repetitions;
+        }
+        job_changed_.notify_all();
+        if (user_sink) user_sink(update);
+      };
+    }
+
+    jobs_.emplace(job->id, job);
+    queue_.push_back(job);
+    std::push_heap(queue_.begin(), queue_.end(), heap_less);
+    ++stats_.submitted;
+  }
+  work_available_.notify_one();
+  return job->id;
+}
+
+bool JobScheduler::cancel(std::uint64_t id) {
+  JobPtr job;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || is_terminal(it->second->state)) return false;
+    job = it->second;
+    if (job->state == JobState::kQueued) {
+      // Cancelled before running: terminal immediately, and removed
+      // from the heap so it stops counting against admission control
+      // (queues are at most max_queue_depth deep, so the linear erase
+      // is cheap).
+      job->state = JobState::kCancelled;
+      job->error = "cancelled while queued";
+      job->finished_at = std::chrono::steady_clock::now();
+      ++stats_.cancelled;
+      const auto queued = std::find(queue_.begin(), queue_.end(), job);
+      if (queued != queue_.end()) {
+        queue_.erase(queued);
+        std::make_heap(queue_.begin(), queue_.end(), heap_less);
+      }
+      note_terminal_locked(job);
+    }
+  }
+  // Running jobs stop cooperatively at their next gate/shard check.
+  job->token.cancel();
+  job_changed_.notify_all();
+  return true;
+}
+
+JobInfo JobScheduler::info(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_locked(*find_locked(id));
+}
+
+JobInfo JobScheduler::wait(std::uint64_t id,
+                           std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Copy of the shared_ptr: the job record stays alive across the
+  // unlocked waiting even if retention evicts it from jobs_.
+  const JobPtr job = find_locked(id);
+  const auto done = [&] { return is_terminal(job->state); };
+  if (timeout == std::chrono::milliseconds::max()) {
+    job_changed_.wait(lock, done);
+  } else {
+    job_changed_.wait_for(lock, timeout, done);
+  }
+  return snapshot_locked(*job);
+}
+
+std::vector<ProgressUpdate> JobScheduler::progress_since(
+    std::uint64_t id, std::size_t since) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const JobPtr job = find_locked(id);
+  if (since >= job->updates.size()) return {};
+  return {job->updates.begin() + static_cast<std::ptrdiff_t>(since),
+          job->updates.end()};
+}
+
+bool JobScheduler::wait_progress(std::uint64_t id, std::size_t since,
+                                 std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const JobPtr job = find_locked(id);  // survives eviction (see wait)
+  return job_changed_.wait_for(lock, timeout, [&] {
+    return job->updates.size() > since || is_terminal(job->state);
+  });
+}
+
+SchedulerStats JobScheduler::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SchedulerStats out = stats_;
+  out.queue_depth = queue_.size();
+  std::size_t running = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job->state == JobState::kRunning) ++running;
+  }
+  out.running = running;
+  return out;
+}
+
+void JobScheduler::runner_loop() {
+  while (true) {
+    JobPtr job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      std::pop_heap(queue_.begin(), queue_.end(), heap_less);
+      job = std::move(queue_.back());
+      queue_.pop_back();
+      if (is_terminal(job->state)) continue;  // cancelled while queued
+      // A deadline that expired in the queue never samples.
+      if (job->token.stop_kind() == StopKind::kDeadline) {
+        job->state = JobState::kTimedOut;
+        job->error = "deadline exceeded while queued";
+        job->finished_at = std::chrono::steady_clock::now();
+        ++stats_.timed_out;
+        note_terminal_locked(job);
+        lock.unlock();
+        job_changed_.notify_all();
+        continue;
+      }
+      job->state = JobState::kRunning;
+      job->started_at = std::chrono::steady_clock::now();
+      job->start_order = next_start_order_++;
+    }
+    job_changed_.notify_all();
+    run_job(job);
+    job_changed_.notify_all();
+  }
+}
+
+void JobScheduler::run_job(const JobPtr& job) {
+  JobState state = JobState::kDone;
+  std::string error;
+  std::shared_ptr<RunResult> result;
+  try {
+    result = std::make_shared<RunResult>(session_.run(job->request));
+  } catch (const CancelledError& e) {
+    state = JobState::kCancelled;
+    error = e.what();
+  } catch (const DeadlineExceededError& e) {
+    state = JobState::kTimedOut;
+    error = e.what();
+  } catch (const std::exception& e) {
+    state = JobState::kFailed;
+    error = e.what();
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  job->state = state;
+  job->error = std::move(error);
+  job->result = std::move(result);
+  job->finished_at = std::chrono::steady_clock::now();
+  switch (state) {
+    case JobState::kDone:
+      ++stats_.completed;
+      ++stats_.completed_per_backend[job->result->backend_name];
+      break;
+    case JobState::kFailed: ++stats_.failed; break;
+    case JobState::kCancelled: ++stats_.cancelled; break;
+    case JobState::kTimedOut: ++stats_.timed_out; break;
+    default: break;
+  }
+  note_terminal_locked(job);
+}
+
+void JobScheduler::note_terminal_locked(const JobPtr& job) {
+  terminal_order_.push_back(job->id);
+  // Retention bound: a long-lived daemon must not accumulate every job
+  // (circuit + result + progress history) forever. Oldest-finished
+  // jobs are forgotten first; live jobs are never in terminal_order_.
+  while (terminal_order_.size() > options_.max_retained_jobs) {
+    jobs_.erase(terminal_order_.front());
+    terminal_order_.pop_front();
+  }
+}
+
+std::uint64_t JobScheduler::min_retained_id() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.empty() ? next_id_ : jobs_.begin()->first;
+}
+
+JobInfo JobScheduler::snapshot_locked(const Job& job) const {
+  JobInfo info;
+  info.id = job.id;
+  info.state = job.state;
+  info.priority = job.priority;
+  info.error = job.error;
+  info.completed_repetitions = job.completed_repetitions;
+  info.total_repetitions = job.request.repetitions;
+  info.progress_updates = job.updates.size();
+  info.result = job.result;
+  info.start_order = job.start_order;
+  const auto now = std::chrono::steady_clock::now();
+  const auto started =
+      job.start_order > 0 ? job.started_at : (is_terminal(job.state) ? job.finished_at : now);
+  info.queue_seconds = seconds_between(job.submitted_at, started);
+  if (job.start_order > 0) {
+    info.run_seconds = seconds_between(
+        job.started_at, is_terminal(job.state) ? job.finished_at : now);
+  }
+  return info;
+}
+
+JobScheduler::JobPtr JobScheduler::find_locked(std::uint64_t id) const {
+  const auto it = jobs_.find(id);
+  BGLS_REQUIRE(it != jobs_.end(),
+               "unknown job id ", id,
+               " (never submitted, or evicted by the retention bound)");
+  return it->second;
+}
+
+}  // namespace bgls::service

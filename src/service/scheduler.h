@@ -1,0 +1,225 @@
+/// \file scheduler.h
+/// JobScheduler — the long-lived sampling service's work queue.
+///
+/// The Session facade (api/session.h) runs one request at a time; a
+/// *service* multiplexes many heterogeneous requests from many clients
+/// against bounded resources. The scheduler adds exactly the missing
+/// layer, the shape qsim-style deployments use for a persistent
+/// simulator process:
+///
+///  - a priority queue of RunRequest jobs (higher priority first, ties
+///    FIFO) drained by a fixed set of runner threads; the sampling
+///    itself still fans out on the shared EngineContext pool through
+///    the Session, so one big job saturates the machine while small
+///    ones queue behind it;
+///  - admission control: submissions beyond max_queue_depth are
+///    rejected with QueueFullError carrying the reason — a service
+///    sheds load at the door instead of accumulating unbounded work;
+///  - per-job cooperative cancellation and wall-clock deadlines
+///    (util/cancellation.h): cancel() aborts a queued job instantly and
+///    a running one within a bounded number of gate/shard steps;
+///    deadlines count from submission, so a job that waited out its
+///    budget in the queue times out without sampling;
+///  - streaming partial histograms: every job records its
+///    ProgressUpdate sequence (core/progress.h), replayable from any
+///    offset — the daemon's poll/stream endpoints read it.
+///
+/// Aborted or failed jobs never corrupt the scheduler or the shared
+/// pool: a later identical submission returns bit-identical results
+/// (pinned by tests/test_scheduler.cpp).
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "core/progress.h"
+#include "util/cancellation.h"
+#include "util/error.h"
+
+namespace bgls::service {
+
+/// Thrown by submit() when admission control rejects the job.
+class QueueFullError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Lifecycle of a job. Queued/Running are transient; the other four are
+/// terminal.
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+  kTimedOut,
+};
+
+/// Lowercase wire name ("queued", "running", "done", "failed",
+/// "cancelled", "timeout").
+[[nodiscard]] std::string_view job_state_name(JobState state);
+
+/// True for the four end states.
+[[nodiscard]] bool is_terminal(JobState state);
+
+/// Snapshot of one job, returned by info()/wait().
+struct JobInfo {
+  std::uint64_t id = 0;
+  JobState state = JobState::kQueued;
+  int priority = 0;
+  /// What went wrong (kFailed), or the cancellation/timeout message.
+  std::string error;
+  /// Streaming progress: repetitions covered by the latest update and
+  /// the number of updates recorded so far.
+  std::uint64_t completed_repetitions = 0;
+  std::uint64_t total_repetitions = 0;
+  std::size_t progress_updates = 0;
+  /// The final result (kDone only).
+  std::shared_ptr<const RunResult> result;
+  /// Queue wait and execution wall time, seconds (so far, for live
+  /// jobs).
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+  /// 1-based order in which the job started running; 0 = never started
+  /// (tests pin priority ordering with it).
+  std::uint64_t start_order = 0;
+};
+
+/// Aggregate counters for the stats endpoint.
+struct SchedulerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t timed_out = 0;
+  std::size_t queue_depth = 0;
+  std::size_t running = 0;
+  /// Completed jobs per executing backend name — the routing decisions
+  /// (RunStats::selection_reason carries the per-job why).
+  std::map<std::string, std::uint64_t> completed_per_backend;
+};
+
+/// Construction knobs.
+struct SchedulerOptions {
+  /// Dedicated job-runner threads (concurrent jobs). Each job's
+  /// sampling fans out on the shared EngineContext pool via the
+  /// Session, so this bounds *jobs* in flight, not threads used.
+  int max_concurrent_jobs = 1;
+  /// Admission bound on queued (not yet running) jobs.
+  std::size_t max_queue_depth = 64;
+  /// Retention bound on *terminal* jobs: when more than this many
+  /// finished/aborted jobs are held, the oldest-finished are evicted
+  /// (their id becomes unknown; results and progress must be fetched
+  /// before then). Keeps a long-lived daemon's memory bounded — live
+  /// (queued/running) jobs are never evicted.
+  std::size_t max_retained_jobs = 1024;
+  /// Forwarded to the owned Session.
+  SessionOptions session{};
+};
+
+/// Priority work queue over a Session (see file comment). Thread-safe:
+/// every public method may be called from any thread.
+class JobScheduler {
+ public:
+  explicit JobScheduler(SchedulerOptions options = {});
+
+  /// Cancels every queued and running job and joins the runners.
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Enqueues `request` and returns its job id. Uses request.priority,
+  /// arms request.deadline_ms on the job's cancellation token *now*
+  /// (queue wait counts), and records request.progress updates for
+  /// progress_since() — a caller-supplied progress sink still receives
+  /// every update. Throws QueueFullError when the queue is at
+  /// max_queue_depth.
+  std::uint64_t submit(RunRequest request);
+
+  /// Requests cancellation: a queued job is cancelled immediately, a
+  /// running one within a bounded number of gate/shard steps. Returns
+  /// false for unknown ids and jobs already in a terminal state.
+  bool cancel(std::uint64_t id);
+
+  /// Snapshot of a job; throws ValueError for unknown ids.
+  [[nodiscard]] JobInfo info(std::uint64_t id) const;
+
+  /// Blocks until the job reaches a terminal state (or `timeout`
+  /// passes) and returns the snapshot.
+  JobInfo wait(std::uint64_t id,
+               std::chrono::milliseconds timeout =
+                   std::chrono::milliseconds::max()) const;
+
+  /// The job's recorded progress updates starting at index `since`
+  /// (replay cursor for streaming endpoints).
+  [[nodiscard]] std::vector<ProgressUpdate> progress_since(
+      std::uint64_t id, std::size_t since) const;
+
+  /// Blocks until the job has recorded more than `since` updates or
+  /// reached a terminal state (or `timeout` passed). Returns true when
+  /// either happened — the streaming endpoint's poll primitive.
+  bool wait_progress(std::uint64_t id, std::size_t since,
+                     std::chrono::milliseconds timeout) const;
+
+  /// Aggregate counters.
+  [[nodiscard]] SchedulerStats stats() const;
+
+  /// The session jobs run through (for direct, unqueued runs — the
+  /// daemon's synchronous endpoints — and for tests comparing results).
+  [[nodiscard]] Session& session() { return session_; }
+
+  /// Smallest job id still known (ids below it may have been evicted
+  /// by the retention bound). The daemon prunes its per-job side
+  /// tables with this.
+  [[nodiscard]] std::uint64_t min_retained_id() const;
+
+ private:
+  struct Job;
+  using JobPtr = std::shared_ptr<Job>;
+
+  /// Heap order for queue_: higher priority first, ties FIFO.
+  static bool heap_less(const JobPtr& a, const JobPtr& b);
+
+  void runner_loop();
+  /// Executes one dequeued job outside the lock.
+  void run_job(const JobPtr& job);
+  /// Records a terminal transition and evicts the oldest terminal jobs
+  /// beyond max_retained_jobs.
+  void note_terminal_locked(const JobPtr& job);
+  [[nodiscard]] JobInfo snapshot_locked(const Job& job) const;
+  [[nodiscard]] JobPtr find_locked(std::uint64_t id) const;
+
+  SchedulerOptions options_;
+  Session session_;
+
+  mutable std::mutex mutex_;
+  /// Signals runners about new work or shutdown.
+  std::condition_variable work_available_;
+  /// Broadcast on every job state change and progress update (wait /
+  /// wait_progress).
+  mutable std::condition_variable job_changed_;
+  std::map<std::uint64_t, JobPtr> jobs_;
+  std::vector<JobPtr> queue_;  // heap ordered by (priority, -seq)
+  /// Terminal job ids in completion order — the eviction queue.
+  std::deque<std::uint64_t> terminal_order_;
+  std::vector<std::thread> runners_;
+  SchedulerStats stats_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_start_order_ = 1;
+  bool stopping_ = false;
+};
+
+}  // namespace bgls::service

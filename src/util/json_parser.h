@@ -1,0 +1,73 @@
+/// \file json_parser.h
+/// Minimal recursive-descent JSON parser — the read-side counterpart of
+/// util/json_writer.h, added for the service layer: the `bgls_serve`
+/// daemon and `bgls_client` speak newline-delimited JSON over a socket
+/// and need to parse requests/responses without an external dependency.
+///
+/// Supports the full JSON grammar (objects, arrays, strings with
+/// escapes incl. \uXXXX, numbers, booleans, null). Numbers are kept
+/// both as double and — when the token is a plain unsigned integer — as
+/// an exact uint64_t, so 64-bit seeds round-trip without precision
+/// loss. Malformed input throws bgls::ParseError with position info.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace bgls {
+
+/// An immutable parsed JSON value.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one complete JSON document (trailing whitespace allowed,
+  /// trailing garbage rejected). Throws ParseError on malformed input.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  JsonValue() = default;  // null
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; throw ValueError when the kind does not match.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  /// Exact for plain unsigned integer tokens up to 2^64-1; throws for
+  /// negative, fractional, or out-of-range numbers.
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] const std::map<std::string, JsonValue>& members() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  // --- Defaulted member lookups for flat request objects ---------------
+  [[nodiscard]] std::uint64_t u64_or(const std::string& key,
+                                     std::uint64_t fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::uint64_t unsigned_ = 0;
+  bool number_is_unsigned_ = false;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::map<std::string, JsonValue> members_;
+};
+
+}  // namespace bgls

@@ -48,7 +48,7 @@ JsonWriter& JsonWriter::key(std::string_view name) {
   stack_.back().has_items = true;
   newline_indent();
   write_escaped(name);
-  out_ << ": ";
+  out_ << (style_ == Style::kCompact ? ":" : ": ");
   after_key_ = true;
   return *this;
 }
@@ -106,6 +106,7 @@ void JsonWriter::before_value() {
 }
 
 void JsonWriter::newline_indent() {
+  if (style_ == Style::kCompact) return;  // single-line framing (ndjson)
   out_ << '\n';
   for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
 }

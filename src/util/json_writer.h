@@ -26,9 +26,16 @@ namespace bgls {
 ///
 /// The writer tracks nesting and comma placement; keys are only legal
 /// inside objects, values only inside arrays or after a key.
+///
+/// Style::kCompact emits the same document on a single line with no
+/// indentation — the framing the service layer's newline-delimited JSON
+/// protocol needs (tools/bgls_serve), where one message is one line.
 class JsonWriter {
  public:
-  explicit JsonWriter(std::ostream& out) : out_(out) {}
+  enum class Style { kPretty, kCompact };
+
+  explicit JsonWriter(std::ostream& out, Style style = Style::kPretty)
+      : out_(out), style_(style) {}
 
   JsonWriter& begin_object();
   JsonWriter& end_object();
@@ -69,6 +76,7 @@ class JsonWriter {
     bool has_items = false;
   };
   std::ostream& out_;
+  Style style_;
   std::vector<Scope> stack_;
   bool after_key_ = false;
 };

@@ -1,0 +1,284 @@
+/// \file test_service.cpp
+/// End-to-end protocol tests for the service daemon (service/daemon.h):
+/// an in-process ServiceDaemon on a private Unix socket, driven by
+/// ServiceClient over the real wire — the same code path the
+/// standalone bgls_serve/bgls_client binaries run. Pins the acceptance
+/// contract: daemon reports byte-identical to the CLI path, bounded
+/// cancellation, deadline → timeout, deterministic streaming, and
+/// protocol error handling. Runs under TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "qasm/qasm.h"
+#include "service/client.h"
+#include "service/daemon.h"
+#include "service/report.h"
+
+namespace bgls {
+namespace {
+
+using namespace std::chrono_literals;
+using namespace bgls::service;
+
+const char kGhzQasm[] =
+    "OPENQASM 2.0;\n"
+    "include \"qelib1.inc\";\n"
+    "qreg q[3];\n"
+    "creg c[3];\n"
+    "h q[0];\n"
+    "cx q[0],q[1];\n"
+    "cx q[1],q[2];\n"
+    "measure q -> c;\n";
+
+const char kX0Qasm[] =
+    "OPENQASM 2.0;\n"
+    "include \"qelib1.inc\";\n"
+    "qreg q[2];\n"
+    "creg c[2];\n"
+    "x q[0];\n"
+    "measure q -> c;\n";
+
+/// Daemon fixture: one in-process daemon per test on a unique socket.
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static std::atomic<int> counter{0};
+    DaemonOptions options;
+    options.endpoint = Endpoint::unix_socket(
+        "/tmp/bgls_test_" + std::to_string(::getpid()) + "_" +
+        std::to_string(counter.fetch_add(1)) + ".sock");
+    options.scheduler.max_concurrent_jobs = 2;
+    configure(options);
+    daemon_ = std::make_unique<ServiceDaemon>(options);
+    daemon_->start();
+  }
+
+  virtual void configure(DaemonOptions& options) { (void)options; }
+
+  void TearDown() override { daemon_->stop(); }
+
+  /// The report bgls_run would print for the same submission — built
+  /// through the identical library path (Session + shared writer).
+  static std::string direct_report(const SubmitArgs& args) {
+    RunRequest request = RunRequest()
+                             .with_circuit(parse_qasm(args.qasm))
+                             .with_repetitions(args.repetitions)
+                             .with_seed(args.seed)
+                             .with_threads(args.threads)
+                             .with_rng_streams(args.streams)
+                             .with_optimization(args.optimize)
+                             .with_sample_parallelization(!args.no_batch);
+    if (args.backend != "auto") request.with_backend(args.backend);
+    const RunReportContext context =
+        report_context(request, request.circuit.num_qubits());
+    Session session;
+    return run_report_string(context, session.run(std::move(request)));
+  }
+
+  std::unique_ptr<ServiceDaemon> daemon_;
+};
+
+TEST_F(ServiceTest, SubmitWaitReportMatchesCliBytes) {
+  ServiceClient client(daemon_->endpoint());
+  SubmitArgs args;
+  args.qasm = kGhzQasm;
+  args.repetitions = 2048;
+  args.seed = 7;
+  const std::uint64_t job = client.submit(args);
+  EXPECT_EQ(client.wait_report(job), direct_report(args));
+  // result stays retrievable after wait.
+  EXPECT_EQ(client.result_report(job), direct_report(args));
+}
+
+TEST_F(ServiceTest, ConcurrentClientsMixedCircuitsAllByteIdentical) {
+  constexpr int kClients = 4;
+  std::vector<std::string> reports(kClients);
+  std::vector<SubmitArgs> args(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    args[i].qasm = i % 2 == 0 ? kGhzQasm : kX0Qasm;
+    args[i].repetitions = 512 + static_cast<std::uint64_t>(i) * 100;
+    args[i].seed = static_cast<std::uint64_t>(i) + 1;
+    if (i == 3) args[i].backend = "sv";
+  }
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      // One connection per client thread, submissions interleaving on
+      // the daemon side.
+      ServiceClient client(daemon_->endpoint());
+      const std::uint64_t job = client.submit(args[i]);
+      reports[i] = client.wait_report(job);
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(reports[i], direct_report(args[i])) << "client " << i;
+  }
+}
+
+TEST_F(ServiceTest, CancelStopsRunningJobPromptly) {
+  ServiceClient client(daemon_->endpoint());
+  SubmitArgs args;
+  args.qasm = kGhzQasm;
+  args.repetitions = 500'000'000ULL;
+  args.no_batch = true;  // per-trajectory: bounded per-rep stop checks
+  const std::uint64_t job = client.submit(args);
+  while (client.status(job).string_or("state", "") == "queued") {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(client.cancel(job));
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    (void)client.wait_report(job);
+    FAIL() << "cancelled job produced a report";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), "cancelled");
+  }
+  // "Bounded number of shard steps": generously, a few seconds of
+  // wall clock on any machine.
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 10s);
+  EXPECT_EQ(client.status(job).string_or("state", ""), "cancelled");
+}
+
+TEST_F(ServiceTest, DeadlineExceededReturnsTimeout) {
+  ServiceClient client(daemon_->endpoint());
+  SubmitArgs args;
+  args.qasm = kGhzQasm;
+  args.repetitions = 500'000'000ULL;
+  args.no_batch = true;
+  args.deadline_ms = 100;
+  const std::uint64_t job = client.submit(args);
+  try {
+    (void)client.wait_report(job);
+    FAIL() << "deadline job produced a report";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), "timeout");
+  }
+}
+
+TEST_F(ServiceTest, StreamDeliversDeterministicPrefixes) {
+  SubmitArgs args;
+  args.qasm = kGhzQasm;
+  args.repetitions = 50000;
+  args.no_batch = true;
+  args.progress_every = 10000;
+  args.seed = 13;
+
+  // Stream the same job spec twice; both streams must agree frame for
+  // frame (fixed seed ⇒ canonical update sequence).
+  std::vector<std::vector<std::uint64_t>> completed(2);
+  std::string reports[2];
+  for (int round = 0; round < 2; ++round) {
+    ServiceClient client(daemon_->endpoint());
+    const std::uint64_t job = client.submit(args);
+    reports[round] =
+        client.stream(job, [&](const JsonValue& frame) {
+          completed[round].push_back(frame.u64_or("completed", 0));
+        });
+  }
+  EXPECT_EQ(completed[0],
+            (std::vector<std::uint64_t>{10000, 20000, 30000, 40000, 50000}));
+  EXPECT_EQ(completed[0], completed[1]);
+  EXPECT_EQ(reports[0], reports[1]);
+  EXPECT_EQ(reports[0], direct_report(args));
+}
+
+TEST_F(ServiceTest, StatsEndpointCounts) {
+  ServiceClient client(daemon_->endpoint());
+  SubmitArgs args;
+  args.qasm = kGhzQasm;
+  args.repetitions = 256;
+  client.wait_report(client.submit(args));
+  const JsonValue stats = client.stats();
+  EXPECT_EQ(stats.u64_or("submitted", 0), 1u);
+  EXPECT_EQ(stats.u64_or("completed", 0), 1u);
+  const JsonValue* per_backend = stats.find("completed_per_backend");
+  ASSERT_NE(per_backend, nullptr);
+  // GHZ is pure Clifford: routed to the stabilizer backend — the
+  // routing decision the stats endpoint surfaces.
+  const JsonValue* stabilizer = per_backend->find("stabilizer");
+  ASSERT_NE(stabilizer, nullptr);
+  EXPECT_EQ(stabilizer->as_u64(), 1u);
+}
+
+TEST_F(ServiceTest, ProtocolErrorsKeepConnectionUsable) {
+  ServiceClient client(daemon_->endpoint());
+  // Malformed JSON.
+  JsonValue response = client.roundtrip("this is not json\n");
+  EXPECT_FALSE(response.bool_or("ok", true));
+  EXPECT_EQ(response.string_or("code", ""), "parse_error");
+  // Unknown op.
+  response = client.roundtrip("{\"op\":\"frobnicate\"}\n");
+  EXPECT_EQ(response.string_or("code", ""), "unknown_op");
+  // Unknown job.
+  response = client.roundtrip("{\"op\":\"status\",\"job\":12345}\n");
+  EXPECT_EQ(response.string_or("code", ""), "bad_request");
+  // Malformed QASM in submit.
+  response = client.roundtrip(
+      "{\"op\":\"submit\",\"qasm\":\"OPENQASM 9;\"}\n");
+  EXPECT_FALSE(response.bool_or("ok", true));
+  // Result for a job that is not done yet / unknown.
+  response = client.roundtrip("{\"op\":\"result\",\"job\":999}\n");
+  EXPECT_FALSE(response.bool_or("ok", true));
+  // The connection survived all of it.
+  SubmitArgs args;
+  args.qasm = kX0Qasm;
+  args.repetitions = 16;
+  EXPECT_EQ(client.wait_report(client.submit(args)), direct_report(args));
+}
+
+class TinyQueueServiceTest : public ServiceTest {
+ protected:
+  void configure(DaemonOptions& options) override {
+    options.scheduler.max_concurrent_jobs = 1;
+    options.scheduler.max_queue_depth = 1;
+  }
+};
+
+TEST_F(TinyQueueServiceTest, AdmissionControlOverSocket) {
+  ServiceClient client(daemon_->endpoint());
+  SubmitArgs big;
+  big.qasm = kGhzQasm;
+  big.repetitions = 500'000'000ULL;
+  big.no_batch = true;
+  const std::uint64_t running = client.submit(big);
+  while (client.status(running).string_or("state", "") == "queued") {
+    std::this_thread::sleep_for(1ms);
+  }
+  const std::uint64_t queued = client.submit(big);
+  bool rejected = false;
+  try {
+    (void)client.submit(big);
+  } catch (const ServiceError& e) {
+    rejected = true;
+    EXPECT_EQ(e.code(), "queue_full");
+  }
+  EXPECT_TRUE(rejected);
+  client.cancel(running);
+  client.cancel(queued);
+  EXPECT_EQ(client.stats().u64_or("rejected", 0), 1u);
+}
+
+TEST_F(ServiceTest, StopWhileJobsInFlightIsClean) {
+  ServiceClient client(daemon_->endpoint());
+  SubmitArgs big;
+  big.qasm = kGhzQasm;
+  big.repetitions = 500'000'000ULL;
+  big.no_batch = true;
+  (void)client.submit(big);
+  // TearDown stops the daemon with the job mid-run; the scheduler
+  // destructor cancels it. Nothing to assert beyond "no hang/crash".
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bgls

@@ -26,14 +26,17 @@
 #include <vector>
 
 #include "api/session.h"
+#include "cli_flags.h"
 #include "qasm/qasm.h"
-#include "util/bits.h"
+#include "service/report.h"
+#include "util/cancellation.h"
 #include "util/error.h"
-#include "util/json_writer.h"
 
 namespace {
 
 using namespace bgls;
+using tools::parse_int_flag;
+using tools::parse_u64_flag;
 
 struct CliOptions {
   std::string input;  // path, or "-" for stdin
@@ -44,6 +47,8 @@ struct CliOptions {
   int threads = 1;
   std::uint64_t streams = 16;
   bool optimize = false;
+  bool no_batch = false;
+  std::uint64_t timeout_ms = 0;
 };
 
 void print_usage(std::ostream& os) {
@@ -67,31 +72,15 @@ void print_usage(std::ostream& os) {
         "                   engine path this, not --threads, fixes the\n"
         "                   sampled values)\n"
         "  --optimize       run optimize_for_bgls before sampling\n"
+        "  --no-batch       disable dictionary batching (per-trajectory\n"
+        "                   sampling; draws differ from the batched path)\n"
+        "  --timeout-ms N   abort the run after N wall-clock milliseconds\n"
+        "                   (exit code 3; see below). 0 = no limit\n"
         "  --out FILE       write the JSON report to FILE (default stdout)\n"
-        "  --help           this text\n";
-}
-
-/// Strict non-negative integer parse with the flag name in the error
-/// (std::stoull alone would wrap "-1" to 2^64-1 and report failures as
-/// an opaque "stoull").
-std::uint64_t parse_u64_flag(const std::string& flag,
-                             const std::string& text) {
-  if (!text.empty() && text.find_first_not_of("0123456789") == std::string::npos) {
-    try {
-      return std::stoull(text);
-    } catch (const std::out_of_range&) {
-      // fall through to the shared error below
-    }
-  }
-  detail::throw_error<ValueError>("invalid value '", text, "' for ", flag,
-                                  " (expected a non-negative integer)");
-}
-
-int parse_int_flag(const std::string& flag, const std::string& text) {
-  const std::uint64_t value = parse_u64_flag(flag, text);
-  BGLS_REQUIRE(value <= 1u << 20, "value ", value, " for ", flag,
-               " is out of range");
-  return static_cast<int>(value);
+        "  --help           this text\n"
+        "\n"
+        "exit codes: 0 success, 2 usage/runtime error, 3 run cancelled\n"
+        "or timed out (--timeout-ms exceeded).\n";
 }
 
 /// Parses argv; returns false (after printing usage) on --help.
@@ -119,6 +108,10 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.streams = parse_u64_flag(arg, need_value(i, arg));
     } else if (arg == "--optimize") {
       options.optimize = true;
+    } else if (arg == "--no-batch") {
+      options.no_batch = true;
+    } else if (arg == "--timeout-ms") {
+      options.timeout_ms = parse_u64_flag(arg, need_value(i, arg));
     } else if (arg == "--out") {
       options.output = need_value(i, arg);
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -148,59 +141,6 @@ std::string read_input(const std::string& input) {
   return buffer.str();
 }
 
-void write_report(std::ostream& os, const CliOptions& options,
-                  const RunResult& result, int num_qubits) {
-  JsonWriter json(os);
-  json.begin_object();
-  json.key("tool").value("bgls_run");
-  json.key("backend").value(result.backend_name);
-  json.key("selection_reason").value(result.selection_reason);
-  json.key("num_qubits").value(num_qubits);
-  json.key("repetitions").value(options.repetitions);
-  json.key("seed").value(options.seed);
-  json.key("rng_streams").value(options.streams);
-  json.key("optimized").value(options.optimize);
-
-  json.key("measurements").begin_array();
-  for (const std::string& key : result.measurements.keys()) {
-    json.begin_object();
-    json.key("key").value(key);
-    const auto& qubits = result.measurements.measured_qubits(key);
-    json.key("qubits").begin_array();
-    for (const Qubit q : qubits) json.value(q);
-    json.end_array();
-    json.key("histogram").begin_array();
-    for (const auto& [bits, count] : result.measurements.histogram(key)) {
-      json.begin_object();
-      // Library convention (util/bits.h to_string, print_histogram):
-      // the key's qubit 0 prints first.
-      json.key("bits").value(
-          to_string(bits, static_cast<int>(qubits.size())));
-      json.key("value").value(bits);
-      json.key("count").value(count);
-      json.end_object();
-    }
-    json.end_array();
-    json.end_object();
-  }
-  json.end_array();
-
-  // Scheduling-independent counters only: the report must be
-  // byte-identical across thread counts for a fixed seed.
-  json.key("stats").begin_object();
-  json.key("state_applications").value(result.stats.state_applications);
-  json.key("probability_evaluations")
-      .value(result.stats.probability_evaluations);
-  json.key("max_dictionary_size").value(result.stats.max_dictionary_size);
-  json.key("trajectories").value(result.stats.trajectories);
-  json.key("sample_parallelization")
-      .value(result.stats.used_sample_parallelization);
-  json.end_object();
-
-  json.end_object();
-  os << "\n";
-}
-
 int run_cli(const CliOptions& options) {
   const Circuit circuit = parse_qasm(read_input(options.input));
 
@@ -210,7 +150,9 @@ int run_cli(const CliOptions& options) {
                            .with_seed(options.seed)
                            .with_threads(options.threads)
                            .with_rng_streams(options.streams)
-                           .with_optimization(options.optimize);
+                           .with_optimization(options.optimize)
+                           .with_sample_parallelization(!options.no_batch)
+                           .with_deadline_ms(options.timeout_ms);
   // "auto" means kAuto (the RunRequest default); anything else is a
   // registry name — the registry owns the alias table (sv/dm/ch/...),
   // so custom backends work with no CLI changes.
@@ -218,16 +160,22 @@ int run_cli(const CliOptions& options) {
     request.with_backend(options.backend);
   }
 
+  // The report echoes the knobs that determine the sampled records; it
+  // must be built from the submitted request (Session::run consumes its
+  // copy). Shared with the bgls_serve daemon, whose result endpoint is
+  // byte-identical to this CLI for the same input/seed.
+  const service::RunReportContext context =
+      service::report_context(request, circuit.num_qubits());
+
   Session session;
   const RunResult result = session.run(std::move(request));
 
-  const int num_qubits = circuit.num_qubits();
   if (options.output.empty()) {
-    write_report(std::cout, options, result, num_qubits);
+    service::write_run_report(std::cout, context, result);
   } else {
     std::ofstream file(options.output);
     BGLS_REQUIRE(file.good(), "cannot write '", options.output, "'");
-    write_report(file, options, result, num_qubits);
+    service::write_run_report(file, context, result);
   }
   return 0;
 }
@@ -239,6 +187,12 @@ int main(int argc, char** argv) {
   try {
     if (!parse_args(argc, argv, options)) return 0;
     return run_cli(options);
+  } catch (const bgls::CancelledError& e) {
+    std::cerr << "bgls_run: " << e.what() << "\n";
+    return 3;  // documented: run cancelled
+  } catch (const bgls::DeadlineExceededError& e) {
+    std::cerr << "bgls_run: " << e.what() << "\n";
+    return 3;  // documented: --timeout-ms exceeded
   } catch (const bgls::Error& e) {
     std::cerr << "bgls_run: " << e.what() << "\n";
     return 2;

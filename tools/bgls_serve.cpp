@@ -1,0 +1,115 @@
+/// \file bgls_serve.cpp
+/// The `bgls_serve` daemon: a persistent BGLS sampling service speaking
+/// newline-delimited JSON over a Unix-domain or TCP socket
+/// (service/daemon.h, protocol in service/protocol.h).
+///
+///   $ bgls_serve --listen unix:/tmp/bgls.sock
+///   $ bgls_serve --listen tcp:127.0.0.1:7117 --jobs 2 --queue 128
+///
+/// Clients submit OpenQASM circuits with RunRequest knobs, poll or
+/// stream partial histograms, cancel jobs, and read scheduler stats —
+/// see `bgls_client` for a ready-made driver. Final results reuse the
+/// bgls_run report schema, byte-identical to the CLI on the same
+/// inputs and seeds. The process runs until a client sends the
+/// `shutdown` op (or it is killed).
+
+#include <iostream>
+#include <string>
+
+#include "cli_flags.h"
+#include "service/daemon.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace bgls;
+using namespace bgls::service;
+using tools::parse_u64_flag;
+
+struct ServeOptions {
+  std::string listen = "unix:/tmp/bgls.sock";
+  int jobs = 1;
+  std::size_t queue = 64;
+  std::size_t retain = 1024;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: bgls_serve [options]\n"
+        "\n"
+        "Runs the BGLS sampling service: an ndjson request/response\n"
+        "protocol over a stream socket (see README 'Service').\n"
+        "\n"
+        "options:\n"
+        "  --listen SPEC    unix:<path> (default unix:/tmp/bgls.sock) or\n"
+        "                   tcp:<host>:<port>; tcp port 0 picks an\n"
+        "                   ephemeral port, printed on startup\n"
+        "  --jobs N         concurrent jobs (scheduler runner threads,\n"
+        "                   default 1); each job's sampling still fans\n"
+        "                   out over its own --threads workers\n"
+        "  --queue N        admission limit on queued jobs (default 64);\n"
+        "                   beyond it submissions fail with queue_full\n"
+        "  --retain N       finished jobs kept for result/stream reads\n"
+        "                   (default 1024); oldest are evicted beyond it\n"
+        "  --help           this text\n";
+}
+
+bool parse_args(int argc, char** argv, ServeOptions& options) {
+  const auto need_value = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc) {
+      detail::throw_error<ValueError>("missing value for ", flag);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return false;
+    } else if (arg == "--listen") {
+      options.listen = need_value(i, arg);
+    } else if (arg == "--jobs") {
+      const std::uint64_t jobs = parse_u64_flag(arg, need_value(i, arg));
+      BGLS_REQUIRE(jobs >= 1 && jobs <= 256, "value ", jobs, " for ", arg,
+                   " is out of range");
+      options.jobs = static_cast<int>(jobs);
+    } else if (arg == "--queue") {
+      options.queue =
+          static_cast<std::size_t>(parse_u64_flag(arg, need_value(i, arg)));
+    } else if (arg == "--retain") {
+      options.retain =
+          static_cast<std::size_t>(parse_u64_flag(arg, need_value(i, arg)));
+    } else {
+      detail::throw_error<ValueError>("unknown flag '", arg,
+                                      "' (try --help)");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeOptions options;
+  try {
+    if (!parse_args(argc, argv, options)) return 0;
+
+    DaemonOptions daemon_options;
+    daemon_options.endpoint = Endpoint::parse(options.listen);
+    daemon_options.scheduler.max_concurrent_jobs = options.jobs;
+    daemon_options.scheduler.max_queue_depth = options.queue;
+    daemon_options.scheduler.max_retained_jobs = options.retain;
+
+    ServiceDaemon daemon(daemon_options);
+    daemon.start();
+    std::cout << "bgls_serve: listening on "
+              << daemon.endpoint().to_string() << " (jobs=" << options.jobs
+              << ", queue=" << options.queue << ")" << std::endl;
+    daemon.wait_for_shutdown();
+    std::cout << "bgls_serve: shutdown requested, draining" << std::endl;
+    daemon.stop();
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bgls_serve: " << e.what() << "\n";
+    return 2;
+  }
+}

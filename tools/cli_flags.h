@@ -1,0 +1,48 @@
+/// \file cli_flags.h
+/// Strict flag-value parsing shared by the CLI tools (bgls_run,
+/// bgls_serve, bgls_client) so the validation rules cannot diverge:
+/// std::stoull alone would wrap "-1" to 2^64-1 and report failures as
+/// an opaque "stoull" — these helpers reject with the flag name.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.h"
+
+namespace bgls::tools {
+
+/// Strict non-negative integer parse with the flag name in the error.
+inline std::uint64_t parse_u64_flag(const std::string& flag,
+                                    const std::string& text) {
+  if (!text.empty() &&
+      text.find_first_not_of("0123456789") == std::string::npos) {
+    try {
+      return std::stoull(text);
+    } catch (const std::out_of_range&) {
+      // fall through to the shared error below
+    }
+  }
+  detail::throw_error<ValueError>("invalid value '", text, "' for ", flag,
+                                  " (expected a non-negative integer)");
+}
+
+/// parse_u64_flag clamped into a sane non-negative int range.
+inline int parse_int_flag(const std::string& flag, const std::string& text) {
+  const std::uint64_t value = parse_u64_flag(flag, text);
+  BGLS_REQUIRE(value <= 1u << 20, "value ", value, " for ", flag,
+               " is out of range");
+  return static_cast<int>(value);
+}
+
+/// Like parse_int_flag but accepting a leading '-' (priorities).
+inline int parse_signed_flag(const std::string& flag,
+                             const std::string& text) {
+  if (!text.empty() && text[0] == '-') {
+    return -parse_int_flag(flag, text.substr(1));
+  }
+  return parse_int_flag(flag, text);
+}
+
+}  // namespace bgls::tools

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# End-to-end test of the real service binaries, registered with CTest
+# (tools/CMakeLists.txt): starts a bgls_serve process on a private Unix
+# socket, drives it with N concurrent bgls_client processes submitting
+# mixed circuits, and checks the acceptance contract:
+#   1. final histograms byte-identical to bgls_run on the same
+#      inputs/seeds;
+#   2. a cancelled job stops within bounded time and reports
+#      `cancelled` (client exit code 3);
+#   3. a deadline-exceeded job reports `timeout` (exit code 3);
+#   4. bgls_run --timeout-ms itself exits 3;
+#   5. admission/stats/shutdown endpoints work.
+#
+# Usage: service_e2e.sh BGLS_SERVE BGLS_CLIENT BGLS_RUN DATA_DIR WORK_DIR
+
+set -u
+
+SERVE="$1"; CLIENT="$2"; RUN="$3"; DATA="$4"; WORK="$5"
+
+SOCK="/tmp/bgls_e2e_$$.sock"
+CONNECT="unix:$SOCK"
+mkdir -p "$WORK"
+SERVE_PID=""
+
+fail() {
+  echo "FAIL: $*" >&2
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null
+  exit 1
+}
+
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null
+  rm -f "$SOCK"
+}
+trap cleanup EXIT
+
+"$SERVE" --listen "$CONNECT" --jobs 2 --queue 32 &
+SERVE_PID=$!
+
+# Wait for the socket to appear.
+for _ in $(seq 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || fail "daemon socket never appeared"
+
+# --- 1. N concurrent clients, mixed circuits, byte-identical output ---
+declare -a SPECS=(
+  "ghz.qasm 4096 7"
+  "ghz.qasm 2048 11"
+  "x0.qasm 512 3"
+  "ghz.qasm 1000 5"
+)
+CLIENT_PIDS=()
+for i in "${!SPECS[@]}"; do
+  read -r QASM REPS SEED <<< "${SPECS[$i]}"
+  "$RUN" --reps "$REPS" --seed "$SEED" --out "$WORK/expected_$i.json" \
+    "$DATA/$QASM" || fail "bgls_run on $QASM failed"
+  "$CLIENT" --connect "$CONNECT" run --reps "$REPS" --seed "$SEED" \
+    "$DATA/$QASM" > "$WORK/daemon_$i.json" &
+  CLIENT_PIDS+=($!)
+done
+for pid in "${CLIENT_PIDS[@]}"; do
+  wait "$pid" || fail "concurrent client exited non-zero"
+done
+for i in "${!SPECS[@]}"; do
+  cmp "$WORK/daemon_$i.json" "$WORK/expected_$i.json" \
+    || fail "daemon output $i differs from bgls_run"
+done
+echo "ok: ${#SPECS[@]} concurrent clients byte-identical to bgls_run"
+
+# --- 2. Cancellation: bounded stop, state `cancelled`, exit code 3 ---
+JOB=$("$CLIENT" --connect "$CONNECT" submit --reps 500000000 --no-batch \
+  "$DATA/ghz.qasm") || fail "submit failed"
+sleep 0.3
+"$CLIENT" --connect "$CONNECT" cancel "$JOB" | grep -q "^cancelled" \
+  || fail "cancel was not accepted"
+START=$(date +%s)
+"$CLIENT" --connect "$CONNECT" wait "$JOB" > /dev/null 2> "$WORK/cancel.err"
+RC=$?
+ELAPSED=$(( $(date +%s) - START ))
+[ "$RC" -eq 3 ] || fail "cancelled wait exited $RC, want 3"
+grep -q "cancelled" "$WORK/cancel.err" || fail "missing cancelled code"
+[ "$ELAPSED" -le 30 ] || fail "cancellation took ${ELAPSED}s (unbounded?)"
+echo "ok: cancelled job stopped in ${ELAPSED}s with exit 3"
+
+# --- 3. Deadline: state `timeout`, exit code 3 ---
+JOB=$("$CLIENT" --connect "$CONNECT" submit --reps 500000000 --no-batch \
+  --deadline-ms 300 "$DATA/ghz.qasm") || fail "submit failed"
+"$CLIENT" --connect "$CONNECT" wait "$JOB" > /dev/null 2> "$WORK/timeout.err"
+RC=$?
+[ "$RC" -eq 3 ] || fail "timed-out wait exited $RC, want 3"
+grep -q "timeout" "$WORK/timeout.err" || fail "missing timeout code"
+echo "ok: deadline-exceeded job reported timeout with exit 3"
+
+# --- 4. bgls_run --timeout-ms shares the cancellation path ---
+"$RUN" --reps 500000000 --no-batch --timeout-ms 300 \
+  --out /dev/null "$DATA/ghz.qasm" 2> /dev/null
+RC=$?
+[ "$RC" -eq 3 ] || fail "bgls_run --timeout-ms exited $RC, want 3"
+echo "ok: bgls_run --timeout-ms exits 3"
+
+# --- 5. Streaming progress frames arrive before the final report ---
+"$CLIENT" --connect "$CONNECT" run --reps 60000 --no-batch --seed 13 \
+  --progress-every 20000 "$DATA/ghz.qasm" \
+  > "$WORK/streamed.json" 2> "$WORK/progress.err" \
+  || fail "streaming run failed"
+PROGRESS_LINES=$(grep -c "^progress:" "$WORK/progress.err")
+[ "$PROGRESS_LINES" -ge 3 ] || fail "expected >=3 progress lines, got $PROGRESS_LINES"
+echo "ok: streaming emitted $PROGRESS_LINES progress frames"
+
+# --- 6. Stats + shutdown ---
+"$CLIENT" --connect "$CONNECT" stats > "$WORK/stats.txt" \
+  || fail "stats failed"
+grep -q "cancelled=1" "$WORK/stats.txt" || fail "stats missing cancelled=1"
+grep -q "timed_out=1" "$WORK/stats.txt" || fail "stats missing timed_out=1"
+"$CLIENT" --connect "$CONNECT" shutdown > /dev/null || fail "shutdown failed"
+wait "$SERVE_PID" || fail "daemon exited non-zero"
+SERVE_PID=""
+echo "ok: stats consistent, daemon drained cleanly"
+
+echo "PASS: service end-to-end"
+exit 0
