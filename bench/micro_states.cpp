@@ -23,6 +23,7 @@
 
 #include "circuit/random.h"
 #include "mps/state.h"
+#include "obs/metrics.h"
 #include "stabilizer/ch_form.h"
 #include "stabilizer/tableau.h"
 #include "statevector/kernels.h"
@@ -278,6 +279,35 @@ void BM_Mps_Amplitude(benchmark::State& state) {
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_Mps_Amplitude)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity(benchmark::oN);
+
+// Telemetry overhead pair (ISSUE acceptance: the before/after row):
+// the same n=20 H apply with the runtime switch on vs off. The on row
+// pays the kernel-class counter plus, at this dimension, the timed
+// histogram's two clock reads; the delta is the per-apply telemetry
+// cost. With -DBGLS_ENABLE_TELEMETRY=OFF both rows measure the same
+// inert code.
+template <bool kTelemetryOn>
+void telemetry_apply_body(benchmark::State& state) {
+  const obs::EnabledScope scope(kTelemetryOn);
+  const int n = static_cast<int>(state.range(0));
+  StateVectorState psi(n);
+  const std::vector<Operation> ops = per_qubit_ops(n, [](Qubit q) {
+    return h(q);
+  });
+  std::size_t q = 0;
+  for (auto _ : state) {
+    psi.apply(ops[q]);
+    q = (q + 1) % ops.size();
+  }
+}
+void BM_Telemetry_ApplyH_Enabled(benchmark::State& state) {
+  telemetry_apply_body<true>(state);
+}
+BENCHMARK(BM_Telemetry_ApplyH_Enabled)->Arg(20);
+void BM_Telemetry_ApplyH_Disabled(benchmark::State& state) {
+  telemetry_apply_body<false>(state);
+}
+BENCHMARK(BM_Telemetry_ApplyH_Disabled)->Arg(20);
 
 void BM_Rng_BinomialBtrs(benchmark::State& state) {
   Rng rng(11);

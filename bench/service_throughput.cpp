@@ -17,6 +17,7 @@
 #include "bench_guard.h"
 #include "bench_json.h"
 #include "circuit/random.h"
+#include "obs/metrics.h"
 #include "service/scheduler.h"
 #include "util/json_writer.h"
 
@@ -124,6 +125,31 @@ int main(int argc, char** argv) {
   }
 
   json.end_array();
+
+  // Final telemetry snapshot (Session::metrics_snapshot()): the
+  // scheduler/engine/kernel totals the whole bench accumulated, so the
+  // BENCH file records *what ran* (applies per kernel class, shards,
+  // queue waits) next to how fast it ran. Scalar series emit their
+  // value; histograms emit count + sum. Empty when compiled out.
+  json.key("metrics").begin_object();
+  for (const obs::SeriesSnapshot& series : Session::metrics_snapshot()) {
+    switch (series.kind) {
+      case obs::SeriesSnapshot::Kind::kCounter:
+        json.key(series.name).value(series.count);
+        break;
+      case obs::SeriesSnapshot::Kind::kGauge:
+        json.key(series.name).value(series.gauge);
+        break;
+      case obs::SeriesSnapshot::Kind::kHistogram:
+        json.key(series.name).begin_object();
+        json.key("count").value(series.count);
+        json.key("sum").value(series.sum);
+        json.end_object();
+        break;
+    }
+  }
+  json.end_object();
+
   json.end_object();
   json_file << "\n";
   bgls::bench::report_bench_json(json_path);

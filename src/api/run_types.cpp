@@ -39,6 +39,7 @@ SimulatorOptions RunRequest::simulator_options() const {
   options.two_level_batch_sharding = two_level_batch_sharding;
   options.cancel_token = cancel_token;
   options.progress = progress;
+  options.trace = trace;
   return options;
 }
 

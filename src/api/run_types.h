@@ -140,6 +140,11 @@ struct RunRequest {
   /// repetitions, deterministically for a fixed seed. run_batch
   /// ignores it.
   ProgressOptions progress;
+  /// Optional telemetry trace (obs/trace.h) this run records shard and
+  /// phase spans into; non-owning, must outlive the run. The service
+  /// scheduler attaches one per job; direct callers may pass their own.
+  /// Observation-only — never affects the sampled records.
+  obs::Trace* trace = nullptr;
 
   // --- Builder-style setters (each returns *this) -----------------------
   RunRequest& with_circuit(Circuit c) {
@@ -214,6 +219,10 @@ struct RunRequest {
   RunRequest& with_progress(std::uint64_t every, ProgressFn sink) {
     progress.every = every;
     progress.sink = std::move(sink);
+    return *this;
+  }
+  RunRequest& with_trace(obs::Trace* t) {
+    trace = t;
     return *this;
   }
 

@@ -6,6 +6,7 @@
 
 #include "core/optimize.h"
 #include "engine/thread_pool.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace bgls {
@@ -106,16 +107,28 @@ RunResult Session::run(RunRequest request) {
   // deliberately left to the dispatch so the circuit is scanned once,
   // not twice.
   Resolution resolution = resolve_backend(request.circuit, request);
+  double optimize_seconds = 0.0;
   if (request.optimize_circuit) {
     request.optimize_circuit = false;
+    const auto optimize_start = std::chrono::steady_clock::now();
+    obs::TraceSpan span(request.trace, "optimize");
     apply_optimization(request.circuit, *resolution.backend);
+    optimize_seconds = seconds_since(optimize_start);
   }
   arm_cancellation(request);
   const int resolved = ThreadPool::resolve_num_threads(request.num_threads);
   if (resolved > 1) ensure_context(resolved);
   const auto start = std::chrono::steady_clock::now();
-  RunResult out = resolution.backend->run(request);
+  RunResult out;
+  {
+    obs::TraceSpan span(request.trace, "sample");
+    out = resolution.backend->run(request);
+  }
   out.wall_seconds = seconds_since(start);
+  // Phase wall times (RunStats contract: scheduling-dependent, so they
+  // never enter the byte-stable reports).
+  out.stats.optimize_ms = optimize_seconds * 1000.0;
+  out.stats.sample_ms = out.wall_seconds * 1000.0;
   // Mirrored into the stats so routing decisions survive aggregation
   // (the service daemon's stats endpoint reads RunStats, not RunResult).
   out.stats.selection_reason = resolution.reason;
@@ -133,9 +146,13 @@ RunResult Session::run(Circuit circuit, std::uint64_t repetitions,
 
 std::future<RunResult> Session::run_async(RunRequest request) {
   Resolution resolution = resolve_checked(request.circuit, request);
+  double optimize_seconds = 0.0;
   if (request.optimize_circuit) {
     request.optimize_circuit = false;
+    const auto optimize_start = std::chrono::steady_clock::now();
+    obs::TraceSpan span(request.trace, "optimize");
     apply_optimization(request.circuit, *resolution.backend);
+    optimize_seconds = seconds_since(optimize_start);
   }
   // Armed at submission: a job that waits out its whole budget in the
   // pool queue times out without sampling (the service contract).
@@ -150,11 +167,17 @@ std::future<RunResult> Session::run_async(RunRequest request) {
   request.reuse_thread_pool = true;
   auto task = std::make_shared<std::packaged_task<RunResult()>>(
       [backend = resolution.backend, reason = std::move(resolution.reason),
-       request = std::move(request)]() {
+       request = std::move(request), optimize_seconds]() {
         request.cancel_token.throw_if_stopped();
         const auto start = std::chrono::steady_clock::now();
-        RunResult out = backend->run(request);
+        RunResult out;
+        {
+          obs::TraceSpan span(request.trace, "sample");
+          out = backend->run(request);
+        }
         out.wall_seconds = seconds_since(start);
+        out.stats.optimize_ms = optimize_seconds * 1000.0;
+        out.stats.sample_ms = out.wall_seconds * 1000.0;
         out.stats.selection_reason = reason;
         out.selection_reason = reason;
         return out;

@@ -37,6 +37,7 @@
 #include "api/run_types.h"
 #include "api/selector.h"
 #include "engine/context.h"
+#include "obs/metrics.h"
 
 namespace bgls {
 
@@ -102,6 +103,17 @@ class Session {
   /// reuse it; the process-wide cache makes it the same pool the
   /// templated core resolves internally.
   [[nodiscard]] std::shared_ptr<EngineContext> engine_context() const;
+
+  /// Point-in-time copy of the process-wide telemetry series
+  /// (obs/metrics.h): kernel apply counts/timings, engine shard
+  /// timings, pool occupancy, scheduler and daemon series when a
+  /// service is running in-process. Benches record these into
+  /// BENCH_*.json; empty when telemetry is compiled out. Static — the
+  /// registry is process-wide — but exposed here because a Session is
+  /// what runtime callers already hold.
+  [[nodiscard]] static obs::MetricsSnapshot metrics_snapshot() {
+    return obs::MetricsRegistry::global().snapshot();
+  }
 
  private:
   /// Replaces `circuit` with its optimize_for_bgls fusion when the

@@ -25,6 +25,12 @@
 ///  - bgls::optimize_for_bgls — circuit fusion for the sampler;
 ///  - bgls::parse_qasm / bgls::to_qasm — OpenQASM 2.0 interop;
 ///  - bgls::Graph / bgls::solve_maxcut_qaoa — the QAOA application;
+///  - bgls::obs::MetricsRegistry / bgls::obs::Trace — the telemetry
+///    subsystem: process-wide counters/gauges/latency histograms over
+///    every layer (kernels, engine, scheduler, daemon), per-job trace
+///    spans with deterministic IDs, and Prometheus text exposition
+///    (obs/metrics.h, obs/trace.h, obs/exposition.h; compile out with
+///    -DBGLS_ENABLE_TELEMETRY=OFF);
 ///  - bgls::Rng — seeded randomness for reproducible sampling, with
 ///    jump()/split(i) deterministic stream derivation for parallel runs.
 
@@ -52,6 +58,9 @@
 #include "engine/engine.h"
 #include "engine/thread_pool.h"
 #include "mps/state.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qaoa/qaoa.h"
 #include "qasm/qasm.h"
 #include "stabilizer/ch_form.h"

@@ -51,6 +51,7 @@
 #include "core/progress.h"
 #include "core/result.h"
 #include "engine/context.h"  // the reusable pool cached behind the simulator
+#include "obs/trace.h"
 #include "util/bits.h"
 #include "util/cancellation.h"
 #include "util/error.h"
@@ -105,6 +106,18 @@ struct RunStats {
   /// service daemon's stats endpoint). Empty for direct templated runs
   /// and explicit backend picks.
   std::string selection_reason;
+  /// Phase wall times, milliseconds. Scheduling-dependent (unlike the
+  /// counters above) and therefore excluded from the byte-stable run
+  /// reports; surfaced by `bgls_run --verbose` and the daemon's status
+  /// op. queue_wait_ms is filled by the service scheduler (time from
+  /// admission to run start; 0 for direct Session calls); optimize_ms
+  /// and sample_ms by Session::run (circuit fusion / backend dispatch);
+  /// evolve_ms by the engine's shared-snapshot batched path (gate
+  /// applies on the shared state, a subset of sample_ms).
+  double queue_wait_ms = 0.0;
+  double optimize_ms = 0.0;
+  double evolve_ms = 0.0;
+  double sample_ms = 0.0;
 };
 
 /// Tuning knobs.
@@ -152,6 +165,11 @@ struct SimulatorOptions {
   /// repetitions in canonical shard order. sample()/run_batch ignore
   /// it. Observation-only: never changes the sampled records.
   ProgressOptions progress{};
+  /// Optional telemetry trace (obs/trace.h) the engine records shard
+  /// and phase spans into; non-owning, may be null. Observation-only:
+  /// spans time existing work and never touch RNG state, so a traced
+  /// run samples exactly what an untraced one does.
+  obs::Trace* trace = nullptr;
 };
 
 /// Gate-by-gate sampler over an arbitrary state representation.

@@ -2,9 +2,45 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace bgls::engine_detail {
+
+namespace {
+
+struct EngineMetrics {
+  obs::Counter runs;
+  obs::Counter shards;
+  obs::Histogram shard_seconds;
+
+  EngineMetrics() {
+    auto& registry = obs::MetricsRegistry::global();
+    runs = registry.counter("bgls_engine_runs_total",
+                            "Batch-engine runs (run/sample/run_batch)");
+    shards = registry.counter("bgls_engine_shards_total",
+                              "Batch-engine shards executed");
+    shard_seconds = registry.histogram(
+        "bgls_engine_shard_seconds",
+        "Per-shard wall time (trajectory shards: whole shard; batched "
+        "path: the shard's accumulated dictionary-resample time)");
+  }
+
+  static EngineMetrics& instance() {
+    static EngineMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+void count_engine_run() noexcept { EngineMetrics::instance().runs.add(); }
+
+void observe_shard(double seconds) noexcept {
+  EngineMetrics& metrics = EngineMetrics::instance();
+  metrics.shards.add();
+  metrics.shard_seconds.observe(seconds);
+}
 
 std::vector<Rng> make_streams(const Rng& base, std::size_t count) {
   std::vector<Rng> streams;
@@ -48,6 +84,7 @@ RunStats merge_shard_stats(std::span<const RunStats> shards,
     merged.trajectories += shard.trajectories;
     merged.used_sample_parallelization |= shard.used_sample_parallelization;
     merged.diagonal_updates_skipped += shard.diagonal_updates_skipped;
+    merged.evolve_ms += shard.evolve_ms;
     merged.per_stream.push_back(StreamStats{shard.trajectories,
                                             shard.state_applications,
                                             shard.probability_evaluations});
@@ -71,6 +108,7 @@ void accumulate_stats(RunStats& total, const RunStats& chunk) {
   total.trajectories += chunk.trajectories;
   total.used_sample_parallelization |= chunk.used_sample_parallelization;
   total.diagonal_updates_skipped += chunk.diagonal_updates_skipped;
+  total.evolve_ms += chunk.evolve_ms;
 }
 
 void accumulate_result_histograms(std::map<std::string, Counts>& cumulative,

@@ -44,6 +44,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -61,6 +62,7 @@
 #include "core/simulator.h"
 #include "engine/context.h"
 #include "engine/thread_pool.h"
+#include "obs/trace.h"
 #include "util/cancellation.h"
 #include "util/rng.h"
 
@@ -103,6 +105,36 @@ void accumulate_stats(RunStats& total, const RunStats& chunk);
 /// Adds `chunk`'s histograms into a cumulative per-key map.
 void accumulate_result_histograms(std::map<std::string, Counts>& cumulative,
                                   const Result& chunk);
+
+/// Telemetry hooks (engine.cpp) feeding the process-wide engine series
+/// — bgls_engine_runs_total / bgls_engine_shards_total /
+/// bgls_engine_shard_seconds. Inert when telemetry is compiled out.
+void count_engine_run() noexcept;
+void observe_shard(double seconds) noexcept;
+
+/// RAII shard timer: counts the shard and observes its wall time into
+/// bgls_engine_shard_seconds on destruction. Shards are coarse units
+/// (one per RNG stream), so the clock-read pair is lost in the noise.
+class [[maybe_unused]] ShardTimer {
+ public:
+#if BGLS_TELEMETRY
+  ShardTimer() : start_(std::chrono::steady_clock::now()) {}
+  ~ShardTimer() {
+    observe_shard(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+  }
+#else
+  ShardTimer() = default;
+#endif
+  ShardTimer(const ShardTimer&) = delete;
+  ShardTimer& operator=(const ShardTimer&) = delete;
+
+ private:
+#if BGLS_TELEMETRY
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
 
 }  // namespace engine_detail
 
@@ -161,6 +193,10 @@ class BatchEngine {
     progress_ = options.progress;
     options.progress = {};
     options.num_threads = 1;
+    // The engine also owns trace recording (shard/evolve spans); the
+    // per-shard simulators run untraced.
+    trace_ = options.trace;
+    options.trace = nullptr;
     prototype_.set_options(options);
   }
 
@@ -200,6 +236,7 @@ class BatchEngine {
     // silently.
     prototype_.check_runnable(circuit, /*require_measurements=*/false);
     token_.throw_if_stopped();
+    engine_detail::count_engine_run();
     const bool batched = prototype_.can_parallelize_samples(circuit);
     if (batched && prototype_.hooks_are_native()) {
       BatchedOutcome outcome = sample_batched_shared(circuit, repetitions, rng);
@@ -275,6 +312,7 @@ class BatchEngine {
       std::vector<std::uint64_t> shard_reps;
       std::size_t first_slot = 0;
     };
+    engine_detail::count_engine_run();
     Rng root = rng.split();
     std::vector<CircuitPlan> plans(circuits.size());
     std::size_t total_shards = 0;
@@ -306,9 +344,11 @@ class BatchEngine {
       const CircuitPlan& plan = plans[i];
       if (plan.shard_reps[s] == 0) return;
       token_.throw_if_stopped();
+      const std::size_t slot = plan.first_slot + s;
+      const engine_detail::ShardTimer timer;
+      obs::TraceSpan span(trace_, "shard", slot);
       Simulator<State> local = prototype_;
       Rng stream = plan.streams[s];
-      const std::size_t slot = plan.first_slot + s;
       shard_results[slot] = local.run(circuits[i], plan.shard_reps[s], stream);
       shard_stats[slot] = local.last_run_stats();
     };
@@ -370,6 +410,7 @@ class BatchEngine {
     // silently.
     prototype_.check_runnable(circuit, /*require_measurements=*/true);
     token_.throw_if_stopped();
+    engine_detail::count_engine_run();
     JobOutcome outcome;
     // Collected once: all_operations() materializes the flattened list,
     // and the batched merge below revisits the keys per unique
@@ -494,12 +535,23 @@ class BatchEngine {
     stats.max_dictionary_size = 1;
 
     const SimulatorOptions& options = prototype_.options();
+    // Telemetry: evolve time (the shared-snapshot gate applies) feeds
+    // stats.evolve_ms; per-shard resample time feeds the shard series
+    // and trace spans. Slot-indexed accumulation, so the concurrent
+    // fan-out below writes race-free and the totals are deterministic.
+    using TelemetryClock = std::chrono::steady_clock;
+    double evolve_seconds = 0.0;
+    std::vector<double> resample_seconds(shards, 0.0);
     for (const auto& op : circuit.all_operations()) {
       if (op.gate().is_measurement()) continue;
       // Cooperative stop at gate granularity: one gate (evolution +
       // resampling fan-out) bounds the cancellation latency.
       token_.throw_if_stopped();
+      const auto evolve_start = TelemetryClock::now();
       prototype_.apply_fn()(op, state, evolution);
+      evolve_seconds +=
+          std::chrono::duration<double>(TelemetryClock::now() - evolve_start)
+              .count();
       ++stats.state_applications;
       if (options.skip_diagonal_updates && op.gate().is_diagonal()) {
         ++stats.diagonal_updates_skipped;
@@ -507,10 +559,14 @@ class BatchEngine {
       }
       const auto step = [&](std::size_t i) {
         if (dictionaries[i].empty()) return;
+        const auto step_start = TelemetryClock::now();
         stats.per_stream[i].probability_evaluations +=
             prototype_.resample_dictionary(state, op, dictionaries[i],
                                            streams[i]);
         shard_peak[i] = std::max(shard_peak[i], dictionaries[i].size());
+        resample_seconds[i] +=
+            std::chrono::duration<double>(TelemetryClock::now() - step_start)
+                .count();
       };
       std::size_t total_entries = 0;
       for (const BatchDictionary& d : dictionaries) total_entries += d.size();
@@ -521,11 +577,30 @@ class BatchEngine {
       }
     }
 
+    stats.evolve_ms = evolve_seconds * 1000.0;
     for (std::size_t i = 0; i < shards; ++i) {
       stats.probability_evaluations +=
           stats.per_stream[i].probability_evaluations;
       stats.max_dictionary_size =
           std::max(stats.max_dictionary_size, shard_peak[i]);
+    }
+    if constexpr (obs::kTelemetryCompiled) {
+      // One observation per non-empty shard (the shard's accumulated
+      // resample time) plus an "evolve" span for the shared evolution.
+      for (std::size_t i = 0; i < shards; ++i) {
+        if (shard_reps[i] == 0) continue;
+        engine_detail::observe_shard(resample_seconds[i]);
+        if (trace_ != nullptr && obs::enabled()) {
+          trace_->record(obs::SpanRecord{
+              obs::Trace::span_id(trace_->id(), "shard", i), 0, "shard", i,
+              resample_seconds[i]});
+        }
+      }
+      if (trace_ != nullptr && obs::enabled()) {
+        trace_->record(
+            obs::SpanRecord{obs::Trace::span_id(trace_->id(), "evolve", 0), 0,
+                            "evolve", 0, evolve_seconds});
+      }
     }
     outcome.shard_counts.resize(shards);
     for (std::size_t i = 0; i < shards; ++i) {
@@ -582,6 +657,8 @@ class BatchEngine {
         return;
       }
       token_.throw_if_stopped();
+      const engine_detail::ShardTimer timer;
+      obs::TraceSpan span(trace_, "shard", i);
       Simulator<State> local = prototype_;
       Rng stream = streams[i];
       if constexpr (std::is_same_v<Out, Result>) {
@@ -698,6 +775,9 @@ class BatchEngine {
   /// Streaming knobs lifted off the prototype options (the engine is
   /// the sole emitter; see the constructor).
   ProgressOptions progress_;
+  /// Telemetry trace lifted off the prototype options (may be null);
+  /// the engine records shard/evolve spans into it.
+  obs::Trace* trace_ = nullptr;
   RunStats stats_;
 };
 

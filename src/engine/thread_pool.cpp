@@ -8,13 +8,45 @@
 #include <omp.h>
 #endif
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace bgls {
 
+namespace {
+
+/// Pool occupancy series (process-wide across all pools: the engine
+/// context shares one long-lived pool, so a per-pool split would just
+/// duplicate it). Tasks are pool-level units — submitted closures and
+/// parallel_for drain passes — not per-amplitude work.
+struct PoolMetrics {
+  obs::Gauge active_workers;
+  obs::Counter tasks;
+
+  PoolMetrics() {
+    auto& registry = obs::MetricsRegistry::global();
+    active_workers =
+        registry.gauge("bgls_pool_active_workers",
+                       "Thread-pool workers currently running a task");
+    tasks = registry.counter("bgls_pool_tasks_total",
+                             "Thread-pool tasks executed");
+  }
+
+  static PoolMetrics& instance() {
+    static PoolMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
   BGLS_REQUIRE(num_threads >= 1, "thread pool needs at least one worker, got ",
                num_threads);
+  // Register the pool series at construction, not first task: small
+  // workloads drain entirely on the caller (parallel_for's inline
+  // thresholds), and a scrape should still see the series at 0.
+  PoolMetrics::instance();
   workers_.reserve(static_cast<std::size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -144,12 +176,16 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
+    PoolMetrics& metrics = PoolMetrics::instance();
+    metrics.tasks.add();
+    metrics.active_workers.add(1);
     try {
       task();
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
+    metrics.active_workers.sub(1);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

@@ -1,0 +1,99 @@
+/// \file trace.h
+/// Per-job traces: named, timed spans with deterministic IDs.
+///
+/// A Trace collects SpanRecords for one unit of work (one scheduler
+/// job, one Session::run). TraceSpan is the RAII recorder: it times a
+/// scope on the steady clock and appends a record on destruction.
+///
+/// Span IDs are *derived*, not allocated: FNV-1a over (trace id, span
+/// name, caller-supplied index). The same job therefore produces the
+/// same span IDs regardless of thread count or interleaving — shard
+/// span N of job 7 has one identity whether 1 or 16 workers raced for
+/// it — which is what lets tests assert on traces. Durations of course
+/// still vary; identity and structure do not.
+///
+/// Nesting is tracked per thread: a span started while another span of
+/// the *same trace* is open on the *same thread* records that span as
+/// its parent. Spans opened on pool workers (fresh threads) are roots.
+///
+/// With telemetry compiled out (BGLS_ENABLE_TELEMETRY=OFF) TraceSpan
+/// is inert and records nothing; Trace itself stays functional so
+/// containers holding traces need no conditional code.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"  // BGLS_TELEMETRY
+
+namespace bgls::obs {
+
+/// One finished span: identity, structure, and measured duration.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  std::string name;
+  std::uint64_t index = 0;  // caller-chosen ordinal (shard number, ...)
+  double seconds = 0.0;
+};
+
+/// Collects spans for one job. Thread-safe; record() is a short
+/// critical section off the sampling hot path (spans wrap shards and
+/// phases, not per-amplitude work).
+class Trace {
+ public:
+  explicit Trace(std::uint64_t trace_id) : id_(trace_id) {}
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  /// The deterministic span ID for (trace, name, index): 64-bit FNV-1a.
+  [[nodiscard]] static std::uint64_t span_id(std::uint64_t trace_id,
+                                             std::string_view name,
+                                             std::uint64_t index) noexcept;
+
+  void record(SpanRecord record);
+
+  /// All finished spans, sorted by (name, index, id) — a deterministic
+  /// order independent of completion interleaving.
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+
+ private:
+  std::uint64_t id_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII scoped timer appending one SpanRecord to a Trace. A null trace
+/// (or telemetry compiled out / disabled at start) makes the span a
+/// no-op. `index` disambiguates sibling spans sharing a name — pass
+/// the shard/chunk ordinal; serial phases use the default 0.
+class TraceSpan {
+ public:
+  TraceSpan(Trace* trace, std::string_view name, std::uint64_t index = 0);
+  ~TraceSpan() { finish(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Records the span early; the destructor then does nothing.
+  void finish();
+
+  /// This span's deterministic ID (0 when inert).
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  Trace* trace_ = nullptr;  // null once finished/inert
+  std::string name_;
+  std::uint64_t index_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  TraceSpan* enclosing_ = nullptr;  // previous top of this thread's stack
+};
+
+}  // namespace bgls::obs

@@ -80,6 +80,14 @@ JsonValue ServiceClient::stats() {
   return response;
 }
 
+std::string ServiceClient::metrics_text() {
+  const JsonValue response = roundtrip(op_request_line("metrics"));
+  require_ok(response);
+  const JsonValue* metrics = response.find("metrics");
+  BGLS_REQUIRE(metrics != nullptr, "response carries no metrics text");
+  return metrics->as_string();
+}
+
 void ServiceClient::shutdown_server() {
   require_ok(roundtrip(op_request_line("shutdown")));
 }

@@ -69,6 +69,12 @@ class ServiceClient {
   /// The scheduler's aggregate counters.
   JsonValue stats();
 
+  /// Prometheus text exposition of the server's telemetry registry
+  /// (kernel/engine/scheduler/daemon series). When the server was built
+  /// with -DBGLS_ENABLE_TELEMETRY=OFF the text is a single marker
+  /// comment line.
+  std::string metrics_text();
+
   /// Asks the daemon to shut down (it still answers ok first).
   void shutdown_server();
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "service/protocol.h"
 #include "util/json_writer.h"
 
@@ -11,6 +13,49 @@ namespace bgls::service {
 namespace {
 
 using namespace std::chrono_literals;
+
+/// Daemon series. Per-op counters are pre-registered (the map is
+/// read-only after construction), so the request path only touches
+/// relaxed atomics.
+struct DaemonMetrics {
+  std::map<std::string, obs::Counter, std::less<>> requests;
+  obs::Counter unknown_requests;
+  obs::Histogram request_seconds;
+  obs::Counter connections;
+  obs::Gauge open_connections;
+
+  DaemonMetrics() {
+    auto& registry = obs::MetricsRegistry::global();
+    const char* help = "Requests handled, by op";
+    for (const char* op : {"submit", "status", "cancel", "result", "wait",
+                           "stream", "stats", "metrics", "shutdown"}) {
+      requests.emplace(
+          op, registry.counter("bgls_daemon_requests_total{op=\"" +
+                                   std::string(op) + "\"}",
+                               help));
+    }
+    unknown_requests =
+        registry.counter("bgls_daemon_requests_total{op=\"other\"}", help);
+    request_seconds = registry.histogram(
+        "bgls_daemon_request_seconds",
+        "Wall time handling one request line (stream/wait ops include "
+        "the time spent following the job)");
+    connections = registry.counter("bgls_daemon_connections_total",
+                                   "Client connections accepted");
+    open_connections = registry.gauge("bgls_daemon_open_connections",
+                                      "Client connections currently open");
+  }
+
+  void count(std::string_view op) {
+    const auto it = requests.find(op);
+    (it != requests.end() ? it->second : unknown_requests).add();
+  }
+
+  static DaemonMetrics& instance() {
+    static DaemonMetrics metrics;
+    return metrics;
+  }
+};
 
 /// Builds one compact response line ({"ok":...,...}\n) via a filler
 /// callback receiving the open JsonWriter object scope.
@@ -112,6 +157,9 @@ void ServiceDaemon::reap_connections() {
 }
 
 void ServiceDaemon::handle_connection(Connection& connection) {
+  DaemonMetrics& metrics = DaemonMetrics::instance();
+  metrics.connections.add();
+  metrics.open_connections.add(1);
   std::string line;
   try {
     while (connection.socket.read_line(line)) {
@@ -121,6 +169,7 @@ void ServiceDaemon::handle_connection(Connection& connection) {
   } catch (const IoError&) {
     // Peer vanished mid-request/response — normal client churn.
   }
+  metrics.open_connections.sub(1);
   connection.done.store(true, std::memory_order_release);
 }
 
@@ -133,8 +182,10 @@ void ServiceDaemon::handle_line(const std::string& line, Socket& socket) {
     return;
   }
   std::string op;
+  const auto request_start = std::chrono::steady_clock::now();
   try {
     op = message.string_or("op", "");
+    DaemonMetrics::instance().count(op);
     if (op == "submit") {
       handle_submit(message, socket);
     } else if (op == "status") {
@@ -149,6 +200,8 @@ void ServiceDaemon::handle_line(const std::string& line, Socket& socket) {
       handle_stream(message, socket);
     } else if (op == "stats") {
       handle_stats(socket);
+    } else if (op == "metrics") {
+      handle_metrics(socket);
     } else if (op == "shutdown") {
       socket.write_all(response_line(true, [](JsonWriter&) {}));
       {
@@ -170,6 +223,10 @@ void ServiceDaemon::handle_line(const std::string& line, Socket& socket) {
     // Unknown job ids, malformed fields, capability errors, ...
     socket.write_all(error_line("bad_request", e.what()));
   }
+  DaemonMetrics::instance().request_seconds.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    request_start)
+          .count());
 }
 
 void ServiceDaemon::handle_submit(const JsonValue& message, Socket& socket) {
@@ -211,10 +268,20 @@ void ServiceDaemon::handle_status(const JsonValue& message, Socket& socket) {
     json.key("total").value(info.total_repetitions);
     json.key("updates").value(
         static_cast<std::uint64_t>(info.progress_updates));
+    // Scheduling timings (milliseconds; live jobs report so-far values).
+    // Not byte-pinned — unlike the `result` report, status is a
+    // monitoring endpoint and may grow fields.
+    json.key("queue_ms").value(info.queue_seconds * 1000.0);
+    json.key("run_ms").value(info.run_seconds * 1000.0);
     if (!info.error.empty()) json.key("error").value(info.error);
     if (info.result) {
       json.key("backend").value(info.result->backend_name);
       json.key("selection_reason").value(info.result->selection_reason);
+      const RunStats& stats = info.result->stats;
+      json.key("queue_wait_ms").value(stats.queue_wait_ms);
+      json.key("optimize_ms").value(stats.optimize_ms);
+      json.key("evolve_ms").value(stats.evolve_ms);
+      json.key("sample_ms").value(stats.sample_ms);
     }
   }));
 }
@@ -330,6 +397,7 @@ void ServiceDaemon::handle_stats(Socket& socket) {
     json.key("failed").value(stats.failed);
     json.key("cancelled").value(stats.cancelled);
     json.key("timed_out").value(stats.timed_out);
+    json.key("evicted").value(stats.evicted);
     json.key("queue_depth").value(
         static_cast<std::uint64_t>(stats.queue_depth));
     json.key("running").value(static_cast<std::uint64_t>(stats.running));
@@ -338,6 +406,16 @@ void ServiceDaemon::handle_stats(Socket& socket) {
       json.key(backend).value(count);
     }
     json.end_object();
+  }));
+}
+
+void ServiceDaemon::handle_metrics(Socket& socket) {
+  // The whole process-wide registry, not just daemon series: a scrape
+  // sees kernel/engine/pool/scheduler series from the same snapshot.
+  const std::string text =
+      obs::to_prometheus(obs::MetricsRegistry::global().snapshot());
+  socket.write_all(response_line(true, [&](JsonWriter& json) {
+    json.key("metrics").value(text);
   }));
 }
 

@@ -90,6 +90,9 @@ class ServiceDaemon {
                              bool wait);
   void handle_stream(const JsonValue& message, Socket& socket);
   void handle_stats(Socket& socket);
+  /// Prometheus text exposition of the process-wide telemetry registry,
+  /// embedded as the "metrics" string field of the response line.
+  void handle_metrics(Socket& socket);
 
   /// Sends the terminal-state response for a job ("result" shape: the
   /// canonical report on kDone, an error code otherwise). `type` tags

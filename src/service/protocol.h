@@ -14,6 +14,8 @@
 ///   {"op":"wait","job":N,"timeout_ms":N}
 ///   {"op":"result","job":N}        {"op":"stream","job":N}
 ///   {"op":"stats"}                 {"op":"shutdown"}
+///   {"op":"metrics"}   — Prometheus text exposition of the telemetry
+///                        registry (obs/), escaped in "metrics"
 ///
 /// Every response carries "ok" (bool); failures add "code" (a stable
 /// slug: parse_error/unknown_op/unknown_job/queue_full/not_done/

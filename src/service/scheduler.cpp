@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace bgls::service {
 
 std::string_view job_state_name(JobState state) {
@@ -41,6 +43,12 @@ struct JobScheduler::Job {
   std::chrono::steady_clock::time_point submitted_at;
   std::chrono::steady_clock::time_point started_at;
   std::chrono::steady_clock::time_point finished_at;
+  /// First cancel() request, for the cancel-latency series.
+  bool cancel_requested = false;
+  std::chrono::steady_clock::time_point cancel_requested_at;
+  /// The job's trace (span IDs derived from the job id); null when
+  /// telemetry is compiled out.
+  std::shared_ptr<obs::Trace> trace;
 };
 
 namespace {
@@ -49,6 +57,62 @@ double seconds_between(std::chrono::steady_clock::time_point from,
                        std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
 }
+
+/// Scheduler series: process-wide (several schedulers — e.g. in tests —
+/// accumulate into the same series; per-instance numbers live in
+/// SchedulerStats).
+struct SchedulerMetrics {
+  obs::Counter submitted;
+  obs::Counter rejected;
+  obs::Counter evicted;
+  obs::Counter done;
+  obs::Counter failed;
+  obs::Counter cancelled;
+  obs::Counter timed_out;
+  obs::Gauge queue_depth;
+  obs::Gauge running;
+  obs::Histogram queue_wait;
+  obs::Histogram run_seconds;
+  obs::Histogram cancel_latency;
+
+  SchedulerMetrics() {
+    auto& registry = obs::MetricsRegistry::global();
+    submitted = registry.counter("bgls_scheduler_submitted_total",
+                                 "Jobs admitted to the queue");
+    rejected = registry.counter(
+        "bgls_scheduler_rejected_total",
+        "Submissions rejected by admission control (queue full)");
+    evicted = registry.counter(
+        "bgls_scheduler_evicted_total",
+        "Terminal jobs forgotten by the retention bound");
+    const char* help = "Jobs finished, by terminal state";
+    done = registry.counter("bgls_scheduler_jobs_total{state=\"done\"}", help);
+    failed =
+        registry.counter("bgls_scheduler_jobs_total{state=\"failed\"}", help);
+    cancelled = registry.counter(
+        "bgls_scheduler_jobs_total{state=\"cancelled\"}", help);
+    timed_out = registry.counter(
+        "bgls_scheduler_jobs_total{state=\"timeout\"}", help);
+    queue_depth = registry.gauge("bgls_scheduler_queue_depth",
+                                 "Jobs currently queued (not yet running)");
+    running =
+        registry.gauge("bgls_scheduler_running", "Jobs currently executing");
+    queue_wait = registry.histogram(
+        "bgls_scheduler_queue_wait_seconds",
+        "Time from admission to run start (or to terminal, for jobs "
+        "that never ran)");
+    run_seconds = registry.histogram("bgls_scheduler_run_seconds",
+                                     "Job execution wall time");
+    cancel_latency = registry.histogram(
+        "bgls_scheduler_cancel_latency_seconds",
+        "Time from cancel() to the job reaching a terminal state");
+  }
+
+  static SchedulerMetrics& instance() {
+    static SchedulerMetrics metrics;
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -116,6 +180,7 @@ std::uint64_t JobScheduler::submit(RunRequest request) {
     BGLS_REQUIRE(!stopping_, "scheduler is shutting down");
     if (queue_.size() >= options_.max_queue_depth) {
       ++stats_.rejected;
+      SchedulerMetrics::instance().rejected.add();
       detail::throw_error<QueueFullError>(
           "job rejected: queue is full (", queue_.size(), " of ",
           options_.max_queue_depth,
@@ -124,6 +189,12 @@ std::uint64_t JobScheduler::submit(RunRequest request) {
     job->id = next_id_++;
     job->seq = job->id;
     job->request = std::move(request);
+    if constexpr (obs::kTelemetryCompiled) {
+      // One trace per job, identified by the job id: span IDs derived
+      // from it are stable across runs and thread counts.
+      job->trace = std::make_shared<obs::Trace>(job->id);
+      job->request.trace = job->trace.get();
+    }
 
     // Record every progress update on the job (for poll/stream
     // replays), then forward to any caller-supplied sink.
@@ -146,6 +217,9 @@ std::uint64_t JobScheduler::submit(RunRequest request) {
     queue_.push_back(job);
     std::push_heap(queue_.begin(), queue_.end(), heap_less);
     ++stats_.submitted;
+    SchedulerMetrics& metrics = SchedulerMetrics::instance();
+    metrics.submitted.add();
+    metrics.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
   }
   work_available_.notify_one();
   return job->id;
@@ -158,6 +232,10 @@ bool JobScheduler::cancel(std::uint64_t id) {
     const auto it = jobs_.find(id);
     if (it == jobs_.end() || is_terminal(it->second->state)) return false;
     job = it->second;
+    if (!job->cancel_requested) {
+      job->cancel_requested = true;
+      job->cancel_requested_at = std::chrono::steady_clock::now();
+    }
     if (job->state == JobState::kQueued) {
       // Cancelled before running: terminal immediately, and removed
       // from the heap so it stops counting against admission control
@@ -173,6 +251,13 @@ bool JobScheduler::cancel(std::uint64_t id) {
         std::make_heap(queue_.begin(), queue_.end(), heap_less);
       }
       note_terminal_locked(job);
+      SchedulerMetrics& metrics = SchedulerMetrics::instance();
+      metrics.cancelled.add();
+      metrics.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+      metrics.queue_wait.observe(
+          seconds_between(job->submitted_at, job->finished_at));
+      metrics.cancel_latency.observe(
+          seconds_between(job->cancel_requested_at, job->finished_at));
     }
   }
   // Running jobs stop cooperatively at their next gate/shard check.
@@ -241,6 +326,8 @@ void JobScheduler::runner_loop() {
       std::pop_heap(queue_.begin(), queue_.end(), heap_less);
       job = std::move(queue_.back());
       queue_.pop_back();
+      SchedulerMetrics& metrics = SchedulerMetrics::instance();
+      metrics.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
       if (is_terminal(job->state)) continue;  // cancelled while queued
       // A deadline that expired in the queue never samples.
       if (job->token.stop_kind() == StopKind::kDeadline) {
@@ -249,6 +336,9 @@ void JobScheduler::runner_loop() {
         job->finished_at = std::chrono::steady_clock::now();
         ++stats_.timed_out;
         note_terminal_locked(job);
+        metrics.timed_out.add();
+        metrics.queue_wait.observe(
+            seconds_between(job->submitted_at, job->finished_at));
         lock.unlock();
         job_changed_.notify_all();
         continue;
@@ -256,6 +346,16 @@ void JobScheduler::runner_loop() {
       job->state = JobState::kRunning;
       job->started_at = std::chrono::steady_clock::now();
       job->start_order = next_start_order_++;
+      const double queue_wait =
+          seconds_between(job->submitted_at, job->started_at);
+      metrics.queue_wait.observe(queue_wait);
+      metrics.running.add(1);
+      if (job->trace) {
+        // Queue wait as a manually recorded span: no scope existed while
+        // the job sat in the heap.
+        job->trace->record({obs::Trace::span_id(job->id, "queue", 0), 0,
+                            "queue", 0, queue_wait});
+      }
     }
     job_changed_.notify_all();
     run_job(job);
@@ -283,6 +383,12 @@ void JobScheduler::run_job(const JobPtr& job) {
   const std::lock_guard<std::mutex> lock(mutex_);
   job->state = state;
   job->error = std::move(error);
+  if (result) {
+    // Scheduling-side wall time into the job's RunStats (never part of
+    // the byte-stable reports — see core/simulator.h).
+    result->stats.queue_wait_ms =
+        seconds_between(job->submitted_at, job->started_at) * 1000.0;
+  }
   job->result = std::move(result);
   job->finished_at = std::chrono::steady_clock::now();
   switch (state) {
@@ -296,6 +402,26 @@ void JobScheduler::run_job(const JobPtr& job) {
     default: break;
   }
   note_terminal_locked(job);
+  SchedulerMetrics& metrics = SchedulerMetrics::instance();
+  metrics.running.sub(1);
+  const double run_seconds =
+      seconds_between(job->started_at, job->finished_at);
+  metrics.run_seconds.observe(run_seconds);
+  switch (state) {
+    case JobState::kDone: metrics.done.add(); break;
+    case JobState::kFailed: metrics.failed.add(); break;
+    case JobState::kCancelled: metrics.cancelled.add(); break;
+    case JobState::kTimedOut: metrics.timed_out.add(); break;
+    default: break;
+  }
+  if (job->cancel_requested) {
+    metrics.cancel_latency.observe(
+        seconds_between(job->cancel_requested_at, job->finished_at));
+  }
+  if (job->trace) {
+    job->trace->record({obs::Trace::span_id(job->id, "run", 0), 0, "run", 0,
+                        run_seconds});
+  }
 }
 
 void JobScheduler::note_terminal_locked(const JobPtr& job) {
@@ -306,6 +432,11 @@ void JobScheduler::note_terminal_locked(const JobPtr& job) {
   while (terminal_order_.size() > options_.max_retained_jobs) {
     jobs_.erase(terminal_order_.front());
     terminal_order_.pop_front();
+    // The per-state counters in stats_ were folded in at the terminal
+    // transition, so forgetting the record loses no history — only the
+    // eviction itself is worth counting.
+    ++stats_.evicted;
+    SchedulerMetrics::instance().evicted.add();
   }
 }
 
@@ -325,6 +456,7 @@ JobInfo JobScheduler::snapshot_locked(const Job& job) const {
   info.progress_updates = job.updates.size();
   info.result = job.result;
   info.start_order = job.start_order;
+  info.trace = job.trace;
   const auto now = std::chrono::steady_clock::now();
   const auto started =
       job.start_order > 0 ? job.started_at : (is_terminal(job.state) ? job.finished_at : now);

@@ -44,6 +44,7 @@
 
 #include "api/session.h"
 #include "core/progress.h"
+#include "obs/trace.h"
 #include "util/cancellation.h"
 #include "util/error.h"
 
@@ -94,9 +95,18 @@ struct JobInfo {
   /// 1-based order in which the job started running; 0 = never started
   /// (tests pin priority ordering with it).
   std::uint64_t start_order = 0;
+  /// The job's telemetry trace (obs/trace.h): queue/run spans from the
+  /// scheduler plus shard/phase spans from the layers below, with span
+  /// IDs deterministically derived from the job id. Null when telemetry
+  /// is compiled out.
+  std::shared_ptr<const obs::Trace> trace;
 };
 
-/// Aggregate counters for the stats endpoint.
+/// Aggregate counters for the stats endpoint. The per-state counters
+/// (submitted/rejected/completed/...) are *monotonic over the
+/// scheduler's lifetime*: a job's terminal state is folded in at the
+/// terminal transition, before retention eviction can forget the job,
+/// so totals survive max_retained_jobs pruning.
 struct SchedulerStats {
   std::uint64_t submitted = 0;
   std::uint64_t rejected = 0;
@@ -104,6 +114,9 @@ struct SchedulerStats {
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t timed_out = 0;
+  /// Terminal jobs forgotten by the retention bound (their ids became
+  /// unknown; the counters above still include them).
+  std::uint64_t evicted = 0;
   std::size_t queue_depth = 0;
   std::size_t running = 0;
   /// Completed jobs per executing backend name — the routing decisions

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
 
 #ifdef BGLS_HAVE_OPENMP
 #include <omp.h>
@@ -797,6 +801,95 @@ void dispatch_classified(std::span<Complex> amplitudes, const Matrix& m,
   }
 }
 
+// --- Telemetry ----------------------------------------------------------
+
+/// Every apply is counted per dispatch class; applies are *timed* only
+/// from this amplitude dimension up (n >= 12 qubits), where a clock
+/// read pair is far below the kernel's own cost. The timing series
+/// still registers either way, so scrapes see it (at zero) for small
+/// circuits too.
+constexpr std::size_t kTimedApplyDim = std::size_t{1} << 12;
+
+/// One counter + latency histogram per dispatch class, registered once.
+/// Index order matches GateClass; slot 4 is the generic fallback path
+/// (forced or arity > kMaxKernelArity).
+struct KernelMetrics {
+  static constexpr int kGeneric = 4;
+  obs::Counter applies[5];
+  obs::Histogram seconds[5];
+
+  KernelMetrics() {
+    static constexpr const char* kClassNames[5] = {
+        "diagonal", "permutation", "controlled", "dense", "generic"};
+    auto& registry = obs::MetricsRegistry::global();
+    for (int i = 0; i < 5; ++i) {
+      const std::string label =
+          std::string("{class=\"") + kClassNames[i] + "\"}";
+      applies[i] = registry.counter(
+          "bgls_kernel_apply_total" + label,
+          "Statevector matrix applies by kernel dispatch class");
+      seconds[i] = registry.histogram(
+          "bgls_kernel_apply_seconds" + label,
+          "Apply wall time by kernel dispatch class (dim >= 4096 only)");
+    }
+  }
+
+  static KernelMetrics& instance() {
+    static KernelMetrics metrics;
+    return metrics;
+  }
+};
+
+/// Counts (always) and times (large states only) one apply.
+class [[maybe_unused]] TimedApply {
+ public:
+  TimedApply(int cls, std::size_t dim) noexcept {
+#if BGLS_TELEMETRY
+    cls_ = cls;
+    KernelMetrics::instance().applies[cls_].add();
+    if (dim >= kTimedApplyDim && obs::enabled()) {
+      timed_ = true;
+      start_ = std::chrono::steady_clock::now();
+    }
+#else
+    (void)cls;
+    (void)dim;
+#endif
+  }
+
+  ~TimedApply() {
+#if BGLS_TELEMETRY
+    if (timed_) {
+      KernelMetrics::instance().seconds[cls_].observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count());
+    }
+#endif
+  }
+
+ private:
+#if BGLS_TELEMETRY
+  int cls_ = 0;
+  bool timed_ = false;
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+int class_index(GateClass cls) {
+  switch (cls) {
+    case GateClass::kDiagonal:
+      return 0;
+    case GateClass::kPermutation:
+      return 1;
+    case GateClass::kControlled:
+      return 2;
+    case GateClass::kDense:
+      return 3;
+  }
+  return 3;
+}
+
 }  // namespace
 
 CompiledMatrix compile(Matrix m) {
@@ -810,10 +903,13 @@ void apply_matrix(std::span<Complex> amplitudes, int num_qubits,
                   const Matrix& m, std::span<const int> qubits) {
   (void)num_qubits;
   if (force_generic() || qubits.size() > kMaxKernelArity) {
+    const TimedApply timer(KernelMetrics::kGeneric, amplitudes.size());
     apply_generic(amplitudes, m, qubits);
     return;
   }
-  dispatch_classified(amplitudes, m, classify(m), qubits);
+  const Classification c = classify(m);
+  const TimedApply timer(class_index(c.cls), amplitudes.size());
+  dispatch_classified(amplitudes, m, c, qubits);
 }
 
 void apply_matrix(std::span<Complex> amplitudes, int num_qubits,
@@ -821,9 +917,12 @@ void apply_matrix(std::span<Complex> amplitudes, int num_qubits,
                   std::span<const int> qubits) {
   (void)num_qubits;
   if (force_generic() || qubits.size() > kMaxKernelArity) {
+    const TimedApply timer(KernelMetrics::kGeneric, amplitudes.size());
     apply_generic(amplitudes, compiled.matrix, qubits);
     return;
   }
+  const TimedApply timer(class_index(compiled.classification.cls),
+                         amplitudes.size());
   dispatch_classified(amplitudes, compiled.matrix, compiled.classification,
                       qubits);
 }

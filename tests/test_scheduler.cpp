@@ -293,6 +293,63 @@ TEST(JobScheduler, RetentionBoundEvictsOldestTerminalJobs) {
   EXPECT_EQ(scheduler.stats().completed, 4u);
 }
 
+TEST(JobScheduler, StatsSurviveRetentionEviction) {
+  // Terminal-state counts are folded into SchedulerStats at the
+  // terminal transition, so pruning the job records must lose no
+  // history — only add to the eviction counter.
+  SchedulerOptions options;
+  options.max_retained_jobs = 4;
+  JobScheduler scheduler(options);
+  for (int i = 0; i < 10; ++i) {
+    scheduler.wait(
+        scheduler.submit(small_job(static_cast<std::uint64_t>(i))));
+  }
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 10u);
+  EXPECT_EQ(stats.completed, 10u);
+  EXPECT_EQ(stats.evicted, 6u);
+  EXPECT_GT(scheduler.min_retained_id(), 1u);
+}
+
+#if BGLS_TELEMETRY
+TEST(JobScheduler, JobTraceRecordsQueueAndRunSpans) {
+  JobScheduler scheduler;
+  const std::uint64_t id = scheduler.submit(small_job(11));
+  const JobInfo info = scheduler.wait(id);
+  ASSERT_EQ(info.state, JobState::kDone);
+  ASSERT_NE(info.trace, nullptr);
+  EXPECT_EQ(info.trace->id(), id);
+  bool saw_queue = false;
+  bool saw_run = false;
+  for (const obs::SpanRecord& span : info.trace->spans()) {
+    if (span.name == "queue") {
+      saw_queue = true;
+      // Span IDs derive from (job id, name, index): assertable without
+      // knowing anything about scheduling.
+      EXPECT_EQ(span.id, obs::Trace::span_id(id, "queue", 0));
+    }
+    if (span.name == "run") {
+      saw_run = true;
+      EXPECT_EQ(span.id, obs::Trace::span_id(id, "run", 0));
+      EXPECT_GE(span.seconds, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_queue);
+  EXPECT_TRUE(saw_run);
+}
+#endif  // BGLS_TELEMETRY
+
+TEST(JobScheduler, ResultCarriesSchedulingPhaseTimes) {
+  JobScheduler scheduler;
+  const std::uint64_t id = scheduler.submit(small_job(12));
+  const JobInfo info = scheduler.wait(id);
+  ASSERT_EQ(info.state, JobState::kDone);
+  ASSERT_NE(info.result, nullptr);
+  // Filled regardless of the telemetry build flag (plain clock reads).
+  EXPECT_GE(info.result->stats.queue_wait_ms, 0.0);
+  EXPECT_GT(info.result->stats.sample_ms, 0.0);
+}
+
 TEST(JobScheduler, WaitTimeoutReturnsLiveSnapshot) {
   SchedulerOptions options;
   options.max_concurrent_jobs = 1;

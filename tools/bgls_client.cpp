@@ -58,6 +58,8 @@ void print_usage(std::ostream& os) {
         "  stream <job>     stream progress to stderr, report to stdout\n"
         "  cancel <job>     request cancellation\n"
         "  stats            scheduler counters\n"
+        "  metrics          Prometheus text exposition of the daemon's\n"
+        "                   telemetry registry (scrape-ready)\n"
         "  shutdown         ask the daemon to exit\n"
         "\n"
         "submit flags (run/submit): --reps N --seed N --backend NAME\n"
@@ -197,7 +199,8 @@ int run_command(const ClientOptions& options) {
               << " timed_out=" << stats.u64_or("timed_out", 0)
               << " rejected=" << stats.u64_or("rejected", 0)
               << " queue_depth=" << stats.u64_or("queue_depth", 0)
-              << " running=" << stats.u64_or("running", 0) << "\n";
+              << " running=" << stats.u64_or("running", 0)
+              << " evicted=" << stats.u64_or("evicted", 0) << "\n";
     const JsonValue* per_backend = stats.find("completed_per_backend");
     if (per_backend != nullptr &&
         per_backend->kind() == JsonValue::Kind::kObject) {
@@ -206,6 +209,12 @@ int run_command(const ClientOptions& options) {
                   << " jobs\n";
       }
     }
+    return 0;
+  }
+  if (options.command == "metrics") {
+    // Exposition text ends with a newline already; print verbatim so
+    // the output pipes straight into a Prometheus scrape file.
+    std::cout << client.metrics_text();
     return 0;
   }
   if (options.command == "shutdown") {

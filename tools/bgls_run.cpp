@@ -27,6 +27,7 @@
 
 #include "api/session.h"
 #include "cli_flags.h"
+#include "obs/exposition.h"
 #include "qasm/qasm.h"
 #include "service/report.h"
 #include "util/cancellation.h"
@@ -49,6 +50,8 @@ struct CliOptions {
   bool optimize = false;
   bool no_batch = false;
   std::uint64_t timeout_ms = 0;
+  bool verbose = false;
+  std::string metrics_json;  // "" = no dump
 };
 
 void print_usage(std::ostream& os) {
@@ -77,6 +80,12 @@ void print_usage(std::ostream& os) {
         "  --timeout-ms N   abort the run after N wall-clock milliseconds\n"
         "                   (exit code 3; see below). 0 = no limit\n"
         "  --out FILE       write the JSON report to FILE (default stdout)\n"
+        "  --verbose        print timing/routing detail to stderr (backend,\n"
+        "                   selection reason, per-phase wall times, engine\n"
+        "                   counters); the stdout report stays byte-stable\n"
+        "  --metrics-json FILE  dump the process telemetry registry\n"
+        "                   (counters/gauges/histograms) as JSON after the\n"
+        "                   run; empty when built without telemetry\n"
         "  --help           this text\n"
         "\n"
         "exit codes: 0 success, 2 usage/runtime error, 3 run cancelled\n"
@@ -114,6 +123,10 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.timeout_ms = parse_u64_flag(arg, need_value(i, arg));
     } else if (arg == "--out") {
       options.output = need_value(i, arg);
+    } else if (arg == "--verbose" || arg == "-v") {
+      options.verbose = true;
+    } else if (arg == "--metrics-json") {
+      options.metrics_json = need_value(i, arg);
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       detail::throw_error<ValueError>("unknown flag '", arg,
                                       "' (try --help)");
@@ -176,6 +189,31 @@ int run_cli(const CliOptions& options) {
     std::ofstream file(options.output);
     BGLS_REQUIRE(file.good(), "cannot write '", options.output, "'");
     service::write_run_report(file, context, result);
+  }
+
+  if (options.verbose) {
+    // Scheduling-dependent detail goes to stderr only: the stdout
+    // report stays byte-identical across runs and thread counts.
+    const RunStats& stats = result.stats;
+    std::cerr << "bgls_run: backend=" << result.backend_name;
+    if (!result.selection_reason.empty()) {
+      std::cerr << " (" << result.selection_reason << ")";
+    }
+    std::cerr << "\n"
+              << "bgls_run: wall_ms=" << result.wall_seconds * 1000.0
+              << " optimize_ms=" << stats.optimize_ms
+              << " evolve_ms=" << stats.evolve_ms
+              << " sample_ms=" << stats.sample_ms << "\n"
+              << "bgls_run: applies=" << stats.state_applications
+              << " prob_evals=" << stats.probability_evaluations
+              << " max_dict=" << stats.max_dictionary_size
+              << " trajectories=" << stats.trajectories
+              << " threads=" << stats.threads_used << "\n";
+  }
+  if (!options.metrics_json.empty()) {
+    std::ofstream file(options.metrics_json);
+    BGLS_REQUIRE(file.good(), "cannot write '", options.metrics_json, "'");
+    obs::write_metrics_json(file, Session::metrics_snapshot());
   }
   return 0;
 }

@@ -13,10 +13,13 @@
 /// inputs and seeds. The process runs until a client sends the
 /// `shutdown` op (or it is killed).
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "api/session.h"
 #include "cli_flags.h"
+#include "obs/exposition.h"
 #include "service/daemon.h"
 #include "util/error.h"
 
@@ -31,6 +34,7 @@ struct ServeOptions {
   int jobs = 1;
   std::size_t queue = 64;
   std::size_t retain = 1024;
+  std::string metrics_json;  // "" = no final dump
 };
 
 void print_usage(std::ostream& os) {
@@ -50,6 +54,8 @@ void print_usage(std::ostream& os) {
         "                   beyond it submissions fail with queue_full\n"
         "  --retain N       finished jobs kept for result/stream reads\n"
         "                   (default 1024); oldest are evicted beyond it\n"
+        "  --metrics-json FILE  dump the final telemetry registry as JSON\n"
+        "                   at shutdown (live scrapes: {\"op\":\"metrics\"})\n"
         "  --help           this text\n";
 }
 
@@ -78,6 +84,8 @@ bool parse_args(int argc, char** argv, ServeOptions& options) {
     } else if (arg == "--retain") {
       options.retain =
           static_cast<std::size_t>(parse_u64_flag(arg, need_value(i, arg)));
+    } else if (arg == "--metrics-json") {
+      options.metrics_json = need_value(i, arg);
     } else {
       detail::throw_error<ValueError>("unknown flag '", arg,
                                       "' (try --help)");
@@ -107,6 +115,13 @@ int main(int argc, char** argv) {
     daemon.wait_for_shutdown();
     std::cout << "bgls_serve: shutdown requested, draining" << std::endl;
     daemon.stop();
+    if (!options.metrics_json.empty()) {
+      // After stop(): every handler joined, so the dump sees the final
+      // counters of the whole service lifetime.
+      std::ofstream file(options.metrics_json);
+      BGLS_REQUIRE(file.good(), "cannot write '", options.metrics_json, "'");
+      obs::write_metrics_json(file, Session::metrics_snapshot());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "bgls_serve: " << e.what() << "\n";

@@ -9,7 +9,10 @@
 #      `cancelled` (client exit code 3);
 #   3. a deadline-exceeded job reports `timeout` (exit code 3);
 #   4. bgls_run --timeout-ms itself exits 3;
-#   5. admission/stats/shutdown endpoints work.
+#   5. admission/stats/shutdown endpoints work;
+#   6. the {"op":"metrics"} endpoint serves Prometheus exposition with
+#      scheduler/engine/kernel/daemon series, monotonic across scrapes
+#      (skipped when the build compiled telemetry out).
 #
 # Usage: service_e2e.sh BGLS_SERVE BGLS_CLIENT BGLS_RUN DATA_DIR WORK_DIR
 
@@ -69,10 +72,32 @@ for i in "${!SPECS[@]}"; do
 done
 echo "ok: ${#SPECS[@]} concurrent clients byte-identical to bgls_run"
 
+# --- 1b. Engine-path job: 12 qubits (big enough for the timed kernel
+# histograms) on --threads 2, forced onto the statevector backend (GHZ
+# is pure Clifford, so auto-selection would route it to the stabilizer
+# backend and never touch the statevector kernels), so the engine and
+# kernel telemetry series scraped in section 6 are populated ---
+{
+  echo 'OPENQASM 2.0;'
+  echo 'include "qelib1.inc";'
+  echo 'qreg q[12];'
+  echo 'creg c[12];'
+  echo 'h q[0];'
+  for q in $(seq 1 11); do echo "cx q[0],q[$q];"; done
+  echo 'measure q -> c;'
+} > "$WORK/ghz12.qasm"
+"$CLIENT" --connect "$CONNECT" run --reps 256 --seed 9 --threads 2 \
+  --backend sv "$WORK/ghz12.qasm" > /dev/null \
+  || fail "engine-path job failed"
+echo "ok: engine-path job (12 qubits, 2 threads) completed"
+
 # --- 2. Cancellation: bounded stop, state `cancelled`, exit code 3 ---
 JOB=$("$CLIENT" --connect "$CONNECT" submit --reps 500000000 --no-batch \
   "$DATA/ghz.qasm") || fail "submit failed"
 sleep 0.3
+# Mid-flood scrape: the blocker job is running right now.
+"$CLIENT" --connect "$CONNECT" metrics > "$WORK/metrics_mid.txt" \
+  || fail "mid-flood metrics scrape failed"
 "$CLIENT" --connect "$CONNECT" cancel "$JOB" | grep -q "^cancelled" \
   || fail "cancel was not accepted"
 START=$(date +%s)
@@ -109,7 +134,60 @@ PROGRESS_LINES=$(grep -c "^progress:" "$WORK/progress.err")
 [ "$PROGRESS_LINES" -ge 3 ] || fail "expected >=3 progress lines, got $PROGRESS_LINES"
 echo "ok: streaming emitted $PROGRESS_LINES progress frames"
 
-# --- 6. Stats + shutdown ---
+# --- 6. Metrics exposition: core series present and monotonic ---
+"$CLIENT" --connect "$CONNECT" metrics > "$WORK/metrics_end.txt" \
+  || fail "metrics scrape failed"
+if grep -q "telemetry compiled out" "$WORK/metrics_end.txt"; then
+  echo "ok: telemetry compiled out; skipping metrics assertions"
+else
+  # Counter/gauge series land verbatim; histograms via their _count.
+  for series in \
+    'bgls_scheduler_submitted_total' \
+    'bgls_scheduler_queue_depth' \
+    'bgls_scheduler_running' \
+    'bgls_scheduler_queue_wait_seconds_count' \
+    'bgls_scheduler_run_seconds_count' \
+    'bgls_scheduler_cancel_latency_seconds_count' \
+    'bgls_scheduler_jobs_total{state="done"}' \
+    'bgls_scheduler_jobs_total{state="cancelled"}' \
+    'bgls_engine_runs_total' \
+    'bgls_engine_shards_total' \
+    'bgls_engine_shard_seconds_count' \
+    'bgls_pool_tasks_total' \
+    'bgls_pool_active_workers' \
+    'bgls_kernel_apply_total{class="dense"}' \
+    'bgls_kernel_apply_seconds_count{class="dense"}' \
+    'bgls_daemon_requests_total{op="submit"}' \
+    'bgls_daemon_requests_total{op="metrics"}' \
+    'bgls_daemon_request_seconds_count' \
+    'bgls_daemon_connections_total'; do
+    grep -q "^$series " "$WORK/metrics_end.txt" \
+      || fail "metrics missing series $series"
+  done
+  series_value() { awk -v s="$2" '$1 == s {print $2}' "$1"; }
+  MID_DONE=$(series_value "$WORK/metrics_mid.txt" \
+    'bgls_scheduler_jobs_total{state="done"}')
+  END_DONE=$(series_value "$WORK/metrics_end.txt" \
+    'bgls_scheduler_jobs_total{state="done"}')
+  [ -n "$MID_DONE" ] && [ -n "$END_DONE" ] \
+    || fail "could not read jobs_total{state=done} from the scrapes"
+  [ "$MID_DONE" -ge 5 ] || fail "mid-flood done=$MID_DONE, want >=5"
+  [ "$END_DONE" -ge "$MID_DONE" ] \
+    || fail "done went backwards: $MID_DONE -> $END_DONE"
+  MID_SUBMIT=$(series_value "$WORK/metrics_mid.txt" \
+    'bgls_daemon_requests_total{op="submit"}')
+  END_SUBMIT=$(series_value "$WORK/metrics_end.txt" \
+    'bgls_daemon_requests_total{op="submit"}')
+  [ "$END_SUBMIT" -ge "$MID_SUBMIT" ] \
+    || fail "submit requests went backwards: $MID_SUBMIT -> $END_SUBMIT"
+  APPLIES=$(series_value "$WORK/metrics_end.txt" \
+    'bgls_kernel_apply_seconds_count{class="dense"}')
+  [ "$APPLIES" -gt 0 ] \
+    || fail "no timed dense kernel applies despite the 12-qubit job"
+  echo "ok: metrics exposition has core series, monotonic ($MID_DONE -> $END_DONE done)"
+fi
+
+# --- 7. Stats + shutdown ---
 "$CLIENT" --connect "$CONNECT" stats > "$WORK/stats.txt" \
   || fail "stats failed"
 grep -q "cancelled=1" "$WORK/stats.txt" || fail "stats missing cancelled=1"
