@@ -8,8 +8,12 @@
 ///
 ///   $ ./service_throughput [BENCH_service.json]
 
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +22,7 @@
 #include "bench_json.h"
 #include "circuit/random.h"
 #include "obs/metrics.h"
+#include "service/journal.h"
 #include "service/scheduler.h"
 #include "util/json_writer.h"
 
@@ -119,6 +124,62 @@ int main(int argc, char** argv) {
     json.key("path").value(label);
     json.key("runners").value(runners);
     json.key("progress_every").value(progress_every);
+    json.key("seconds").value(seconds);
+    json.key("jobs_per_second").value(kJobs / seconds);
+    json.end_object();
+  }
+
+  // Durability overhead: the scheduler_1 shape with a write-ahead
+  // journal in the loop — one fsync'd submit record per job, periodic
+  // checkpoint records through the scheduler hook, and a terminal
+  // record per job (the `bgls_serve --journal` configuration).
+  {
+    const std::string journal_path = "/tmp/bgls_bench_journal_" +
+                                     std::to_string(::getpid()) + ".ndjson";
+    std::remove(journal_path.c_str());
+    service::Journal journal;
+    journal.open(journal_path);
+    service::SchedulerOptions options;
+    options.max_concurrent_jobs = 1;
+    options.max_queue_depth = kJobs + 1;
+    options.checkpoint_every = 256;
+    options.on_terminal = [&](const service::JobInfo& info) {
+      journal.append(
+          "{\"type\":\"terminal\",\"job\":" + std::to_string(info.id) +
+          ",\"state\":\"" + std::string(job_state_name(info.state)) + "\"}");
+    };
+    options.on_checkpoint = [&](std::uint64_t id,
+                                std::shared_ptr<const RunCheckpoint> ckpt) {
+      journal.append("{\"type\":\"checkpoint\",\"job\":" + std::to_string(id) +
+                     ",\"data\":" + ckpt->to_json() + "}");
+    };
+    service::JobScheduler scheduler(options);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::uint64_t> ids;
+    ids.reserve(kJobs);
+    for (int i = 0; i < kJobs; ++i) {
+      const std::uint64_t id = scheduler.submit(
+          RunRequest()
+              .with_circuit(circuits[static_cast<std::size_t>(i)])
+              .with_repetitions(kReps)
+              .with_seed(static_cast<std::uint64_t>(i)));
+      journal.append("{\"type\":\"submit\",\"job\":" + std::to_string(id) +
+                     "}");
+      ids.push_back(id);
+    }
+    for (const std::uint64_t id : ids) (void)scheduler.wait(id);
+    const double seconds = seconds_since(start);
+    const std::uint64_t records = journal.records_written();
+    journal.close();
+    std::remove(journal_path.c_str());
+    std::cout << "scheduler_1_journal    : " << seconds << " s ("
+              << kJobs / seconds << " jobs/s, " << records
+              << " fsync'd records)\n";
+    json.begin_object();
+    json.key("path").value("scheduler_1_journal");
+    json.key("runners").value(1);
+    json.key("checkpoint_every").value(256);
+    json.key("journal_records").value(records);
     json.key("seconds").value(seconds);
     json.key("jobs_per_second").value(kJobs / seconds);
     json.end_object();

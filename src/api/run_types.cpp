@@ -40,6 +40,8 @@ SimulatorOptions RunRequest::simulator_options() const {
   options.cancel_token = cancel_token;
   options.progress = progress;
   options.trace = trace;
+  options.checkpoint = checkpoint;
+  options.resume = resume;
   return options;
 }
 

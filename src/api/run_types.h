@@ -145,6 +145,14 @@ struct RunRequest {
   /// scheduler attaches one per job; direct callers may pass their own.
   /// Observation-only — never affects the sampled records.
   obs::Trace* trace = nullptr;
+  /// Checkpoint capture (core/checkpoint.h): the run emits resumable
+  /// snapshots every `checkpoint.every` completed repetitions within a
+  /// shard plus at shard completion. Observation-only.
+  CheckpointOptions checkpoint;
+  /// Resume a previous run from its checkpoint: same circuit, seed,
+  /// backend, and rng-stream count required; the finished run is
+  /// bit-identical to the uninterrupted one.
+  std::shared_ptr<const RunCheckpoint> resume;
 
   // --- Builder-style setters (each returns *this) -----------------------
   RunRequest& with_circuit(Circuit c) {
@@ -223,6 +231,16 @@ struct RunRequest {
   }
   RunRequest& with_trace(obs::Trace* t) {
     trace = t;
+    return *this;
+  }
+  RunRequest& with_checkpoint(std::uint64_t every,
+                              std::function<void(const RunCheckpoint&)> sink) {
+    checkpoint.every = every;
+    checkpoint.sink = std::move(sink);
+    return *this;
+  }
+  RunRequest& with_resume(std::shared_ptr<const RunCheckpoint> from) {
+    resume = std::move(from);
     return *this;
   }
 

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "core/checkpoint.h"
 #include "core/progress.h"
 #include "core/result.h"
 #include "engine/context.h"  // the reusable pool cached behind the simulator
@@ -55,6 +56,7 @@
 #include "util/bits.h"
 #include "util/cancellation.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/rng.h"
 
 namespace bgls {
@@ -170,6 +172,20 @@ struct SimulatorOptions {
   /// spans time existing work and never touch RNG state, so a traced
   /// run samples exactly what an untraced one does.
   obs::Trace* trace = nullptr;
+  /// Checkpoint capture (core/checkpoint.h): run() emits resumable
+  /// RunCheckpoint snapshots every `checkpoint.every` completed
+  /// repetitions within a shard plus at shard completion.
+  /// sample()/run_batch ignore it. Observation-only: capture never
+  /// changes the sampled records.
+  CheckpointOptions checkpoint{};
+  /// Resume a previous run from its checkpoint: run() validates the
+  /// checkpoint against this request's shape (mode, totals, shard
+  /// count) and continues it, producing a final histogram and report
+  /// counters bit-identical to the uninterrupted run. The request must
+  /// carry the same circuit/seed/num_rng_streams as the checkpointed
+  /// one. Intermediate progress updates are suppressed on a resumed
+  /// run; the final update still fires.
+  std::shared_ptr<const RunCheckpoint> resume{};
 };
 
 /// Gate-by-gate sampler over an arbitrary state representation.
@@ -226,11 +242,45 @@ class Simulator {
     }
     validate(circuit, /*require_measurements=*/true);
     options_.cancel_token.throw_if_stopped();
-    const bool streaming = options_.progress.enabled();
+    const RunCheckpoint* resume = options_.resume.get();
+    // A resumed run suppresses intermediate progress updates (the
+    // pre-interruption prefix already streamed them) and emits only the
+    // final one.
+    const bool streaming = options_.progress.enabled() && resume == nullptr;
+    const bool checkpointing = options_.checkpoint.enabled();
     Result result;
     declare_measurement_keys(circuit, result);
     if (can_parallelize(circuit)) {
-      const auto counts = sample_parallel(circuit, repetitions, rng);
+      // The dictionary-batched path is shard-atomic: every repetition
+      // completes together at the final gate, so checkpoints exist only
+      // at 0 (entry RNG state) and at completion.
+      Counts counts;
+      std::array<std::uint64_t, 4> engine_state = rng.state();
+      if (resume != nullptr) {
+        validate_resume(*resume, CheckpointMode::kSerialBatched, repetitions,
+                        1);
+        const ShardCheckpoint& shard = resume->shards.front();
+        if (shard.completed == repetitions && repetitions > 0) {
+          // Already finished: rebuild the result and counters from the
+          // checkpoint without sampling.
+          restore_result_histograms(result, shard.histograms);
+          apply_checkpoint_stats(stats_, resume->stats);
+          stats_.used_sample_parallelization = true;
+          if (options_.progress.enabled()) {
+            emit_final_progress(result, repetitions);
+          }
+          return result;
+        }
+        Rng restored = Rng::from_state(shard.rng_state);
+        engine_state = shard.rng_state;
+        counts = sample_parallel(circuit, repetitions, restored);
+      } else {
+        if (checkpointing) {
+          emit_serial_checkpoint(CheckpointMode::kSerialBatched, repetitions,
+                                 0, engine_state, {});
+        }
+        counts = sample_parallel(circuit, repetitions, rng);
+      }
       for (const auto& [bits, count] : counts) {
         for (const auto& op : circuit.all_operations()) {
           if (!op.gate().is_measurement()) continue;
@@ -238,22 +288,47 @@ class Simulator {
                              pack_key_bits(bits, op.qubits()), count);
         }
       }
+      if (checkpointing) {
+        emit_serial_checkpoint(CheckpointMode::kSerialBatched, repetitions,
+                               repetitions, engine_state,
+                               key_histograms(result));
+      }
       // Dictionary batching completes every repetition together at the
       // final gate, so streaming degenerates to the one final update.
-      if (streaming) emit_final_progress(result, repetitions);
+      if (options_.progress.enabled()) emit_final_progress(result, repetitions);
       return result;
     }
     std::map<std::string, Counts> cumulative;
-    for (std::uint64_t rep = 0; rep < repetitions; ++rep) {
-      run_one_trajectory(circuit, rng, &result);
-      if (!streaming) continue;
-      for (const std::string& key : result.keys()) {
-        ++cumulative[key][result.values(key).back()];
+    std::uint64_t start = 0;
+    Rng resumed_rng;
+    Rng* engine = &rng;
+    if (resume != nullptr) {
+      validate_resume(*resume, CheckpointMode::kSerial, repetitions, 1);
+      const ShardCheckpoint& shard = resume->shards.front();
+      start = shard.completed;
+      restore_result_histograms(result, shard.histograms);
+      cumulative = shard.histograms;
+      apply_checkpoint_stats(stats_, resume->stats);
+      resumed_rng = Rng::from_state(shard.rng_state);
+      engine = &resumed_rng;
+    }
+    const bool track = streaming || checkpointing;
+    for (std::uint64_t rep = start; rep < repetitions; ++rep) {
+      // Deterministic mid-run abort hook for crash-safety tests
+      // (util/fault.h); inert unless armed.
+      fault::throw_if_fails("shard_run");
+      run_one_trajectory(circuit, *engine, &result);
+      const std::uint64_t done = rep + 1;
+      if (track) {
+        for (const std::string& key : result.keys()) {
+          ++cumulative[key][result.values(key).back()];
+        }
       }
       // Canonical single-shard checkpoints: every `every` repetitions
-      // plus the final one (see core/progress.h).
-      const std::uint64_t done = rep + 1;
-      if (done % options_.progress.every == 0 || done == repetitions) {
+      // plus the final one (see core/progress.h). Streaming and
+      // checkpoint capture walk their own cadences independently.
+      if (streaming &&
+          (done % options_.progress.every == 0 || done == repetitions)) {
         ProgressUpdate update;
         update.completed_repetitions = done;
         update.total_repetitions = repetitions;
@@ -261,6 +336,14 @@ class Simulator {
         update.histograms = cumulative;
         options_.progress.sink(update);
       }
+      if (checkpointing &&
+          (done % options_.checkpoint.every == 0 || done == repetitions)) {
+        emit_serial_checkpoint(CheckpointMode::kSerial, repetitions, done,
+                               engine->state(), cumulative);
+      }
+    }
+    if (options_.progress.enabled() && resume != nullptr) {
+      emit_final_progress(result, repetitions);
     }
     if (streaming && repetitions == 0) emit_final_progress(result, 0);
     return result;
@@ -478,6 +561,7 @@ class Simulator {
     for (const auto& op : circuit.all_operations()) {
       if (op.gate().is_measurement()) continue;
       options_.cancel_token.throw_if_stopped();
+      fault::throw_if_fails("shard_run");
       apply_op_(op, state, rng);
       ++stats_.state_applications;
       if (options_.skip_diagonal_updates && op.gate().is_diagonal()) {
@@ -526,6 +610,27 @@ class Simulator {
     state.renormalize();
     ++stats_.state_applications;
     return candidates.values[chosen % num_candidates];
+  }
+
+  /// Emits one single-shard RunCheckpoint through the checkpoint sink
+  /// (the serial paths; see core/checkpoint.h). stats_ at the call
+  /// covers the whole completed prefix — a resumed run seeds it from
+  /// the base checkpoint — so the snapshot's counters are prefix-exact.
+  void emit_serial_checkpoint(CheckpointMode mode, std::uint64_t repetitions,
+                              std::uint64_t done,
+                              const std::array<std::uint64_t, 4>& rng_state,
+                              std::map<std::string, Counts> histograms) {
+    RunCheckpoint checkpoint;
+    checkpoint.mode = mode;
+    checkpoint.total_repetitions = repetitions;
+    ShardCheckpoint shard;
+    shard.total = repetitions;
+    shard.completed = done;
+    shard.rng_state = rng_state;
+    shard.histograms = std::move(histograms);
+    checkpoint.shards.push_back(std::move(shard));
+    checkpoint.stats = checkpoint_stats_from(stats_);
+    options_.checkpoint.sink(checkpoint);
   }
 
   /// Emits the final ProgressUpdate carrying the run's complete

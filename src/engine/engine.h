@@ -44,6 +44,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <future>
@@ -57,6 +58,7 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "core/checkpoint.h"
 #include "core/progress.h"
 #include "core/result.h"
 #include "core/simulator.h"
@@ -197,6 +199,13 @@ class BatchEngine {
     // per-shard simulators run untraced.
     trace_ = options.trace;
     options.trace = nullptr;
+    // Checkpoint capture and resume are engine-level too: the engine
+    // snapshots whole-run state across shards (core/checkpoint.h), so
+    // per-shard simulators must neither emit nor resume on their own.
+    checkpoint_ = options.checkpoint;
+    options.checkpoint = {};
+    resume_ = options.resume;
+    options.resume = nullptr;
     prototype_.set_options(options);
   }
 
@@ -239,7 +248,8 @@ class BatchEngine {
     engine_detail::count_engine_run();
     const bool batched = prototype_.can_parallelize_samples(circuit);
     if (batched && prototype_.hooks_are_native()) {
-      BatchedOutcome outcome = sample_batched_shared(circuit, repetitions, rng);
+      BatchedPlan plan = derive_batched_plan(repetitions, rng);
+      BatchedOutcome outcome = sample_batched_shared(circuit, plan);
       stats_ = std::move(outcome.stats);
       return engine_detail::merge_counts(outcome.shard_counts);
     }
@@ -425,8 +435,53 @@ class BatchEngine {
       }
     }
     const bool batched = prototype_.can_parallelize_samples(circuit);
-    if (batched && prototype_.hooks_are_native()) {
-      BatchedOutcome shared = sample_batched_shared(circuit, repetitions, rng);
+    const RunCheckpoint* resume = resume_.get();
+    // The shared-snapshot path is shard-atomic, so it serves fresh
+    // runs, resumes from the initial (nothing-complete) checkpoint, and
+    // rebuilds from the final (everything-complete) one. A *partially*
+    // complete kEngineBatched checkpoint (produced by the custom-hook
+    // fallback, whose shards finish independently) routes to the
+    // fallback below, which can skip completed shards.
+    const bool partially_complete =
+        resume != nullptr && !resume->complete() &&
+        resume->completed_repetitions() > 0;
+    if (batched && prototype_.hooks_are_native() && !partially_complete) {
+      const std::size_t shards = shard_count(repetitions);
+      if (resume != nullptr) {
+        validate_resume(*resume, CheckpointMode::kEngineBatched, repetitions,
+                        shards);
+        if (resume->complete() && repetitions > 0) {
+          // Every shard finished before the interruption: rebuild the
+          // result and counters from the checkpoint without sampling.
+          for (const ShardCheckpoint& shard : resume->shards) {
+            restore_result_histograms(outcome.result, shard.histograms);
+          }
+          apply_checkpoint_stats(outcome.stats, resume->stats);
+          outcome.stats.used_sample_parallelization = true;
+          outcome.stats.threads_used = static_cast<std::size_t>(num_threads_);
+          outcome.stats.per_stream.resize(shards);
+          emit_resumed_final_progress(outcome.result, repetitions);
+          return outcome;
+        }
+      }
+      BatchedPlan plan = derive_batched_plan(repetitions, rng);
+      if (resume != nullptr) {
+        // Same request, same seed: the derived plan must reproduce the
+        // checkpointed decomposition exactly.
+        for (std::size_t i = 0; i < shards; ++i) {
+          BGLS_REQUIRE(plan.shard_reps[i] == resume->shards[i].total,
+                       "checkpoint shard sizes do not match this request's "
+                       "decomposition; resume with the original seed and "
+                       "num_rng_streams");
+        }
+      }
+      if (checkpoint_.enabled() && resume == nullptr) {
+        // Durable initial checkpoint: the decomposition plus each
+        // shard's starting stream, so an interrupted batched run
+        // resumes (= deterministically re-runs) from it.
+        checkpoint_.sink(batched_plan_checkpoint(plan, repetitions));
+      }
+      BatchedOutcome shared = sample_batched_shared(circuit, plan);
       for (const Counts& shard : shared.shard_counts) {
         for (const auto& [bits, count] : shard) {
           for (const auto& [key, qubits] : keys) {
@@ -436,9 +491,25 @@ class BatchEngine {
         }
       }
       outcome.stats = std::move(shared.stats);
-      if (progress_.enabled()) {
+      if (checkpoint_.enabled()) {
+        RunCheckpoint final_ck = batched_plan_checkpoint(plan, repetitions);
+        for (std::size_t i = 0; i < final_ck.shards.size(); ++i) {
+          ShardCheckpoint& shard = final_ck.shards[i];
+          shard.completed = shard.total;
+          for (const auto& [bits, count] : shared.shard_counts[i]) {
+            for (const auto& [key, qubits] : keys) {
+              shard.histograms[key]
+                  [Simulator<State>::pack_key_bits(bits, qubits)] += count;
+            }
+          }
+        }
+        final_ck.stats = checkpoint_stats_from(outcome.stats);
+        checkpoint_.sink(final_ck);
+      }
+      if (progress_.enabled() && resume == nullptr) {
         emit_batched_progress(shared.shard_counts, keys, repetitions);
       }
+      emit_resumed_final_progress(outcome.result, repetitions);
       return outcome;
     }
     // Custom hooks keep the v1 per-shard private evolution (see
@@ -452,7 +523,29 @@ class BatchEngine {
         &progress_);
     for (const Result& shard : shard_results) outcome.result.append(shard);
     outcome.stats = std::move(stats);
+    emit_resumed_final_progress(outcome.result, repetitions);
     return outcome;
+  }
+
+  /// A resumed run suppresses intermediate progress updates (the
+  /// pre-interruption prefix already streamed them) but still owes the
+  /// final one. No-op on fresh runs.
+  void emit_resumed_final_progress(const Result& result,
+                                   std::uint64_t repetitions) {
+    if (resume_ == nullptr || !progress_.enabled()) return;
+    ProgressUpdate update;
+    update.completed_repetitions = repetitions;
+    update.total_repetitions = repetitions;
+    update.final = true;
+    update.histograms = key_histograms(result);
+    progress_.sink(update);
+  }
+
+  /// The shard count of a run: min(num_rng_streams, max(1, reps)).
+  [[nodiscard]] std::size_t shard_count(std::uint64_t repetitions) const {
+    const std::uint64_t max_shards = repetitions < 1 ? 1 : repetitions;
+    return static_cast<std::size_t>(
+        num_streams_ < max_shards ? num_streams_ : max_shards);
   }
 
   /// The batched path's degenerate stream: every shard's repetitions
@@ -492,6 +585,46 @@ class BatchEngine {
     }
   }
 
+  /// The seed-determined decomposition of a batched run: per-shard
+  /// streams, the multinomial repetition split, and the evolution
+  /// stream. Derived identically on fresh and resumed runs (same
+  /// request, same seed), which is what lets a resume validate itself
+  /// against the checkpointed plan.
+  struct BatchedPlan {
+    std::vector<Rng> streams;
+    std::vector<std::uint64_t> shard_reps;
+    Rng evolution;
+  };
+
+  BatchedPlan derive_batched_plan(std::uint64_t repetitions, Rng& rng) {
+    const std::size_t shards = shard_count(repetitions);
+    Rng root = rng.split();
+    Rng plan = root.split();
+    BatchedPlan out;
+    out.streams = engine_detail::make_streams(root, shards);
+    out.shard_reps = engine_detail::multinomial_split(repetitions, shards, plan);
+    // The shared evolution consumes no randomness (this path forbids
+    // channels), but custom apply hooks receive a dedicated
+    // deterministic stream in case they draw.
+    out.evolution = plan;
+    return out;
+  }
+
+  /// A kEngineBatched checkpoint of `plan` with nothing completed: each
+  /// shard's repetition quota and starting stream state.
+  [[nodiscard]] RunCheckpoint batched_plan_checkpoint(
+      const BatchedPlan& plan, std::uint64_t repetitions) const {
+    RunCheckpoint checkpoint;
+    checkpoint.mode = CheckpointMode::kEngineBatched;
+    checkpoint.total_repetitions = repetitions;
+    checkpoint.shards.resize(plan.streams.size());
+    for (std::size_t i = 0; i < plan.streams.size(); ++i) {
+      checkpoint.shards[i].total = plan.shard_reps[i];
+      checkpoint.shards[i].rng_state = plan.streams[i].state();
+    }
+    return checkpoint;
+  }
+
   /// The v2 batched path: evolves ONE state snapshot per gate and
   /// shares it read-only across every repetition shard, so the state
   /// evolution is paid once instead of once per shard. Stream-for-
@@ -502,19 +635,11 @@ class BatchEngine {
   /// to probe one shared state concurrently; custom hooks take the
   /// per-shard fallback in sample()/run_job() instead.
   BatchedOutcome sample_batched_shared(const Circuit& circuit,
-                                       std::uint64_t repetitions, Rng& rng) {
-    const std::uint64_t max_shards = repetitions < 1 ? 1 : repetitions;
-    const auto shards = static_cast<std::size_t>(
-        num_streams_ < max_shards ? num_streams_ : max_shards);
-    Rng root = rng.split();
-    Rng plan = root.split();
-    std::vector<Rng> streams = engine_detail::make_streams(root, shards);
-    const std::vector<std::uint64_t> shard_reps =
-        engine_detail::multinomial_split(repetitions, shards, plan);
-    // The shared evolution consumes no randomness (this path forbids
-    // channels), but custom apply hooks receive a dedicated
-    // deterministic stream in case they draw.
-    Rng evolution = plan;
+                                       BatchedPlan& batched_plan) {
+    const std::size_t shards = batched_plan.streams.size();
+    std::vector<Rng>& streams = batched_plan.streams;
+    const std::vector<std::uint64_t>& shard_reps = batched_plan.shard_reps;
+    Rng& evolution = batched_plan.evolution;
 
     State state = prototype_.initial_state();
     std::vector<BatchDictionary> dictionaries(shards);
@@ -547,6 +672,7 @@ class BatchEngine {
       // Cooperative stop at gate granularity: one gate (evolution +
       // resampling fan-out) bounds the cancellation latency.
       token_.throw_if_stopped();
+      fault::throw_if_fails("shard_run");
       const auto evolve_start = TelemetryClock::now();
       prototype_.apply_fn()(op, state, evolution);
       evolve_seconds +=
@@ -631,9 +757,7 @@ class BatchEngine {
       const Circuit& circuit, std::uint64_t repetitions, Rng& rng,
       bool multinomial, RunFn body,
       const ProgressOptions* progress = nullptr) {
-    const std::uint64_t max_shards = repetitions < 1 ? 1 : repetitions;
-    const auto shards = static_cast<std::size_t>(
-        num_streams_ < max_shards ? num_streams_ : max_shards);
+    const std::size_t shards = shard_count(repetitions);
     Rng root = rng.split();
     Rng plan = root.split();
     const std::vector<Rng> streams = engine_detail::make_streams(root, shards);
@@ -641,8 +765,54 @@ class BatchEngine {
         multinomial ? engine_detail::multinomial_split(repetitions, shards, plan)
                     : engine_detail::even_split(repetitions, shards);
 
+    // Checkpoint/resume apply to Result runs only (sample() has no
+    // measurement keys to snapshot). A resumed run re-derives the plan
+    // from the same seed, validates it against the checkpoint, and
+    // overrides each shard's starting point with the checkpointed
+    // (cursor, stream state, prefix histograms).
+    const RunCheckpoint* resume = nullptr;
+    std::shared_ptr<CheckpointCollector> ckpt;
+    if constexpr (std::is_same_v<Out, Result>) {
+      resume = resume_.get();
+      const CheckpointMode mode = multinomial ? CheckpointMode::kEngineBatched
+                                              : CheckpointMode::kEngine;
+      if (resume != nullptr) {
+        validate_resume(*resume, mode, repetitions, shards);
+        for (std::size_t i = 0; i < shards; ++i) {
+          const ShardCheckpoint& shard = resume->shards[i];
+          BGLS_REQUIRE(shard.total == shard_reps[i],
+                       "checkpoint shard sizes do not match this request's "
+                       "decomposition; resume with the original seed and "
+                       "num_rng_streams");
+          // Dictionary-batched shards are atomic: nothing in between.
+          BGLS_REQUIRE(!multinomial || shard.completed == 0 ||
+                           shard.completed == shard.total,
+                       "batched checkpoint has a partially complete shard");
+        }
+      }
+      if (checkpoint_.enabled()) {
+        RunCheckpoint base;
+        if (resume != nullptr) {
+          base = *resume;
+        } else {
+          base.mode = mode;
+          base.total_repetitions = repetitions;
+          base.shards.resize(shards);
+          for (std::size_t i = 0; i < shards; ++i) {
+            base.shards[i].total = shard_reps[i];
+            base.shards[i].rng_state = streams[i].state();
+          }
+        }
+        ckpt = std::make_shared<CheckpointCollector>(checkpoint_,
+                                                     std::move(base));
+        // Durable initial checkpoint of a fresh run: the decomposition
+        // plus each shard's starting stream.
+        if (resume == nullptr) ckpt->emit();
+      }
+    }
+
     std::unique_ptr<ProgressCollector> collector;
-    if (progress != nullptr && progress->enabled()) {
+    if (progress != nullptr && progress->enabled() && resume == nullptr) {
       collector = std::make_unique<ProgressCollector>(
           *progress, shard_reps, /*chunked=*/!multinomial);
     }
@@ -650,21 +820,45 @@ class BatchEngine {
     std::vector<Out> outputs(shards);
     std::vector<RunStats> shard_stats(shards);
     execute(shards, [&](std::size_t i) {
+      const ShardCheckpoint* base_shard =
+          resume != nullptr ? &resume->shards[i] : nullptr;
+      const std::uint64_t base_done =
+          base_shard != nullptr ? base_shard->completed : 0;
       if (shard_reps[i] == 0) {
         // Nothing to sample, but the canonical update sequence still
         // needs the shard's (empty) checkpoint.
         if (collector) collector->report(i, 0, {});
         return;
       }
+      if constexpr (std::is_same_v<Out, Result>) {
+        if (base_done > 0) {
+          // Pre-seed the shard output with the checkpointed prefix.
+          declare_measurement_keys(circuit, outputs[i]);
+          restore_result_histograms(outputs[i], base_shard->histograms);
+          if (base_done == shard_reps[i]) return;  // shard already done
+        }
+      }
       token_.throw_if_stopped();
       const engine_detail::ShardTimer timer;
       obs::TraceSpan span(trace_, "shard", i);
       Simulator<State> local = prototype_;
-      Rng stream = streams[i];
+      Rng stream = base_shard != nullptr
+                       ? Rng::from_state(base_shard->rng_state)
+                       : streams[i];
       if constexpr (std::is_same_v<Out, Result>) {
-        if (collector && !multinomial) {
+        if ((collector || ckpt) && !multinomial) {
           run_chunked_shard(local, circuit, shard_reps[i], stream, i,
-                            *collector, outputs[i], shard_stats[i]);
+                            collector.get(), ckpt.get(), base_shard,
+                            outputs[i], shard_stats[i]);
+          return;
+        }
+        if (base_done > 0) {
+          // Resumed trajectory shard without chunking: run only the
+          // remaining repetitions on the restored stream and append
+          // them to the restored prefix.
+          outputs[i].append(
+              body(local, circuit, shard_reps[i] - base_done, stream));
+          shard_stats[i] = local.last_run_stats();
           return;
         }
       }
@@ -674,33 +868,78 @@ class BatchEngine {
         if (collector) {
           collector->report(i, shard_reps[i], key_histograms(outputs[i]));
         }
+        if (ckpt) {
+          ckpt->record(i, shard_reps[i], stream.state(),
+                       key_histograms(outputs[i]),
+                       checkpoint_stats_from(shard_stats[i]));
+        }
       }
     });
-    return {std::move(outputs),
-            engine_detail::merge_shard_stats(shard_stats, num_threads_)};
+    RunStats merged =
+        engine_detail::merge_shard_stats(shard_stats, num_threads_);
+    if constexpr (std::is_same_v<Out, Result>) {
+      // The merged counters cover this run's work; fold in the resumed
+      // prefix so the totals match the uninterrupted run exactly.
+      if (resume != nullptr) apply_checkpoint_stats(merged, resume->stats);
+    }
+    return {std::move(outputs), merged};
   }
 
-  /// One trajectory shard as sequential checkpoint-sized chunks on its
+  /// The next multiple of `every` after `done`, capped at `total` (the
+  /// chunk loop below walks the union of the progress and checkpoint
+  /// schedules, and a resumed cursor need not sit on a multiple).
+  [[nodiscard]] static std::uint64_t next_multiple(std::uint64_t done,
+                                                   std::uint64_t every,
+                                                   std::uint64_t total) {
+    const std::uint64_t next = done + (every - done % every);
+    return next < total ? next : total;
+  }
+
+  /// One trajectory shard as sequential boundary-sized chunks on its
   /// stream (see run_sharded): draws are identical to a single
-  /// Simulator::run of the full shard, the per-chunk results append
-  /// into the same shard output, and each checkpoint reports to the
-  /// collector.
+  /// Simulator::run of the full shard — the per-trajectory path
+  /// consumes the stream repetition by repetition — the per-chunk
+  /// results append into the same shard output, and each canonical
+  /// boundary reports to its collector (progress and checkpoint
+  /// cadences are independent; a boundary serving only one schedule
+  /// reports only there). `base` seeds a resumed shard's cursor,
+  /// prefix histograms, and restored stream; `out` then already holds
+  /// the restored prefix records.
   void run_chunked_shard(Simulator<State>& local, const Circuit& circuit,
                          std::uint64_t reps, Rng& stream, std::size_t shard,
-                         ProgressCollector& collector, Result& out,
+                         ProgressCollector* collector,
+                         CheckpointCollector* ckpt,
+                         const ShardCheckpoint* base, Result& out,
                          RunStats& stats) {
     std::map<std::string, Counts> cumulative;
     std::uint64_t done = 0;
+    if (base != nullptr) {
+      done = base->completed;
+      cumulative = base->histograms;
+    }
     while (done < reps) {
       token_.throw_if_stopped();
-      const std::uint64_t next =
-          ProgressCollector::next_checkpoint(done, reps, progress_.every);
+      std::uint64_t next = reps;
+      if (collector != nullptr) {
+        next = std::min(next, next_multiple(done, progress_.every, reps));
+      }
+      if (ckpt != nullptr) {
+        next = std::min(next, next_multiple(done, checkpoint_.every, reps));
+      }
       const Result chunk = local.run(circuit, next - done, stream);
       engine_detail::accumulate_result_histograms(cumulative, chunk);
       out.append(chunk);
       engine_detail::accumulate_stats(stats, local.last_run_stats());
       done = next;
-      collector.report(shard, done, cumulative);
+      if (collector != nullptr &&
+          (done % progress_.every == 0 || done == reps)) {
+        collector->report(shard, done, cumulative);
+      }
+      if (ckpt != nullptr &&
+          (done % checkpoint_.every == 0 || done == reps)) {
+        ckpt->record(shard, done, stream.state(), cumulative,
+                     checkpoint_stats_from(stats));
+      }
     }
   }
 
@@ -778,6 +1017,10 @@ class BatchEngine {
   /// Telemetry trace lifted off the prototype options (may be null);
   /// the engine records shard/evolve spans into it.
   obs::Trace* trace_ = nullptr;
+  /// Checkpoint capture knobs and the checkpoint a run() resumes from,
+  /// lifted off the prototype options (see core/checkpoint.h).
+  CheckpointOptions checkpoint_;
+  std::shared_ptr<const RunCheckpoint> resume_;
   RunStats stats_;
 };
 

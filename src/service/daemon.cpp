@@ -83,18 +83,223 @@ std::string state_error_code(JobState state) {
   return std::string(job_state_name(state));
 }
 
+/// Builds one compact journal record body via a filler callback.
+template <typename Fill>
+std::string journal_record(std::string_view type, std::uint64_t job,
+                           Fill fill) {
+  std::ostringstream os;
+  JsonWriter json(os, JsonWriter::Style::kCompact);
+  json.begin_object();
+  json.key("type").value(type);
+  json.key("job").value(job);
+  fill(json);
+  json.end_object();
+  return os.str();
+}
+
+std::string submit_record(std::uint64_t job, const std::string& line) {
+  return journal_record("submit", job,
+                        [&](JsonWriter& json) { json.key("line").value(line); });
+}
+
+std::string checkpoint_record(std::uint64_t job,
+                              const std::string& checkpoint_json) {
+  // `checkpoint_json` is already compact JSON (RunCheckpoint::to_json),
+  // spliced in verbatim.
+  std::string body = "{\"type\":\"checkpoint\",\"job\":";
+  body += std::to_string(job);
+  body += ",\"data\":";
+  body += checkpoint_json;
+  body += "}";
+  return body;
+}
+
+std::string evict_record(std::uint64_t job) {
+  return journal_record("evict", job, [](JsonWriter&) {});
+}
+
 }  // namespace
 
 ServiceDaemon::ServiceDaemon(DaemonOptions options)
-    : options_(std::move(options)), scheduler_(options_.scheduler) {}
+    : options_(std::move(options)), scheduler_(hooked_scheduler_options()) {}
+
+SchedulerOptions& ServiceDaemon::hooked_scheduler_options() {
+  SchedulerOptions& scheduler = options_.scheduler;
+  if (options_.journal_path.empty()) return scheduler;
+  scheduler.on_terminal = [this](const JobInfo& info) {
+    journal_terminal(info);
+  };
+  scheduler.on_checkpoint = [this](std::uint64_t id,
+                                   std::shared_ptr<const RunCheckpoint> ckpt) {
+    if (!journal_.is_open() || ckpt == nullptr) return;
+    journal_.append(checkpoint_record(id, ckpt->to_json()));
+  };
+  scheduler.on_evict = [this](std::uint64_t id) {
+    if (!journal_.is_open()) return;
+    journal_.append(evict_record(id));
+  };
+  return scheduler;
+}
+
+void ServiceDaemon::journal_terminal(const JobInfo& info) {
+  if (!journal_.is_open()) return;
+  std::string record;
+  if (info.state == JobState::kDone && info.result != nullptr) {
+    RunReportContext context;
+    bool have_context = false;
+    {
+      const std::lock_guard<std::mutex> lock(contexts_mutex_);
+      const auto it = contexts_.find(info.id);
+      if (it != contexts_.end()) {
+        context = it->second;
+        have_context = true;
+      }
+    }
+    if (!have_context) return;  // evicted side table; nothing to journal
+    record = journal_record("terminal", info.id, [&](JsonWriter& json) {
+      json.key("state").value(job_state_name(info.state));
+      json.key("backend").value(info.result->backend_name);
+      json.key("selection_reason").value(info.result->selection_reason);
+      json.key("report").value(run_report_string(context, *info.result));
+    });
+  } else {
+    record = journal_record("terminal", info.id, [&](JsonWriter& json) {
+      json.key("state").value(job_state_name(info.state));
+      json.key("error").value(info.error);
+    });
+  }
+  journal_.append(record);
+}
 
 ServiceDaemon::~ServiceDaemon() { stop(); }
 
 void ServiceDaemon::start() {
   BGLS_REQUIRE(!started_, "daemon already started");
+  if (!options_.journal_path.empty() && !journal_.is_open()) {
+    replay_journal();
+  }
   server_.listen_on(options_.endpoint);
   started_ = true;
   acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void ServiceDaemon::replay_journal() {
+  const auto replay_start = std::chrono::steady_clock::now();
+  std::size_t skipped = 0;
+  const std::vector<JsonValue> records =
+      Journal::replay_file(options_.journal_path, &skipped);
+
+  // Fold the event stream into per-job final state. Records after an
+  // evict (or for ids never submitted *and* never terminal) are
+  // dropped; the last checkpoint wins.
+  struct Pending {
+    std::string line;
+    std::shared_ptr<const RunCheckpoint> checkpoint;
+    std::string checkpoint_json;
+    bool terminal = false;
+    ReplayedResult result;
+  };
+  std::map<std::uint64_t, Pending> pending;
+  std::uint64_t max_id = 0;
+  for (const JsonValue& record : records) {
+    const std::string type = record.string_or("type", "");
+    const std::uint64_t id = record.u64_or("job", 0);
+    if (id == 0) continue;
+    max_id = std::max(max_id, id);
+    if (type == "evict") {
+      pending.erase(id);
+      continue;
+    }
+    Pending& job = pending[id];
+    if (type == "submit") {
+      job.line = record.string_or("line", "");
+    } else if (type == "checkpoint") {
+      const JsonValue* data = record.find("data");
+      if (data != nullptr) {
+        try {
+          RunCheckpoint parsed = RunCheckpoint::from_json(*data);
+          job.checkpoint_json = parsed.to_json();
+          job.checkpoint =
+              std::make_shared<const RunCheckpoint>(std::move(parsed));
+        } catch (const Error&) {
+          // Unreadable snapshot: resume from the previous one (or from
+          // scratch — determinism makes the re-run byte-identical).
+        }
+      }
+    } else if (type == "terminal") {
+      job.terminal = true;
+      ReplayedResult& result = job.result;
+      const std::string state = record.string_or("state", "failed");
+      result.state = state == "done"        ? JobState::kDone
+                     : state == "cancelled" ? JobState::kCancelled
+                     : state == "timeout"   ? JobState::kTimedOut
+                                            : JobState::kFailed;
+      result.error = record.string_or("error", "");
+      result.backend = record.string_or("backend", "");
+      result.selection_reason = record.string_or("selection_reason", "");
+      result.report = record.string_or("report", "");
+    }
+  }
+
+  scheduler_.reserve_ids_through(max_id);
+
+  // Compact to the live set — terminal records (so results survive any
+  // number of restarts) plus submit+latest-checkpoint for incomplete
+  // jobs — then reopen for appending.
+  std::vector<std::string> compacted;
+  for (const auto& [id, job] : pending) {
+    if (job.terminal) {
+      const ReplayedResult& result = job.result;
+      compacted.push_back(journal_record(
+          "terminal", id, [&](JsonWriter& json) {
+            json.key("state").value(job_state_name(result.state));
+            if (result.state == JobState::kDone) {
+              json.key("backend").value(result.backend);
+              json.key("selection_reason").value(result.selection_reason);
+              json.key("report").value(result.report);
+            } else {
+              json.key("error").value(result.error);
+            }
+          }));
+    } else if (!job.line.empty()) {
+      compacted.push_back(submit_record(id, job.line));
+      if (job.checkpoint != nullptr) {
+        compacted.push_back(checkpoint_record(id, job.checkpoint_json));
+      }
+    }
+  }
+  Journal::compact_file(options_.journal_path, compacted);
+  journal_.open(options_.journal_path);
+
+  // Re-enqueue incomplete jobs under their journaled ids (the journal
+  // is open first, so their terminal events are recorded), and answer
+  // queries for terminal ones from memory.
+  for (auto& [id, job] : pending) {
+    if (job.terminal) {
+      const std::lock_guard<std::mutex> lock(replayed_mutex_);
+      replayed_.emplace(id, std::move(job.result));
+      continue;
+    }
+    if (job.line.empty()) continue;  // checkpoint without submit
+    try {
+      RunRequest request = parse_submit(JsonValue::parse(job.line));
+      const RunReportContext context =
+          report_context(request, request.circuit.num_qubits());
+      if (job.checkpoint != nullptr) request.resume = job.checkpoint;
+      {
+        const std::lock_guard<std::mutex> lock(contexts_mutex_);
+        contexts_.emplace(id, context);
+      }
+      scheduler_.resubmit(std::move(request), id);
+    } catch (const std::exception&) {
+      // A submit line that no longer parses (or a duplicate id): drop
+      // the job rather than refuse to start.
+    }
+  }
+  record_journal_replay_seconds(std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    replay_start)
+                                    .count());
 }
 
 void ServiceDaemon::stop() {
@@ -116,6 +321,10 @@ void ServiceDaemon::stop() {
   for (auto& connection : connections) {
     if (connection->thread.joinable()) connection->thread.join();
   }
+  // Durability barrier: every acknowledged record is on disk before we
+  // report stopped. The journal stays open — scheduler runners may
+  // still finish (and journal) jobs until ~JobScheduler joins them.
+  if (journal_.is_open()) journal_.flush();
   started_ = false;
   {
     const std::lock_guard<std::mutex> lock(shutdown_mutex_);
@@ -127,6 +336,14 @@ void ServiceDaemon::stop() {
 void ServiceDaemon::wait_for_shutdown() {
   std::unique_lock<std::mutex> lock(shutdown_mutex_);
   shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+}
+
+void ServiceDaemon::request_shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
 }
 
 void ServiceDaemon::accept_loop() {
@@ -187,7 +404,7 @@ void ServiceDaemon::handle_line(const std::string& line, Socket& socket) {
     op = message.string_or("op", "");
     DaemonMetrics::instance().count(op);
     if (op == "submit") {
-      handle_submit(message, socket);
+      handle_submit(message, line, socket);
     } else if (op == "status") {
       handle_status(message, socket);
     } else if (op == "cancel") {
@@ -217,6 +434,10 @@ void ServiceDaemon::handle_line(const std::string& line, Socket& socket) {
     throw;  // connection-level: let the handler loop exit
   } catch (const QueueFullError& e) {
     socket.write_all(error_line("queue_full", e.what()));
+  } catch (const JournalError& e) {
+    // Transient durability failure: the client should back off and
+    // retry (bgls_client --retries does).
+    socket.write_all(error_line("journal_error", e.what()));
   } catch (const ParseError& e) {
     socket.write_all(error_line("parse_error", e.what()));
   } catch (const std::exception& e) {
@@ -229,7 +450,8 @@ void ServiceDaemon::handle_line(const std::string& line, Socket& socket) {
           .count());
 }
 
-void ServiceDaemon::handle_submit(const JsonValue& message, Socket& socket) {
+void ServiceDaemon::handle_submit(const JsonValue& message,
+                                  const std::string& line, Socket& socket) {
   RunRequest request = parse_submit(message);
   // Same width the CLI reports (no clamping) — the report must match
   // bgls_run byte for byte.
@@ -246,6 +468,11 @@ void ServiceDaemon::handle_submit(const JsonValue& message, Socket& socket) {
     contexts_.erase(contexts_.begin(),
                     contexts_.lower_bound(min_retained));
   }
+  // Journal-before-ack: once the client sees the job id, a crash-and-
+  // restart daemon still knows the job. On a journal failure the job
+  // keeps running but the client gets journal_error and must retry —
+  // the orphan's terminal record is dropped at the next replay.
+  if (journal_.is_open()) journal_.append(submit_record(id, line));
   socket.write_all(response_line(true, [&](JsonWriter& json) {
     json.key("job").value(id);
     json.key("state").value(job_state_name(JobState::kQueued));
@@ -258,8 +485,60 @@ std::uint64_t ServiceDaemon::job_field(const JsonValue& message) const {
   return job->as_u64();
 }
 
+bool ServiceDaemon::find_replayed(std::uint64_t id,
+                                  ReplayedResult& out) const {
+  const std::lock_guard<std::mutex> lock(replayed_mutex_);
+  const auto it = replayed_.find(id);
+  if (it == replayed_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+bool ServiceDaemon::send_replayed(std::uint64_t id, Socket& socket,
+                                  const std::string& type) {
+  ReplayedResult replayed;
+  if (!find_replayed(id, replayed)) return false;
+  // Same wire shape as send_result, rebuilt from the journaled report.
+  if (replayed.state == JobState::kDone) {
+    socket.write_all(response_line(true, [&](JsonWriter& json) {
+      if (!type.empty()) json.key("type").value(type);
+      json.key("job").value(id);
+      json.key("state").value(job_state_name(replayed.state));
+      json.key("backend").value(replayed.backend);
+      json.key("selection_reason").value(replayed.selection_reason);
+      json.key("report").value(replayed.report);
+    }));
+    return true;
+  }
+  socket.write_all(response_line(false, [&](JsonWriter& json) {
+    if (!type.empty()) json.key("type").value(type);
+    json.key("job").value(id);
+    json.key("code").value(state_error_code(replayed.state));
+    json.key("state").value(job_state_name(replayed.state));
+    json.key("error").value(replayed.error);
+  }));
+  return true;
+}
+
 void ServiceDaemon::handle_status(const JsonValue& message, Socket& socket) {
-  const JobInfo info = scheduler_.info(job_field(message));
+  const std::uint64_t id = job_field(message);
+  JobInfo info;
+  try {
+    info = scheduler_.info(id);
+  } catch (const ValueError&) {
+    ReplayedResult replayed;
+    if (!find_replayed(id, replayed)) throw;
+    socket.write_all(response_line(true, [&](JsonWriter& json) {
+      json.key("job").value(id);
+      json.key("state").value(job_state_name(replayed.state));
+      if (!replayed.error.empty()) json.key("error").value(replayed.error);
+      if (!replayed.backend.empty()) {
+        json.key("backend").value(replayed.backend);
+        json.key("selection_reason").value(replayed.selection_reason);
+      }
+    }));
+    return;
+  }
   socket.write_all(response_line(true, [&](JsonWriter& json) {
     json.key("job").value(info.id);
     json.key("state").value(job_state_name(info.state));
@@ -340,7 +619,13 @@ void ServiceDaemon::send_result(const JobInfo& info, Socket& socket,
 void ServiceDaemon::handle_result_or_wait(const JsonValue& message,
                                           Socket& socket, bool wait) {
   const std::uint64_t id = job_field(message);
-  JobInfo info = scheduler_.info(id);
+  JobInfo info;
+  try {
+    info = scheduler_.info(id);
+  } catch (const ValueError&) {
+    if (send_replayed(id, socket, "")) return;
+    throw;
+  }
   if (wait) {
     // Bounded waits keep stop() responsive: poll the scheduler in
     // slices instead of blocking unboundedly on the condition variable.
@@ -360,6 +645,7 @@ void ServiceDaemon::handle_result_or_wait(const JsonValue& message,
 
 void ServiceDaemon::handle_stream(const JsonValue& message, Socket& socket) {
   const std::uint64_t id = job_field(message);
+  if (send_replayed(id, socket, "result")) return;
   std::size_t cursor = 0;
   while (true) {
     for (const ProgressUpdate& update : scheduler_.progress_since(id, cursor)) {
@@ -398,6 +684,9 @@ void ServiceDaemon::handle_stats(Socket& socket) {
     json.key("cancelled").value(stats.cancelled);
     json.key("timed_out").value(stats.timed_out);
     json.key("evicted").value(stats.evicted);
+    json.key("retried").value(stats.retried);
+    json.key("preempted").value(stats.preempted);
+    json.key("resumed").value(stats.resumed);
     json.key("queue_depth").value(
         static_cast<std::uint64_t>(stats.queue_depth));
     json.key("running").value(static_cast<std::uint64_t>(stats.running));

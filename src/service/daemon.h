@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "service/journal.h"
 #include "service/report.h"
 #include "service/scheduler.h"
 #include "service/socket.h"
@@ -37,6 +38,12 @@ struct DaemonOptions {
   Endpoint endpoint;
   /// Scheduler sizing (runner threads, queue depth).
   SchedulerOptions scheduler{};
+  /// Write-ahead journal path (service/journal.h); empty = no journal.
+  /// start() replays it (answering queries for journaled terminal jobs
+  /// from memory, re-enqueueing incomplete jobs from their last
+  /// checkpoint), compacts it, then appends every subsequent
+  /// submit/terminal/checkpoint/evict event fsync-before-ack.
+  std::string journal_path;
 };
 
 /// The service process: scheduler + acceptor + per-connection handlers.
@@ -63,6 +70,10 @@ class ServiceDaemon {
   /// The bgls_serve main loop: start(); wait_for_shutdown(); stop().
   void wait_for_shutdown();
 
+  /// Makes wait_for_shutdown() return — the graceful-exit trigger for
+  /// signal handlers (bgls_serve's SIGTERM/SIGINT watcher).
+  void request_shutdown();
+
   /// The bound endpoint (TCP: with the resolved ephemeral port).
   [[nodiscard]] const Endpoint& endpoint() const {
     return server_.endpoint();
@@ -83,7 +94,8 @@ class ServiceDaemon {
   /// lines) are written to the connection socket directly.
   void handle_line(const std::string& line, Socket& socket);
 
-  void handle_submit(const JsonValue& message, Socket& socket);
+  void handle_submit(const JsonValue& message, const std::string& line,
+                     Socket& socket);
   void handle_status(const JsonValue& message, Socket& socket);
   void handle_cancel(const JsonValue& message, Socket& socket);
   void handle_result_or_wait(const JsonValue& message, Socket& socket,
@@ -105,7 +117,33 @@ class ServiceDaemon {
 
   [[nodiscard]] std::uint64_t job_field(const JsonValue& message) const;
 
+  /// Terminal job restored from the journal at start() — answers
+  /// status/result/wait/stream for its id without re-running.
+  struct ReplayedResult {
+    JobState state = JobState::kDone;
+    std::string error;
+    std::string backend;
+    std::string selection_reason;
+    std::string report;
+  };
+
+  /// Installs the journal event hooks on options_.scheduler (must run
+  /// before scheduler_ is constructed — see the member order below).
+  [[nodiscard]] SchedulerOptions& hooked_scheduler_options();
+  /// Replays + compacts the journal, opens it for appending, and
+  /// re-enqueues incomplete jobs (called from start()).
+  void replay_journal();
+  /// Answers a request for a journal-replayed terminal job; false when
+  /// the id is not one.
+  bool send_replayed(std::uint64_t id, Socket& socket,
+                     const std::string& type);
+  bool find_replayed(std::uint64_t id, ReplayedResult& out) const;
+  void journal_terminal(const JobInfo& info);
+
   DaemonOptions options_;
+  /// Declared before scheduler_ so it outlives it: scheduler runner
+  /// threads append through the hooks until ~JobScheduler joins them.
+  Journal journal_;
   JobScheduler scheduler_;
   ServerSocket server_;
   std::thread acceptor_;
@@ -120,6 +158,10 @@ class ServiceDaemon {
   /// byte-exact bgls_run output.
   mutable std::mutex contexts_mutex_;
   std::map<std::uint64_t, RunReportContext> contexts_;
+
+  /// Journal-replayed terminal jobs (start() fills it; read-mostly).
+  mutable std::mutex replayed_mutex_;
+  std::map<std::uint64_t, ReplayedResult> replayed_;
 
   std::mutex shutdown_mutex_;
   std::condition_variable shutdown_cv_;

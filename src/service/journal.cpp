@@ -1,0 +1,271 @@
+#include "service/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "util/fault.h"
+
+namespace bgls::service {
+
+namespace {
+
+/// Journal series: process-wide, shared by every Journal handle (the
+/// daemon owns one; tests may open several).
+struct JournalMetrics {
+  obs::Counter records;
+  obs::Histogram replay_seconds;
+
+  JournalMetrics() {
+    auto& registry = obs::MetricsRegistry::global();
+    records = registry.counter(
+        "bgls_journal_records_total",
+        "Records durably appended to the scheduler journal");
+    replay_seconds = registry.histogram(
+        "bgls_journal_replay_seconds",
+        "Journal replay wall time at daemon startup");
+  }
+
+  static JournalMetrics& instance() {
+    static JournalMetrics metrics;
+    return metrics;
+  }
+};
+
+const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) != 0 ? 0xEDB88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Frames one record body as a journal line (no trailing newline).
+std::string frame_record(const std::string& body) {
+  std::string line = "{\"crc\":";
+  line += std::to_string(Journal::crc32(body));
+  line += ",\"rec\":";
+  line += body;
+  line += "}";
+  return line;
+}
+
+/// Retries ::write through EINTR until everything is out; returns false
+/// on a write error (errno set).
+bool write_fully(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t Journal::crc32(std::string_view text) {
+  const auto& table = crc32_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : text) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Journal::~Journal() { close(); }
+
+void Journal::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    detail::throw_error<JournalError>("journal already open at '", path_, "'");
+  }
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) {
+    detail::throw_error<JournalError>("cannot open journal '", path,
+                              "': ", std::strerror(errno));
+  }
+  fd_ = fd;
+  path_ = path;
+  // If a previous process died mid-append the file may end without a
+  // newline; start our first record on a fresh line just in case. An
+  // extra blank line is harmless (replay skips empty lines).
+  needs_newline_ = true;
+}
+
+void Journal::append(const std::string& record_json) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) {
+    detail::throw_error<JournalError>("journal append on a closed journal");
+  }
+  std::string line;
+  if (needs_newline_) line += '\n';
+  line += frame_record(record_json);
+  line += '\n';
+
+  if (fault::should_fail("journal_write")) {
+    // Simulate a crash mid-write: a prefix of the line reaches the
+    // file, nothing is fsync'd, and the caller sees a failure. The
+    // next append opens with a newline so the torn fragment stays on
+    // its own (CRC-invalid) line.
+    const std::size_t torn = line.size() / 2;
+    (void)write_fully(fd_, line.data(), torn);
+    needs_newline_ = true;
+    detail::throw_error<JournalError>("injected fault at 'journal_write' tore the "
+                              "journal append (BGLS_FAULT_INJECT)");
+  }
+
+  if (!write_fully(fd_, line.data(), line.size())) {
+    // Unknown how much hit the disk — force the next record onto a
+    // fresh line.
+    needs_newline_ = true;
+    detail::throw_error<JournalError>("journal write to '", path_,
+                              "' failed: ", std::strerror(errno));
+  }
+#if defined(__APPLE__)
+  if (::fsync(fd_) != 0) {
+#else
+  if (::fdatasync(fd_) != 0) {
+#endif
+    detail::throw_error<JournalError>("journal fsync of '", path_,
+                              "' failed: ", std::strerror(errno));
+  }
+  needs_newline_ = false;
+  ++records_written_;
+  JournalMetrics::instance().records.add();
+}
+
+void Journal::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) (void)::fsync(fd_);
+}
+
+void Journal::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    (void)::fsync(fd_);
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::uint64_t Journal::records_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_written_;
+}
+
+std::vector<JsonValue> Journal::replay_file(const std::string& path,
+                                            std::size_t* skipped) {
+  if (skipped != nullptr) *skipped = 0;
+  std::vector<JsonValue> records;
+  std::ifstream in(path);
+  if (!in.is_open()) return records;  // no journal yet: empty history
+
+  // The frame layout is fixed (we write every line), so the body is
+  // recovered as the raw substring between `,"rec":` and the final `}`
+  // and checksummed byte-for-byte — no re-serialization, so the CRC
+  // check is exact.
+  static constexpr std::string_view kCrcPrefix = "{\"crc\":";
+  static constexpr std::string_view kRecKey = ",\"rec\":";
+
+  std::string line;
+  while (std::getline(in, line)) {
+    // Tolerate CR (file shuttled through a text-mode transfer).
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    const auto skip = [&] {
+      if (skipped != nullptr) ++*skipped;
+    };
+    if (line.size() < kCrcPrefix.size() + kRecKey.size() + 2 ||
+        line.compare(0, kCrcPrefix.size(), kCrcPrefix) != 0 ||
+        line.back() != '}') {
+      skip();  // torn tail, torn middle, or foreign content
+      continue;
+    }
+    const std::size_t rec_at = line.find(kRecKey, kCrcPrefix.size());
+    if (rec_at == std::string::npos) {
+      skip();
+      continue;
+    }
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long crc =
+        std::strtoull(line.c_str() + kCrcPrefix.size(), &end, 10);
+    if (errno != 0 || end != line.c_str() + rec_at) {
+      skip();
+      continue;
+    }
+    const std::string_view body(line.data() + rec_at + kRecKey.size(),
+                                line.size() - rec_at - kRecKey.size() - 1);
+    if (crc32(body) != static_cast<std::uint32_t>(crc)) {
+      skip();
+      continue;
+    }
+    try {
+      records.push_back(JsonValue::parse(body));
+    } catch (const Error&) {
+      // CRC-valid but unparseable should not happen; treat as corrupt.
+      skip();
+    }
+  }
+  if (in.bad()) {
+    detail::throw_error<JournalError>("error reading journal '", path, "'");
+  }
+  return records;
+}
+
+void Journal::compact_file(const std::string& path,
+                           const std::vector<std::string>& record_bodies) {
+  const std::string tmp = path + ".compact.tmp";
+  {
+    const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd < 0) {
+      detail::throw_error<JournalError>("cannot open journal compaction file '", tmp,
+                                "': ", std::strerror(errno));
+    }
+    std::string contents;
+    for (const std::string& body : record_bodies) {
+      contents += frame_record(body);
+      contents += '\n';
+    }
+    const bool ok = write_fully(fd, contents.data(), contents.size()) &&
+                    ::fsync(fd) == 0;
+    (void)::close(fd);
+    if (!ok) {
+      (void)::unlink(tmp.c_str());
+      detail::throw_error<JournalError>("journal compaction write to '", tmp,
+                                "' failed: ", std::strerror(errno));
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)::unlink(tmp.c_str());
+    detail::throw_error<JournalError>("journal compaction rename to '", path,
+                              "' failed: ", std::strerror(errno));
+  }
+}
+
+void record_journal_replay_seconds(double seconds) {
+  JournalMetrics::instance().replay_seconds.observe(seconds);
+}
+
+}  // namespace bgls::service

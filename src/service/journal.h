@@ -1,0 +1,106 @@
+/// \file journal.h
+/// Write-ahead scheduler journal: the daemon's crash-safety log.
+///
+/// The daemon (service/daemon.h, `bgls_serve --journal <path>`) records
+/// every externally visible scheduling event — submit, terminal state,
+/// checkpoint, eviction — as one CRC-framed ndjson record, fsync'd
+/// before the operation is acknowledged to the client. On startup the
+/// journal is replayed: terminal jobs answer result/status queries
+/// without re-running, incomplete jobs re-enqueue from their last
+/// checkpoint (or from scratch — determinism makes a re-run
+/// byte-identical), and the log is compacted to the live set.
+///
+/// Framing: each line is `{"crc":<crc32 of body>,"rec":<body>}` where
+/// the body is itself a compact JSON object. A torn final record — the
+/// kill -9 case — fails the CRC (or does not parse) and is skipped;
+/// because a record is written and fsync'd *before* its operation is
+/// acknowledged, a lost or torn record can only correspond to an
+/// operation no client saw succeed.
+///
+/// Fault injection: the "journal_write" point (util/fault.h) tears an
+/// append — a partial prefix hits the file, no fsync, JournalError is
+/// thrown — so tests exercise exactly the torn-write recovery path.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+#include "util/json_parser.h"
+
+namespace bgls::service {
+
+/// Thrown when a journal append or rewrite fails (disk error, injected
+/// fault). Deliberately NOT an IoError: the daemon treats IoError as
+/// connection-fatal, while a journal failure is reported to the client
+/// as a retryable `journal_error` response.
+class JournalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Append-only CRC-framed ndjson log with fsync'd, mutex-serialized
+/// appends.
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Opens (creating if needed) `path` for appending. Throws
+  /// JournalError on failure.
+  void open(const std::string& path);
+
+  /// Frames, appends, and fsyncs one record body (a complete JSON
+  /// object, no trailing newline). Durable once this returns. Throws
+  /// JournalError on failure; after a torn write the next append
+  /// starts on a fresh line, so one tear never corrupts its successor.
+  void append(const std::string& record_json);
+
+  /// fsyncs any buffered state (appends are already durable; this is a
+  /// barrier for shutdown).
+  void flush();
+
+  void close();
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// Records durably appended through this handle.
+  [[nodiscard]] std::uint64_t records_written() const;
+
+  /// Reads every intact record body from `path` in order, skipping
+  /// empty lines and torn/CRC-mismatched/unparseable records (counted
+  /// into `*skipped` when non-null). A missing file yields an empty
+  /// vector. Throws JournalError only on read errors.
+  [[nodiscard]] static std::vector<JsonValue> replay_file(
+      const std::string& path, std::size_t* skipped = nullptr);
+
+  /// Atomically rewrites `path` to contain exactly `record_bodies`
+  /// (re-framed), via a temp file + rename. Throws JournalError on
+  /// failure.
+  static void compact_file(const std::string& path,
+                           const std::vector<std::string>& record_bodies);
+
+  /// CRC-32 (IEEE 802.3, reflected) of `text` — the frame checksum.
+  [[nodiscard]] static std::uint32_t crc32(std::string_view text);
+
+ private:
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t records_written_ = 0;
+  /// Set after a torn append: the next record is preceded by a newline
+  /// so the torn prefix stays confined to its own (invalid) line.
+  bool needs_newline_ = false;
+};
+
+/// Records one replay duration into the `bgls_journal_replay_seconds`
+/// histogram (called by the daemon after start-up replay).
+void record_journal_replay_seconds(double seconds);
+
+}  // namespace bgls::service

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/rng.h"
 
 namespace bgls::service {
 
@@ -46,6 +47,20 @@ struct JobScheduler::Job {
   /// First cancel() request, for the cancel-latency series.
   bool cancel_requested = false;
   std::chrono::steady_clock::time_point cancel_requested_at;
+  /// Latest resumable snapshot (core/checkpoint.h), fed by the
+  /// checkpoint sink installed at submit; what retries and preemption
+  /// resume from.
+  std::shared_ptr<const RunCheckpoint> checkpoint;
+  /// Scheduler-initiated cancel (checkpoint-and-preempt): the
+  /// CancelledError it causes re-queues the job instead of ending it.
+  bool preempt_requested = false;
+  /// Transient-failure retries consumed.
+  std::uint64_t retries = 0;
+  /// Earliest time a re-queued job may start (retry backoff).
+  std::chrono::steady_clock::time_point ready_at;
+  /// Original deadline, re-armed when preemption mints a fresh token.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline_at;
   /// The job's trace (span IDs derived from the job id); null when
   /// telemetry is compiled out.
   std::shared_ptr<obs::Trace> trace;
@@ -69,6 +84,9 @@ struct SchedulerMetrics {
   obs::Counter failed;
   obs::Counter cancelled;
   obs::Counter timed_out;
+  obs::Counter retried;
+  obs::Counter preempted;
+  obs::Counter resumed;
   obs::Gauge queue_depth;
   obs::Gauge running;
   obs::Histogram queue_wait;
@@ -93,6 +111,16 @@ struct SchedulerMetrics {
         "bgls_scheduler_jobs_total{state=\"cancelled\"}", help);
     timed_out = registry.counter(
         "bgls_scheduler_jobs_total{state=\"timeout\"}", help);
+    retried = registry.counter(
+        "bgls_jobs_retried_total",
+        "Transiently failed jobs re-queued with backoff");
+    preempted = registry.counter(
+        "bgls_scheduler_preempted_total",
+        "Running jobs checkpoint-and-preempted by higher-priority work");
+    resumed = registry.counter(
+        "bgls_jobs_resumed_total",
+        "Runs started from a checkpoint (retries, preemptions, journal "
+        "replays)");
     queue_depth = registry.gauge("bgls_scheduler_queue_depth",
                                  "Jobs currently queued (not yet running)");
     running =
@@ -150,6 +178,7 @@ JobScheduler::~JobScheduler() {
       job->token.cancel();
     }
     queue_.clear();
+    delayed_.clear();
   }
   work_available_.notify_all();
   job_changed_.notify_all();
@@ -157,6 +186,22 @@ JobScheduler::~JobScheduler() {
 }
 
 std::uint64_t JobScheduler::submit(RunRequest request) {
+  return submit_impl(std::move(request), 0);
+}
+
+std::uint64_t JobScheduler::resubmit(RunRequest request,
+                                     std::uint64_t forced_id) {
+  BGLS_REQUIRE(forced_id > 0, "resubmit needs the journaled job id");
+  return submit_impl(std::move(request), forced_id);
+}
+
+void JobScheduler::reserve_ids_through(std::uint64_t max_id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  next_id_ = std::max(next_id_, max_id + 1);
+}
+
+std::uint64_t JobScheduler::submit_impl(RunRequest request,
+                                        std::uint64_t forced_id) {
   JobPtr job = std::make_shared<Job>();
   job->priority = request.priority;
   job->submitted_at = std::chrono::steady_clock::now();
@@ -167,18 +212,21 @@ std::uint64_t JobScheduler::submit(RunRequest request) {
   job->token = request.cancel_token.valid() ? request.cancel_token
                                             : CancellationToken::make();
   if (request.deadline_ms > 0) {
-    job->token.set_deadline_after(
-        std::chrono::milliseconds(request.deadline_ms));
+    job->has_deadline = true;
+    job->deadline_at = job->submitted_at +
+                       std::chrono::milliseconds(request.deadline_ms);
+    job->token.set_deadline(job->deadline_at);
   }
   request.cancel_token = job->token;
   // Deadline already armed; Session::run must not re-arm it later
   // (that would restart the clock at execution).
   request.deadline_ms = 0;
+  job->checkpoint = request.resume;  // replayed jobs resume from here
 
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     BGLS_REQUIRE(!stopping_, "scheduler is shutting down");
-    if (queue_.size() >= options_.max_queue_depth) {
+    if (forced_id == 0 && queue_.size() >= options_.max_queue_depth) {
       ++stats_.rejected;
       SchedulerMetrics::instance().rejected.add();
       detail::throw_error<QueueFullError>(
@@ -186,7 +234,12 @@ std::uint64_t JobScheduler::submit(RunRequest request) {
           options_.max_queue_depth,
           " slots); retry later or raise max_queue_depth");
     }
-    job->id = next_id_++;
+    if (forced_id != 0) {
+      BGLS_REQUIRE(jobs_.count(forced_id) == 0,
+                   "job id ", forced_id, " is already known");
+      next_id_ = std::max(next_id_, forced_id + 1);
+    }
+    job->id = forced_id != 0 ? forced_id : next_id_++;
     job->seq = job->id;
     job->request = std::move(request);
     if constexpr (obs::kTelemetryCompiled) {
@@ -213,6 +266,34 @@ std::uint64_t JobScheduler::submit(RunRequest request) {
       };
     }
 
+    // Capture resumable snapshots on the job (what retries, preemption,
+    // and the journal resume from), then forward to any caller sink.
+    const std::uint64_t checkpoint_every = raw->request.checkpoint.every > 0
+                                               ? raw->request.checkpoint.every
+                                               : options_.checkpoint_every;
+    if (checkpoint_every > 0) {
+      std::function<void(const RunCheckpoint&)> user_ckpt =
+          std::move(raw->request.checkpoint.sink);
+      raw->request.checkpoint.every = checkpoint_every;
+      raw->request.checkpoint.sink = [this, raw, user_ckpt](
+                                         const RunCheckpoint& update) {
+        auto copy = std::make_shared<const RunCheckpoint>(update);
+        {
+          const std::lock_guard<std::mutex> inner(mutex_);
+          raw->checkpoint = copy;
+        }
+        if (options_.on_checkpoint) {
+          try {
+            options_.on_checkpoint(raw->id, copy);
+          } catch (...) {
+            // A lost checkpoint record only means a post-crash resume
+            // starts from an earlier snapshot.
+          }
+        }
+        if (user_ckpt) user_ckpt(update);
+      };
+    }
+
     jobs_.emplace(job->id, job);
     queue_.push_back(job);
     std::push_heap(queue_.begin(), queue_.end(), heap_less);
@@ -220,13 +301,38 @@ std::uint64_t JobScheduler::submit(RunRequest request) {
     SchedulerMetrics& metrics = SchedulerMetrics::instance();
     metrics.submitted.add();
     metrics.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+    if (options_.preempt_lower_priority) maybe_preempt_locked(job);
   }
   work_available_.notify_one();
   return job->id;
 }
 
+void JobScheduler::maybe_preempt_locked(const JobPtr& incoming) {
+  // Only worth displacing someone when no runner will pick the new job
+  // up anyway.
+  std::size_t running = 0;
+  JobPtr victim;
+  for (const auto& [id, job] : jobs_) {
+    if (job->state != JobState::kRunning) continue;
+    ++running;
+    if (job->preempt_requested || job->cancel_requested) continue;
+    if (!victim || job->priority < victim->priority) victim = job;
+  }
+  if (running < static_cast<std::size_t>(
+                    std::max(1, options_.max_concurrent_jobs))) {
+    return;  // a runner is (or is about to be) free
+  }
+  if (!victim || victim->priority >= incoming->priority) return;
+  victim->preempt_requested = true;
+  victim->token.cancel();
+  ++stats_.preempted;
+  SchedulerMetrics::instance().preempted.add();
+}
+
 bool JobScheduler::cancel(std::uint64_t id) {
   JobPtr job;
+  bool became_terminal = false;
+  JobInfo terminal_info;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = jobs_.find(id);
@@ -250,6 +356,8 @@ bool JobScheduler::cancel(std::uint64_t id) {
         queue_.erase(queued);
         std::make_heap(queue_.begin(), queue_.end(), heap_less);
       }
+      const auto delayed = std::find(delayed_.begin(), delayed_.end(), job);
+      if (delayed != delayed_.end()) delayed_.erase(delayed);
       note_terminal_locked(job);
       SchedulerMetrics& metrics = SchedulerMetrics::instance();
       metrics.cancelled.add();
@@ -258,11 +366,19 @@ bool JobScheduler::cancel(std::uint64_t id) {
           seconds_between(job->submitted_at, job->finished_at));
       metrics.cancel_latency.observe(
           seconds_between(job->cancel_requested_at, job->finished_at));
+      became_terminal = true;
+      terminal_info = snapshot_locked(*job);
     }
   }
   // Running jobs stop cooperatively at their next gate/shard check.
   job->token.cancel();
   job_changed_.notify_all();
+  if (became_terminal && options_.on_terminal) {
+    try {
+      options_.on_terminal(terminal_info);
+    } catch (...) {
+    }
+  }
   return true;
 }
 
@@ -307,7 +423,7 @@ bool JobScheduler::wait_progress(std::uint64_t id, std::size_t since,
 SchedulerStats JobScheduler::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   SchedulerStats out = stats_;
-  out.queue_depth = queue_.size();
+  out.queue_depth = queue_.size() + delayed_.size();
   std::size_t running = 0;
   for (const auto& [id, job] : jobs_) {
     if (job->state == JobState::kRunning) ++running;
@@ -316,12 +432,44 @@ SchedulerStats JobScheduler::stats() const {
   return out;
 }
 
+void JobScheduler::promote_delayed_locked() {
+  const auto now = std::chrono::steady_clock::now();
+  auto it = delayed_.begin();
+  while (it != delayed_.end()) {
+    if (is_terminal((*it)->state)) {
+      it = delayed_.erase(it);  // cancelled while waiting out backoff
+      continue;
+    }
+    if ((*it)->ready_at <= now) {
+      queue_.push_back(std::move(*it));
+      std::push_heap(queue_.begin(), queue_.end(), heap_less);
+      it = delayed_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+}
+
 void JobScheduler::runner_loop() {
   while (true) {
     JobPtr job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      while (true) {
+        promote_delayed_locked();
+        if (stopping_ || !queue_.empty()) break;
+        if (delayed_.empty()) {
+          work_available_.wait(lock);
+        } else {
+          // Sleep until the earliest backoff elapses (or new work /
+          // shutdown wakes us).
+          auto next = delayed_.front()->ready_at;
+          for (const JobPtr& waiting : delayed_) {
+            next = std::min(next, waiting->ready_at);
+          }
+          work_available_.wait_until(lock, next);
+        }
+      }
       if (stopping_) return;
       std::pop_heap(queue_.begin(), queue_.end(), heap_less);
       job = std::move(queue_.back());
@@ -339,8 +487,15 @@ void JobScheduler::runner_loop() {
         metrics.timed_out.add();
         metrics.queue_wait.observe(
             seconds_between(job->submitted_at, job->finished_at));
+        const JobInfo terminal_info = snapshot_locked(*job);
         lock.unlock();
         job_changed_.notify_all();
+        if (options_.on_terminal) {
+          try {
+            options_.on_terminal(terminal_info);
+          } catch (...) {
+          }
+        }
         continue;
       }
       job->state = JobState::kRunning;
@@ -364,7 +519,18 @@ void JobScheduler::runner_loop() {
 }
 
 void JobScheduler::run_job(const JobPtr& job) {
+  if (job->request.resume != nullptr) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.resumed;
+    }
+    SchedulerMetrics::instance().resumed.add();
+  }
   JobState state = JobState::kDone;
+  // Invalid-request failures (bad circuit, unsupported operation,
+  // malformed input) are deterministic — retrying them re-fails; every
+  // other failure (injected faults, resource errors) may be transient.
+  bool transient = true;
   std::string error;
   std::shared_ptr<RunResult> result;
   try {
@@ -375,12 +541,108 @@ void JobScheduler::run_job(const JobPtr& job) {
   } catch (const DeadlineExceededError& e) {
     state = JobState::kTimedOut;
     error = e.what();
+  } catch (const ValueError& e) {
+    state = JobState::kFailed;
+    transient = false;
+    error = e.what();
+  } catch (const ParseError& e) {
+    state = JobState::kFailed;
+    transient = false;
+    error = e.what();
+  } catch (const UnsupportedOperationError& e) {
+    state = JobState::kFailed;
+    transient = false;
+    error = e.what();
   } catch (const std::exception& e) {
     state = JobState::kFailed;
     error = e.what();
   }
 
-  const std::lock_guard<std::mutex> lock(mutex_);
+  bool requeued = false;
+  JobInfo terminal_info;
+  bool notify_terminal = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SchedulerMetrics& metrics = SchedulerMetrics::instance();
+    const auto now = std::chrono::steady_clock::now();
+
+    // Checkpoint-and-preempt: the cancel was ours, not the caller's —
+    // re-queue to resume from the latest snapshot (the burned token is
+    // replaced; an armed deadline keeps its original expiry).
+    if (state == JobState::kCancelled && job->preempt_requested &&
+        !job->cancel_requested && !stopping_) {
+      metrics.running.sub(1);
+      metrics.run_seconds.observe(seconds_between(job->started_at, now));
+      requeue_locked(job, now, /*fresh_token=*/true);
+      requeued = true;
+    } else if (state == JobState::kFailed && transient && !stopping_ &&
+               !job->cancel_requested &&
+               job->retries <
+                   static_cast<std::uint64_t>(
+                       std::max(0, options_.max_retries))) {
+      // Transient failure with retry budget left: exponential backoff
+      // with deterministic jitter (seeded by job id and attempt so
+      // retry storms decorrelate without perturbing run results).
+      ++job->retries;
+      ++stats_.retried;
+      metrics.retried.add();
+      metrics.running.sub(1);
+      metrics.run_seconds.observe(seconds_between(job->started_at, now));
+      const std::uint64_t base = options_.backoff_base_ms;
+      std::uint64_t backoff = base << std::min<std::uint64_t>(
+                                  job->retries - 1, 16);
+      if (base > 0) {
+        Rng jitter(job->id * 31 + job->retries);
+        backoff += jitter.uniform_int(base);
+      }
+      requeue_locked(job, now + std::chrono::milliseconds(backoff),
+                     /*fresh_token=*/false);
+      requeued = true;
+    }
+    if (!requeued) {
+      finish_job_locked(job, state, std::move(error), std::move(result));
+      if (!stopping_ && options_.on_terminal) {
+        terminal_info = snapshot_locked(*job);
+        notify_terminal = true;
+      }
+    }
+  }
+  if (requeued) work_available_.notify_one();
+  if (notify_terminal) {
+    try {
+      options_.on_terminal(terminal_info);
+    } catch (...) {
+    }
+  }
+}
+
+void JobScheduler::requeue_locked(
+    const JobPtr& job, std::chrono::steady_clock::time_point ready_at,
+    bool fresh_token) {
+  job->preempt_requested = false;
+  if (fresh_token) {
+    // The old token was cancelled to force the preemption and cannot be
+    // reset; cancel(id) keeps working through the replacement.
+    job->token = CancellationToken::make();
+    if (job->has_deadline) job->token.set_deadline(job->deadline_at);
+    job->request.cancel_token = job->token;
+  }
+  if (job->checkpoint) job->request.resume = job->checkpoint;
+  job->state = JobState::kQueued;
+  job->ready_at = ready_at;
+  if (ready_at <= std::chrono::steady_clock::now()) {
+    queue_.push_back(job);
+    std::push_heap(queue_.begin(), queue_.end(), heap_less);
+  } else {
+    delayed_.push_back(job);
+  }
+  SchedulerMetrics::instance().queue_depth.set(
+      static_cast<std::int64_t>(queue_.size() + delayed_.size()));
+}
+
+void JobScheduler::finish_job_locked(const JobPtr& job, JobState state,
+                                     std::string error,
+                                     std::shared_ptr<RunResult> result) {
   job->state = state;
   job->error = std::move(error);
   if (result) {
@@ -430,13 +692,23 @@ void JobScheduler::note_terminal_locked(const JobPtr& job) {
   // (circuit + result + progress history) forever. Oldest-finished
   // jobs are forgotten first; live jobs are never in terminal_order_.
   while (terminal_order_.size() > options_.max_retained_jobs) {
-    jobs_.erase(terminal_order_.front());
+    const std::uint64_t evicted_id = terminal_order_.front();
+    jobs_.erase(evicted_id);
     terminal_order_.pop_front();
     // The per-state counters in stats_ were folded in at the terminal
     // transition, so forgetting the record loses no history — only the
     // eviction itself is worth counting.
     ++stats_.evicted;
     SchedulerMetrics::instance().evicted.add();
+    if (options_.on_evict) {
+      // Called under the scheduler lock (documented in
+      // SchedulerOptions): the hook appends a journal record and must
+      // not call back into the scheduler.
+      try {
+        options_.on_evict(evicted_id);
+      } catch (...) {
+      }
+    }
   }
 }
 
@@ -456,6 +728,7 @@ JobInfo JobScheduler::snapshot_locked(const Job& job) const {
   info.progress_updates = job.updates.size();
   info.result = job.result;
   info.start_order = job.start_order;
+  info.retries = job.retries;
   info.trace = job.trace;
   const auto now = std::chrono::steady_clock::now();
   const auto started =

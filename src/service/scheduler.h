@@ -34,6 +34,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -95,6 +96,9 @@ struct JobInfo {
   /// 1-based order in which the job started running; 0 = never started
   /// (tests pin priority ordering with it).
   std::uint64_t start_order = 0;
+  /// Transient-failure retries consumed so far (SchedulerOptions::
+  /// max_retries bounds them).
+  std::uint64_t retries = 0;
   /// The job's telemetry trace (obs/trace.h): queue/run spans from the
   /// scheduler plus shard/phase spans from the layers below, with span
   /// IDs deterministically derived from the job id. Null when telemetry
@@ -117,6 +121,12 @@ struct SchedulerStats {
   /// Terminal jobs forgotten by the retention bound (their ids became
   /// unknown; the counters above still include them).
   std::uint64_t evicted = 0;
+  /// Crash-safety counters: transient-failure retries, checkpoint-and-
+  /// preempt evictions of running jobs, and runs that started from a
+  /// checkpoint (retry resumes, preemption resumes, journal replays).
+  std::uint64_t retried = 0;
+  std::uint64_t preempted = 0;
+  std::uint64_t resumed = 0;
   std::size_t queue_depth = 0;
   std::size_t running = 0;
   /// Completed jobs per executing backend name — the routing decisions
@@ -140,6 +150,35 @@ struct SchedulerOptions {
   std::size_t max_retained_jobs = 1024;
   /// Forwarded to the owned Session.
   SessionOptions session{};
+  /// Checkpoint cadence installed on every job (repetitions between
+  /// resumable snapshots; 0 = off). A job's own checkpoint cadence, if
+  /// set, wins. Checkpoints feed the retry/preemption resume path and
+  /// the on_checkpoint journal hook.
+  std::uint64_t checkpoint_every = 0;
+  /// Transiently failed jobs (anything but invalid-request errors) are
+  /// re-queued up to this many times, resuming from their latest
+  /// checkpoint, with exponential backoff: the k-th retry waits
+  /// backoff_base_ms * 2^(k-1) plus deterministic jitter in
+  /// [0, backoff_base_ms).
+  int max_retries = 0;
+  std::uint64_t backoff_base_ms = 100;
+  /// Checkpoint-and-preempt: when every runner is busy and a submission
+  /// outranks a running job, the lowest-priority running job is
+  /// cancelled mid-run and re-queued to resume from its latest
+  /// checkpoint once a runner frees up.
+  bool preempt_lower_priority = false;
+  /// Event hooks for write-ahead journaling (service/journal.h). All
+  /// are optional, invoked outside the scheduler lock (on_evict inside
+  /// it — it must not call back into the scheduler), and exceptions
+  /// they throw are swallowed: losing a journal record only means the
+  /// affected job replays more work after a crash (determinism makes
+  /// the re-run byte-identical). on_terminal is NOT invoked for jobs
+  /// cancelled by scheduler shutdown — they stay incomplete in the
+  /// journal so a restart resumes them.
+  std::function<void(const JobInfo&)> on_terminal;
+  std::function<void(std::uint64_t)> on_evict;
+  std::function<void(std::uint64_t, std::shared_ptr<const RunCheckpoint>)>
+      on_checkpoint;
 };
 
 /// Priority work queue over a Session (see file comment). Thread-safe:
@@ -161,6 +200,17 @@ class JobScheduler {
   /// every update. Throws QueueFullError when the queue is at
   /// max_queue_depth.
   std::uint64_t submit(RunRequest request);
+
+  /// submit() variant for journal replay: enqueues `request` under the
+  /// id it had in the journaled previous life (so clients polling that
+  /// id keep working) and advances the id counter past it. Bypasses
+  /// admission control — replayed jobs were already admitted once.
+  std::uint64_t resubmit(RunRequest request, std::uint64_t forced_id);
+
+  /// Ensures future job ids start after `max_id` (journal replay calls
+  /// this for terminal jobs it answers from memory without
+  /// resubmitting).
+  void reserve_ids_through(std::uint64_t max_id);
 
   /// Requests cancellation: a queued job is cancelled immediately, a
   /// running one within a bounded number of gate/shard steps. Returns
@@ -206,9 +256,24 @@ class JobScheduler {
   /// Heap order for queue_: higher priority first, ties FIFO.
   static bool heap_less(const JobPtr& a, const JobPtr& b);
 
+  std::uint64_t submit_impl(RunRequest request, std::uint64_t forced_id);
   void runner_loop();
   /// Executes one dequeued job outside the lock.
   void run_job(const JobPtr& job);
+  /// Re-queues a preempted or transiently failed job to resume from its
+  /// latest checkpoint; jobs with a future `ready_at` wait in delayed_.
+  void requeue_locked(const JobPtr& job,
+                      std::chrono::steady_clock::time_point ready_at,
+                      bool fresh_token);
+  /// Moves delayed_ jobs whose backoff has elapsed into the ready heap.
+  void promote_delayed_locked();
+  /// Checkpoint-and-preempts the lowest-priority running job when
+  /// `incoming` outranks it and no runner is free.
+  void maybe_preempt_locked(const JobPtr& incoming);
+  /// Terminal bookkeeping for a job that ran (counters, metrics,
+  /// eviction).
+  void finish_job_locked(const JobPtr& job, JobState state, std::string error,
+                         std::shared_ptr<RunResult> result);
   /// Records a terminal transition and evicts the oldest terminal jobs
   /// beyond max_retained_jobs.
   void note_terminal_locked(const JobPtr& job);
@@ -226,6 +291,8 @@ class JobScheduler {
   mutable std::condition_variable job_changed_;
   std::map<std::uint64_t, JobPtr> jobs_;
   std::vector<JobPtr> queue_;  // heap ordered by (priority, -seq)
+  /// Retried jobs waiting out their backoff (ready_at in the future).
+  std::vector<JobPtr> delayed_;
   /// Terminal job ids in completion order — the eviction queue.
   std::deque<std::uint64_t> terminal_order_;
   std::vector<std::thread> runners_;

@@ -13,6 +13,8 @@
 #include <cstring>
 #include <utility>
 
+#include "util/fault.h"
+
 namespace bgls::service {
 namespace {
 
@@ -122,10 +124,14 @@ void Socket::write_all(std::string_view data) {
   BGLS_REQUIRE(valid(), "write on a closed socket");
   std::size_t written = 0;
   while (written < data.size()) {
+    // Fault point "socket_send": degrade to one-byte writes so short
+    // sends (and the retry loop around them) get exercised.
+    const std::size_t chunk_len =
+        fault::should_fail("socket_send") ? 1 : data.size() - written;
     // MSG_NOSIGNAL: a peer that hung up yields EPIPE instead of killing
     // the process with SIGPIPE.
-    const ssize_t n = ::send(fd_, data.data() + written,
-                             data.size() - written, MSG_NOSIGNAL);
+    const ssize_t n =
+        ::send(fd_, data.data() + written, chunk_len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw_errno("socket write failed");
@@ -143,6 +149,9 @@ bool Socket::read_line(std::string& line) {
       buffer_.erase(0, newline + 1);
       return true;
     }
+    // Fault point "socket_recv": behave as if the read was interrupted
+    // (EINTR path) — the loop must simply retry.
+    if (fault::should_fail("socket_recv")) continue;
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {

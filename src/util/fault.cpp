@@ -1,0 +1,131 @@
+#include "util/fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/rng.h"
+
+namespace bgls::fault {
+
+namespace {
+
+struct Point {
+  double probability = 0.0;
+  Rng rng{0};
+  std::uint64_t fired = 0;
+  std::uint64_t max_fires = 0;  // 0 = unlimited
+};
+
+std::atomic<bool> g_any_armed{false};
+std::once_flag g_env_once;
+
+std::mutex& registry_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, Point, std::less<>>& registry() {
+  static std::map<std::string, Point, std::less<>> points;
+  return points;
+}
+
+/// Parses "point:prob:seed[,point:prob:seed...]" into the registry.
+/// Malformed entries are skipped — fault injection must never take the
+/// process down on a typo.
+void parse_spec_locked(std::string_view spec) {
+  registry().clear();
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view entry = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    const std::size_t c1 = entry.find(':');
+    if (c1 == std::string_view::npos) continue;
+    const std::size_t c2 = entry.find(':', c1 + 1);
+    if (c2 == std::string_view::npos) continue;
+    const std::string name(entry.substr(0, c1));
+    const std::string prob_text(entry.substr(c1 + 1, c2 - c1 - 1));
+    const std::string seed_text(entry.substr(c2 + 1));
+    if (name.empty() || prob_text.empty() || seed_text.empty()) continue;
+    char* end = nullptr;
+    const double probability = std::strtod(prob_text.c_str(), &end);
+    if (end == nullptr || *end != '\0') continue;
+    const unsigned long long seed = std::strtoull(seed_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') continue;
+    Point point;
+    point.probability = probability;
+    point.rng = Rng(seed);
+    registry().emplace(name, std::move(point));
+  }
+  g_any_armed.store(!registry().empty(), std::memory_order_release);
+}
+
+void ensure_env_loaded() {
+  std::call_once(g_env_once, [] {
+    const char* spec = std::getenv("BGLS_FAULT_INJECT");
+    if (spec == nullptr || *spec == '\0') return;
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    parse_spec_locked(spec);
+  });
+}
+
+}  // namespace
+
+bool should_fail(std::string_view point) noexcept {
+  ensure_env_loaded();
+  if (!g_any_armed.load(std::memory_order_acquire)) return false;
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(point);
+  if (it == registry().end()) return false;
+  Point& p = it->second;
+  if (p.max_fires != 0 && p.fired >= p.max_fires) return false;
+  if (!p.rng.bernoulli(p.probability)) return false;
+  ++p.fired;
+  return true;
+}
+
+std::uint64_t fire_count(std::string_view point) noexcept {
+  ensure_env_loaded();
+  if (!g_any_armed.load(std::memory_order_acquire)) return 0;
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(point);
+  return it == registry().end() ? 0 : it->second.fired;
+}
+
+void throw_if_fails(std::string_view point) {
+  if (should_fail(point)) {
+    detail::throw_error<FaultInjectedError>("injected fault at '", point,
+                                            "' (BGLS_FAULT_INJECT)");
+  }
+}
+
+void arm(std::string_view point, double probability, std::uint64_t seed,
+         std::uint64_t max_fires) {
+  ensure_env_loaded();
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  Point p;
+  p.probability = probability;
+  p.rng = Rng(seed);
+  p.max_fires = max_fires;
+  registry().insert_or_assign(std::string(point), std::move(p));
+  g_any_armed.store(true, std::memory_order_release);
+}
+
+void disarm_all() {
+  ensure_env_loaded();
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().clear();
+  g_any_armed.store(false, std::memory_order_release);
+}
+
+void reload_from_env() {
+  ensure_env_loaded();
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  const char* spec = std::getenv("BGLS_FAULT_INJECT");
+  parse_spec_locked(spec == nullptr ? std::string_view{} : spec);
+}
+
+}  // namespace bgls::fault

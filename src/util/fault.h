@@ -1,0 +1,66 @@
+/// \file fault.h
+/// Deterministic fault injection for crash-safety tests.
+///
+/// Named fault points are compiled into the journal writer, the socket
+/// IO loops, and the engine's shard execution. A point is inert until
+/// armed — by the environment variable
+///
+///   BGLS_FAULT_INJECT=point:prob:seed[,point:prob:seed...]
+///
+/// (parsed once, lazily; reload_from_env() re-reads it) or
+/// programmatically via arm(). An armed point draws from its own
+/// seeded Rng on every should_fail() call, so a given (prob, seed)
+/// fires at a reproducible subsequence of call sites — tests can force
+/// torn journal writes, short socket writes / EINTR reads, and
+/// mid-shard aborts deterministically.
+///
+/// The disarmed fast path is one relaxed atomic load, so production
+/// binaries pay nothing for the hooks.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/error.h"
+
+namespace bgls {
+
+/// Thrown by the "shard_run" fault point to simulate a transient
+/// mid-shard failure (the scheduler's retry path treats it like any
+/// other job failure).
+class FaultInjectedError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace fault {
+
+/// True when the named point is armed and its coin flip fires this
+/// call. Never throws; unarmed points always return false.
+[[nodiscard]] bool should_fail(std::string_view point) noexcept;
+
+/// How many times the named point has fired since it was (re)armed.
+[[nodiscard]] std::uint64_t fire_count(std::string_view point) noexcept;
+
+/// Throws FaultInjectedError when should_fail(point) fires — the
+/// mid-shard abort hook the sampling loops call.
+void throw_if_fails(std::string_view point);
+
+/// Arms a point: each should_fail(point) fires with `probability`
+/// drawn from an Rng seeded with `seed`. `max_fires` bounds the total
+/// fires (0 = unlimited) — retry tests arm one guaranteed failure with
+/// (1.0, seed, 1).
+void arm(std::string_view point, double probability, std::uint64_t seed,
+         std::uint64_t max_fires = 0);
+
+/// Disarms every point (tests call this between cases).
+void disarm_all();
+
+/// Re-parses BGLS_FAULT_INJECT, replacing the armed set. Malformed
+/// entries are ignored.
+void reload_from_env();
+
+}  // namespace fault
+
+}  // namespace bgls

@@ -93,6 +93,20 @@ class Rng {
   /// streams, prefer jumping one engine incrementally.
   [[nodiscard]] Rng split(std::uint64_t index) const;
 
+  /// The raw engine state (checkpoint/resume support: a saved state plus
+  /// from_state() reproduces the exact draw sequence from this point).
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const { return state_; }
+
+  /// Reconstructs an engine from a state previously captured with
+  /// state(). The restored engine's draw sequence continues bit-for-bit
+  /// where the captured one left off.
+  [[nodiscard]] static Rng from_state(
+      const std::array<std::uint64_t, 4>& words) {
+    Rng rng;
+    rng.state_ = words;
+    return rng;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_{};
 };

@@ -12,6 +12,7 @@
 
 #include "engine_test_helpers.h"
 #include "service/scheduler.h"
+#include "util/fault.h"
 
 namespace bgls {
 namespace {
@@ -348,6 +349,94 @@ TEST(JobScheduler, ResultCarriesSchedulingPhaseTimes) {
   // Filled regardless of the telemetry build flag (plain clock reads).
   EXPECT_GE(info.result->stats.queue_wait_ms, 0.0);
   EXPECT_GT(info.result->stats.sample_ms, 0.0);
+}
+
+TEST(JobScheduler, TransientFailureRetriesAndSucceeds) {
+  SchedulerOptions options;
+  options.max_retries = 3;
+  options.backoff_base_ms = 1;
+  options.checkpoint_every = 25;
+  JobScheduler scheduler(options);
+
+  // Exactly one injected mid-shard abort: the first attempt fails
+  // transiently, the retry runs clean.
+  fault::arm("shard_run", 1.0, 5, 1);
+  const std::uint64_t id = scheduler.submit(small_job(42));
+  const JobInfo info = scheduler.wait(id);
+  fault::disarm_all();
+  ASSERT_EQ(info.state, JobState::kDone);
+  EXPECT_EQ(info.retries, 1u);
+  EXPECT_EQ(scheduler.stats().retried, 1u);
+  EXPECT_EQ(scheduler.stats().completed, 1u);
+  EXPECT_EQ(scheduler.stats().failed, 0u);
+
+  // The retried job's result is still the canonical one.
+  Session session;
+  EXPECT_EQ(info.result->measurements.histogram("m"),
+            session.run(small_job(42)).measurements.histogram("m"));
+}
+
+TEST(JobScheduler, RetryBudgetExhaustionFailsTheJob) {
+  SchedulerOptions options;
+  options.max_retries = 2;
+  options.backoff_base_ms = 1;
+  JobScheduler scheduler(options);
+
+  fault::arm("shard_run", 1.0, 5);  // every attempt aborts
+  const std::uint64_t id = scheduler.submit(small_job(42));
+  const JobInfo info = scheduler.wait(id);
+  fault::disarm_all();
+  EXPECT_EQ(info.state, JobState::kFailed);
+  EXPECT_EQ(info.retries, 2u);
+  EXPECT_NE(info.error.find("injected fault"), std::string::npos);
+  EXPECT_EQ(scheduler.stats().retried, 2u);
+  EXPECT_EQ(scheduler.stats().failed, 1u);
+}
+
+TEST(JobScheduler, InvalidRequestIsNotRetried) {
+  SchedulerOptions options;
+  options.max_retries = 3;
+  options.backoff_base_ms = 1;
+  JobScheduler scheduler(options);
+  // Circuit without measurements: a ValueError, permanently invalid.
+  const std::uint64_t id =
+      scheduler.submit(RunRequest().with_circuit(Circuit{h(0)}));
+  const JobInfo info = scheduler.wait(id);
+  EXPECT_EQ(info.state, JobState::kFailed);
+  EXPECT_EQ(info.retries, 0u);
+  EXPECT_EQ(scheduler.stats().retried, 0u);
+}
+
+TEST(JobScheduler, PreemptionCheckpointsResumesAndStaysCorrect) {
+  SchedulerOptions options;
+  options.max_concurrent_jobs = 1;
+  options.preempt_lower_priority = true;
+  options.checkpoint_every = 50;
+  JobScheduler scheduler(options);
+
+  // A low-priority job big enough to be mid-run (and past several
+  // checkpoint boundaries) when the high-priority one arrives.
+  const RunRequest low_request = small_job(31, 20'000).with_priority(-1);
+  const std::uint64_t low = scheduler.submit(low_request);
+  while (scheduler.info(low).state == JobState::kQueued) {
+    std::this_thread::sleep_for(1ms);
+  }
+  std::this_thread::sleep_for(10ms);
+
+  const std::uint64_t high = scheduler.submit(small_job(4).with_priority(9));
+  EXPECT_EQ(scheduler.wait(high).state, JobState::kDone);
+
+  // The preempted job resumes from its checkpoint and still finishes
+  // with the canonical result — the determinism oracle for resume.
+  const JobInfo info = scheduler.wait(low);
+  ASSERT_EQ(info.state, JobState::kDone);
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_GE(stats.preempted, 1u);
+  EXPECT_GE(stats.resumed, 1u);
+  EXPECT_LT(scheduler.info(high).start_order, info.start_order);
+  Session session;
+  EXPECT_EQ(info.result->measurements.histogram("m"),
+            session.run(small_job(31, 20'000)).measurements.histogram("m"));
 }
 
 TEST(JobScheduler, WaitTimeoutReturnsLiveSnapshot) {

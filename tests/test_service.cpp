@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,15 +47,37 @@ const char kX0Qasm[] =
     "x q[0];\n"
     "measure q -> c;\n";
 
+/// The report bgls_run would print for the same submission — built
+/// through the identical library path (Session + shared writer).
+std::string direct_report(const SubmitArgs& args) {
+  RunRequest request = RunRequest()
+                           .with_circuit(parse_qasm(args.qasm))
+                           .with_repetitions(args.repetitions)
+                           .with_seed(args.seed)
+                           .with_threads(args.threads)
+                           .with_rng_streams(args.streams)
+                           .with_optimization(args.optimize)
+                           .with_sample_parallelization(!args.no_batch);
+  if (args.backend != "auto") request.with_backend(args.backend);
+  const RunReportContext context =
+      report_context(request, request.circuit.num_qubits());
+  Session session;
+  return run_report_string(context, session.run(std::move(request)));
+}
+
+/// A unique private Unix socket path.
+std::string unique_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/bgls_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
 /// Daemon fixture: one in-process daemon per test on a unique socket.
 class ServiceTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    static std::atomic<int> counter{0};
     DaemonOptions options;
-    options.endpoint = Endpoint::unix_socket(
-        "/tmp/bgls_test_" + std::to_string(::getpid()) + "_" +
-        std::to_string(counter.fetch_add(1)) + ".sock");
+    options.endpoint = Endpoint::unix_socket(unique_socket_path());
     options.scheduler.max_concurrent_jobs = 2;
     configure(options);
     daemon_ = std::make_unique<ServiceDaemon>(options);
@@ -64,24 +87,6 @@ class ServiceTest : public ::testing::Test {
   virtual void configure(DaemonOptions& options) { (void)options; }
 
   void TearDown() override { daemon_->stop(); }
-
-  /// The report bgls_run would print for the same submission — built
-  /// through the identical library path (Session + shared writer).
-  static std::string direct_report(const SubmitArgs& args) {
-    RunRequest request = RunRequest()
-                             .with_circuit(parse_qasm(args.qasm))
-                             .with_repetitions(args.repetitions)
-                             .with_seed(args.seed)
-                             .with_threads(args.threads)
-                             .with_rng_streams(args.streams)
-                             .with_optimization(args.optimize)
-                             .with_sample_parallelization(!args.no_batch);
-    if (args.backend != "auto") request.with_backend(args.backend);
-    const RunReportContext context =
-        report_context(request, request.circuit.num_qubits());
-    Session session;
-    return run_report_string(context, session.run(std::move(request)));
-  }
 
   std::unique_ptr<ServiceDaemon> daemon_;
 };
@@ -266,6 +271,63 @@ TEST_F(TinyQueueServiceTest, AdmissionControlOverSocket) {
   client.cancel(running);
   client.cancel(queued);
   EXPECT_EQ(client.stats().u64_or("rejected", 0), 1u);
+}
+
+TEST(ServiceJournal, RestartReplaysTerminalJobsAndResumesIncompleteOnes) {
+  const std::string journal = "/tmp/bgls_test_journal_" +
+                              std::to_string(::getpid()) + "_svc.ndjson";
+  std::remove(journal.c_str());
+
+  SubmitArgs finished;
+  finished.qasm = kGhzQasm;
+  finished.repetitions = 512;
+  finished.seed = 3;
+  SubmitArgs interrupted;
+  interrupted.qasm = kGhzQasm;
+  interrupted.repetitions = 400'000;
+  interrupted.seed = 23;
+  interrupted.no_batch = true;  // per-trajectory: checkpointable mid-run
+
+  std::uint64_t finished_id = 0;
+  std::uint64_t interrupted_id = 0;
+  {
+    DaemonOptions options;
+    options.endpoint = Endpoint::unix_socket(unique_socket_path());
+    options.journal_path = journal;
+    options.scheduler.checkpoint_every = 5'000;
+    ServiceDaemon daemon(options);
+    daemon.start();
+    ServiceClient client(daemon.endpoint());
+    finished_id = client.submit(finished);
+    EXPECT_EQ(client.wait_report(finished_id), direct_report(finished));
+    interrupted_id = client.submit(interrupted);
+    while (client.status(interrupted_id).string_or("state", "") == "queued") {
+      std::this_thread::sleep_for(1ms);
+    }
+    // Destroy the daemon with the job mid-run. Shutdown-cancelled jobs
+    // get no terminal journal record, so the job stays incomplete in
+    // the log for the next incarnation to resume.
+  }
+
+  DaemonOptions options;
+  options.endpoint = Endpoint::unix_socket(unique_socket_path());
+  options.journal_path = journal;
+  options.scheduler.checkpoint_every = 5'000;
+  ServiceDaemon daemon(options);
+  daemon.start();  // replays + compacts the journal, re-enqueues
+  ServiceClient client(daemon.endpoint());
+
+  // The finished job answers from the journal without re-running, under
+  // its original id — status, result, and stream all work.
+  EXPECT_EQ(client.result_report(finished_id), direct_report(finished));
+  EXPECT_EQ(client.status(finished_id).string_or("state", ""), "done");
+
+  // The interrupted job re-ran (resuming from its last checkpoint when
+  // one was journaled) to the canonical bytes.
+  EXPECT_EQ(client.wait_report(interrupted_id), direct_report(interrupted));
+
+  daemon.stop();
+  std::remove(journal.c_str());
 }
 
 TEST_F(ServiceTest, StopWhileJobsInFlightIsClean) {

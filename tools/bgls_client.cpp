@@ -14,16 +14,22 @@
 /// bgls_run: 0 success, 2 usage/transport/server errors, 3 when the
 /// job ended cancelled or timed out.
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli_flags.h"
 #include "service/client.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -39,6 +45,11 @@ struct ClientOptions {
   std::vector<std::string> args;  // positional command arguments
   SubmitArgs submit;              // flags for run/submit
   std::uint64_t timeout_ms = 0;   // wait/run bound (0 = none)
+  /// Transport-level retries: a refused/dropped connection or a
+  /// journal_error response reconnects with exponential backoff +
+  /// jitter (the daemon may be mid-restart, replaying its journal).
+  int retries = 0;
+  std::uint64_t backoff_ms = 100;
 };
 
 void print_usage(std::ostream& os) {
@@ -66,6 +77,10 @@ void print_usage(std::ostream& os) {
         "  --threads N --streams N --optimize --no-batch --priority N\n"
         "  --deadline-ms N --progress-every N\n"
         "wait flags (run/wait): --timeout-ms N\n"
+        "transport flags: --retries N (reconnect attempts on connection\n"
+        "  failures and journal_error responses, default 0)\n"
+        "  --backoff-ms B (retry backoff base, default 100; the k-th\n"
+        "  retry waits B*2^k plus jitter)\n"
         "\n"
         "exit codes: 0 success, 2 error, 3 job cancelled or timed out.\n";
 }
@@ -106,6 +121,13 @@ bool parse_args(int argc, char** argv, ClientOptions& options) {
       options.submit.progress_every = parse_u64_flag(arg, need_value(i, arg));
     } else if (arg == "--timeout-ms") {
       options.timeout_ms = parse_u64_flag(arg, need_value(i, arg));
+    } else if (arg == "--retries") {
+      const std::uint64_t retries = parse_u64_flag(arg, need_value(i, arg));
+      BGLS_REQUIRE(retries <= 100, "value ", retries, " for ", arg,
+                   " is out of range");
+      options.retries = static_cast<int>(retries);
+    } else if (arg == "--backoff-ms") {
+      options.backoff_ms = parse_u64_flag(arg, need_value(i, arg));
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       detail::throw_error<ValueError>("unknown flag '", arg,
                                       "' (try --help)");
@@ -226,13 +248,49 @@ int run_command(const ClientOptions& options) {
                                   "' (try --help)");
 }
 
+/// True for failures worth reconnecting on: transport errors (daemon
+/// down or mid-restart) and journal_error responses (a durable ack
+/// could not be written; the submit is safe to repeat).
+bool retryable(const std::exception& e) {
+  if (dynamic_cast<const IoError*>(&e) != nullptr) return true;
+  const auto* service = dynamic_cast<const ServiceError*>(&e);
+  return service != nullptr && service->code() == "journal_error";
+}
+
+void backoff_sleep(const ClientOptions& options, int attempt) {
+  const std::uint64_t base = options.backoff_ms;
+  std::uint64_t wait =
+      base << std::min(attempt, 16);  // exponential, capped shift
+  if (base > 0) {
+    // Jitter decorrelates a herd of clients hammering a restarting
+    // daemon; seeded per-process so runs stay reproducible under test.
+    Rng jitter(static_cast<std::uint64_t>(::getpid()) * 2654435761ull +
+               static_cast<std::uint64_t>(attempt));
+    wait += jitter.uniform_int(base);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+}
+
+int run_with_retries(const ClientOptions& options) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return run_command(options);
+    } catch (const std::exception& e) {
+      if (attempt >= options.retries || !retryable(e)) throw;
+      std::cerr << "bgls_client: " << e.what() << " (retry "
+                << (attempt + 1) << "/" << options.retries << ")\n";
+      backoff_sleep(options, attempt);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ClientOptions options;
   try {
     if (!parse_args(argc, argv, options)) return 0;
-    return run_command(options);
+    return run_with_retries(options);
   } catch (const ServiceError& e) {
     std::cerr << "bgls_client: [" << e.code() << "] " << e.what() << "\n";
     return e.code() == "cancelled" || e.code() == "timeout" ? 3 : 2;

@@ -11,11 +11,17 @@
 /// see `bgls_client` for a ready-made driver. Final results reuse the
 /// bgls_run report schema, byte-identical to the CLI on the same
 /// inputs and seeds. The process runs until a client sends the
-/// `shutdown` op (or it is killed).
+/// `shutdown` op, SIGTERM/SIGINT arrives (graceful: stop accepting,
+/// flush the journal, exit 0), or it is killed — with `--journal`, a
+/// restart replays the log and resumes incomplete jobs from their last
+/// checkpoint.
 
+#include <csignal>
+#include <atomic>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "api/session.h"
 #include "cli_flags.h"
@@ -35,6 +41,46 @@ struct ServeOptions {
   std::size_t queue = 64;
   std::size_t retain = 1024;
   std::string metrics_json;  // "" = no final dump
+  std::string journal;      // "" = no write-ahead journal
+  std::uint64_t checkpoint_every = 0;
+  int retries = 0;
+  std::uint64_t backoff_ms = 100;
+};
+
+/// Watches for SIGTERM/SIGINT (blocked on every thread; polled with
+/// sigtimedwait so the watcher can also exit on normal shutdown) and
+/// triggers the daemon's graceful-exit path.
+class SignalWatcher {
+ public:
+  explicit SignalWatcher(ServiceDaemon& daemon) {
+    sigemptyset(&set_);
+    sigaddset(&set_, SIGTERM);
+    sigaddset(&set_, SIGINT);
+    pthread_sigmask(SIG_BLOCK, &set_, nullptr);
+    thread_ = std::thread([this, &daemon] {
+      const timespec poll_interval{0, 200 * 1000 * 1000};  // 200ms
+      while (!done_.load(std::memory_order_acquire)) {
+        const int sig = sigtimedwait(&set_, nullptr, &poll_interval);
+        if (sig == SIGTERM || sig == SIGINT) {
+          std::cout << "bgls_serve: caught "
+                    << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
+                    << ", shutting down gracefully" << std::endl;
+          daemon.request_shutdown();
+          return;
+        }
+      }
+    });
+  }
+
+  ~SignalWatcher() {
+    done_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  sigset_t set_{};
+  std::atomic<bool> done_{false};
+  std::thread thread_;
 };
 
 void print_usage(std::ostream& os) {
@@ -56,6 +102,17 @@ void print_usage(std::ostream& os) {
         "                   (default 1024); oldest are evicted beyond it\n"
         "  --metrics-json FILE  dump the final telemetry registry as JSON\n"
         "                   at shutdown (live scrapes: {\"op\":\"metrics\"})\n"
+        "  --journal FILE   write-ahead scheduler journal: every submit/\n"
+        "                   terminal/checkpoint event is fsync'd before\n"
+        "                   the ack; a restart replays it, answers\n"
+        "                   finished jobs from the log, and resumes\n"
+        "                   incomplete ones from their last checkpoint\n"
+        "  --checkpoint-every N  repetitions between resumable snapshots\n"
+        "                   per job (default 0 = no snapshots; incomplete\n"
+        "                   jobs then re-run from scratch after a crash)\n"
+        "  --retries N      re-queue transiently failed jobs up to N\n"
+        "                   times with exponential backoff (default 0)\n"
+        "  --backoff-ms B   retry backoff base in ms (default 100)\n"
         "  --help           this text\n";
 }
 
@@ -86,6 +143,17 @@ bool parse_args(int argc, char** argv, ServeOptions& options) {
           static_cast<std::size_t>(parse_u64_flag(arg, need_value(i, arg)));
     } else if (arg == "--metrics-json") {
       options.metrics_json = need_value(i, arg);
+    } else if (arg == "--journal") {
+      options.journal = need_value(i, arg);
+    } else if (arg == "--checkpoint-every") {
+      options.checkpoint_every = parse_u64_flag(arg, need_value(i, arg));
+    } else if (arg == "--retries") {
+      const std::uint64_t retries = parse_u64_flag(arg, need_value(i, arg));
+      BGLS_REQUIRE(retries <= 100, "value ", retries, " for ", arg,
+                   " is out of range");
+      options.retries = static_cast<int>(retries);
+    } else if (arg == "--backoff-ms") {
+      options.backoff_ms = parse_u64_flag(arg, need_value(i, arg));
     } else {
       detail::throw_error<ValueError>("unknown flag '", arg,
                                       "' (try --help)");
@@ -106,12 +174,20 @@ int main(int argc, char** argv) {
     daemon_options.scheduler.max_concurrent_jobs = options.jobs;
     daemon_options.scheduler.max_queue_depth = options.queue;
     daemon_options.scheduler.max_retained_jobs = options.retain;
+    daemon_options.scheduler.checkpoint_every = options.checkpoint_every;
+    daemon_options.scheduler.max_retries = options.retries;
+    daemon_options.scheduler.backoff_base_ms = options.backoff_ms;
+    daemon_options.journal_path = options.journal;
 
     ServiceDaemon daemon(daemon_options);
+    const SignalWatcher signals(daemon);
     daemon.start();
     std::cout << "bgls_serve: listening on "
               << daemon.endpoint().to_string() << " (jobs=" << options.jobs
-              << ", queue=" << options.queue << ")" << std::endl;
+              << ", queue=" << options.queue
+              << (options.journal.empty() ? ""
+                                          : ", journal=" + options.journal)
+              << ")" << std::endl;
     daemon.wait_for_shutdown();
     std::cout << "bgls_serve: shutdown requested, draining" << std::endl;
     daemon.stop();

@@ -12,7 +12,12 @@
 #   5. admission/stats/shutdown endpoints work;
 #   6. the {"op":"metrics"} endpoint serves Prometheus exposition with
 #      scheduler/engine/kernel/daemon series, monotonic across scrapes
-#      (skipped when the build compiled telemetry out).
+#      (skipped when the build compiled telemetry out);
+#   7. crash recovery: a daemon with --journal is kill -9'd mid-flood
+#      (with torn journal writes injected via BGLS_FAULT_INJECT), a
+#      fresh daemon replays the same journal, resumes the incomplete
+#      job from its checkpoint, and every job's final report is still
+#      byte-identical to bgls_run; journal/resume telemetry is scraped.
 #
 # Usage: service_e2e.sh BGLS_SERVE BGLS_CLIENT BGLS_RUN DATA_DIR WORK_DIR
 
@@ -24,16 +29,19 @@ SOCK="/tmp/bgls_e2e_$$.sock"
 CONNECT="unix:$SOCK"
 mkdir -p "$WORK"
 SERVE_PID=""
+JSERVE_PID=""
 
 fail() {
   echo "FAIL: $*" >&2
   [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null
+  [ -n "$JSERVE_PID" ] && kill "$JSERVE_PID" 2>/dev/null
   exit 1
 }
 
 cleanup() {
   [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null
-  rm -f "$SOCK"
+  [ -n "$JSERVE_PID" ] && kill "$JSERVE_PID" 2>/dev/null
+  rm -f "$SOCK" "/tmp/bgls_e2e_j$$.sock"
 }
 trap cleanup EXIT
 
@@ -196,6 +204,106 @@ grep -q "timed_out=1" "$WORK/stats.txt" || fail "stats missing timed_out=1"
 wait "$SERVE_PID" || fail "daemon exited non-zero"
 SERVE_PID=""
 echo "ok: stats consistent, daemon drained cleanly"
+
+# --- 8. Crash recovery: kill -9 mid-flood, restart on the same journal ---
+JSOCK="/tmp/bgls_e2e_j$$.sock"
+JCONNECT="unix:$JSOCK"
+JOURNAL="$WORK/journal.ndjson"
+# Torn journal appends injected at 2% probability: submits see retryable
+# journal_error responses (the clients' --retries absorbs them) and the
+# replay below must skip the torn lines.
+BGLS_FAULT_INJECT="journal_write:0.02:42" \
+  "$SERVE" --listen "$JCONNECT" --jobs 2 --journal "$JOURNAL" \
+  --checkpoint-every 100000 --retries 3 --backoff-ms 10 &
+JSERVE_PID=$!
+for _ in $(seq 100); do
+  [ -S "$JSOCK" ] && break
+  sleep 0.1
+done
+[ -S "$JSOCK" ] || fail "journaled daemon socket never appeared"
+
+# Short jobs that finish before the kill (answered from the journal
+# after the restart) ...
+JOB_IDS=()
+for i in "${!SPECS[@]}"; do
+  read -r QASM REPS SEED <<< "${SPECS[$i]}"
+  ID=$("$CLIENT" --connect "$JCONNECT" --retries 5 --backoff-ms 50 \
+    submit --reps "$REPS" --seed "$SEED" "$DATA/$QASM") \
+    || fail "journaled submit $i failed"
+  JOB_IDS+=("$ID")
+done
+for ID in "${JOB_IDS[@]}"; do
+  "$CLIENT" --connect "$JCONNECT" --retries 5 --backoff-ms 50 \
+    wait "$ID" > /dev/null || fail "journaled wait $ID failed"
+done
+# ... and one long job the kill lands in the middle of (~2-3s of work,
+# well past several checkpoint boundaries).
+"$RUN" --reps 3000000 --no-batch --seed 23 --out "$WORK/expected_long.json" \
+  "$DATA/ghz.qasm" || fail "bgls_run for the long job failed"
+LONG_ID=$("$CLIENT" --connect "$JCONNECT" --retries 5 --backoff-ms 50 \
+  submit --reps 3000000 --no-batch --seed 23 "$DATA/ghz.qasm") \
+  || fail "long submit failed"
+sleep 0.4
+
+kill -9 "$JSERVE_PID" 2>/dev/null
+wait "$JSERVE_PID" 2>/dev/null
+echo "ok: journaled daemon killed -9 mid-job (journal: $(wc -l < "$JOURNAL") lines)"
+
+# Restart on the same journal and socket: replay answers the finished
+# jobs from the log and re-enqueues the long job from its checkpoint.
+"$SERVE" --listen "$JCONNECT" --jobs 2 --journal "$JOURNAL" \
+  --checkpoint-every 100000 --retries 3 --backoff-ms 10 &
+JSERVE_PID=$!
+for _ in $(seq 100); do
+  [ -S "$JSOCK" ] && break
+  sleep 0.1
+done
+[ -S "$JSOCK" ] || fail "restarted daemon socket never appeared"
+
+for i in "${!SPECS[@]}"; do
+  "$CLIENT" --connect "$JCONNECT" --retries 5 --backoff-ms 50 \
+    result "${JOB_IDS[$i]}" > "$WORK/replayed_$i.json" \
+    || fail "replayed result ${JOB_IDS[$i]} failed"
+  cmp "$WORK/replayed_$i.json" "$WORK/expected_$i.json" \
+    || fail "replayed job $i differs from bgls_run"
+done
+"$CLIENT" --connect "$JCONNECT" --retries 5 --backoff-ms 50 \
+  wait "$LONG_ID" > "$WORK/resumed_long.json" \
+  || fail "resumed long job failed"
+cmp "$WORK/resumed_long.json" "$WORK/expected_long.json" \
+  || fail "resumed long job differs from bgls_run"
+echo "ok: ${#SPECS[@]} journal-replayed + 1 checkpoint-resumed job byte-identical"
+
+"$CLIENT" --connect "$JCONNECT" metrics > "$WORK/metrics_journal.txt" \
+  || fail "journal metrics scrape failed"
+if ! grep -q "telemetry compiled out" "$WORK/metrics_journal.txt"; then
+  for series in \
+    'bgls_journal_records_total' \
+    'bgls_journal_replay_seconds_count' \
+    'bgls_jobs_resumed_total' \
+    'bgls_jobs_retried_total' \
+    'bgls_scheduler_preempted_total'; do
+    grep -q "^$series " "$WORK/metrics_journal.txt" \
+      || fail "metrics missing series $series"
+  done
+  series_value() { awk -v s="$2" '$1 == s {print $2}' "$1"; }
+  RECORDS=$(series_value "$WORK/metrics_journal.txt" \
+    'bgls_journal_records_total')
+  [ "${RECORDS%.*}" -gt 0 ] || fail "journal_records_total=$RECORDS, want >0"
+  REPLAYS=$(series_value "$WORK/metrics_journal.txt" \
+    'bgls_journal_replay_seconds_count')
+  [ "${REPLAYS%.*}" -ge 1 ] || fail "replay count=$REPLAYS, want >=1"
+  RESUMED=$(series_value "$WORK/metrics_journal.txt" \
+    'bgls_jobs_resumed_total')
+  [ "${RESUMED%.*}" -ge 1 ] || fail "jobs_resumed_total=$RESUMED, want >=1"
+  echo "ok: journal telemetry ($RECORDS records, $RESUMED resumed)"
+fi
+
+"$CLIENT" --connect "$JCONNECT" shutdown > /dev/null \
+  || fail "journaled daemon shutdown failed"
+wait "$JSERVE_PID" || fail "journaled daemon exited non-zero"
+JSERVE_PID=""
+rm -f "$JSOCK"
 
 echo "PASS: service end-to-end"
 exit 0
