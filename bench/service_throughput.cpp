@@ -22,7 +22,12 @@
 #include "bench_json.h"
 #include "circuit/random.h"
 #include "obs/metrics.h"
+#include "service/client.h"
+#include "service/daemon.h"
+#include "service/fleet.h"
 #include "service/journal.h"
+#include "service/protocol.h"
+#include "service/result_cache.h"
 #include "service/scheduler.h"
 #include "util/json_writer.h"
 
@@ -45,6 +50,20 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
                                        start)
       .count();
 }
+
+/// Workload for the fleet row: submissions go over the wire as QASM, so
+/// the fleet bench uses a fixed circuit with per-job seeds (the
+/// repeat-heavy traffic shape the fleet front is built for).
+const char kGhzQasm[] =
+    "OPENQASM 2.0;\n"
+    "include \"qelib1.inc\";\n"
+    "qreg q[4];\n"
+    "creg c[4];\n"
+    "h q[0];\n"
+    "cx q[0],q[1];\n"
+    "cx q[1],q[2];\n"
+    "cx q[2],q[3];\n"
+    "measure q -> c;\n";
 
 }  // namespace
 
@@ -180,6 +199,103 @@ int main(int argc, char** argv) {
     json.key("runners").value(1);
     json.key("checkpoint_every").value(256);
     json.key("journal_records").value(records);
+    json.key("seconds").value(seconds);
+    json.key("jobs_per_second").value(kJobs / seconds);
+    json.end_object();
+  }
+
+  // Result-cache hit path: the scheduler_1 shape run twice against a
+  // shared ResultCache. The first pass samples (all misses); the second
+  // submits the identical requests and is answered entirely from the
+  // cache — the row records the hot pass, i.e. the map-lookup-only
+  // throughput a repeat-heavy workload sees.
+  {
+    auto cache = std::make_shared<service::ResultCache>();
+    service::SchedulerOptions options;
+    options.max_concurrent_jobs = 1;
+    options.max_queue_depth = kJobs + 1;
+    options.result_cache = cache;
+    service::JobScheduler scheduler(options);
+    const auto submit_all = [&] {
+      std::vector<std::uint64_t> ids;
+      ids.reserve(kJobs);
+      for (int i = 0; i < kJobs; ++i) {
+        ids.push_back(scheduler.submit(
+            RunRequest()
+                .with_circuit(circuits[static_cast<std::size_t>(i)])
+                .with_repetitions(kReps)
+                .with_seed(static_cast<std::uint64_t>(i))));
+      }
+      for (const std::uint64_t id : ids) (void)scheduler.wait(id);
+    };
+    const auto cold_start = std::chrono::steady_clock::now();
+    submit_all();
+    const double cold_seconds = seconds_since(cold_start);
+    const auto hot_start = std::chrono::steady_clock::now();
+    submit_all();
+    const double hot_seconds = seconds_since(hot_start);
+    const service::ResultCache::Stats cache_stats = cache->stats();
+    std::cout << "scheduler_1_cache_hit  : " << hot_seconds << " s ("
+              << kJobs / hot_seconds << " jobs/s; cold pass "
+              << cold_seconds << " s, " << cache_stats.hits << " hits)\n";
+    json.begin_object();
+    json.key("path").value("scheduler_1_cache_hit");
+    json.key("runners").value(1);
+    json.key("cold_seconds").value(cold_seconds);
+    json.key("cache_hits").value(cache_stats.hits);
+    json.key("cache_misses").value(cache_stats.misses);
+    json.key("seconds").value(hot_seconds);
+    json.key("jobs_per_second").value(kJobs / hot_seconds);
+    json.end_object();
+  }
+
+  // Fleet front: two in-process worker daemons behind a FleetDaemon,
+  // driven through a real ServiceClient over Unix sockets — jobs/s
+  // including the wire protocol and the fleet's placement/proxy hop.
+  {
+    const std::string base =
+        "/tmp/bgls_bench_fleet_" + std::to_string(::getpid());
+    service::DaemonOptions worker_options;
+    worker_options.scheduler.max_concurrent_jobs = 1;
+    worker_options.scheduler.max_queue_depth = kJobs + 1;
+    worker_options.endpoint = service::Endpoint::parse("unix:" + base +
+                                                       "_w1.sock");
+    service::ServiceDaemon worker1(worker_options);
+    worker_options.endpoint = service::Endpoint::parse("unix:" + base +
+                                                       "_w2.sock");
+    service::ServiceDaemon worker2(worker_options);
+    worker1.start();
+    worker2.start();
+    service::FleetOptions fleet_options;
+    fleet_options.endpoint =
+        service::Endpoint::parse("unix:" + base + "_front.sock");
+    fleet_options.workers = {worker1.endpoint(), worker2.endpoint()};
+    service::FleetDaemon fleet(fleet_options);
+    fleet.start();
+    double seconds = 0;
+    {
+      service::ServiceClient client(fleet.endpoint());
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::uint64_t> ids;
+      ids.reserve(kJobs);
+      for (int i = 0; i < kJobs; ++i) {
+        service::SubmitArgs args;
+        args.qasm = kGhzQasm;
+        args.repetitions = kReps;
+        args.seed = static_cast<std::uint64_t>(i);
+        ids.push_back(client.submit(args));
+      }
+      for (const std::uint64_t id : ids) (void)client.wait_report(id);
+      seconds = seconds_since(start);
+    }
+    fleet.stop();
+    worker1.stop();
+    worker2.stop();
+    std::cout << "fleet_2_workers        : " << seconds << " s ("
+              << kJobs / seconds << " jobs/s)\n";
+    json.begin_object();
+    json.key("path").value("fleet_2_workers");
+    json.key("workers").value(2);
     json.key("seconds").value(seconds);
     json.key("jobs_per_second").value(kJobs / seconds);
     json.end_object();

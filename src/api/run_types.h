@@ -125,6 +125,10 @@ struct RunRequest {
   /// higher runs first, ties run in submission order. Ignored by
   /// direct Session runs.
   int priority = 0;
+  /// Owning tenant for service-side quotas and weighted-fair scheduling
+  /// ("" = the anonymous default tenant). Never affects sampled results
+  /// — scheduling-only, excluded from the result cache key.
+  std::string tenant;
   /// Wall-clock budget in milliseconds; 0 = none. Session::run/
   /// run_async arm it on entry, the service scheduler at submit (so
   /// queue wait counts against it). An exceeded deadline aborts the run
@@ -214,6 +218,10 @@ struct RunRequest {
   }
   RunRequest& with_priority(int p) {
     priority = p;
+    return *this;
+  }
+  RunRequest& with_tenant(std::string name) {
+    tenant = std::move(name);
     return *this;
   }
   RunRequest& with_deadline_ms(std::uint64_t ms) {

@@ -62,12 +62,12 @@ CircuitProfile profile_circuit(const Circuit& circuit) {
 }
 
 BackendSelector::Selection BackendSelector::select(
-    const Circuit& circuit) const {
-  return select(profile_circuit(circuit));
+    const Circuit& circuit, std::uint64_t repetitions) const {
+  return select(profile_circuit(circuit), repetitions);
 }
 
 BackendSelector::Selection BackendSelector::select(
-    const CircuitProfile& p) const {
+    const CircuitProfile& p, std::uint64_t repetitions) const {
   // 1. Pure Clifford: polynomial and exact beats everything dense.
   if (p.clifford_only && !p.has_channels &&
       p.num_qubits <= thresholds_.max_stabilizer_qubits) {
@@ -75,18 +75,24 @@ BackendSelector::Selection BackendSelector::select(
             "pure-Clifford circuit: CH-form stabilizer simulation is exact "
             "at polynomial cost"};
   }
-  // 2. Channels: exact Kraus ground truth while the 4^n cost allows,
-  //    then the trajectory path over pure states.
+  // 2. Channels: exact Kraus branching in one 4^n pass vs re-evolving
+  //    2^n amplitudes per trajectory — whichever the fitted model
+  //    predicts cheaper for this repetition count. Ties go to the
+  //    density matrix (exact beats sampled at equal cost).
   if (p.has_channels) {
-    if (p.num_qubits <= thresholds_.max_density_matrix_qubits) {
-      return {BackendId::kDensityMatrix,
-              "channel-bearing circuit on a small register: density matrix "
-              "branches channels exactly"};
-    }
     if (p.num_qubits <= thresholds_.max_statevector_qubits) {
+      const double dm_seconds = cost_model_.predict_seconds(
+          p, repetitions, BackendId::kDensityMatrix);
+      const double sv_seconds = cost_model_.predict_seconds(
+          p, repetitions, BackendId::kStateVector);
+      if (dm_seconds <= sv_seconds) {
+        return {BackendId::kDensityMatrix,
+                "channel-bearing circuit: one exact density-matrix pass "
+                "predicted no slower than per-trajectory re-evolution"};
+      }
       return {BackendId::kStateVector,
-              "channel-bearing circuit too wide for a density matrix: "
-              "statevector quantum trajectories"};
+              "channel-bearing circuit: statevector quantum trajectories "
+              "predicted cheaper than the exact density-matrix pass"};
     }
     if (p.max_gate_arity <= 2) {
       return {BackendId::kMps,
@@ -107,15 +113,17 @@ BackendSelector::Selection BackendSelector::select(
         p.has_channels ? ", with channels" : "",
         "); decompose_to_arity() may help");
   }
-  // 4. Wide, chain-local, and sparsely entangling: bond dimensions stay
-  //    small, so MPS beats paying 2^n amplitudes per gate.
+  // 4. Chain-local circuits: n·χ³ tensor contractions vs 2^n amplitudes
+  //    per gate, by predicted cost (χ estimated from the entangling
+  //    density). Small or densely entangling circuits land on the
+  //    statevector naturally — no width or density cutoffs needed.
   if (p.max_gate_arity <= 2 && p.nearest_neighbor_1d &&
-      p.num_qubits >= thresholds_.min_mps_qubits &&
-      p.entangling_gates_per_qubit() <=
-          thresholds_.max_mps_entangling_gates_per_qubit) {
+      cost_model_.predict_seconds(p, repetitions, BackendId::kMps) <
+          cost_model_.predict_seconds(p, repetitions,
+                                      BackendId::kStateVector)) {
     return {BackendId::kMps,
-            "wide 1D nearest-neighbor circuit with low entangling-gate "
-            "density: matrix product state"};
+            "1D nearest-neighbor circuit with low predicted bond growth: "
+            "matrix product state cheaper than dense amplitudes"};
   }
   // 5. Dense default.
   return {BackendId::kStateVector,

@@ -12,20 +12,31 @@
 ///
 /// Selection rules, in precedence order:
 ///  1. pure Clifford (no channels)            → stabilizer (exact, poly);
-///  2. channel-bearing                        → densitymatrix when the
-///     register is small enough, else the statevector trajectory path;
+///  2. channel-bearing                        → densitymatrix or the
+///     statevector trajectory path, whichever the CostModel predicts
+///     cheaper for the requested repetitions (exact one-pass 4^n vs
+///     reps × 2^n re-evolutions — DM while 2^n ≤ reps);
 ///  3. wider than the statevector limit       → mps (only dense option);
-///  4. 1D nearest-neighbor, low entangling-gate density, wide enough
-///     that dense amplitudes start to hurt    → mps;
+///  4. 1D nearest-neighbor with arity ≤ 2     → mps when the CostModel
+///     predicts its n·χ³ contractions cheaper than 2^n amplitudes;
 ///  5. everything else                        → statevector.
+///
+/// Rules 1 and 3 are structural (capability limits); rules 2 and 4 are
+/// the former hard-coded qubit cutoffs (max_density_matrix_qubits,
+/// min_mps_qubits, entangling-density ceiling) replaced by predicted-
+/// cost comparisons fitted from the BENCH artifacts (service/cost.h).
+/// At the default 1024 repetitions the cost comparisons reproduce the
+/// old boundaries exactly.
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "api/run_types.h"
 #include "circuit/circuit.h"
+#include "service/cost.h"
 
 namespace bgls {
 
@@ -65,20 +76,15 @@ struct CircuitProfile {
 /// Picks a backend for a circuit according to the rules above.
 class BackendSelector {
  public:
-  /// Tunable routing boundaries.
+  /// Structural capability limits. The former performance cutoffs
+  /// (max_density_matrix_qubits, min_mps_qubits, and the entangling-
+  /// density ceiling) are gone — those boundaries now fall out of the
+  /// CostModel's predicted-cost comparisons.
   struct Thresholds {
-    /// Densitymatrix costs 4^n; above this the trajectory path wins.
-    int max_density_matrix_qubits = 10;
     /// Dense amplitude limit (StateVectorState supports ≤ 30).
     int max_statevector_qubits = 30;
     /// CH-form register limit (bit-packed rows).
     int max_stabilizer_qubits = 63;
-    /// Below this width dense amplitudes are cheap enough that MPS
-    /// bookkeeping isn't worth it.
-    int min_mps_qubits = 12;
-    /// 1D circuits with at most this many entangling gates per qubit
-    /// route to MPS (low expected bond growth).
-    double max_mps_entangling_gates_per_qubit = 3.0;
   };
 
   /// The choice plus a human-readable justification (surfaced in
@@ -88,20 +94,38 @@ class BackendSelector {
     std::string reason;
   };
 
+  /// Repetition count the single-argument select() assumes — the
+  /// service protocol's default submission size.
+  static constexpr std::uint64_t kDefaultRepetitions = 1024;
+
   BackendSelector() = default;
-  explicit BackendSelector(Thresholds thresholds) : thresholds_(thresholds) {}
+  explicit BackendSelector(Thresholds thresholds,
+                           service::CostModel cost_model = {})
+      : thresholds_(thresholds), cost_model_(std::move(cost_model)) {}
 
   [[nodiscard]] const Thresholds& thresholds() const { return thresholds_; }
 
+  /// The fitted model behind rules 2 and 4 (and cost-aware admission).
+  [[nodiscard]] const service::CostModel& cost_model() const {
+    return cost_model_;
+  }
+
   /// Profiles and selects. Throws UnsupportedOperationError when no
-  /// shipped representation can run the circuit.
-  [[nodiscard]] Selection select(const Circuit& circuit) const;
+  /// shipped representation can run the circuit. Repetitions matter:
+  /// the DM-vs-trajectories and MPS-vs-dense boundaries are predicted-
+  /// cost comparisons, and trajectory cost scales with repetitions.
+  [[nodiscard]] Selection select(
+      const Circuit& circuit,
+      std::uint64_t repetitions = kDefaultRepetitions) const;
 
   /// Selects from an existing profile.
-  [[nodiscard]] Selection select(const CircuitProfile& profile) const;
+  [[nodiscard]] Selection select(
+      const CircuitProfile& profile,
+      std::uint64_t repetitions = kDefaultRepetitions) const;
 
  private:
   Thresholds thresholds_;
+  service::CostModel cost_model_;
 };
 
 }  // namespace bgls

@@ -36,7 +36,7 @@ void arm_cancellation(RunRequest& request) {
 Session::Session(SessionOptions options)
     : registry_(options.registry != nullptr ? options.registry
                                             : &BackendRegistry::global()),
-      selector_(options.selector_thresholds) {}
+      selector_(options.selector_thresholds, options.cost_model) {}
 
 void Session::apply_optimization(Circuit& circuit, const Backend& backend) {
   // Optimization is a performance hint, not a contract: fusion emits
@@ -61,7 +61,11 @@ Session::Resolution Session::resolve_backend(const Circuit& circuit,
                  "(with_backend(\"<registered name>\"))");
     return {registry_->require(request.backend), ""};
   }
-  BackendSelector::Selection selection = selector_.select(circuit);
+  // Repetitions feed the cost comparisons (rules 2 and 4): trajectory
+  // cost scales with shots, so the same circuit may route differently
+  // at 10 reps and 10k reps.
+  BackendSelector::Selection selection =
+      selector_.select(circuit, request.repetitions);
   return {registry_->require(selection.id), std::move(selection.reason)};
 }
 

@@ -6,12 +6,16 @@ ServiceClient::ServiceClient(const Endpoint& endpoint)
     : socket_(connect_to(endpoint)) {}
 
 JsonValue ServiceClient::roundtrip(const std::string& line) {
+  return JsonValue::parse(roundtrip_text(line));
+}
+
+std::string ServiceClient::roundtrip_text(const std::string& line) {
   socket_.write_all(line);
   std::string response;
   if (!socket_.read_line(response)) {
     detail::throw_error<IoError>("server closed the connection");
   }
-  return JsonValue::parse(response);
+  return response;
 }
 
 void ServiceClient::require_ok(const JsonValue& response) {

@@ -40,6 +40,11 @@ class ServiceClient {
   /// (ok=true or ok=false alike). Throws IoError on transport errors.
   JsonValue roundtrip(const std::string& line);
 
+  /// roundtrip() without the parse: the response line verbatim (no
+  /// trailing newline). Drives server-specific ops the typed API does
+  /// not cover (the fleet front's `fleet`/`drain`/`undrain`).
+  std::string roundtrip_text(const std::string& line);
+
   /// Submits a job; returns its id. Throws ServiceError on rejection.
   std::uint64_t submit(const SubmitArgs& args);
 

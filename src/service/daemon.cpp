@@ -434,6 +434,13 @@ void ServiceDaemon::handle_line(const std::string& line, Socket& socket) {
     throw;  // connection-level: let the handler loop exit
   } catch (const QueueFullError& e) {
     socket.write_all(error_line("queue_full", e.what()));
+  } catch (const TenantQuotaError& e) {
+    // Retryable like queue_full: the tenant's backlog drains.
+    socket.write_all(error_line("tenant_quota", e.what()));
+  } catch (const CostBudgetError& e) {
+    // Retryable only for the backlog budget; a per-job over-budget
+    // rejection re-fails identically, but the slug lets clients decide.
+    socket.write_all(error_line("over_budget", e.what()));
   } catch (const JournalError& e) {
     // Transient durability failure: the client should back off and
     // retry (bgls_client --retries does).
@@ -473,9 +480,21 @@ void ServiceDaemon::handle_submit(const JsonValue& message,
   // keeps running but the client gets journal_error and must retry —
   // the orphan's terminal record is dropped at the next replay.
   if (journal_.is_open()) journal_.append(submit_record(id, line));
+  // Cache hits are born terminal — report the real state so clients
+  // can skip straight to `result` without polling.
+  JobState state = JobState::kQueued;
+  bool from_cache = false;
+  try {
+    const JobInfo info = scheduler_.info(id);
+    state = info.state;
+    from_cache = info.from_cache;
+  } catch (const ValueError&) {
+    // Evicted already (pathologically small retention) — keep kQueued.
+  }
   socket.write_all(response_line(true, [&](JsonWriter& json) {
     json.key("job").value(id);
-    json.key("state").value(job_state_name(JobState::kQueued));
+    json.key("state").value(job_state_name(state));
+    if (from_cache) json.key("from_cache").value(true);
   }));
 }
 
@@ -690,9 +709,15 @@ void ServiceDaemon::handle_stats(Socket& socket) {
     json.key("queue_depth").value(
         static_cast<std::uint64_t>(stats.queue_depth));
     json.key("running").value(static_cast<std::uint64_t>(stats.running));
+    json.key("cache_hits").value(stats.cache_hits);
     json.key("completed_per_backend").begin_object();
     for (const auto& [backend, count] : stats.completed_per_backend) {
       json.key(backend).value(count);
+    }
+    json.end_object();
+    json.key("completed_per_tenant").begin_object();
+    for (const auto& [tenant, count] : stats.completed_per_tenant) {
+      json.key(tenant).value(count);
     }
     json.end_object();
   }));

@@ -1,0 +1,557 @@
+#include "service/fleet.h"
+
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "service/protocol.h"
+#include "util/json_writer.h"
+
+namespace bgls::service {
+namespace {
+
+/// Fleet series: placement, proxying, and health transitions.
+struct FleetMetrics {
+  obs::Counter forwarded;
+  obs::Counter worker_down;
+  obs::Counter health_failures;
+  obs::Gauge live_workers;
+
+  FleetMetrics() {
+    auto& registry = obs::MetricsRegistry::global();
+    forwarded = registry.counter("bgls_fleet_forwarded_total",
+                                 "Requests proxied to a worker");
+    worker_down = registry.counter(
+        "bgls_fleet_worker_down_total",
+        "Requests answered with the worker_down slug");
+    health_failures = registry.counter(
+        "bgls_fleet_health_failures_total",
+        "Health pings that found a worker unresponsive");
+    live_workers =
+        registry.gauge("bgls_fleet_live_workers", "Workers currently alive");
+  }
+
+  static FleetMetrics& instance() {
+    static FleetMetrics metrics;
+    return metrics;
+  }
+};
+
+template <typename Fill>
+std::string response_line(bool ok, Fill fill) {
+  std::ostringstream os;
+  JsonWriter json(os, JsonWriter::Style::kCompact);
+  json.begin_object();
+  json.key("ok").value(ok);
+  fill(json);
+  json.end_object();
+  os << "\n";
+  return os.str();
+}
+
+std::string error_line(const std::string& code, const std::string& message) {
+  return response_line(false, [&](JsonWriter& json) {
+    json.key("code").value(code);
+    json.key("error").value(message);
+  });
+}
+
+/// Re-emits a parsed JSON value (the proxy rewrites ids inside
+/// otherwise-opaque worker messages).
+void write_value(JsonWriter& json, const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull: json.null(); return;
+    case JsonValue::Kind::kBool: json.value(value.as_bool()); return;
+    case JsonValue::Kind::kNumber:
+      // Exact u64 round-trip when the token was a plain unsigned
+      // integer (job ids, seeds); double otherwise.
+      try {
+        json.value(value.as_u64());
+      } catch (const ValueError&) {
+        json.value(value.as_double());
+      }
+      return;
+    case JsonValue::Kind::kString: json.value(value.as_string()); return;
+    case JsonValue::Kind::kArray:
+      json.begin_array();
+      for (const JsonValue& item : value.items()) write_value(json, item);
+      json.end_array();
+      return;
+    case JsonValue::Kind::kObject:
+      json.begin_object();
+      for (const auto& [key, member] : value.members()) {
+        json.key(key);
+        write_value(json, member);
+      }
+      json.end_object();
+      return;
+  }
+}
+
+/// One message line with its "job" member (if any) replaced by `job`.
+std::string with_job_id(const JsonValue& message, std::uint64_t job) {
+  std::ostringstream os;
+  JsonWriter json(os, JsonWriter::Style::kCompact);
+  json.begin_object();
+  bool wrote_job = false;
+  for (const auto& [key, member] : message.members()) {
+    json.key(key);
+    if (key == "job") {
+      json.value(job);
+      wrote_job = true;
+    } else {
+      write_value(json, member);
+    }
+  }
+  if (!wrote_job) json.key("job").value(job);
+  json.end_object();
+  os << "\n";
+  return os.str();
+}
+
+/// True for final (non-progress) frames carrying a terminal job state.
+bool is_terminal_frame(const JsonValue& frame) {
+  const std::string state = frame.string_or("state", "");
+  return state == "done" || state == "failed" || state == "cancelled" ||
+         state == "timeout";
+}
+
+}  // namespace
+
+FleetDaemon::FleetDaemon(FleetOptions options) : options_(std::move(options)) {
+  BGLS_REQUIRE(!options_.workers.empty(),
+               "a fleet needs at least one --worker endpoint");
+  workers_.reserve(options_.workers.size());
+  for (const Endpoint& endpoint : options_.workers) {
+    auto worker = std::make_unique<Worker>();
+    worker->endpoint = endpoint;
+    workers_.push_back(std::move(worker));
+  }
+}
+
+FleetDaemon::~FleetDaemon() { stop(); }
+
+void FleetDaemon::start() {
+  server_.listen_on(options_.endpoint);
+  started_ = true;
+  FleetMetrics::instance().live_workers.set(
+      static_cast<std::int64_t>(workers_.size()));
+  acceptor_ = std::thread([this] { accept_loop(); });
+  health_ = std::thread([this] { health_loop(); });
+}
+
+void FleetDaemon::stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  server_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    const std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();  // also wakes the health thread's sleep
+  if (health_.joinable()) health_.join();
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& connection : connections_) connection->socket.shutdown_both();
+  }
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  started_ = false;
+}
+
+void FleetDaemon::wait_for_shutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+}
+
+void FleetDaemon::request_shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+std::vector<FleetDaemon::WorkerStatus> FleetDaemon::workers() const {
+  std::vector<WorkerStatus> out;
+  out.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    WorkerStatus status;
+    status.endpoint = worker->endpoint;
+    status.alive = worker->alive.load(std::memory_order_acquire);
+    status.draining = worker->draining.load(std::memory_order_acquire);
+    status.in_flight = worker->in_flight.load(std::memory_order_acquire);
+    status.placed = worker->placed.load(std::memory_order_acquire);
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+void FleetDaemon::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Socket socket = server_.accept();
+    if (!socket.valid()) break;  // close()d
+    reap_connections();
+    auto connection = std::make_unique<Connection>();
+    connection->socket = std::move(socket);
+    Connection* raw = connection.get();
+    connection->thread = std::thread([this, raw] { handle_connection(*raw); });
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void FleetDaemon::reap_connections() {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FleetDaemon::handle_connection(Connection& connection) {
+  // One proxy socket per worker per client connection, opened on first
+  // use: blocking ops (wait/stream) held by one client never stall
+  // another client's traffic to the same worker.
+  std::vector<std::unique_ptr<Socket>> links(workers_.size());
+  std::string line;
+  try {
+    while (connection.socket.read_line(line)) {
+      if (line.empty()) continue;
+      handle_line(line, connection.socket, links);
+    }
+  } catch (const IoError&) {
+    // Peer vanished mid-request/response — normal client churn.
+  }
+  connection.done.store(true, std::memory_order_release);
+}
+
+Socket& FleetDaemon::link(std::vector<std::unique_ptr<Socket>>& links,
+                          std::size_t worker) {
+  if (links[worker] == nullptr || !links[worker]->valid()) {
+    try {
+      links[worker] =
+          std::make_unique<Socket>(connect_to(workers_[worker]->endpoint));
+    } catch (const IoError&) {
+      workers_[worker]->alive.store(false, std::memory_order_release);
+      throw;
+    }
+  }
+  return *links[worker];
+}
+
+std::size_t FleetDaemon::pick_worker_locked() const {
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  std::size_t best = kNone;
+  std::uint64_t best_load = 0;
+  // Scan from the round-robin cursor so equal loads rotate placement.
+  for (std::size_t offset = 0; offset < workers_.size(); ++offset) {
+    const std::size_t i = (placement_cursor_ + offset) % workers_.size();
+    const Worker& worker = *workers_[i];
+    if (!worker.alive.load(std::memory_order_acquire)) continue;
+    if (worker.draining.load(std::memory_order_acquire)) continue;
+    const std::uint64_t load = worker.in_flight.load(std::memory_order_acquire);
+    if (best == kNone || load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+void FleetDaemon::handle_line(const std::string& line, Socket& socket,
+                              std::vector<std::unique_ptr<Socket>>& links) {
+  JsonValue message;
+  try {
+    message = JsonValue::parse(line);
+  } catch (const ParseError& e) {
+    socket.write_all(error_line("parse_error", e.what()));
+    return;
+  }
+  const std::string op = message.string_or("op", "");
+  try {
+    if (op == "submit") {
+      handle_submit(message, line, socket, links);
+    } else if (op == "status" || op == "cancel" || op == "result" ||
+               op == "wait" || op == "stream") {
+      handle_job_op(message, socket, links);
+    } else if (op == "stats") {
+      handle_stats(socket, links);
+    } else if (op == "metrics") {
+      // The fleet's own registry (placement/health series). Workers'
+      // kernel/scheduler series live behind their own endpoints.
+      socket.write_all(response_line(true, [&](JsonWriter& json) {
+        json.key("metrics")
+            .value(std::string("# fleet front; scrape workers directly for "
+                               "scheduler/kernel series\n"));
+      }));
+    } else if (op == "fleet") {
+      handle_fleet(socket);
+    } else if (op == "drain" || op == "undrain") {
+      handle_drain(message, socket, op == "drain");
+    } else if (op == "shutdown") {
+      socket.write_all(response_line(true, [](JsonWriter&) {}));
+      request_shutdown();
+    } else {
+      socket.write_all(error_line("unknown_op", "unknown op '" + op + "'"));
+    }
+  } catch (const IoError&) {
+    throw;  // client-side transport failure: let the handler loop exit
+  } catch (const std::exception& e) {
+    socket.write_all(error_line("bad_request", e.what()));
+  }
+}
+
+void FleetDaemon::handle_submit(const JsonValue& /*message*/,
+                                const std::string& line, Socket& socket,
+                                std::vector<std::unique_ptr<Socket>>& links) {
+  // Placement + id allocation under one lock so concurrent submits
+  // spread out; the proxying itself runs unlocked.
+  std::size_t target;
+  {
+    const std::lock_guard<std::mutex> lock(routes_mutex_);
+    target = pick_worker_locked();
+    placement_cursor_ = (placement_cursor_ + 1) % workers_.size();
+  }
+  if (target == std::numeric_limits<std::size_t>::max()) {
+    FleetMetrics::instance().worker_down.add();
+    socket.write_all(error_line(
+        "worker_down", "no live undrained worker to place the job on"));
+    return;
+  }
+  std::string response_text;
+  try {
+    Socket& worker = link(links, target);
+    worker.write_all(line + "\n");
+    if (!worker.read_line(response_text)) {
+      detail::throw_error<IoError>("worker closed the connection");
+    }
+  } catch (const IoError& e) {
+    workers_[target]->alive.store(false, std::memory_order_release);
+    FleetMetrics::instance().worker_down.add();
+    socket.write_all(error_line(
+        "worker_down",
+        "worker " + workers_[target]->endpoint.to_string() +
+            " failed mid-submit (" + e.what() + "); retry"));
+    return;
+  }
+  FleetMetrics::instance().forwarded.add();
+  const JsonValue response = JsonValue::parse(response_text);
+  if (!response.bool_or("ok", false) || response.find("job") == nullptr) {
+    // Worker-side rejection (queue_full, tenant_quota, over_budget...):
+    // forwarded verbatim — the slugs are the protocol's.
+    socket.write_all(response_text + "\n");
+    return;
+  }
+  const std::uint64_t remote_id = response.u64_or("job", 0);
+  std::uint64_t global_id;
+  {
+    const std::lock_guard<std::mutex> lock(routes_mutex_);
+    global_id = next_global_id_++;
+    Route route;
+    route.worker = target;
+    route.remote_id = remote_id;
+    // Born-terminal cache hits never count as in-flight.
+    route.finished = is_terminal_frame(response);
+    routes_[global_id] = route;
+    if (!route.finished) {
+      workers_[target]->in_flight.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  workers_[target]->placed.fetch_add(1, std::memory_order_acq_rel);
+  socket.write_all(with_job_id(response, global_id));
+}
+
+void FleetDaemon::note_finished(std::uint64_t global_id,
+                                const JsonValue& response) {
+  if (!is_terminal_frame(response)) return;
+  const std::lock_guard<std::mutex> lock(routes_mutex_);
+  const auto it = routes_.find(global_id);
+  if (it == routes_.end() || it->second.finished) return;
+  it->second.finished = true;
+  auto& in_flight = workers_[it->second.worker]->in_flight;
+  std::uint64_t current = in_flight.load(std::memory_order_acquire);
+  while (current > 0 && !in_flight.compare_exchange_weak(
+                            current, current - 1, std::memory_order_acq_rel)) {
+  }
+}
+
+void FleetDaemon::handle_job_op(const JsonValue& message, Socket& socket,
+                                std::vector<std::unique_ptr<Socket>>& links) {
+  const JsonValue* job = message.find("job");
+  BGLS_REQUIRE(job != nullptr, "request needs a 'job' field");
+  const std::uint64_t global_id = job->as_u64();
+  Route route;
+  {
+    const std::lock_guard<std::mutex> lock(routes_mutex_);
+    const auto it = routes_.find(global_id);
+    if (it == routes_.end()) {
+      socket.write_all(
+          error_line("unknown_job", "unknown fleet job id " +
+                                        std::to_string(global_id)));
+      return;
+    }
+    route = it->second;
+  }
+  if (!workers_[route.worker]->alive.load(std::memory_order_acquire)) {
+    FleetMetrics::instance().worker_down.add();
+    socket.write_all(error_line(
+        "worker_down", "job " + std::to_string(global_id) + " lives on " +
+                           workers_[route.worker]->endpoint.to_string() +
+                           ", which is down"));
+    return;
+  }
+  try {
+    Socket& worker = link(links, route.worker);
+    worker.write_all(with_job_id(message, route.remote_id));
+    // stream answers with any number of progress frames before the
+    // final response; every other op answers exactly one line. A
+    // non-progress frame ends both shapes.
+    std::string frame_text;
+    while (worker.read_line(frame_text)) {
+      const JsonValue frame = JsonValue::parse(frame_text);
+      note_finished(global_id, frame);
+      socket.write_all(with_job_id(frame, global_id));
+      if (frame.string_or("type", "") != "progress") return;
+    }
+    detail::throw_error<IoError>("worker closed the connection");
+  } catch (const IoError& e) {
+    workers_[route.worker]->alive.store(false, std::memory_order_release);
+    FleetMetrics::instance().worker_down.add();
+    socket.write_all(error_line(
+        "worker_down", "worker " +
+                           workers_[route.worker]->endpoint.to_string() +
+                           " failed mid-request (" + e.what() + ")"));
+  }
+}
+
+void FleetDaemon::handle_stats(Socket& socket,
+                               std::vector<std::unique_ptr<Socket>>& links) {
+  // Sum every live worker's counters; the per-backend / per-tenant
+  // maps merge by key. Dead workers contribute nothing (their counts
+  // come back when they do).
+  std::map<std::string, std::uint64_t> totals;
+  std::map<std::string, std::map<std::string, std::uint64_t>> maps;
+  std::size_t reachable = 0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (!workers_[i]->alive.load(std::memory_order_acquire)) continue;
+    std::string response_text;
+    try {
+      Socket& worker = link(links, i);
+      worker.write_all(op_request_line("stats"));
+      if (!worker.read_line(response_text)) continue;
+    } catch (const IoError&) {
+      workers_[i]->alive.store(false, std::memory_order_release);
+      continue;
+    }
+    const JsonValue response = JsonValue::parse(response_text);
+    if (!response.bool_or("ok", false)) continue;
+    ++reachable;
+    for (const auto& [key, value] : response.members()) {
+      if (key == "ok") continue;
+      if (value.kind() == JsonValue::Kind::kNumber) {
+        totals[key] += value.as_u64();
+      } else if (value.kind() == JsonValue::Kind::kObject) {
+        for (const auto& [inner, count] : value.members()) {
+          maps[key][inner] += count.as_u64();
+        }
+      }
+    }
+  }
+  socket.write_all(response_line(true, [&](JsonWriter& json) {
+    json.key("workers").value(static_cast<std::uint64_t>(workers_.size()));
+    json.key("workers_reachable").value(
+        static_cast<std::uint64_t>(reachable));
+    for (const auto& [key, value] : totals) json.key(key).value(value);
+    for (const auto& [key, value] : maps) {
+      json.key(key).begin_object();
+      for (const auto& [inner, count] : value) json.key(inner).value(count);
+      json.end_object();
+    }
+  }));
+}
+
+void FleetDaemon::handle_fleet(Socket& socket) {
+  const std::vector<WorkerStatus> status = workers();
+  socket.write_all(response_line(true, [&](JsonWriter& json) {
+    json.key("workers").begin_array();
+    for (std::size_t i = 0; i < status.size(); ++i) {
+      json.begin_object();
+      json.key("worker").value(static_cast<std::uint64_t>(i));
+      json.key("endpoint").value(status[i].endpoint.to_string());
+      json.key("alive").value(status[i].alive);
+      json.key("draining").value(status[i].draining);
+      json.key("in_flight").value(status[i].in_flight);
+      json.key("placed").value(status[i].placed);
+      json.end_object();
+    }
+    json.end_array();
+  }));
+}
+
+void FleetDaemon::handle_drain(const JsonValue& message, Socket& socket,
+                               bool drain) {
+  const JsonValue* worker = message.find("worker");
+  BGLS_REQUIRE(worker != nullptr, "drain/undrain needs a 'worker' index");
+  const std::uint64_t index = worker->as_u64();
+  BGLS_REQUIRE(index < workers_.size(), "worker index ", index,
+               " out of range (", workers_.size(), " workers)");
+  workers_[index]->draining.store(drain, std::memory_order_release);
+  socket.write_all(response_line(true, [&](JsonWriter& json) {
+    json.key("worker").value(index);
+    json.key("draining").value(drain);
+  }));
+}
+
+void FleetDaemon::health_loop() {
+  while (true) {
+    {
+      // The interruptible sleep: shutdown wakes it immediately.
+      std::unique_lock<std::mutex> lock(shutdown_mutex_);
+      if (shutdown_cv_.wait_for(lock, options_.health_interval,
+                                [&] { return shutdown_requested_; })) {
+        return;
+      }
+    }
+    std::int64_t live = 0;
+    for (auto& worker : workers_) {
+      // A fresh connection per ping: the handlers' links are not
+      // thread-safe, and a ping must not queue behind a blocking op.
+      bool healthy = false;
+      try {
+        Socket socket = connect_to(worker->endpoint);
+        socket.write_all(op_request_line("stats"));
+        std::string response;
+        healthy = socket.read_line(response) &&
+                  JsonValue::parse(response).bool_or("ok", false);
+      } catch (const std::exception&) {
+        healthy = false;
+      }
+      if (!healthy) FleetMetrics::instance().health_failures.add();
+      const bool was_alive =
+          worker->alive.exchange(healthy, std::memory_order_acq_rel);
+      if (healthy) {
+        ++live;
+      } else if (was_alive) {
+        // Lost jobs stay routed here; their ops answer worker_down
+        // until the worker comes back (journal replay restores them).
+      }
+    }
+    FleetMetrics::instance().live_workers.set(live);
+  }
+}
+
+}  // namespace bgls::service

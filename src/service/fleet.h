@@ -1,0 +1,182 @@
+/// \file fleet.h
+/// FleetDaemon — a load-balancing front for N `bgls_serve` workers.
+///
+/// One fleet process listens on a single endpoint and speaks the exact
+/// client protocol (service/protocol.h); behind it, each worker is an
+/// independent bgls_serve daemon with its own scheduler, journal, and
+/// telemetry. Horizontal scale without a shared-state control plane:
+///
+///  - `submit` is routed to the live, undrained worker with the fewest
+///    in-flight fleet jobs (ties broken round-robin). The worker's job
+///    id is mapped to a fleet-global id, so clients see one id space
+///    regardless of placement. Determinism makes placement invisible:
+///    the same submission returns a byte-identical report from every
+///    worker.
+///  - Job-addressed ops (`status`/`cancel`/`result`/`wait`/`stream`)
+///    are proxied to the owning worker with the ids translated both
+///    ways. Ops for jobs on a dead worker fail with the retryable
+///    `worker_down` slug.
+///  - `stats` aggregates every live worker's counters (summed, with
+///    per-backend/per-tenant maps merged); `fleet` (a fleet-only op)
+///    reports per-worker health/draining/in-flight.
+///  - `drain`/`undrain` (fleet-only, {"worker":N}) stop/resume routing
+///    *new* submissions to a worker; in-flight jobs keep being proxied,
+///    so a drained worker can finish its work and be restarted without
+///    failing clients.
+///  - A health thread pings each worker's `stats` endpoint; a worker
+///    that stops answering is marked dead (skipped for placement, its
+///    jobs answer `worker_down`) and rejoins automatically when it
+///    answers again.
+///
+/// `shutdown` stops the fleet front only — workers have their own
+/// lifecycles (that is what draining is for).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/socket.h"
+#include "util/json_parser.h"
+
+namespace bgls::service {
+
+/// Construction knobs for the fleet front.
+struct FleetOptions {
+  /// Where the fleet listens (the clients' single endpoint).
+  Endpoint endpoint;
+  /// The worker daemons' endpoints (at least one).
+  std::vector<Endpoint> workers;
+  /// Cadence of the health thread's per-worker stats pings.
+  std::chrono::milliseconds health_interval{500};
+};
+
+/// The fleet process: acceptor + per-connection proxy handlers + health
+/// checker (see file comment).
+class FleetDaemon {
+ public:
+  explicit FleetDaemon(FleetOptions options);
+
+  /// stop()s if still running.
+  ~FleetDaemon();
+
+  FleetDaemon(const FleetDaemon&) = delete;
+  FleetDaemon& operator=(const FleetDaemon&) = delete;
+
+  /// Binds the endpoint and starts accepting + health checks. Throws
+  /// IoError on bind failures.
+  void start();
+
+  /// Stops accepting, disconnects every client, joins all threads.
+  /// Idempotent.
+  void stop();
+
+  /// Blocks until a client sent `shutdown` (or stop()/
+  /// request_shutdown() ran).
+  void wait_for_shutdown();
+
+  /// Makes wait_for_shutdown() return (signal handlers).
+  void request_shutdown();
+
+  /// The bound endpoint (TCP: with the resolved ephemeral port).
+  [[nodiscard]] const Endpoint& endpoint() const {
+    return server_.endpoint();
+  }
+
+  /// Point-in-time per-worker view (the `fleet` op's payload).
+  struct WorkerStatus {
+    Endpoint endpoint;
+    bool alive = true;
+    bool draining = false;
+    /// Fleet jobs currently placed on the worker and not yet observed
+    /// terminal.
+    std::uint64_t in_flight = 0;
+    /// Total submissions routed to the worker.
+    std::uint64_t placed = 0;
+  };
+  [[nodiscard]] std::vector<WorkerStatus> workers() const;
+
+ private:
+  /// Shared per-worker state. alive/draining are owned by the health
+  /// thread / drain ops; counters by the placement path.
+  struct Worker {
+    Endpoint endpoint;
+    std::atomic<bool> alive{true};
+    std::atomic<bool> draining{false};
+    std::atomic<std::uint64_t> in_flight{0};
+    std::atomic<std::uint64_t> placed{0};
+  };
+
+  /// Where a fleet-global job id lives.
+  struct Route {
+    std::size_t worker = 0;
+    std::uint64_t remote_id = 0;
+    /// Set once a terminal response was proxied (drops in_flight).
+    bool finished = false;
+  };
+
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  /// A connection handler's lazily opened sockets to workers (one
+  /// proxy connection per (client connection, worker)).
+  class WorkerLink;
+
+  void accept_loop();
+  void handle_connection(Connection& connection);
+  void handle_line(const std::string& line, Socket& socket,
+                   std::vector<std::unique_ptr<Socket>>& links);
+  void handle_submit(const JsonValue& message, const std::string& line,
+                     Socket& socket,
+                     std::vector<std::unique_ptr<Socket>>& links);
+  void handle_job_op(const JsonValue& message, Socket& socket,
+                     std::vector<std::unique_ptr<Socket>>& links);
+  void handle_stats(Socket& socket,
+                    std::vector<std::unique_ptr<Socket>>& links);
+  void handle_fleet(Socket& socket);
+  void handle_drain(const JsonValue& message, Socket& socket, bool drain);
+  void health_loop();
+  /// The handler's socket to `worker`, connected on first use. Throws
+  /// IoError when the worker cannot be reached (marks it dead).
+  Socket& link(std::vector<std::unique_ptr<Socket>>& links,
+               std::size_t worker);
+  /// Least-loaded live undrained worker, or npos.
+  [[nodiscard]] std::size_t pick_worker_locked() const;
+  /// Marks a terminal proxied response against the route's in_flight.
+  void note_finished(std::uint64_t global_id, const JsonValue& response);
+  void reap_connections();
+
+  FleetOptions options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  ServerSocket server_;
+  std::thread acceptor_;
+  std::thread health_;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex routes_mutex_;
+  std::map<std::uint64_t, Route> routes_;
+  std::uint64_t next_global_id_ = 1;
+  /// Round-robin cursor for placement ties.
+  std::size_t placement_cursor_ = 0;
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace bgls::service

@@ -43,6 +43,7 @@ std::string submit_request_line(const SubmitArgs& args) {
   json.key("optimize").value(args.optimize);
   json.key("no_batch").value(args.no_batch);
   json.key("priority").value(args.priority);
+  if (!args.tenant.empty()) json.key("tenant").value(args.tenant);
   json.key("deadline_ms").value(args.deadline_ms);
   json.key("progress_every").value(args.progress_every);
   json.end_object();
@@ -96,6 +97,7 @@ RunRequest parse_submit(const JsonValue& message) {
           .with_optimization(message.bool_or("optimize", false))
           .with_sample_parallelization(!message.bool_or("no_batch", false))
           .with_priority(int_field_or(message, "priority", 0))
+          .with_tenant(message.string_or("tenant", ""))
           .with_deadline_ms(message.u64_or("deadline_ms", 0));
   request.progress.every = message.u64_or("progress_every", 0);
   const std::string backend = message.string_or("backend", "auto");

@@ -9,7 +9,7 @@
 ///
 ///   {"op":"submit","qasm":"...", "reps":N, "seed":N, "backend":"auto",
 ///    "threads":N, "streams":N, "optimize":false, "no_batch":false,
-///    "priority":N, "deadline_ms":N, "progress_every":N}
+///    "priority":N, "tenant":"...", "deadline_ms":N, "progress_every":N}
 ///   {"op":"status","job":N}        {"op":"cancel","job":N}
 ///   {"op":"wait","job":N,"timeout_ms":N}
 ///   {"op":"result","job":N}        {"op":"stream","job":N}
@@ -52,6 +52,9 @@ struct SubmitArgs {
   /// to cancellation at repetition granularity.
   bool no_batch = false;
   int priority = 0;
+  /// Owning tenant for quotas and weighted-fair scheduling; "" = the
+  /// anonymous default tenant (the field is omitted from the wire).
+  std::string tenant;
   std::uint64_t deadline_ms = 0;
   std::uint64_t progress_every = 0;
 };

@@ -1,6 +1,7 @@
 #include "service/scheduler.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -30,6 +31,21 @@ struct JobScheduler::Job {
   std::uint64_t id = 0;
   std::uint64_t seq = 0;  // FIFO tie-break within a priority class
   int priority = 0;
+  /// Owning tenant ("" = the anonymous default tenant).
+  std::string tenant;
+  /// Weighted-fair virtual start tag: max(global vtime, tenant vtime)
+  /// at admission. Dispatch prefers lower tags (after priority).
+  double vtime = 0.0;
+  /// What the tenant's vtime was charged for this job (predicted
+  /// seconds, floor 1 ms so zero-cost estimates still advance time).
+  double cost_units = 0.0;
+  /// CostModel estimate at admission; 0 when none was possible.
+  double predicted_seconds = 0.0;
+  /// Answered from the result cache (instantly terminal, never ran).
+  bool from_cache = false;
+  /// Canonical cache key when the request is cacheable and missed (the
+  /// completed result is inserted under it); empty otherwise.
+  std::string cache_key;
   RunRequest request;
   /// Job-owned stop handle; also reachable by the caller when they
   /// supplied a token in the request. Cancel/deadline-safe to touch
@@ -87,6 +103,11 @@ struct SchedulerMetrics {
   obs::Counter retried;
   obs::Counter preempted;
   obs::Counter resumed;
+  /// Admission rejections by reason (rejected aggregates all of them).
+  obs::Counter rejected_queue_full;
+  obs::Counter rejected_tenant_quota;
+  obs::Counter rejected_over_budget;
+  obs::Counter rejected_backlog;
   obs::Gauge queue_depth;
   obs::Gauge running;
   obs::Histogram queue_wait;
@@ -99,7 +120,17 @@ struct SchedulerMetrics {
                                  "Jobs admitted to the queue");
     rejected = registry.counter(
         "bgls_scheduler_rejected_total",
-        "Submissions rejected by admission control (queue full)");
+        "Submissions rejected by admission control (all reasons)");
+    const char* reject_help = "Admission rejections, by reason";
+    rejected_queue_full = registry.counter(
+        "bgls_admission_rejected_total{reason=\"queue_full\"}", reject_help);
+    rejected_tenant_quota = registry.counter(
+        "bgls_admission_rejected_total{reason=\"tenant_quota\"}",
+        reject_help);
+    rejected_over_budget = registry.counter(
+        "bgls_admission_rejected_total{reason=\"over_budget\"}", reject_help);
+    rejected_backlog = registry.counter(
+        "bgls_admission_rejected_total{reason=\"backlog\"}", reject_help);
     evicted = registry.counter(
         "bgls_scheduler_evicted_total",
         "Terminal jobs forgotten by the retention bound");
@@ -142,13 +173,24 @@ struct SchedulerMetrics {
   }
 };
 
+/// Tenant names become metric label values; keep the exposition text
+/// parseable whatever arrives on the wire.
+std::string metric_safe_label(const std::string& name) {
+  std::string out = name.empty() ? "default" : name;
+  for (char& c : out) {
+    if (c == '"' || c == '\\' || c == '\n' || c == '{' || c == '}') c = '_';
+  }
+  return out;
+}
+
 }  // namespace
 
-/// Max-heap order: higher priority first, then earlier submission.
-/// (std::push_heap keeps the *largest* element at the front, so the
-/// comparator says "a is worse than b".)
-bool JobScheduler::heap_less(const JobPtr& a, const JobPtr& b) {
+/// Dispatch order: higher priority first, then lower weighted-fair
+/// virtual time, then earlier submission. Returns "a is worse than b"
+/// (take_next_locked scans for the max element).
+bool JobScheduler::dispatch_less(const JobPtr& a, const JobPtr& b) {
   if (a->priority != b->priority) return a->priority < b->priority;
+  if (a->vtime != b->vtime) return a->vtime > b->vtime;
   return a->seq > b->seq;
 }
 
@@ -168,17 +210,28 @@ JobScheduler::~JobScheduler() {
     // Queued jobs become cancelled without running; running jobs get
     // their tokens cancelled and finish (as kCancelled) on their own
     // runner before it observes stopping_.
+    std::uint64_t shutdown_cancelled = 0;
     for (auto& [id, job] : jobs_) {
       if (job->state == JobState::kQueued) {
         job->state = JobState::kCancelled;
         job->error = "scheduler shut down";
         job->finished_at = std::chrono::steady_clock::now();
         ++stats_.cancelled;
+        ++shutdown_cancelled;
       }
       job->token.cancel();
     }
     queue_.clear();
     delayed_.clear();
+    predicted_backlog_seconds_ = 0.0;
+    for (auto& [name, tenant] : tenants_) tenant.queued = 0;
+    // Process-wide series must see the shutdown like SchedulerStats
+    // does: the queue is gone (a stale nonzero gauge would outlive this
+    // scheduler forever) and shutdown-cancelled jobs count as
+    // cancelled terminals.
+    SchedulerMetrics& metrics = SchedulerMetrics::instance();
+    if (shutdown_cancelled > 0) metrics.cancelled.add(shutdown_cancelled);
+    metrics.queue_depth.set(0);
   }
   work_available_.notify_all();
   job_changed_.notify_all();
@@ -204,7 +257,26 @@ std::uint64_t JobScheduler::submit_impl(RunRequest request,
                                         std::uint64_t forced_id) {
   JobPtr job = std::make_shared<Job>();
   job->priority = request.priority;
+  job->tenant = request.tenant;
   job->submitted_at = std::chrono::steady_clock::now();
+
+  // Result cache: a hit never consumes a queue slot, a runner, or the
+  // tenant's fair share — the job is admitted as instantly terminal.
+  // Journal replays (forced_id) bypass the cache: their result must
+  // come from the same code path that produced it originally.
+  std::shared_ptr<const RunResult> cached;
+  if (options_.result_cache != nullptr && forced_id == 0) {
+    if (std::optional<std::string> key = ResultCache::key_for(request)) {
+      job->cache_key = std::move(*key);
+      cached = options_.result_cache->lookup(job->cache_key);
+    }
+  }
+  // Cost estimate (pure function of the request — computed outside the
+  // lock). Negative = no estimate possible; such jobs bypass the cost
+  // budgets and fail later with their real error if unrunnable.
+  const double predicted =
+      cached != nullptr ? 0.0 : estimate_seconds(request);
+  job->predicted_seconds = std::max(predicted, 0.0);
 
   // The job's stop handle: reuse a caller-supplied token (so the caller
   // can cancel directly) or mint one. The deadline is armed *now* —
@@ -223,16 +295,61 @@ std::uint64_t JobScheduler::submit_impl(RunRequest request,
   request.deadline_ms = 0;
   job->checkpoint = request.resume;  // replayed jobs resume from here
 
+  bool notify_terminal = false;
+  JobInfo terminal_info;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     BGLS_REQUIRE(!stopping_, "scheduler is shutting down");
-    if (forced_id == 0 && queue_.size() >= options_.max_queue_depth) {
-      ++stats_.rejected;
-      SchedulerMetrics::instance().rejected.add();
-      detail::throw_error<QueueFullError>(
-          "job rejected: queue is full (", queue_.size(), " of ",
-          options_.max_queue_depth,
-          " slots); retry later or raise max_queue_depth");
+    SchedulerMetrics& metrics = SchedulerMetrics::instance();
+    if (forced_id == 0 && cached == nullptr) {
+      // Admission control. The depth bound counts retry-delayed jobs
+      // too: they re-enter the ready queue when their backoff elapses,
+      // so ignoring them would let a retry flood grow the backlog
+      // unboundedly past max_queue_depth.
+      const std::size_t backlog = queue_.size() + delayed_.size();
+      if (backlog >= options_.max_queue_depth) {
+        ++stats_.rejected;
+        metrics.rejected.add();
+        metrics.rejected_queue_full.add();
+        detail::throw_error<QueueFullError>(
+            "job rejected: queue is full (", backlog, " of ",
+            options_.max_queue_depth,
+            " slots, retry-delayed jobs included); retry later or raise "
+            "max_queue_depth");
+      }
+      TenantState& tenant = tenant_locked(job->tenant);
+      if (tenant.quota.max_queued > 0 &&
+          tenant.queued >= tenant.quota.max_queued) {
+        ++stats_.rejected;
+        metrics.rejected.add();
+        metrics.rejected_tenant_quota.add();
+        detail::throw_error<TenantQuotaError>(
+            "job rejected: tenant '", metric_safe_label(job->tenant),
+            "' is at its queued-job quota (", tenant.queued, " of ",
+            tenant.quota.max_queued, "); retry later");
+      }
+      if (predicted >= 0.0 && options_.max_job_seconds > 0.0 &&
+          predicted > options_.max_job_seconds) {
+        ++stats_.rejected;
+        metrics.rejected.add();
+        metrics.rejected_over_budget.add();
+        detail::throw_error<CostBudgetError>(
+            "job rejected: predicted cost ", predicted,
+            " s exceeds the per-job budget of ", options_.max_job_seconds,
+            " s; shrink the circuit or repetitions");
+      }
+      if (predicted >= 0.0 && options_.max_queue_seconds > 0.0 &&
+          predicted_backlog_seconds_ + predicted >
+              options_.max_queue_seconds) {
+        ++stats_.rejected;
+        metrics.rejected.add();
+        metrics.rejected_backlog.add();
+        detail::throw_error<CostBudgetError>(
+            "job rejected: predicted backlog of ",
+            predicted_backlog_seconds_ + predicted,
+            " s exceeds the queue budget of ", options_.max_queue_seconds,
+            " s; retry once the backlog drains");
+      }
     }
     if (forced_id != 0) {
       BGLS_REQUIRE(jobs_.count(forced_id) == 0,
@@ -249,61 +366,108 @@ std::uint64_t JobScheduler::submit_impl(RunRequest request,
       job->request.trace = job->trace.get();
     }
 
-    // Record every progress update on the job (for poll/stream
-    // replays), then forward to any caller-supplied sink.
-    Job* raw = job.get();  // jobs_ keeps the record alive for our lifetime
-    ProgressFn user_sink = std::move(raw->request.progress.sink);
-    if (raw->request.progress.every > 0) {
-      raw->request.progress.sink = [this, raw,
-                                    user_sink](const ProgressUpdate& update) {
-        {
-          const std::lock_guard<std::mutex> inner(mutex_);
-          raw->updates.push_back(update);
-          raw->completed_repetitions = update.completed_repetitions;
-        }
-        job_changed_.notify_all();
-        if (user_sink) user_sink(update);
-      };
-    }
-
-    // Capture resumable snapshots on the job (what retries, preemption,
-    // and the journal resume from), then forward to any caller sink.
-    const std::uint64_t checkpoint_every = raw->request.checkpoint.every > 0
-                                               ? raw->request.checkpoint.every
-                                               : options_.checkpoint_every;
-    if (checkpoint_every > 0) {
-      std::function<void(const RunCheckpoint&)> user_ckpt =
-          std::move(raw->request.checkpoint.sink);
-      raw->request.checkpoint.every = checkpoint_every;
-      raw->request.checkpoint.sink = [this, raw, user_ckpt](
-                                         const RunCheckpoint& update) {
-        auto copy = std::make_shared<const RunCheckpoint>(update);
-        {
-          const std::lock_guard<std::mutex> inner(mutex_);
-          raw->checkpoint = copy;
-        }
-        if (options_.on_checkpoint) {
-          try {
-            options_.on_checkpoint(raw->id, copy);
-          } catch (...) {
-            // A lost checkpoint record only means a post-crash resume
-            // starts from an earlier snapshot.
-          }
-        }
-        if (user_ckpt) user_ckpt(update);
-      };
-    }
-
-    jobs_.emplace(job->id, job);
-    queue_.push_back(job);
-    std::push_heap(queue_.begin(), queue_.end(), heap_less);
+    TenantState& tenant = tenant_locked(job->tenant);
     ++stats_.submitted;
-    SchedulerMetrics& metrics = SchedulerMetrics::instance();
     metrics.submitted.add();
-    metrics.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
-    if (options_.preempt_lower_priority) maybe_preempt_locked(job);
+    tenant.submitted_metric.add();
+
+    if (cached != nullptr) {
+      // Cache hit: the job is born terminal with the original result
+      // (byte-identical by the determinism contract) — no queue slot,
+      // no runner, no fair-share charge. start_order stays 0 (it never
+      // ran) and stats record it as completed like any other job.
+      job->from_cache = true;
+      job->state = JobState::kDone;
+      job->result = std::move(cached);
+      job->finished_at = std::chrono::steady_clock::now();
+      jobs_.emplace(job->id, job);
+      ++stats_.completed;
+      ++stats_.cache_hits;
+      ++stats_.completed_per_backend[job->result->backend_name];
+      ++stats_.completed_per_tenant[metric_safe_label(job->tenant)];
+      tenant.completed_metric.add();
+      metrics.done.add();
+      note_terminal_locked(job);
+      if (options_.on_terminal) {
+        terminal_info = snapshot_locked(*job);
+        notify_terminal = true;
+      }
+    } else {
+      // Record every progress update on the job (for poll/stream
+      // replays), then forward to any caller-supplied sink.
+      Job* raw = job.get();  // jobs_ keeps the record alive for our lifetime
+      ProgressFn user_sink = std::move(raw->request.progress.sink);
+      if (raw->request.progress.every > 0) {
+        raw->request.progress.sink =
+            [this, raw, user_sink](const ProgressUpdate& update) {
+              {
+                const std::lock_guard<std::mutex> inner(mutex_);
+                raw->updates.push_back(update);
+                raw->completed_repetitions = update.completed_repetitions;
+              }
+              job_changed_.notify_all();
+              if (user_sink) user_sink(update);
+            };
+      }
+
+      // Capture resumable snapshots on the job (what retries,
+      // preemption, and the journal resume from), then forward to any
+      // caller sink.
+      const std::uint64_t checkpoint_every =
+          raw->request.checkpoint.every > 0 ? raw->request.checkpoint.every
+                                            : options_.checkpoint_every;
+      if (checkpoint_every > 0) {
+        std::function<void(const RunCheckpoint&)> user_ckpt =
+            std::move(raw->request.checkpoint.sink);
+        raw->request.checkpoint.every = checkpoint_every;
+        raw->request.checkpoint.sink = [this, raw, user_ckpt](
+                                           const RunCheckpoint& update) {
+          auto copy = std::make_shared<const RunCheckpoint>(update);
+          {
+            const std::lock_guard<std::mutex> inner(mutex_);
+            raw->checkpoint = copy;
+          }
+          if (options_.on_checkpoint) {
+            try {
+              options_.on_checkpoint(raw->id, copy);
+            } catch (...) {
+              // A lost checkpoint record only means a post-crash resume
+              // starts from an earlier snapshot.
+            }
+          }
+          if (user_ckpt) user_ckpt(update);
+        };
+      }
+
+      // Weighted-fair start tag: a tenant's jobs are spaced out along
+      // the virtual time axis by predicted-cost/weight, so heavier
+      // weights pack more work per unit of virtual time. The max with
+      // the global clock stops an idle tenant from hoarding credit.
+      job->cost_units = std::max(job->predicted_seconds, 0.001);
+      job->vtime = std::max(global_vtime_, tenant.vtime);
+      tenant.vtime =
+          job->vtime + job->cost_units / std::max(tenant.quota.weight, 1e-9);
+      ++tenant.queued;
+      predicted_backlog_seconds_ += job->predicted_seconds;
+      jobs_.emplace(job->id, job);
+      queue_.push_back(job);
+      metrics.queue_depth.set(
+          static_cast<std::int64_t>(queue_.size() + delayed_.size()));
+      if (options_.preempt_lower_priority) maybe_preempt_locked(job);
+    }
   }
-  work_available_.notify_one();
+  if (job->from_cache) {
+    // Already terminal — wake wait()ers, not runners.
+    job_changed_.notify_all();
+    if (notify_terminal) {
+      try {
+        options_.on_terminal(terminal_info);
+      } catch (...) {
+      }
+    }
+  } else {
+    work_available_.notify_one();
+  }
   return job->id;
 }
 
@@ -344,24 +508,35 @@ bool JobScheduler::cancel(std::uint64_t id) {
     }
     if (job->state == JobState::kQueued) {
       // Cancelled before running: terminal immediately, and removed
-      // from the heap so it stops counting against admission control
+      // from the queue so it stops counting against admission control
       // (queues are at most max_queue_depth deep, so the linear erase
       // is cheap).
       job->state = JobState::kCancelled;
       job->error = "cancelled while queued";
       job->finished_at = std::chrono::steady_clock::now();
       ++stats_.cancelled;
+      bool dequeued = false;
       const auto queued = std::find(queue_.begin(), queue_.end(), job);
       if (queued != queue_.end()) {
         queue_.erase(queued);
-        std::make_heap(queue_.begin(), queue_.end(), heap_less);
+        dequeued = true;
       }
       const auto delayed = std::find(delayed_.begin(), delayed_.end(), job);
-      if (delayed != delayed_.end()) delayed_.erase(delayed);
+      if (delayed != delayed_.end()) {
+        delayed_.erase(delayed);
+        dequeued = true;
+      }
+      if (dequeued) {
+        TenantState& tenant = tenant_locked(job->tenant);
+        if (tenant.queued > 0) --tenant.queued;
+        predicted_backlog_seconds_ = std::max(
+            0.0, predicted_backlog_seconds_ - job->predicted_seconds);
+      }
       note_terminal_locked(job);
       SchedulerMetrics& metrics = SchedulerMetrics::instance();
       metrics.cancelled.add();
-      metrics.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+      metrics.queue_depth.set(
+          static_cast<std::int64_t>(queue_.size() + delayed_.size()));
       metrics.queue_wait.observe(
           seconds_between(job->submitted_at, job->finished_at));
       metrics.cancel_latency.observe(
@@ -437,17 +612,59 @@ void JobScheduler::promote_delayed_locked() {
   auto it = delayed_.begin();
   while (it != delayed_.end()) {
     if (is_terminal((*it)->state)) {
-      it = delayed_.erase(it);  // cancelled while waiting out backoff
+      // Became terminal while waiting out backoff without being erased
+      // by cancel() — release its backlog share here.
+      TenantState& tenant = tenant_locked((*it)->tenant);
+      if (tenant.queued > 0) --tenant.queued;
+      predicted_backlog_seconds_ = std::max(
+          0.0, predicted_backlog_seconds_ - (*it)->predicted_seconds);
+      it = delayed_.erase(it);
       continue;
     }
     if ((*it)->ready_at <= now) {
       queue_.push_back(std::move(*it));
-      std::push_heap(queue_.begin(), queue_.end(), heap_less);
       it = delayed_.erase(it);
       continue;
     }
     ++it;
   }
+}
+
+JobScheduler::JobPtr JobScheduler::take_next_locked() {
+  auto best = queue_.end();
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (is_terminal((*it)->state)) {
+      // Defensive: cancel() erases cancelled jobs eagerly, but anything
+      // that slipped through must not occupy a slot forever.
+      TenantState& tenant = tenant_locked((*it)->tenant);
+      if (tenant.queued > 0) --tenant.queued;
+      predicted_backlog_seconds_ = std::max(
+          0.0, predicted_backlog_seconds_ - (*it)->predicted_seconds);
+      it = queue_.erase(it);
+      continue;
+    }
+    const TenantState& tenant = tenant_locked((*it)->tenant);
+    const bool eligible = tenant.quota.max_running == 0 ||
+                          tenant.running < tenant.quota.max_running;
+    if (eligible && (best == queue_.end() || dispatch_less(*best, *it))) {
+      best = it;
+    }
+    ++it;
+  }
+  if (best == queue_.end()) return nullptr;
+  JobPtr job = std::move(*best);
+  queue_.erase(best);
+  TenantState& tenant = tenant_locked(job->tenant);
+  if (tenant.queued > 0) --tenant.queued;
+  predicted_backlog_seconds_ = std::max(
+      0.0, predicted_backlog_seconds_ - job->predicted_seconds);
+  // The global clock follows dispatched start tags so tenants going
+  // from idle to busy start at "now" in virtual time rather than
+  // cashing in every idle second as credit.
+  global_vtime_ = std::max(global_vtime_, job->vtime);
+  SchedulerMetrics::instance().queue_depth.set(
+      static_cast<std::int64_t>(queue_.size() + delayed_.size()));
+  return job;
 }
 
 void JobScheduler::runner_loop() {
@@ -457,10 +674,10 @@ void JobScheduler::runner_loop() {
       std::unique_lock<std::mutex> lock(mutex_);
       while (true) {
         promote_delayed_locked();
-        if (stopping_ || !queue_.empty()) break;
-        if (delayed_.empty()) {
-          work_available_.wait(lock);
-        } else {
+        if (stopping_) break;
+        job = take_next_locked();
+        if (job != nullptr) break;
+        if (!delayed_.empty()) {
           // Sleep until the earliest backoff elapses (or new work /
           // shutdown wakes us).
           auto next = delayed_.front()->ready_at;
@@ -468,15 +685,14 @@ void JobScheduler::runner_loop() {
             next = std::min(next, waiting->ready_at);
           }
           work_available_.wait_until(lock, next);
+        } else {
+          // Queue empty, or nothing eligible under the per-tenant
+          // running caps — a finishing job re-notifies work_available_.
+          work_available_.wait(lock);
         }
       }
       if (stopping_) return;
-      std::pop_heap(queue_.begin(), queue_.end(), heap_less);
-      job = std::move(queue_.back());
-      queue_.pop_back();
       SchedulerMetrics& metrics = SchedulerMetrics::instance();
-      metrics.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
-      if (is_terminal(job->state)) continue;  // cancelled while queued
       // A deadline that expired in the queue never samples.
       if (job->token.stop_kind() == StopKind::kDeadline) {
         job->state = JobState::kTimedOut;
@@ -499,6 +715,7 @@ void JobScheduler::runner_loop() {
         continue;
       }
       job->state = JobState::kRunning;
+      ++tenant_locked(job->tenant).running;
       job->started_at = std::chrono::steady_clock::now();
       job->start_order = next_start_order_++;
       const double queue_wait =
@@ -507,7 +724,7 @@ void JobScheduler::runner_loop() {
       metrics.running.add(1);
       if (job->trace) {
         // Queue wait as a manually recorded span: no scope existed while
-        // the job sat in the heap.
+        // the job sat in the queue.
         job->trace->record({obs::Trace::span_id(job->id, "queue", 0), 0,
                             "queue", 0, queue_wait});
       }
@@ -607,7 +824,22 @@ void JobScheduler::run_job(const JobPtr& job) {
       }
     }
   }
-  if (requeued) work_available_.notify_one();
+  if (!requeued && state == JobState::kDone &&
+      options_.result_cache != nullptr && !job->cache_key.empty()) {
+    // Populate the cache outside the lock (insert takes the cache's own
+    // lock). Concurrent duplicates are identical by determinism; insert
+    // keeps the first.
+    options_.result_cache->insert(job->cache_key, job->result);
+  }
+  if (requeued) {
+    work_available_.notify_one();
+  } else {
+    // The finished job freed a runner slot *and* dropped its tenant's
+    // running count — queued work that was ineligible under a
+    // per-tenant cap may be dispatchable now, so every waiting runner
+    // gets to rescan.
+    work_available_.notify_all();
+  }
   if (notify_terminal) {
     try {
       options_.on_terminal(terminal_info);
@@ -630,9 +862,16 @@ void JobScheduler::requeue_locked(
   if (job->checkpoint) job->request.resume = job->checkpoint;
   job->state = JobState::kQueued;
   job->ready_at = ready_at;
+  // Back from running to queued: the tenant's running slot frees up and
+  // its backlog share returns. The original vtime tag is kept — the
+  // fair-share charge was paid at submission, and a preempted job
+  // should resume ahead of work submitted after it.
+  TenantState& tenant = tenant_locked(job->tenant);
+  if (tenant.running > 0) --tenant.running;
+  ++tenant.queued;
+  predicted_backlog_seconds_ += job->predicted_seconds;
   if (ready_at <= std::chrono::steady_clock::now()) {
     queue_.push_back(job);
-    std::push_heap(queue_.begin(), queue_.end(), heap_less);
   } else {
     delayed_.push_back(job);
   }
@@ -653,10 +892,14 @@ void JobScheduler::finish_job_locked(const JobPtr& job, JobState state,
   }
   job->result = std::move(result);
   job->finished_at = std::chrono::steady_clock::now();
+  TenantState& tenant = tenant_locked(job->tenant);
+  if (tenant.running > 0) --tenant.running;
   switch (state) {
     case JobState::kDone:
       ++stats_.completed;
       ++stats_.completed_per_backend[job->result->backend_name];
+      ++stats_.completed_per_tenant[metric_safe_label(job->tenant)];
+      tenant.completed_metric.add();
       break;
     case JobState::kFailed: ++stats_.failed; break;
     case JobState::kCancelled: ++stats_.cancelled; break;
@@ -717,11 +960,57 @@ std::uint64_t JobScheduler::min_retained_id() const {
   return jobs_.empty() ? next_id_ : jobs_.begin()->first;
 }
 
+double JobScheduler::estimate_seconds(const RunRequest& request) const {
+  // Pure function of the request (the session's selector and cost model
+  // are immutable after construction), so callable without the lock.
+  try {
+    const CircuitProfile profile = profile_circuit(request.circuit);
+    const BackendSelector& selector = session_.selector();
+    BackendId id = request.backend;
+    if (!request.backend_name.empty()) {
+      id = session_.registry().require(request.backend_name)->id();
+    } else if (id == BackendId::kAuto) {
+      id = selector.select(profile, request.repetitions).id;
+    }
+    if (id == BackendId::kCustom) return -1.0;  // no closed-form cost
+    return selector.cost_model().predict_seconds(profile,
+                                                 request.repetitions, id);
+  } catch (...) {
+    // Unknown backend, unroutable circuit, ... — admission lets it
+    // through so the job fails later with its real error.
+    return -1.0;
+  }
+}
+
+JobScheduler::TenantState& JobScheduler::tenant_locked(
+    const std::string& tenant) {
+  const auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return it->second;
+  TenantState state;
+  const auto quota = options_.tenant_quotas.find(tenant);
+  state.quota = quota != options_.tenant_quotas.end() ? quota->second
+                                                      : options_.default_quota;
+  // Per-tenant series, registered on first sight (the registry
+  // deduplicates by name, so several schedulers share them).
+  auto& registry = obs::MetricsRegistry::global();
+  const std::string label = metric_safe_label(tenant);
+  state.submitted_metric = registry.counter(
+      "bgls_tenant_submitted_total{tenant=\"" + label + "\"}",
+      "Jobs admitted, by tenant");
+  state.completed_metric = registry.counter(
+      "bgls_tenant_completed_total{tenant=\"" + label + "\"}",
+      "Jobs completed (cache hits included), by tenant");
+  return tenants_.emplace(tenant, std::move(state)).first->second;
+}
+
 JobInfo JobScheduler::snapshot_locked(const Job& job) const {
   JobInfo info;
   info.id = job.id;
   info.state = job.state;
   info.priority = job.priority;
+  info.tenant = job.tenant;
+  info.from_cache = job.from_cache;
+  info.predicted_seconds = job.predicted_seconds;
   info.error = job.error;
   info.completed_repetitions = job.completed_repetitions;
   info.total_repetitions = job.request.repetitions;

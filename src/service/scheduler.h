@@ -8,13 +8,24 @@
 /// simulator process:
 ///
 ///  - a priority queue of RunRequest jobs (higher priority first, ties
-///    FIFO) drained by a fixed set of runner threads; the sampling
-///    itself still fans out on the shared EngineContext pool through
-///    the Session, so one big job saturates the machine while small
-///    ones queue behind it;
-///  - admission control: submissions beyond max_queue_depth are
-///    rejected with QueueFullError carrying the reason — a service
-///    sheds load at the door instead of accumulating unbounded work;
+///    by weighted-fair virtual time, then FIFO) drained by a fixed set
+///    of runner threads; the sampling itself still fans out on the
+///    shared EngineContext pool through the Session, so one big job
+///    saturates the machine while small ones queue behind it;
+///  - multi-tenancy: every request carries a tenant name; tenants get
+///    weighted-fair scheduling (virtual time charged at predicted cost
+///    over weight, so a 2:1 weight ratio converges to a 2:1 share of
+///    completed work under saturation) plus per-tenant queued/running
+///    caps;
+///  - admission control: submissions beyond max_queue_depth (queued
+///    plus retry-delayed jobs) are rejected with QueueFullError; over
+///    a tenant's quota with TenantQuotaError; over the predicted-cost
+///    budgets (service/cost.h) with CostBudgetError — a service sheds
+///    load at the door instead of accumulating unbounded work;
+///  - a deterministic result cache (service/result_cache.h, opt-in):
+///    repeat submissions of a cacheable request are answered as
+///    instantly terminal jobs holding the original result — reports
+///    stay byte-identical without re-sampling;
 ///  - per-job cooperative cancellation and wall-clock deadlines
 ///    (util/cancellation.h): cancel() aborts a queued job instantly and
 ///    a running one within a bounded number of gate/shard steps;
@@ -46,13 +57,22 @@
 #include "api/session.h"
 #include "core/progress.h"
 #include "obs/trace.h"
+#include "service/cost.h"
+#include "service/result_cache.h"
 #include "util/cancellation.h"
 #include "util/error.h"
 
 namespace bgls::service {
 
-/// Thrown by submit() when admission control rejects the job.
+/// Thrown by submit() when admission control rejects the job (queued
+/// plus retry-delayed jobs at max_queue_depth).
 class QueueFullError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown by submit() when the request's tenant is at its queued cap.
+class TenantQuotaError : public Error {
  public:
   using Error::Error;
 };
@@ -80,6 +100,14 @@ struct JobInfo {
   std::uint64_t id = 0;
   JobState state = JobState::kQueued;
   int priority = 0;
+  /// Owning tenant ("" = the anonymous default tenant).
+  std::string tenant;
+  /// Answered from the result cache without sampling (instantly
+  /// terminal; start_order stays 0).
+  bool from_cache = false;
+  /// CostModel estimate at admission, seconds (0 when no estimate was
+  /// possible — custom backends have no closed form).
+  double predicted_seconds = 0.0;
   /// What went wrong (kFailed), or the cancellation/timeout message.
   std::string error;
   /// Streaming progress: repetitions covered by the latest update and
@@ -129,9 +157,28 @@ struct SchedulerStats {
   std::uint64_t resumed = 0;
   std::size_t queue_depth = 0;
   std::size_t running = 0;
+  /// Submissions answered from the result cache (included in
+  /// submitted/completed).
+  std::uint64_t cache_hits = 0;
   /// Completed jobs per executing backend name — the routing decisions
   /// (RunStats::selection_reason carries the per-job why).
   std::map<std::string, std::uint64_t> completed_per_backend;
+  /// Completed jobs (cache hits included) per tenant name.
+  std::map<std::string, std::uint64_t> completed_per_tenant;
+};
+
+/// Per-tenant scheduling quota.
+struct TenantQuota {
+  /// Weighted-fair share: a tenant's virtual time advances by
+  /// predicted-cost/weight per admitted job, so a weight-2 tenant gets
+  /// twice the completed work of a weight-1 tenant under saturation.
+  double weight = 1.0;
+  /// Cap on the tenant's queued (incl. retry-delayed) jobs; 0 = only
+  /// the global max_queue_depth applies.
+  std::size_t max_queued = 0;
+  /// Cap on the tenant's concurrently running jobs; 0 = only
+  /// max_concurrent_jobs applies.
+  std::size_t max_running = 0;
 };
 
 /// Construction knobs.
@@ -140,8 +187,25 @@ struct SchedulerOptions {
   /// sampling fans out on the shared EngineContext pool via the
   /// Session, so this bounds *jobs* in flight, not threads used.
   int max_concurrent_jobs = 1;
-  /// Admission bound on queued (not yet running) jobs.
+  /// Admission bound on queued (not yet running) jobs, counting both
+  /// the ready heap and retry-backoff jobs waiting in delayed_.
   std::size_t max_queue_depth = 64;
+  /// Explicit per-tenant quotas; tenants not listed get default_quota.
+  std::map<std::string, TenantQuota> tenant_quotas;
+  /// Quota for tenants without an explicit entry (including the
+  /// anonymous "" tenant).
+  TenantQuota default_quota{};
+  /// Cost-aware admission budgets, applied to the CostModel estimate
+  /// (the Session's selector model, so routing and admission agree).
+  /// 0 disables the respective budget. Jobs whose backend has no
+  /// closed-form cost (custom backends) bypass both.
+  double max_job_seconds = 0.0;
+  /// Cap on the summed predicted seconds of queued + delayed work; a
+  /// rejection here is retryable — the backlog drains.
+  double max_queue_seconds = 0.0;
+  /// Deterministic result cache; null = off. Shareable between
+  /// schedulers (it is internally locked).
+  std::shared_ptr<ResultCache> result_cache;
   /// Retention bound on *terminal* jobs: when more than this many
   /// finished/aborted jobs are held, the oldest-finished are evicted
   /// (their id becomes unknown; results and progress must be fetched
@@ -253,10 +317,34 @@ class JobScheduler {
   struct Job;
   using JobPtr = std::shared_ptr<Job>;
 
-  /// Heap order for queue_: higher priority first, ties FIFO.
-  static bool heap_less(const JobPtr& a, const JobPtr& b);
+  /// Per-tenant scheduling state (guarded by mutex_).
+  struct TenantState {
+    TenantQuota quota;
+    /// Weighted-fair virtual time: the finish tag of the tenant's most
+    /// recently admitted job.
+    double vtime = 0.0;
+    std::size_t queued = 0;   // jobs in queue_ or delayed_
+    std::size_t running = 0;  // jobs currently executing
+    /// Process-wide per-tenant series, registered on first sight.
+    obs::Counter submitted_metric;
+    obs::Counter completed_metric;
+  };
+
+  /// Dispatch order: higher priority first, then lower virtual time
+  /// (weighted-fair), then FIFO. Returns "a is worse than b".
+  static bool dispatch_less(const JobPtr& a, const JobPtr& b);
 
   std::uint64_t submit_impl(RunRequest request, std::uint64_t forced_id);
+  /// CostModel estimate for `request` via the session's selector;
+  /// negative when no estimate is possible (custom backend, unrunnable
+  /// circuit — those fail later with their real error).
+  [[nodiscard]] double estimate_seconds(const RunRequest& request) const;
+  /// The tenant's state, created (with its quota and metric series
+  /// registered) on first sight.
+  TenantState& tenant_locked(const std::string& tenant);
+  /// Pops the best dispatchable job — per-tenant running caps respected
+  /// — or null when nothing is eligible.
+  JobPtr take_next_locked();
   void runner_loop();
   /// Executes one dequeued job outside the lock.
   void run_job(const JobPtr& job);
@@ -290,9 +378,18 @@ class JobScheduler {
   /// wait_progress).
   mutable std::condition_variable job_changed_;
   std::map<std::uint64_t, JobPtr> jobs_;
-  std::vector<JobPtr> queue_;  // heap ordered by (priority, -seq)
+  /// Ready jobs; take_next_locked scans for the dispatch_less-best
+  /// eligible entry (admission bounds the depth, so O(depth) per
+  /// dispatch is cheap and keeps per-tenant eligibility exact).
+  std::vector<JobPtr> queue_;
   /// Retried jobs waiting out their backoff (ready_at in the future).
   std::vector<JobPtr> delayed_;
+  /// Weighted-fair bookkeeping (see TenantState).
+  std::map<std::string, TenantState> tenants_;
+  double global_vtime_ = 0.0;
+  /// Summed predicted seconds of jobs in queue_ + delayed_ (the
+  /// max_queue_seconds admission budget).
+  double predicted_backlog_seconds_ = 0.0;
   /// Terminal job ids in completion order — the eviction queue.
   std::deque<std::uint64_t> terminal_order_;
   std::vector<std::thread> runners_;

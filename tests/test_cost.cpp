@@ -1,0 +1,163 @@
+/// \file test_cost.cpp
+/// The CostModel (service/cost.h): closed-form predictions per backend,
+/// the DM-vs-trajectories crossover that replaced the selector's
+/// hard-coded qubit cutoff, best-effort fitting from BENCH artifacts,
+/// and the bond-dimension estimate's clamps.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/selector.h"
+#include "circuit/noise.h"
+#include "circuit/random.h"
+#include "service/cost.h"
+#include "util/json_parser.h"
+
+namespace bgls {
+namespace {
+
+using service::CostCoefficients;
+using service::CostModel;
+
+/// A channel-bearing n-qubit profile (what the DM-vs-trajectories rule
+/// sees).
+CircuitProfile channel_profile(int n, std::size_t ops = 20) {
+  CircuitProfile profile;
+  profile.num_qubits = n;
+  profile.num_operations = ops;
+  profile.has_channels = true;
+  profile.clifford_only = false;
+  profile.near_clifford = false;
+  return profile;
+}
+
+TEST(CostModel, DensityMatrixVsTrajectoriesCrossoverAtTwoPowNEqualsReps) {
+  // Shared sv/dm per-element coefficient ⇒ DM (one 4^n pass) beats
+  // reps × 2^n trajectories exactly while 2^n ≤ reps. At the service
+  // default of 1024 repetitions that reproduces the old hard-coded
+  // max_density_matrix_qubits = 10 boundary.
+  const CostModel model;
+  const std::uint64_t reps = BackendSelector::kDefaultRepetitions;
+  ASSERT_EQ(reps, 1024u);
+  for (int n = 2; n <= 10; ++n) {
+    EXPECT_LE(model.predict_seconds(channel_profile(n), reps,
+                                    BackendId::kDensityMatrix),
+              model.predict_seconds(channel_profile(n), reps,
+                                    BackendId::kStateVector))
+        << "n=" << n;
+  }
+  for (int n = 11; n <= 14; ++n) {
+    EXPECT_GT(model.predict_seconds(channel_profile(n), reps,
+                                    BackendId::kDensityMatrix),
+              model.predict_seconds(channel_profile(n), reps,
+                                    BackendId::kStateVector))
+        << "n=" << n;
+  }
+  // The boundary moves with repetitions: at 2^12 shots the 12-qubit
+  // costs tie exactly (2^n = reps — DM wins the ≤ comparison), and one
+  // more doubling makes the density matrix strictly cheaper.
+  EXPECT_LE(model.predict_seconds(channel_profile(12), 1u << 12,
+                                  BackendId::kDensityMatrix),
+            model.predict_seconds(channel_profile(12), 1u << 12,
+                                  BackendId::kStateVector));
+  EXPECT_LT(model.predict_seconds(channel_profile(12), 1u << 13,
+                                  BackendId::kDensityMatrix),
+            model.predict_seconds(channel_profile(12), 1u << 13,
+                                  BackendId::kStateVector));
+}
+
+TEST(CostModel, SelectorUsesCrossoverForChannelCircuits) {
+  // End-to-end through BackendSelector: the same channel circuit flips
+  // from densitymatrix to statevector trajectories when the requested
+  // repetitions drop below 2^n.
+  Circuit circuit = ghz_circuit(8);
+  circuit.append(Operation(Gate::Channel(depolarize(0.05)), {0}));
+  circuit.append(measure({0, 1, 2}, "m"));
+  const BackendSelector selector;
+  EXPECT_EQ(selector.select(circuit, 1024).id, BackendId::kDensityMatrix);
+  EXPECT_EQ(selector.select(circuit, 16).id, BackendId::kStateVector);
+}
+
+TEST(CostModel, PredictionsScaleWithWorkload) {
+  const CostModel model;
+  const CircuitProfile small = channel_profile(4);
+  const CircuitProfile wide = channel_profile(8);
+  // More qubits, more ops, more repetitions: all strictly more seconds.
+  EXPECT_LT(
+      model.predict_seconds(small, 100, BackendId::kStateVector),
+      model.predict_seconds(wide, 100, BackendId::kStateVector));
+  EXPECT_LT(
+      model.predict_seconds(small, 100, BackendId::kStateVector),
+      model.predict_seconds(small, 10'000, BackendId::kStateVector));
+  // Every prediction includes the fixed per-job overhead.
+  EXPECT_GE(model.predict_seconds(small, 1, BackendId::kStabilizer),
+            model.coefficients().job_overhead_seconds);
+}
+
+TEST(CostModel, UnresolvedBackendsThrow) {
+  const CostModel model;
+  EXPECT_THROW(
+      (void)model.predict_seconds(channel_profile(4), 10, BackendId::kAuto),
+      ValueError);
+  EXPECT_THROW(
+      (void)model.predict_seconds(channel_profile(4), 10, BackendId::kCustom),
+      ValueError);
+}
+
+TEST(CostModel, BondDimensionEstimateSaturates) {
+  CircuitProfile profile;
+  profile.num_qubits = 20;
+  profile.entangling_gates = 4;  // 0.2 per qubit: shallow chain
+  EXPECT_LT(CostModel::estimated_bond_dimension(profile), 2.0);
+  // Adversarially dense profile: clamped at 2^(n/2), then at 2^32.
+  profile.entangling_gates = 100'000;
+  EXPECT_LE(CostModel::estimated_bond_dimension(profile),
+            std::pow(2.0, 10.0) + 1e-9);
+  profile.num_qubits = 1'000;
+  EXPECT_LE(CostModel::estimated_bond_dimension(profile),
+            std::pow(2.0, 32.0) + 1e-9);
+}
+
+TEST(CostModel, FittedRefitsCoefficientsFromArtifacts) {
+  // A micro-states document recording 2 ms per 2^20-amplitude sweep
+  // (≈ 1.9 ns/element) and a service document with a 1 ms per-job gap
+  // between the direct and queued paths.
+  const JsonValue micro = JsonValue::parse(R"({
+    "benchmarks": [
+      {"name": "BM_StateVector_ApplyH/20", "real_time": 2.0e6,
+       "time_unit": "ns"}
+    ]})");
+  const JsonValue service = JsonValue::parse(R"({
+    "jobs": 100,
+    "rows": [
+      {"path": "session_direct", "seconds": 1.0},
+      {"path": "scheduler_1", "seconds": 1.1}
+    ]})");
+  const CostModel model = CostModel::fitted(micro, service);
+  const double per_element = 2.0e-3 / 1048576.0;
+  EXPECT_DOUBLE_EQ(model.coefficients().sv_seconds_per_element, per_element);
+  EXPECT_DOUBLE_EQ(model.coefficients().dm_seconds_per_element, per_element);
+  EXPECT_DOUBLE_EQ(model.coefficients().mps_seconds_per_element,
+                   16.0 * per_element);
+  EXPECT_NEAR(model.coefficients().job_overhead_seconds, 1.0e-3, 1e-12);
+}
+
+TEST(CostModel, FittingIsBestEffort) {
+  // Missing rows, null documents, unreadable files: the committed
+  // defaults survive — a lost artifact must never take the service
+  // down.
+  const CostCoefficients defaults;
+  const CostModel from_null = CostModel::fitted(JsonValue(), JsonValue());
+  EXPECT_DOUBLE_EQ(from_null.coefficients().sv_seconds_per_element,
+                   defaults.sv_seconds_per_element);
+  EXPECT_DOUBLE_EQ(from_null.coefficients().job_overhead_seconds,
+                   defaults.job_overhead_seconds);
+  const CostModel from_missing = CostModel::fitted_from_files(
+      "/nonexistent/BENCH_micro_states.json", "/nonexistent/BENCH.json");
+  EXPECT_DOUBLE_EQ(from_missing.coefficients().sv_seconds_per_element,
+                   defaults.sv_seconds_per_element);
+}
+
+}  // namespace
+}  // namespace bgls

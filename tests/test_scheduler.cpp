@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "engine_test_helpers.h"
+#include "obs/metrics.h"
 #include "service/scheduler.h"
 #include "util/fault.h"
 
@@ -438,6 +440,71 @@ TEST(JobScheduler, PreemptionCheckpointsResumesAndStaysCorrect) {
   EXPECT_EQ(info.result->measurements.histogram("m"),
             session.run(small_job(31, 20'000)).measurements.histogram("m"));
 }
+
+TEST(JobScheduler, RetryBacklogCountsAgainstQueueDepth) {
+  // Regression: admission used to count only the ready queue, so jobs
+  // parked in the retry-backoff list bypassed max_queue_depth — a
+  // retry flood could grow the backlog without bound. Delayed jobs
+  // must occupy admission slots.
+  SchedulerOptions options;
+  options.max_concurrent_jobs = 1;
+  options.max_queue_depth = 2;
+  options.max_retries = 3;
+  options.backoff_base_ms = 60'000;  // retries stay parked in delayed_
+  JobScheduler scheduler(options);
+
+  fault::arm("shard_run", 1.0, 5);  // every attempt aborts transiently
+  const std::uint64_t a = scheduler.submit(small_job(1));
+  const std::uint64_t b = scheduler.submit(small_job(2));
+  // Both jobs fail their first attempt and re-enter as retry-delayed
+  // (back in kQueued with retries recorded, backoff far in the future).
+  const auto parked = [&](std::uint64_t id) {
+    const JobInfo info = scheduler.info(id);
+    return info.retries >= 1 && info.state == JobState::kQueued;
+  };
+  while (!parked(a) || !parked(b)) {
+    std::this_thread::sleep_for(1ms);
+  }
+  fault::disarm_all();
+
+  EXPECT_EQ(scheduler.stats().queue_depth, 2u);
+  EXPECT_THROW((void)scheduler.submit(small_job(3)), QueueFullError);
+  EXPECT_EQ(scheduler.stats().rejected, 1u);
+  // Destructor cancels the delayed jobs without running them again.
+}
+
+#if BGLS_TELEMETRY
+TEST(JobScheduler, DestructorResetsQueueGaugeAndCountsCancelled) {
+  // Regression: the destructor used to leave the process-wide
+  // bgls_scheduler_queue_depth gauge at its last value and never folded
+  // shutdown-cancelled queued jobs into
+  // bgls_scheduler_jobs_total{state="cancelled"} — a restart-heavy
+  // daemon under-reported cancellations forever.
+  const auto series = [](const std::string& name) -> obs::SeriesSnapshot {
+    for (const obs::SeriesSnapshot& s :
+         obs::MetricsRegistry::global().snapshot()) {
+      if (s.name == name) return s;
+    }
+    return {};
+  };
+  const std::string cancelled_name =
+      "bgls_scheduler_jobs_total{state=\"cancelled\"}";
+  const std::uint64_t cancelled_before = series(cancelled_name).count;
+  {
+    SchedulerOptions options;
+    options.max_concurrent_jobs = 1;
+    JobScheduler scheduler(options);
+    start_blocker(scheduler);
+    (void)scheduler.submit(small_job(2));
+    (void)scheduler.submit(small_job(3));
+    EXPECT_GE(series("bgls_scheduler_queue_depth").gauge, 2.0);
+  }
+  // Two queued jobs died by shutdown, the running blocker by token
+  // cancellation: all three are cancelled terminals.
+  EXPECT_EQ(series(cancelled_name).count, cancelled_before + 3);
+  EXPECT_EQ(series("bgls_scheduler_queue_depth").gauge, 0.0);
+}
+#endif  // BGLS_TELEMETRY
 
 TEST(JobScheduler, WaitTimeoutReturnsLiveSnapshot) {
   SchedulerOptions options;

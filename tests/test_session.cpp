@@ -76,7 +76,9 @@ TEST(BackendSelector, ChannelBearingSmallRegisterRoutesToDensityMatrix) {
 }
 
 TEST(BackendSelector, ChannelBearingWideRegisterRoutesToTrajectories) {
-  // 12 qubits > max_density_matrix_qubits (10): statevector trajectories.
+  // 12 qubits: 2^12 > the default 1024 repetitions, so the cost model
+  // predicts reps × 2^n trajectories cheaper than the one-pass 4^n
+  // density matrix (the old max_density_matrix_qubits=10 boundary).
   Circuit circuit = ghz_circuit(12);
   circuit.append(Operation(Gate::Channel(depolarize(0.05)), {0}));
   circuit.append(measure({0, 1, 2}, "m"));

@@ -1,0 +1,179 @@
+/// \file test_tenant.cpp
+/// Multi-tenant scheduling (service/scheduler.h): weighted-fair shares
+/// converge to the configured weight ratio under saturation, per-tenant
+/// queued/running caps hold, and per-tenant accounting survives the
+/// whole job lifecycle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine_test_helpers.h"
+#include "service/scheduler.h"
+
+namespace bgls {
+namespace {
+
+using namespace std::chrono_literals;
+using service::JobInfo;
+using service::JobScheduler;
+using service::JobState;
+using service::SchedulerOptions;
+using service::TenantQuota;
+using service::TenantQuotaError;
+
+RunRequest small_job(std::uint64_t seed = 5, std::uint64_t reps = 400) {
+  return RunRequest()
+      .with_circuit(testing::trajectory_workload(3, 0.05))
+      .with_repetitions(reps)
+      .with_seed(seed);
+}
+
+RunRequest blocker_job() { return small_job(1, 500'000'000ULL); }
+
+std::uint64_t start_blocker(JobScheduler& scheduler,
+                            const std::string& tenant = "") {
+  const std::uint64_t id =
+      scheduler.submit(blocker_job().with_tenant(tenant));
+  while (scheduler.info(id).state == JobState::kQueued) {
+    std::this_thread::sleep_for(1ms);
+  }
+  return id;
+}
+
+TEST(TenantScheduling, WeightedFairConvergesToWeightRatio) {
+  // Tenant "a" at weight 2, "b" at weight 1, equal-cost jobs, one
+  // runner: under saturation the dispatch order must interleave 2:1.
+  // All twelve jobs are admitted while a blocker owns the runner, so
+  // their virtual-time tags — cost/weight per admitted job — are fully
+  // deterministic, and so is the dispatch order.
+  SchedulerOptions options;
+  options.max_concurrent_jobs = 1;
+  options.tenant_quotas["a"] = TenantQuota{2.0, 0, 0};
+  options.tenant_quotas["b"] = TenantQuota{1.0, 0, 0};
+  JobScheduler scheduler(options);
+
+  const std::uint64_t blocker = start_blocker(scheduler);
+  std::vector<std::uint64_t> a_jobs;
+  std::vector<std::uint64_t> b_jobs;
+  for (int i = 0; i < 6; ++i) {
+    a_jobs.push_back(scheduler.submit(
+        small_job(static_cast<std::uint64_t>(i)).with_tenant("a")));
+    b_jobs.push_back(scheduler.submit(
+        small_job(static_cast<std::uint64_t>(100 + i)).with_tenant("b")));
+  }
+  scheduler.cancel(blocker);
+  for (const std::uint64_t id : a_jobs) {
+    EXPECT_EQ(scheduler.wait(id).state, JobState::kDone);
+  }
+  for (const std::uint64_t id : b_jobs) {
+    EXPECT_EQ(scheduler.wait(id).state, JobState::kDone);
+  }
+
+  // Rank every job by the order it actually started running.
+  std::vector<std::pair<std::uint64_t, bool>> starts;  // (order, is_a)
+  for (const std::uint64_t id : a_jobs) {
+    starts.emplace_back(scheduler.info(id).start_order, true);
+  }
+  for (const std::uint64_t id : b_jobs) {
+    starts.emplace_back(scheduler.info(id).start_order, false);
+  }
+  std::sort(starts.begin(), starts.end());
+  // Among the first 9 dispatches, weight 2:1 yields exactly 6 of "a"
+  // and 3 of "b" (2:1, well inside the ±15% acceptance band).
+  const auto a_started =
+      std::count_if(starts.begin(), starts.begin() + 9,
+                    [](const auto& entry) { return entry.second; });
+  EXPECT_EQ(a_started, 6);
+  // Per-tenant completion accounting saw every job.
+  const service::SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed_per_tenant.at("a"), 6u);
+  EXPECT_EQ(stats.completed_per_tenant.at("b"), 6u);
+}
+
+TEST(TenantScheduling, QueuedQuotaRejectsOnlyTheOffendingTenant) {
+  SchedulerOptions options;
+  options.max_concurrent_jobs = 1;
+  options.tenant_quotas["capped"] = TenantQuota{1.0, 1, 0};
+  JobScheduler scheduler(options);
+  const std::uint64_t blocker = start_blocker(scheduler);
+  const std::uint64_t queued =
+      scheduler.submit(small_job(2).with_tenant("capped"));
+  try {
+    (void)scheduler.submit(small_job(3).with_tenant("capped"));
+    FAIL() << "expected TenantQuotaError";
+  } catch (const TenantQuotaError& e) {
+    EXPECT_NE(std::string(e.what()).find("queued-job quota"),
+              std::string::npos);
+  }
+  EXPECT_EQ(scheduler.stats().rejected, 1u);
+  // Other tenants are unaffected by the capped tenant's quota.
+  const std::uint64_t other =
+      scheduler.submit(small_job(4).with_tenant("other"));
+  scheduler.cancel(blocker);
+  EXPECT_EQ(scheduler.wait(queued).state, JobState::kDone);
+  EXPECT_EQ(scheduler.wait(other).state, JobState::kDone);
+}
+
+TEST(TenantScheduling, RunningCapHoldsJobBackWhileRunnerIsFree) {
+  SchedulerOptions options;
+  options.max_concurrent_jobs = 2;
+  options.tenant_quotas["capped"] = TenantQuota{1.0, 0, 1};
+  JobScheduler scheduler(options);
+
+  const std::uint64_t first = start_blocker(scheduler, "capped");
+  // A second "capped" job may not take the free runner.
+  const std::uint64_t held =
+      scheduler.submit(blocker_job().with_tenant("capped"));
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(scheduler.info(held).state, JobState::kQueued);
+  // The free runner still serves other tenants.
+  const std::uint64_t other =
+      scheduler.submit(small_job(9).with_tenant("other"));
+  EXPECT_EQ(scheduler.wait(other).state, JobState::kDone);
+  EXPECT_EQ(scheduler.info(held).state, JobState::kQueued);
+  // Finishing the first frees the tenant slot: the held job starts.
+  scheduler.cancel(first);
+  while (scheduler.info(held).state == JobState::kQueued) {
+    std::this_thread::sleep_for(1ms);
+  }
+  scheduler.cancel(held);
+  EXPECT_EQ(scheduler.wait(held).state, JobState::kCancelled);
+}
+
+TEST(TenantScheduling, CancelledQueuedJobReleasesQuotaSlot) {
+  SchedulerOptions options;
+  options.max_concurrent_jobs = 1;
+  options.tenant_quotas["capped"] = TenantQuota{1.0, 1, 0};
+  JobScheduler scheduler(options);
+  const std::uint64_t blocker = start_blocker(scheduler);
+  const std::uint64_t queued =
+      scheduler.submit(small_job(2).with_tenant("capped"));
+  EXPECT_THROW(
+      (void)scheduler.submit(small_job(3).with_tenant("capped")),
+      TenantQuotaError);
+  // Cancelling the queued job returns the quota slot immediately.
+  EXPECT_TRUE(scheduler.cancel(queued));
+  const std::uint64_t readmitted =
+      scheduler.submit(small_job(4).with_tenant("capped"));
+  scheduler.cancel(blocker);
+  EXPECT_EQ(scheduler.wait(readmitted).state, JobState::kDone);
+}
+
+TEST(TenantScheduling, InfoCarriesTenantAndPrediction) {
+  JobScheduler scheduler;
+  const std::uint64_t id =
+      scheduler.submit(small_job(5).with_tenant("acme"));
+  const JobInfo info = scheduler.wait(id);
+  EXPECT_EQ(info.tenant, "acme");
+  EXPECT_GT(info.predicted_seconds, 0.0);
+  EXPECT_FALSE(info.from_cache);
+}
+
+}  // namespace
+}  // namespace bgls

@@ -71,11 +71,13 @@ void print_usage(std::ostream& os) {
         "  stats            scheduler counters\n"
         "  metrics          Prometheus text exposition of the daemon's\n"
         "                   telemetry registry (scrape-ready)\n"
+        "  raw <json>       send one raw request line, print the raw\n"
+        "                   response (fleet ops: fleet, drain, undrain)\n"
         "  shutdown         ask the daemon to exit\n"
         "\n"
         "submit flags (run/submit): --reps N --seed N --backend NAME\n"
         "  --threads N --streams N --optimize --no-batch --priority N\n"
-        "  --deadline-ms N --progress-every N\n"
+        "  --tenant NAME --deadline-ms N --progress-every N\n"
         "wait flags (run/wait): --timeout-ms N\n"
         "transport flags: --retries N (reconnect attempts on connection\n"
         "  failures and journal_error responses, default 0)\n"
@@ -115,6 +117,8 @@ bool parse_args(int argc, char** argv, ClientOptions& options) {
       options.submit.no_batch = true;
     } else if (arg == "--priority") {
       options.submit.priority = parse_signed_flag(arg, need_value(i, arg));
+    } else if (arg == "--tenant") {
+      options.submit.tenant = need_value(i, arg);
     } else if (arg == "--deadline-ms") {
       options.submit.deadline_ms = parse_u64_flag(arg, need_value(i, arg));
     } else if (arg == "--progress-every") {
@@ -222,7 +226,8 @@ int run_command(const ClientOptions& options) {
               << " rejected=" << stats.u64_or("rejected", 0)
               << " queue_depth=" << stats.u64_or("queue_depth", 0)
               << " running=" << stats.u64_or("running", 0)
-              << " evicted=" << stats.u64_or("evicted", 0) << "\n";
+              << " evicted=" << stats.u64_or("evicted", 0)
+              << " cache_hits=" << stats.u64_or("cache_hits", 0) << "\n";
     const JsonValue* per_backend = stats.find("completed_per_backend");
     if (per_backend != nullptr &&
         per_backend->kind() == JsonValue::Kind::kObject) {
@@ -239,6 +244,14 @@ int run_command(const ClientOptions& options) {
     std::cout << client.metrics_text();
     return 0;
   }
+  if (options.command == "raw") {
+    BGLS_REQUIRE(options.args.size() == 1, "command 'raw' expects exactly "
+                 "one JSON request line");
+    std::string line = options.args[0];
+    if (line.empty() || line.back() != '\n') line += '\n';
+    std::cout << client.roundtrip_text(line) << "\n";
+    return 0;
+  }
   if (options.command == "shutdown") {
     client.shutdown_server();
     std::cout << "shutdown requested\n";
@@ -249,12 +262,14 @@ int run_command(const ClientOptions& options) {
 }
 
 /// True for failures worth reconnecting on: transport errors (daemon
-/// down or mid-restart) and journal_error responses (a durable ack
-/// could not be written; the submit is safe to repeat).
+/// down or mid-restart), journal_error responses (a durable ack could
+/// not be written; the submit is safe to repeat), and the fleet front's
+/// worker_down (placement retries land on a live worker).
 bool retryable(const std::exception& e) {
   if (dynamic_cast<const IoError*>(&e) != nullptr) return true;
   const auto* service = dynamic_cast<const ServiceError*>(&e);
-  return service != nullptr && service->code() == "journal_error";
+  return service != nullptr && (service->code() == "journal_error" ||
+                                service->code() == "worker_down");
 }
 
 void backoff_sleep(const ClientOptions& options, int attempt) {

@@ -20,8 +20,10 @@
 #include <atomic>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "api/session.h"
 #include "cli_flags.h"
@@ -45,7 +47,36 @@ struct ServeOptions {
   std::uint64_t checkpoint_every = 0;
   int retries = 0;
   std::uint64_t backoff_ms = 100;
+  std::size_t cache = 0;  // result-cache entries; 0 = off
+  std::map<std::string, TenantQuota> tenants;
+  double max_job_seconds = 0.0;
+  double max_queue_seconds = 0.0;
 };
+
+/// Parses "NAME=WEIGHT[:MAX_QUEUED[:MAX_RUNNING]]" (the --tenant flag).
+std::pair<std::string, TenantQuota> parse_tenant_flag(
+    const std::string& value) {
+  const std::size_t eq = value.find('=');
+  BGLS_REQUIRE(eq != std::string::npos && eq > 0,
+               "--tenant needs NAME=WEIGHT[:MAX_QUEUED[:MAX_RUNNING]], got '",
+               value, "'");
+  TenantQuota quota;
+  std::string spec = value.substr(eq + 1);
+  std::size_t colon = spec.find(':');
+  quota.weight = std::stod(spec.substr(0, colon));
+  BGLS_REQUIRE(quota.weight > 0.0, "--tenant weight must be positive");
+  if (colon != std::string::npos) {
+    spec = spec.substr(colon + 1);
+    colon = spec.find(':');
+    quota.max_queued =
+        static_cast<std::size_t>(std::stoull(spec.substr(0, colon)));
+    if (colon != std::string::npos) {
+      quota.max_running =
+          static_cast<std::size_t>(std::stoull(spec.substr(colon + 1)));
+    }
+  }
+  return {value.substr(0, eq), quota};
+}
 
 /// Watches for SIGTERM/SIGINT (blocked on every thread; polled with
 /// sigtimedwait so the watcher can also exit on normal shutdown) and
@@ -113,6 +144,18 @@ void print_usage(std::ostream& os) {
         "  --retries N      re-queue transiently failed jobs up to N\n"
         "                   times with exponential backoff (default 0)\n"
         "  --backoff-ms B   retry backoff base in ms (default 100)\n"
+        "  --cache N        deterministic result cache holding up to N\n"
+        "                   finished results (default 0 = off); repeat\n"
+        "                   submissions answer byte-identical reports\n"
+        "                   without re-sampling\n"
+        "  --tenant NAME=W[:Q[:R]]  per-tenant quota: weighted-fair\n"
+        "                   weight W, optional queued cap Q and running\n"
+        "                   cap R (repeatable; unlisted tenants get\n"
+        "                   weight 1 and no caps)\n"
+        "  --max-job-seconds X    reject submissions whose predicted\n"
+        "                   cost exceeds X seconds (over_budget)\n"
+        "  --max-queue-seconds X  reject submissions that would push the\n"
+        "                   predicted queued backlog past X seconds\n"
         "  --help           this text\n";
 }
 
@@ -154,6 +197,15 @@ bool parse_args(int argc, char** argv, ServeOptions& options) {
       options.retries = static_cast<int>(retries);
     } else if (arg == "--backoff-ms") {
       options.backoff_ms = parse_u64_flag(arg, need_value(i, arg));
+    } else if (arg == "--cache") {
+      options.cache =
+          static_cast<std::size_t>(parse_u64_flag(arg, need_value(i, arg)));
+    } else if (arg == "--tenant") {
+      options.tenants.insert(parse_tenant_flag(need_value(i, arg)));
+    } else if (arg == "--max-job-seconds") {
+      options.max_job_seconds = std::stod(need_value(i, arg));
+    } else if (arg == "--max-queue-seconds") {
+      options.max_queue_seconds = std::stod(need_value(i, arg));
     } else {
       detail::throw_error<ValueError>("unknown flag '", arg,
                                       "' (try --help)");
@@ -177,6 +229,15 @@ int main(int argc, char** argv) {
     daemon_options.scheduler.checkpoint_every = options.checkpoint_every;
     daemon_options.scheduler.max_retries = options.retries;
     daemon_options.scheduler.backoff_base_ms = options.backoff_ms;
+    daemon_options.scheduler.tenant_quotas = options.tenants;
+    daemon_options.scheduler.max_job_seconds = options.max_job_seconds;
+    daemon_options.scheduler.max_queue_seconds = options.max_queue_seconds;
+    if (options.cache > 0) {
+      ResultCacheOptions cache_options;
+      cache_options.max_entries = options.cache;
+      daemon_options.scheduler.result_cache =
+          std::make_shared<ResultCache>(cache_options);
+    }
     daemon_options.journal_path = options.journal;
 
     ServiceDaemon daemon(daemon_options);

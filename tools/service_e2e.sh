@@ -19,31 +19,58 @@
 #      job from its checkpoint, and every job's final report is still
 #      byte-identical to bgls_run; journal/resume telemetry is scraped.
 #
+#   8. fleet serving (when a BGLS_FLEET binary is passed): two workers
+#      with result caches behind one bgls_fleet front; concurrent
+#      multi-tenant clients byte-identical to bgls_run; a repeat
+#      submission answered from a worker's cache byte-identically; a
+#      worker kill -9'd mid-flood (the fleet keeps serving on the
+#      survivor) and brought back in, rejoining via health checks.
+#
 # Usage: service_e2e.sh BGLS_SERVE BGLS_CLIENT BGLS_RUN DATA_DIR WORK_DIR
+#        [BGLS_FLEET]
 
 set -u
 
-SERVE="$1"; CLIENT="$2"; RUN="$3"; DATA="$4"; WORK="$5"
+SERVE="$1"; CLIENT="$2"; RUN="$3"; DATA="$4"; WORK="$5"; FLEET="${6:-}"
 
 SOCK="/tmp/bgls_e2e_$$.sock"
 CONNECT="unix:$SOCK"
 mkdir -p "$WORK"
 SERVE_PID=""
 JSERVE_PID=""
+W1_PID=""
+W2_PID=""
+FLEET_PID=""
 
 fail() {
   echo "FAIL: $*" >&2
   [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null
   [ -n "$JSERVE_PID" ] && kill "$JSERVE_PID" 2>/dev/null
+  [ -n "$W1_PID" ] && kill "$W1_PID" 2>/dev/null
+  [ -n "$W2_PID" ] && kill "$W2_PID" 2>/dev/null
+  [ -n "$FLEET_PID" ] && kill "$FLEET_PID" 2>/dev/null
   exit 1
 }
 
 cleanup() {
   [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null
   [ -n "$JSERVE_PID" ] && kill "$JSERVE_PID" 2>/dev/null
-  rm -f "$SOCK" "/tmp/bgls_e2e_j$$.sock"
+  [ -n "$W1_PID" ] && kill "$W1_PID" 2>/dev/null
+  [ -n "$W2_PID" ] && kill "$W2_PID" 2>/dev/null
+  [ -n "$FLEET_PID" ] && kill "$FLEET_PID" 2>/dev/null
+  rm -f "$SOCK" "/tmp/bgls_e2e_j$$.sock" \
+    "/tmp/bgls_e2e_w1_$$.sock" "/tmp/bgls_e2e_w2_$$.sock" \
+    "/tmp/bgls_e2e_front_$$.sock"
 }
 trap cleanup EXIT
+
+wait_socket() {
+  for _ in $(seq 100); do
+    [ -S "$1" ] && return 0
+    sleep 0.1
+  done
+  return 1
+}
 
 "$SERVE" --listen "$CONNECT" --jobs 2 --queue 32 &
 SERVE_PID=$!
@@ -304,6 +331,138 @@ fi
 wait "$JSERVE_PID" || fail "journaled daemon exited non-zero"
 JSERVE_PID=""
 rm -f "$JSOCK"
+
+# --- 9. Fleet: 2 cached workers behind one front, multi-tenant flood,
+# cache-hit byte-identity, worker failure + rejoin ---
+if [ -n "$FLEET" ]; then
+  W1SOCK="/tmp/bgls_e2e_w1_$$.sock"
+  W2SOCK="/tmp/bgls_e2e_w2_$$.sock"
+  FSOCK="/tmp/bgls_e2e_front_$$.sock"
+  FCONNECT="unix:$FSOCK"
+
+  start_worker1() {
+    "$SERVE" --listen "unix:$W1SOCK" --jobs 2 --cache 64 \
+      --tenant 'acme=2' --tenant 'blue=1' &
+    W1_PID=$!
+    wait_socket "$W1SOCK" || fail "worker 1 socket never appeared"
+  }
+  start_worker2() {
+    "$SERVE" --listen "unix:$W2SOCK" --jobs 2 --cache 64 \
+      --tenant 'acme=2' --tenant 'blue=1' &
+    W2_PID=$!
+    wait_socket "$W2SOCK" || fail "worker 2 socket never appeared"
+  }
+  start_worker1
+  start_worker2
+  "$FLEET" --listen "$FCONNECT" --worker "unix:$W1SOCK" \
+    --worker "unix:$W2SOCK" --health-interval-ms 100 &
+  FLEET_PID=$!
+  wait_socket "$FSOCK" || fail "fleet socket never appeared"
+
+  # Concurrent multi-tenant clients through the fleet: placement is
+  # invisible because sampling is deterministic — every worker returns
+  # the byte-identical bgls_run report.
+  TENANTS=(acme blue acme blue)
+  FLEET_PIDS=()
+  for i in "${!SPECS[@]}"; do
+    read -r QASM REPS SEED <<< "${SPECS[$i]}"
+    "$CLIENT" --connect "$FCONNECT" run --reps "$REPS" --seed "$SEED" \
+      --tenant "${TENANTS[$i]}" "$DATA/$QASM" > "$WORK/fleet_$i.json" &
+    FLEET_PIDS+=($!)
+  done
+  for pid in "${FLEET_PIDS[@]}"; do
+    wait "$pid" || fail "fleet client exited non-zero"
+  done
+  for i in "${!SPECS[@]}"; do
+    cmp "$WORK/fleet_$i.json" "$WORK/expected_$i.json" \
+      || fail "fleet output $i differs from bgls_run"
+  done
+  echo "ok: ${#SPECS[@]} multi-tenant fleet clients byte-identical to bgls_run"
+
+  # Cache-hit byte-identity, pinned against a single worker: the repeat
+  # submission must be answered from the result cache (cache_hits
+  # advances) and the report must be byte-identical without re-sampling.
+  "$CLIENT" --connect "unix:$W1SOCK" run --reps 4096 --seed 7 \
+    "$DATA/ghz.qasm" > "$WORK/cache_first.json" || fail "cache prime failed"
+  "$CLIENT" --connect "unix:$W1SOCK" run --reps 4096 --seed 7 \
+    "$DATA/ghz.qasm" > "$WORK/cache_second.json" || fail "cache hit failed"
+  cmp "$WORK/cache_first.json" "$WORK/cache_second.json" \
+    || fail "cache hit not byte-identical"
+  cmp "$WORK/cache_first.json" "$WORK/expected_0.json" \
+    || fail "cached report differs from bgls_run"
+  "$CLIENT" --connect "unix:$W1SOCK" stats > "$WORK/cache_stats.txt" \
+    || fail "worker stats failed"
+  grep -Eq "cache_hits=[1-9]" "$WORK/cache_stats.txt" \
+    || fail "worker reported no cache hits: $(cat "$WORK/cache_stats.txt")"
+  echo "ok: repeat submission answered from the cache byte-identically"
+
+  # The fleet op reports both workers; drain/undrain round-trips.
+  "$CLIENT" --connect "$FCONNECT" raw '{"op":"fleet"}' > "$WORK/fleet_op.json"
+  grep -q '"workers"' "$WORK/fleet_op.json" || fail "fleet op malformed"
+  "$CLIENT" --connect "$FCONNECT" raw '{"op":"drain","worker":1}' \
+    | grep -q '"ok":true' || fail "drain rejected"
+  "$CLIENT" --connect "$FCONNECT" raw '{"op":"undrain","worker":1}' \
+    | grep -q '"ok":true' || fail "undrain rejected"
+
+  # Kill worker 2 mid-flood: the fleet must keep serving on worker 1.
+  kill -9 "$W2_PID" 2>/dev/null
+  wait "$W2_PID" 2>/dev/null
+  W2_PID=""
+  SURVIVOR_PIDS=()
+  for i in "${!SPECS[@]}"; do
+    read -r QASM REPS SEED <<< "${SPECS[$i]}"
+    "$CLIENT" --connect "$FCONNECT" --retries 5 --backoff-ms 50 \
+      run --reps "$REPS" --seed "$SEED" --tenant "${TENANTS[$i]}" \
+      "$DATA/$QASM" > "$WORK/survivor_$i.json" &
+    SURVIVOR_PIDS+=($!)
+  done
+  for pid in "${SURVIVOR_PIDS[@]}"; do
+    wait "$pid" || fail "client failed while a worker was down"
+  done
+  for i in "${!SPECS[@]}"; do
+    cmp "$WORK/survivor_$i.json" "$WORK/expected_$i.json" \
+      || fail "survivor output $i differs from bgls_run"
+  done
+  echo "ok: fleet served ${#SPECS[@]} jobs byte-identically with a worker down"
+
+  # Bring worker 2 back on the same socket: the health thread must mark
+  # it alive again and the fleet keeps answering.
+  rm -f "$W2SOCK"
+  start_worker2
+  REJOINED=0
+  for _ in $(seq 50); do
+    "$CLIENT" --connect "$FCONNECT" raw '{"op":"fleet"}' \
+      > "$WORK/fleet_rejoin.json" 2>/dev/null
+    if grep -q '"alive":true.*"alive":true' "$WORK/fleet_rejoin.json"; then
+      REJOINED=1
+      break
+    fi
+    sleep 0.1
+  done
+  [ "$REJOINED" -eq 1 ] || fail "worker 2 never rejoined after restart"
+  "$CLIENT" --connect "$FCONNECT" run --reps 512 --seed 3 \
+    --tenant blue "$DATA/x0.qasm" > "$WORK/rejoin_run.json" \
+    || fail "post-rejoin run failed"
+  cmp "$WORK/rejoin_run.json" "$WORK/expected_2.json" \
+    || fail "post-rejoin output differs from bgls_run"
+  echo "ok: killed worker rejoined via health checks"
+
+  "$CLIENT" --connect "$FCONNECT" shutdown > /dev/null \
+    || fail "fleet shutdown failed"
+  wait "$FLEET_PID" || fail "fleet exited non-zero"
+  FLEET_PID=""
+  # Workers have their own lifecycles: still alive after fleet shutdown.
+  kill -0 "$W1_PID" 2>/dev/null || fail "fleet shutdown killed worker 1"
+  "$CLIENT" --connect "unix:$W1SOCK" shutdown > /dev/null \
+    || fail "worker 1 shutdown failed"
+  wait "$W1_PID" || fail "worker 1 exited non-zero"
+  W1_PID=""
+  "$CLIENT" --connect "unix:$W2SOCK" shutdown > /dev/null \
+    || fail "worker 2 shutdown failed"
+  wait "$W2_PID" || fail "worker 2 exited non-zero"
+  W2_PID=""
+  echo "ok: fleet front drained; workers outlived it"
+fi
 
 echo "PASS: service end-to-end"
 exit 0
