@@ -1,6 +1,7 @@
 #include "core/checkpoint.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -9,6 +10,7 @@
 #include "util/error.h"
 #include "util/json_parser.h"
 #include "util/json_writer.h"
+#include "util/parse.h"
 
 namespace bgls {
 
@@ -122,10 +124,12 @@ CheckpointStats stats_from_json(const JsonValue& value) {
 }
 
 std::uint64_t parse_u64_key(const std::string& text) {
-  std::size_t pos = 0;
-  const unsigned long long parsed = std::stoull(text, &pos);
-  BGLS_REQUIRE(pos == text.size(), "malformed histogram key '", text, "'");
-  return parsed;
+  // Checked parse (util/parse.h): std::stoull would throw raw
+  // std::invalid_argument/std::out_of_range — not a bgls error type —
+  // on a corrupt checkpoint, and accept a leading '-' by wrapping.
+  const std::optional<std::uint64_t> parsed = util::try_parse_u64(text);
+  BGLS_REQUIRE(parsed.has_value(), "malformed histogram key '", text, "'");
+  return *parsed;
 }
 
 }  // namespace

@@ -22,7 +22,12 @@ MPSState::MPSState(int num_qubits, MPSOptions options, Bitstring initial)
 }
 
 std::string MPSState::physical_label(int q) const {
-  return "p" + std::to_string(q);
+  // Built via += rather than `"p" + std::to_string(q)`: the
+  // char*+string&& overload trips GCC 12's -Wrestrict false positive
+  // (PR105329) under -Werror.
+  std::string label("p");
+  label += std::to_string(q);
+  return label;
 }
 
 const Tensor& MPSState::tensor(int q) const {
@@ -117,7 +122,8 @@ void MPSState::apply_two_qubit(const Matrix& m, Qubit a, Qubit b) {
     estimated_fidelity_ *= kept_weight / total_weight;
   }
 
-  const std::string bond = "b" + std::to_string(bond_counter_++);
+  std::string bond("b");  // += avoids GCC 12 -Wrestrict (see above)
+  bond += std::to_string(bond_counter_++);
   // Absorb √σ into both halves (the quimb 'both' absorption).
   Matrix u_scaled(factors.u.rows(), keep);
   Matrix v_scaled(keep, factors.vh.cols());

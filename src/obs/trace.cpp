@@ -8,7 +8,9 @@ namespace bgls::obs {
 namespace {
 
 // Top of the current thread's open-span stack, for parent linking.
-thread_local TraceSpan* t_current_span = nullptr;
+// Unreferenced when telemetry is compiled out (TraceSpan's ctor/dtor
+// collapse to no-ops), hence maybe_unused.
+[[maybe_unused]] thread_local TraceSpan* t_current_span = nullptr;
 
 void fnv1a_mix(std::uint64_t& hash, const void* data, std::size_t size) {
   constexpr std::uint64_t kPrime = 1099511628211ULL;

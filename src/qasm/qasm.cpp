@@ -4,10 +4,12 @@
 #include <cmath>
 #include <map>
 #include <numbers>
+#include <optional>
 #include <sstream>
 #include <vector>
 
 #include "util/error.h"
+#include "util/parse.h"
 
 namespace bgls {
 namespace {
@@ -86,7 +88,9 @@ class Cursor {
 };
 
 /// Recursive-descent angle expression parser: numbers, pi, + - * /,
-/// unary minus, parentheses.
+/// unary minus, parentheses. Recursion depth is bounded so hostile
+/// input ("((((…" or "----…x") raises ParseError instead of
+/// overflowing the stack — the importer parses untrusted bytes.
 class ExpressionParser {
  public:
   explicit ExpressionParser(Cursor& cursor) : cursor_(cursor) {}
@@ -94,6 +98,27 @@ class ExpressionParser {
   double parse() { return parse_sum(); }
 
  private:
+  static constexpr int kMaxDepth = 64;
+
+  /// RAII depth tick: every recursion cycle passes through
+  /// parse_unary, so guarding it alone bounds the whole grammar.
+  class DepthScope {
+   public:
+    explicit DepthScope(ExpressionParser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) {
+        detail::throw_error<ParseError>("line ", parser_.cursor_.line(),
+                                        ": expression nests deeper than ",
+                                        kMaxDepth, " levels");
+      }
+    }
+    ~DepthScope() { --parser_.depth_; }
+    DepthScope(const DepthScope&) = delete;
+    DepthScope& operator=(const DepthScope&) = delete;
+
+   private:
+    ExpressionParser& parser_;
+  };
+
   double parse_sum() {
     double value = parse_product();
     for (;;) {
@@ -126,6 +151,7 @@ class ExpressionParser {
   }
 
   double parse_unary() {
+    const DepthScope scope(*this);
     if (cursor_.consume_if('-')) return -parse_unary();
     if (cursor_.consume_if('+')) return parse_unary();
     return parse_atom();
@@ -159,11 +185,27 @@ class ExpressionParser {
       detail::throw_error<ParseError>("line ", cursor_.line(),
                                       ": expected a number");
     }
-    return std::stod(digits);
+    // Checked parse: the scan above is permissive (it collects any run
+    // of digit/'.'/exponent characters), so "1.2.3" and "1e" reach
+    // here and must be rejected rather than silently truncated the way
+    // std::stod would ("1.2.3" -> 1.2). Out-of-range ("1e999") is a
+    // parse error too, not a std::out_of_range escaping the parser.
+    const std::optional<double> value = util::try_parse_double(digits);
+    if (!value.has_value()) {
+      detail::throw_error<ParseError>("line ", cursor_.line(),
+                                      ": invalid number '", digits, "'");
+    }
+    return *value;
   }
 
   Cursor& cursor_;
+  int depth_ = 0;
 };
+
+/// Widest register (and total bit count) the importer accepts; far
+/// beyond anything simulable, but small enough that a hostile
+/// declaration cannot drive allocations on its own.
+constexpr int kMaxRegisterBits = 1 << 20;
 
 struct Register {
   int offset = 0;  // first global qubit id
@@ -234,12 +276,25 @@ class QasmParser {
       const std::string name = cursor_.identifier();
       cursor_.expect('[');
       ExpressionParser expr(cursor_);
-      const int size = static_cast<int>(expr.parse());
+      // Checked narrowing: the expression grammar yields a double, and
+      // casting an out-of-range double ("qreg q[1e300]") to int is
+      // undefined behavior.
+      const std::optional<int> parsed = util::try_double_to_int(expr.parse());
       cursor_.expect(']');
       cursor_.expect(';');
-      if (size <= 0) {
+      if (!parsed.has_value() || *parsed <= 0) {
         detail::throw_error<ParseError>("line ", line, ": register '", name,
                                         "' must have positive size");
+      }
+      const int size = *parsed;
+      // QASM arrives over untrusted surfaces (the service protocol):
+      // cap declared widths so a one-line "qreg q[2000000000]" cannot
+      // balloon whole-register expansions before simulation rejects it.
+      if (size > kMaxRegisterBits || next_qubit_ > kMaxRegisterBits ||
+          next_clbit_ > kMaxRegisterBits) {
+        detail::throw_error<ParseError>("line ", line, ": register '", name,
+                                        "' exceeds the supported width (",
+                                        kMaxRegisterBits, " bits)");
       }
       auto& table = keyword == "qreg" ? qregs_ : cregs_;
       if (table.contains(name)) {
@@ -278,7 +333,9 @@ class QasmParser {
     Argument arg{name, -1};
     if (cursor_.consume_if('[')) {
       ExpressionParser expr(cursor_);
-      arg.index = static_cast<int>(expr.parse());
+      // Same checked narrowing as register declarations: "q[1e300]"
+      // must be a parse error, not an undefined cast.
+      arg.index = util::try_double_to_int(expr.parse()).value_or(-1);
       cursor_.expect(']');
       if (arg.index < 0 || arg.index >= table.at(name).size) {
         detail::throw_error<ParseError>("line ", line, ": index ", arg.index,

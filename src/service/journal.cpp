@@ -6,13 +6,14 @@
 #include <array>
 #include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "obs/metrics.h"
 #include "util/fault.h"
+#include "util/parse.h"
 
 namespace bgls::service {
 
@@ -174,10 +175,22 @@ std::uint64_t Journal::records_written() const {
 
 std::vector<JsonValue> Journal::replay_file(const std::string& path,
                                             std::size_t* skipped) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    if (skipped != nullptr) *skipped = 0;
+    return {};  // no journal yet: empty history
+  }
+  std::vector<JsonValue> records = replay_stream(in, skipped);
+  if (in.bad()) {
+    detail::throw_error<JournalError>("error reading journal '", path, "'");
+  }
+  return records;
+}
+
+std::vector<JsonValue> Journal::replay_stream(std::istream& in,
+                                              std::size_t* skipped) {
   if (skipped != nullptr) *skipped = 0;
   std::vector<JsonValue> records;
-  std::ifstream in(path);
-  if (!in.is_open()) return records;  // no journal yet: empty history
 
   // The frame layout is fixed (we write every line), so the body is
   // recovered as the raw substring between `,"rec":` and the final `}`
@@ -207,17 +220,20 @@ std::vector<JsonValue> Journal::replay_file(const std::string& path,
       skip();
       continue;
     }
-    char* end = nullptr;
-    errno = 0;
-    const unsigned long long crc =
-        std::strtoull(line.c_str() + kCrcPrefix.size(), &end, 10);
-    if (errno != 0 || end != line.c_str() + rec_at) {
+    // Checked parse (util/parse.h) of the digits between the prefix
+    // and `,"rec":` — full consumption required, and anything that
+    // does not fit a real CRC32 is corrupt by definition (the old
+    // strtoull path truncated oversized values before comparing).
+    const std::optional<std::uint64_t> crc = util::try_parse_u64(
+        std::string_view(line).substr(kCrcPrefix.size(),
+                                      rec_at - kCrcPrefix.size()));
+    if (!crc.has_value() || *crc > 0xFFFFFFFFull) {
       skip();
       continue;
     }
     const std::string_view body(line.data() + rec_at + kRecKey.size(),
                                 line.size() - rec_at - kRecKey.size() - 1);
-    if (crc32(body) != static_cast<std::uint32_t>(crc)) {
+    if (crc32(body) != static_cast<std::uint32_t>(*crc)) {
       skip();
       continue;
     }
@@ -227,9 +243,6 @@ std::vector<JsonValue> Journal::replay_file(const std::string& path,
       // CRC-valid but unparseable should not happen; treat as corrupt.
       skip();
     }
-  }
-  if (in.bad()) {
-    detail::throw_error<JournalError>("error reading journal '", path, "'");
   }
   return records;
 }

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -79,6 +80,13 @@ class Journal {
   /// vector. Throws JournalError only on read errors.
   [[nodiscard]] static std::vector<JsonValue> replay_file(
       const std::string& path, std::size_t* skipped = nullptr);
+
+  /// Same recovery walk over an already-open stream — the unit the
+  /// fuzz harness (tests/fuzz/fuzz_journal.cpp) drives with arbitrary
+  /// bytes, and replay_file's implementation. Never throws on content:
+  /// any malformed line is skipped, not fatal.
+  [[nodiscard]] static std::vector<JsonValue> replay_stream(
+      std::istream& in, std::size_t* skipped = nullptr);
 
   /// Atomically rewrites `path` to contain exactly `record_bodies`
   /// (re-framed), via a temp file + rename. Throws JournalError on

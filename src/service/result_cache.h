@@ -34,7 +34,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <unordered_map>  // bgls-lint: allow(unordered-serialization)
 
 #include "api/run_types.h"
 
@@ -92,6 +92,10 @@ class ResultCache {
   ResultCacheOptions options_;
   mutable std::mutex mutex_;
   std::list<std::string> lru_;
+  // Never iterated — every access is a by-key find/emplace/erase, and
+  // eviction order comes from the ordered lru_ list above, so hash
+  // order cannot reach serialized bytes.
+  // bgls-lint: allow(unordered-serialization)
   std::unordered_map<std::string, Entry> entries_;
   std::size_t total_bytes_ = 0;
   std::uint64_t hits_ = 0;

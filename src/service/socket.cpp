@@ -9,11 +9,12 @@
 
 #include <cerrno>
 #include <cstddef>
-#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "util/fault.h"
+#include "util/parse.h"
 
 namespace bgls::service {
 namespace {
@@ -85,13 +86,13 @@ Endpoint Endpoint::parse(const std::string& spec) {
     BGLS_REQUIRE(colon != std::string::npos,
                  "expected tcp:host:port (or tcp::port), got '", spec, "'");
     const std::string port_text = rest.substr(colon + 1);
-    BGLS_REQUIRE(!port_text.empty() && port_text.find_first_not_of(
-                                           "0123456789") == std::string::npos,
-                 "invalid port in '", spec, "'");
-    const long port = std::strtol(port_text.c_str(), nullptr, 10);
-    BGLS_REQUIRE(port >= 0 && port <= 65535, "port out of range in '", spec,
-                 "'");
-    return tcp(rest.substr(0, colon), static_cast<int>(port));
+    // Checked parse (util/parse.h): the old strtol path capped a
+    // 30-digit port at LONG_MAX instead of rejecting it outright.
+    const std::optional<std::uint64_t> port =
+        util::try_parse_u64(port_text);
+    BGLS_REQUIRE(port.has_value() && *port <= 65535, "invalid port in '",
+                 spec, "'");
+    return tcp(rest.substr(0, colon), static_cast<int>(*port));
   }
   detail::throw_error<ValueError>(
       "endpoint must be 'unix:<path>' or 'tcp:<host>:<port>', got '", spec,

@@ -253,16 +253,10 @@ void CHState::update_sum(std::uint64_t t, std::uint64_t u, int delta) {
   }
 
   // After folding, the two strings differ only at q. The first ket keeps
-  // the coefficient 1, so y is the image of t.
+  // the coefficient 1, so y is the image of t (the other ket's image,
+  // y ^ e, never enters the update).
   const std::uint64_t e = std::uint64_t{1} << q;
-  std::uint64_t y, z;
-  if (t & e) {
-    y = u ^ e;
-    z = u;
-  } else {
-    y = t;
-    z = t ^ e;
-  }
+  const std::uint64_t y = (t & e) ? (u ^ e) : t;
   const HDecompose d =
       h_decompose(get_bit(v_, q), get_bit(y, q), delta);
   omega_ *= d.omega1;

@@ -199,8 +199,8 @@ double TableauState::project_z(int q, int outcome) {
   }
   if (pivot < 0) {
     int fixed = 0;
-    is_deterministic_z(q, &fixed);
-    BGLS_REQUIRE(fixed == outcome,
+    const bool deterministic = is_deterministic_z(q, &fixed);
+    BGLS_REQUIRE(deterministic && fixed == outcome,
                  "projection onto zero-probability outcome on qubit ", q);
     return 1.0;
   }

@@ -75,7 +75,19 @@ struct Strides {
       mask &= mask - 1;
     }
   }
-  void sort() { std::sort(values.begin(), values.begin() + count); }
+  // Insertion sort instead of std::sort: the array never exceeds
+  // kMaxKernelArity entries (insertion sort wins at that size), and the
+  // inlined libstdc++ sort trips GCC 12's bogus -Warray-bounds under
+  // the sanitizer build.
+  void sort() {
+    const std::size_t n = std::min(count, values.size());
+    for (std::size_t i = 1; i < n; ++i) {
+      const std::size_t key = values[i];
+      std::size_t j = i;
+      for (; j > 0 && values[j - 1] > key; --j) values[j] = values[j - 1];
+      values[j] = key;
+    }
+  }
 };
 
 inline bool is_one(const Complex& z) { return z == Complex{1.0, 0.0}; }

@@ -4,8 +4,10 @@
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 
+#include "util/parse.h"
 #include "util/rng.h"
 
 namespace bgls::fault {
@@ -47,17 +49,15 @@ void parse_spec_locked(std::string_view spec) {
     const std::size_t c2 = entry.find(':', c1 + 1);
     if (c2 == std::string_view::npos) continue;
     const std::string name(entry.substr(0, c1));
-    const std::string prob_text(entry.substr(c1 + 1, c2 - c1 - 1));
-    const std::string seed_text(entry.substr(c2 + 1));
-    if (name.empty() || prob_text.empty() || seed_text.empty()) continue;
-    char* end = nullptr;
-    const double probability = std::strtod(prob_text.c_str(), &end);
-    if (end == nullptr || *end != '\0') continue;
-    const unsigned long long seed = std::strtoull(seed_text.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0') continue;
+    if (name.empty()) continue;
+    const std::optional<double> probability =
+        util::try_parse_double(entry.substr(c1 + 1, c2 - c1 - 1));
+    const std::optional<std::uint64_t> seed =
+        util::try_parse_u64(entry.substr(c2 + 1));
+    if (!probability.has_value() || !seed.has_value()) continue;
     Point point;
-    point.probability = probability;
-    point.rng = Rng(seed);
+    point.probability = *probability;
+    point.rng = Rng(*seed);
     registry().emplace(name, std::move(point));
   }
   g_any_armed.store(!registry().empty(), std::memory_order_release);

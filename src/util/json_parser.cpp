@@ -1,9 +1,9 @@
 #include "util/json_parser.h"
 
 #include <cctype>
-#include <charconv>
-#include <cmath>
-#include <cstdlib>
+#include <optional>
+
+#include "util/parse.h"
 
 namespace bgls {
 namespace {
@@ -71,7 +71,20 @@ class JsonParser {
     return true;
   }
 
+  // Containers nest through parse_value recursively; bound the depth
+  // so hostile input ("[[[[…") raises ParseError instead of
+  // overflowing the stack — this parser reads untrusted socket bytes
+  // and journal files.
+  static constexpr int kMaxDepth = 128;
+
   JsonValue parse_value() {
+    if (++depth_ > kMaxDepth) fail("value nests too deeply");
+    JsonValue value = parse_value_at_depth();
+    --depth_;
+    return value;
+  }
+
+  JsonValue parse_value_at_depth() {
     skip_whitespace();
     switch (peek()) {
       case '{':
@@ -235,25 +248,25 @@ class JsonParser {
     // Exact unsigned path first: plain digit runs keep full 64-bit
     // precision (seeds), everything else goes through double.
     if (token.find_first_not_of("0123456789") == std::string_view::npos) {
-      const auto [ptr, ec] = std::from_chars(
-          token.data(), token.data() + token.size(), value.unsigned_);
-      if (ec == std::errc() && ptr == token.data() + token.size()) {
+      const std::optional<std::uint64_t> exact = util::try_parse_u64(token);
+      if (exact.has_value()) {
+        value.unsigned_ = *exact;
         value.number_is_unsigned_ = true;
         value.number_ = static_cast<double>(value.unsigned_);
         return value;
       }
     }
-    const std::string copy(token);  // strtod needs a terminated buffer
-    char* end = nullptr;
-    value.number_ = std::strtod(copy.c_str(), &end);
-    if (end != copy.c_str() + copy.size() || !std::isfinite(value.number_)) {
-      fail("invalid number");
-    }
+    // Checked parse (util/parse.h): rejects trailing garbage and
+    // non-finite results ("1e999") in one step, locale-independently.
+    const std::optional<double> number = util::try_parse_double(token);
+    if (!number.has_value()) fail("invalid number");
+    value.number_ = *number;
     return value;
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 JsonValue JsonValue::parse(std::string_view text) {

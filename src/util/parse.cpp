@@ -1,0 +1,103 @@
+#include "util/parse.h"
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+// This file is the one blessed home of raw numeric parsing — see the
+// `naked-numeric-parse` rule in tools/lint/bgls_lint.py. It uses only
+// std::from_chars (locale-independent, no errno), so even here the
+// sto*/strto*/ato* family stays out.
+
+namespace bgls::util {
+namespace {
+
+/// Consumes one optional leading '+' (strtod compatibility at the
+/// call sites this helper replaced); from_chars itself rejects it.
+std::string_view strip_plus(std::string_view text) {
+  if (!text.empty() && text.front() == '+') text.remove_prefix(1);
+  return text;
+}
+
+template <typename T>
+std::optional<T> from_chars_exact(std::string_view text) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<double> try_parse_double(std::string_view text) {
+  const std::string_view body = strip_plus(text);
+  if (body.empty() || body.front() == '+') return std::nullopt;
+  const std::optional<double> value = from_chars_exact<double>(body);
+  // Overflow and underflow both surface as result_out_of_range and are
+  // rejected alike; literal "inf"/"nan" parse but fail the finiteness
+  // policy — every call site wants a finite value.
+  if (!value.has_value() || !std::isfinite(*value)) return std::nullopt;
+  return value;
+}
+
+std::optional<std::int64_t> try_parse_i64(std::string_view text) {
+  const std::string_view body = strip_plus(text);
+  if (body.empty() || body.front() == '+') return std::nullopt;
+  return from_chars_exact<std::int64_t>(body);
+}
+
+std::optional<std::uint64_t> try_parse_u64(std::string_view text) {
+  // Digits only: from_chars<unsigned> would also accept nothing else,
+  // but be explicit that '-' and '+' are rejected up front.
+  if (text.empty() || text.front() == '-' || text.front() == '+') {
+    return std::nullopt;
+  }
+  return from_chars_exact<std::uint64_t>(text);
+}
+
+std::optional<int> try_double_to_int(double value) {
+  // The bounds check must run in doubles *before* the cast: casting an
+  // out-of-range double to int is undefined behavior. Both int bounds
+  // are exactly representable as doubles, and `value` is integral by
+  // the time they are compared, so the range test is precise.
+  if (!std::isfinite(value) || std::trunc(value) != value) {
+    return std::nullopt;
+  }
+  constexpr double kMin = static_cast<double>(std::numeric_limits<int>::min());
+  constexpr double kMax = static_cast<double>(std::numeric_limits<int>::max());
+  if (value < kMin || value > kMax) return std::nullopt;
+  return static_cast<int>(value);
+}
+
+namespace {
+
+template <typename T, typename TryFn>
+T parse_or_throw(TryFn&& try_parse, std::string_view text,
+                 std::string_view what) {
+  const std::optional<T> value = try_parse(text);
+  if (!value.has_value()) {
+    detail::throw_error<ParseError>("invalid ", what, " '", text, "'");
+  }
+  return *value;
+}
+
+}  // namespace
+
+double parse_double(std::string_view text, std::string_view what) {
+  return parse_or_throw<double>(try_parse_double, text, what);
+}
+
+std::int64_t parse_i64(std::string_view text, std::string_view what) {
+  return parse_or_throw<std::int64_t>(try_parse_i64, text, what);
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view what) {
+  return parse_or_throw<std::uint64_t>(try_parse_u64, text, what);
+}
+
+}  // namespace bgls::util

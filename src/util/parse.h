@@ -1,0 +1,60 @@
+/// \file parse.h
+/// Checked numeric parsing for untrusted text.
+///
+/// Every surface that turns bytes into numbers — QASM angles, the
+/// ndjson wire protocol, journal frames, checkpoint keys, CLI flags,
+/// environment specs — goes through these helpers instead of the raw
+/// std::sto*/strto*/ato* family. The raw calls silently accept
+/// trailing garbage ("1.2.3" parses as 1.2), report failures as
+/// opaque std::invalid_argument/std::out_of_range, and depend on
+/// locale; the helpers reject empty input, trailing garbage, and
+/// out-of-range values with a typed bgls::ParseError that names the
+/// offending text. The custom lint (tools/lint/bgls_lint.py, rule
+/// `naked-numeric-parse`) enforces that parse.cpp stays the only
+/// translation unit calling the raw functions.
+///
+/// Accepted grammar (locale-independent, no surrounding whitespace):
+///   try_parse_double — optional single leading '+', then the
+///     std::from_chars general format ("1", "-0.5", ".5", "1e-3").
+///     Non-finite results (overflow, "inf", "nan") are rejected.
+///   try_parse_i64    — optional single leading '+', then an optional
+///     '-' and decimal digits.
+///   try_parse_u64    — decimal digits only.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace bgls::util {
+
+/// Parses `text` as a finite double; nullopt on empty input, trailing
+/// garbage, out-of-range, or a non-finite value.
+[[nodiscard]] std::optional<double> try_parse_double(std::string_view text);
+
+/// Parses `text` as a signed 64-bit decimal integer; nullopt on empty
+/// input, trailing garbage, or out-of-range.
+[[nodiscard]] std::optional<std::int64_t> try_parse_i64(std::string_view text);
+
+/// Parses `text` as an unsigned 64-bit decimal integer (digits only —
+/// no sign); nullopt on empty input, trailing garbage, or overflow.
+[[nodiscard]] std::optional<std::uint64_t> try_parse_u64(
+    std::string_view text);
+
+/// Narrows a double to int when it is finite, integral-valued, and in
+/// range; nullopt otherwise. Use for parsed sizes/indices where the
+/// grammar produces a double (QASM expressions): a plain static_cast
+/// of an out-of-range double is undefined behavior.
+[[nodiscard]] std::optional<int> try_double_to_int(double value);
+
+/// Throwing wrappers: bgls::ParseError "invalid <what> '<text>'" on
+/// any deviation. `what` names the field for the error message.
+[[nodiscard]] double parse_double(std::string_view text,
+                                  std::string_view what = "number");
+[[nodiscard]] std::int64_t parse_i64(std::string_view text,
+                                     std::string_view what = "integer");
+[[nodiscard]] std::uint64_t parse_u64(
+    std::string_view text, std::string_view what = "non-negative integer");
+
+}  // namespace bgls::util

@@ -1,0 +1,4 @@
+OPENQASM 2.0;
+qreg q[2];
+h q[1e300];
+cx q[0.5],q[1];

@@ -1,0 +1,2 @@
+OPENQASM 2.0;
+qreg q[1e300];

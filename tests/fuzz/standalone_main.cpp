@@ -1,0 +1,158 @@
+/// \file standalone_main.cpp
+/// Driver for the fuzz harnesses when libFuzzer is unavailable (GCC
+/// builds — the default toolchain here). Two modes:
+///
+///   harness FILE...                      replay each file once
+///   harness --mutate N [--seed S]
+///           [--artifact PATH] FILE...    N deterministic mutations of
+///                                        the seed corpus
+///
+/// Mutation mode derives every choice from the explicit seed (util/rng.h
+/// xoshiro, no wall-clock anywhere), so a reported crash is reproduced
+/// by re-running with the same --seed — and, belt-and-braces, the input
+/// about to be executed is written to --artifact *before* the call, so
+/// a crash leaves the offending bytes on disk for minimization and
+/// check-in under tests/data/fuzz/.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/parse.h"
+#include "util/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_artifact(const std::string& path,
+                    const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// One random edit in place: flip a byte, insert, erase, or copy a
+/// chunk from another corpus entry (crossover).
+void mutate_once(std::vector<std::uint8_t>& bytes,
+                 const std::vector<std::vector<std::uint8_t>>& corpus,
+                 bgls::Rng& rng) {
+  switch (rng.uniform_int(4)) {
+    case 0:  // flip
+      if (!bytes.empty()) {
+        bytes[rng.uniform_int(bytes.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.uniform_int(255));
+      }
+      break;
+    case 1: {  // insert a random byte
+      const std::size_t at = rng.uniform_int(bytes.size() + 1);
+      bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                   static_cast<std::uint8_t>(rng.uniform_int(256)));
+      break;
+    }
+    case 2:  // erase a short run
+      if (!bytes.empty()) {
+        const std::size_t at = rng.uniform_int(bytes.size());
+        const std::size_t len =
+            std::min(bytes.size() - at, 1 + rng.uniform_int(8));
+        bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                    bytes.begin() + static_cast<std::ptrdiff_t>(at + len));
+      }
+      break;
+    default: {  // splice a chunk from a random corpus entry
+      const auto& donor = corpus[rng.uniform_int(corpus.size())];
+      if (!donor.empty()) {
+        const std::size_t from = rng.uniform_int(donor.size());
+        const std::size_t len =
+            std::min(donor.size() - from, 1 + rng.uniform_int(16));
+        const std::size_t at = rng.uniform_int(bytes.size() + 1);
+        bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                     donor.begin() + static_cast<std::ptrdiff_t>(from),
+                     donor.begin() + static_cast<std::ptrdiff_t>(from + len));
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t mutations = 0;
+  std::uint64_t seed = 1;
+  std::string artifact;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mutate") {
+      mutations = bgls::util::parse_u64(value(), "--mutate");
+    } else if (arg == "--seed") {
+      seed = bgls::util::parse_u64(value(), "--seed");
+    } else if (arg == "--artifact") {
+      artifact = value();
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: %s [--mutate N] [--seed S] [--artifact PATH] FILE...\n",
+          argv[0]);
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "no input files (see --help)\n");
+    return 2;
+  }
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.reserve(files.size());
+  for (const auto& path : files) corpus.push_back(read_file(path));
+
+  // Replay pass: every corpus entry, byte-for-byte.
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    if (!artifact.empty()) write_artifact(artifact, corpus[i]);
+    (void)LLVMFuzzerTestOneInput(corpus[i].data(), corpus[i].size());
+    std::printf("ok %s (%zu bytes)\n", files[i].c_str(), corpus[i].size());
+  }
+
+  // Mutation pass: each round starts from a corpus entry and applies a
+  // small stack of edits.
+  bgls::Rng rng(seed);
+  for (std::uint64_t round = 0; round < mutations; ++round) {
+    std::vector<std::uint8_t> input = corpus[rng.uniform_int(corpus.size())];
+    const std::uint64_t edits = 1 + rng.uniform_int(4);
+    for (std::uint64_t e = 0; e < edits; ++e) mutate_once(input, corpus, rng);
+    if (!artifact.empty()) write_artifact(artifact, input);
+    (void)LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  if (mutations != 0) {
+    std::printf("ran %llu mutation rounds (seed %llu) without a crash\n",
+                static_cast<unsigned long long>(mutations),
+                static_cast<unsigned long long>(seed));
+  }
+  if (!artifact.empty()) (void)std::remove(artifact.c_str());
+  return 0;
+}

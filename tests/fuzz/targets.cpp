@@ -1,0 +1,113 @@
+#include "targets.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "qasm/qasm.h"
+#include "service/journal.h"
+#include "service/protocol.h"
+#include "util/error.h"
+
+namespace bgls::fuzz {
+namespace {
+
+/// Oracle failure: not a rejection, a wrong answer. Prints and aborts
+/// so both libFuzzer and the standalone driver record the input as a
+/// crasher.
+void fail(const char* what) {
+  std::fprintf(stderr, "fuzz oracle failure: %s\n", what);
+  std::abort();
+}
+
+std::string as_string(const std::uint8_t* data, std::size_t size) {
+  return std::string(reinterpret_cast<const char*>(data), size);
+}
+
+}  // namespace
+
+void one_qasm(const std::uint8_t* data, std::size_t size) {
+  const std::string source = as_string(data, size);
+  Circuit circuit;
+  try {
+    circuit = parse_qasm(source);
+  } catch (const Error&) {
+    return;  // clean rejection
+  }
+  // Accepted input must survive export → re-import: to_qasm's output is
+  // claimed to be valid OpenQASM 2.0.
+  std::string exported;
+  try {
+    exported = to_qasm(circuit);
+  } catch (const Error&) {
+    return;  // circuit contains a gate with no QASM spelling
+  }
+  try {
+    (void)parse_qasm(exported);
+  } catch (const Error&) {
+    fail("to_qasm emitted text parse_qasm rejects");
+  }
+}
+
+void one_protocol(const std::uint8_t* data, std::size_t size) {
+  const std::string line = as_string(data, size);
+  JsonValue message;
+  try {
+    message = JsonValue::parse(line);
+  } catch (const Error&) {
+    return;  // clean rejection
+  }
+  try {
+    (void)service::parse_submit(message);
+  } catch (const Error&) {
+    return;  // well-formed JSON, malformed submit — clean rejection
+  }
+}
+
+void one_journal(const std::uint8_t* data, std::size_t size) {
+  const std::string raw = as_string(data, size);
+
+  // Recovery over arbitrary bytes must never throw on content.
+  {
+    std::istringstream in(raw);
+    std::size_t skipped = 0;
+    try {
+      (void)service::Journal::replay_stream(in, &skipped);
+    } catch (const Error&) {
+      fail("replay_stream threw on stream content");
+    }
+  }
+
+  // CRC oracle: frame the input as one record body (newlines stripped —
+  // a body occupies one line by construction) with its true checksum.
+  // The framed line must recover as exactly one record when the body is
+  // valid JSON, and as exactly one skip when it is not.
+  std::string body = raw;
+  std::erase_if(body, [](char c) { return c == '\n' || c == '\r'; });
+  bool body_is_json = true;
+  try {
+    (void)JsonValue::parse(body);
+  } catch (const Error&) {
+    body_is_json = false;
+  }
+  std::string framed = "{\"crc\":";
+  framed += std::to_string(service::Journal::crc32(body));
+  framed += ",\"rec\":";
+  framed += body;
+  framed += "}\n";
+  std::istringstream in(framed);
+  std::size_t skipped = 0;
+  const auto records = service::Journal::replay_stream(in, &skipped);
+  if (body_is_json) {
+    if (records.size() != 1 || skipped != 0) {
+      fail("CRC-valid JSON body did not replay as one record");
+    }
+  } else {
+    if (!records.empty() || skipped != 1) {
+      fail("non-JSON body was neither recovered nor counted as skipped");
+    }
+  }
+}
+
+}  // namespace bgls::fuzz

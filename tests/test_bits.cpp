@@ -43,7 +43,7 @@ TEST(Bits, FromStringRoundTrips) {
 }
 
 TEST(Bits, FromStringRejectsJunk) {
-  EXPECT_THROW(from_string("01a1"), ValueError);
+  EXPECT_THROW((void)from_string("01a1"), ValueError);
 }
 
 TEST(Bits, ExpandCandidatesSingleQubit) {
@@ -76,7 +76,7 @@ TEST(Bits, ExpandCandidatesPreservesOtherBits) {
 
 TEST(Bits, ExpandCandidatesRejectsWideSupport) {
   const std::vector<int> support{0, 1, 2, 3};
-  EXPECT_THROW(expand_candidates(0, support), ValueError);
+  EXPECT_THROW((void)expand_candidates(0, support), ValueError);
 }
 
 TEST(Bits, BigEndianIndexMatchesCirqConvention) {

@@ -31,7 +31,7 @@ TEST(AggregateHeader, ExposesTheWholeApi) {
 TEST(Timing, StopwatchMeasuresElapsedTime) {
   Stopwatch watch;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
   EXPECT_GT(watch.seconds(), 0.0);
   watch.reset();
   EXPECT_LT(watch.seconds(), 1.0);
@@ -41,7 +41,7 @@ TEST(Timing, MedianRuntimeReturnsPositive) {
   const double t = median_runtime(
       [] {
         volatile double sink = 0.0;
-        for (int i = 0; i < 10000; ++i) sink += i;
+        for (int i = 0; i < 10000; ++i) sink = sink + i;
       },
       3);
   EXPECT_GT(t, 0.0);

@@ -59,7 +59,7 @@ TEST(DiagonalObservable, ExpectationFromDistribution) {
 
 TEST(DiagonalObservable, EmptyCountsThrow) {
   DiagonalObservable h;
-  EXPECT_THROW(h.expectation(Counts{}), ValueError);
+  EXPECT_THROW((void)h.expectation(Counts{}), ValueError);
 }
 
 TEST(DiagonalObservable, MaxCutEigenvalueIsCutValue) {

@@ -350,7 +350,7 @@ TEST(Result, HistogramAndDistribution) {
   EXPECT_EQ(result.repetitions(), 4u);
   EXPECT_EQ(result.histogram("k").at(from_string("10")), 3u);
   EXPECT_DOUBLE_EQ(result.distribution("k").at(from_string("01")), 0.25);
-  EXPECT_THROW(result.values("missing"), ValueError);
+  EXPECT_THROW((void)result.values("missing"), ValueError);
   EXPECT_THROW(result.declare_key("k", {0}), ValueError);
 }
 

@@ -106,7 +106,7 @@ TEST(Stats, LogLogSlopeRecoversPowerLaw) {
 TEST(Stats, LogLogSlopeRejectsNonPositive) {
   const std::vector<double> xs{1.0, 0.0};
   const std::vector<double> ys{1.0, 2.0};
-  EXPECT_THROW(log_log_slope(xs, ys), ValueError);
+  EXPECT_THROW((void)log_log_slope(xs, ys), ValueError);
 }
 
 }  // namespace

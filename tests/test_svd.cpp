@@ -40,7 +40,9 @@ void expect_valid_svd(const Matrix& a, const SvdResult& f, double tol = 1e-9) {
   // Non-negative, descending singular values.
   for (std::size_t i = 0; i < f.singular_values.size(); ++i) {
     EXPECT_GE(f.singular_values[i], 0.0);
-    if (i > 0) EXPECT_LE(f.singular_values[i], f.singular_values[i - 1] + tol);
+    if (i > 0) {
+      EXPECT_LE(f.singular_values[i], f.singular_values[i - 1] + tol);
+    }
   }
 }
 

@@ -35,7 +35,7 @@ TEST(ThreadPool, ResolveNumThreadsMapsAutoAndRejectsNegative) {
             ThreadPool::hardware_threads());
   EXPECT_EQ(ThreadPool::resolve_num_threads(1), 1);
   EXPECT_EQ(ThreadPool::resolve_num_threads(7), 7);
-  EXPECT_THROW(ThreadPool::resolve_num_threads(-2), ValueError);
+  EXPECT_THROW((void)ThreadPool::resolve_num_threads(-2), ValueError);
 }
 
 TEST(ThreadPool, RunsAllSubmittedTasks) {

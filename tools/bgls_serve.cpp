@@ -35,6 +35,8 @@ namespace {
 
 using namespace bgls;
 using namespace bgls::service;
+using tools::parse_double_flag;
+using tools::parse_tenant_flag;
 using tools::parse_u64_flag;
 
 struct ServeOptions {
@@ -52,31 +54,6 @@ struct ServeOptions {
   double max_job_seconds = 0.0;
   double max_queue_seconds = 0.0;
 };
-
-/// Parses "NAME=WEIGHT[:MAX_QUEUED[:MAX_RUNNING]]" (the --tenant flag).
-std::pair<std::string, TenantQuota> parse_tenant_flag(
-    const std::string& value) {
-  const std::size_t eq = value.find('=');
-  BGLS_REQUIRE(eq != std::string::npos && eq > 0,
-               "--tenant needs NAME=WEIGHT[:MAX_QUEUED[:MAX_RUNNING]], got '",
-               value, "'");
-  TenantQuota quota;
-  std::string spec = value.substr(eq + 1);
-  std::size_t colon = spec.find(':');
-  quota.weight = std::stod(spec.substr(0, colon));
-  BGLS_REQUIRE(quota.weight > 0.0, "--tenant weight must be positive");
-  if (colon != std::string::npos) {
-    spec = spec.substr(colon + 1);
-    colon = spec.find(':');
-    quota.max_queued =
-        static_cast<std::size_t>(std::stoull(spec.substr(0, colon)));
-    if (colon != std::string::npos) {
-      quota.max_running =
-          static_cast<std::size_t>(std::stoull(spec.substr(colon + 1)));
-    }
-  }
-  return {value.substr(0, eq), quota};
-}
 
 /// Watches for SIGTERM/SIGINT (blocked on every thread; polled with
 /// sigtimedwait so the watcher can also exit on normal shutdown) and
@@ -203,9 +180,9 @@ bool parse_args(int argc, char** argv, ServeOptions& options) {
     } else if (arg == "--tenant") {
       options.tenants.insert(parse_tenant_flag(need_value(i, arg)));
     } else if (arg == "--max-job-seconds") {
-      options.max_job_seconds = std::stod(need_value(i, arg));
+      options.max_job_seconds = parse_double_flag(arg, need_value(i, arg));
     } else if (arg == "--max-queue-seconds") {
-      options.max_queue_seconds = std::stod(need_value(i, arg));
+      options.max_queue_seconds = parse_double_flag(arg, need_value(i, arg));
     } else {
       detail::throw_error<ValueError>("unknown flag '", arg,
                                       "' (try --help)");

@@ -1,31 +1,82 @@
 /// \file cli_flags.h
 /// Strict flag-value parsing shared by the CLI tools (bgls_run,
-/// bgls_serve, bgls_client) so the validation rules cannot diverge:
-/// std::stoull alone would wrap "-1" to 2^64-1 and report failures as
-/// an opaque "stoull" — these helpers reject with the flag name.
+/// bgls_serve, bgls_client) so the validation rules cannot diverge.
+/// Built on the checked parsers in util/parse.h — the raw std::sto*
+/// family would wrap "-1" to 2^64-1 and report failures as an opaque
+/// "stoull" — and rejecting with the flag name in the error.
 
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 
+#include "service/scheduler.h"
 #include "util/error.h"
+#include "util/parse.h"
 
 namespace bgls::tools {
 
 /// Strict non-negative integer parse with the flag name in the error.
 inline std::uint64_t parse_u64_flag(const std::string& flag,
                                     const std::string& text) {
-  if (!text.empty() &&
-      text.find_first_not_of("0123456789") == std::string::npos) {
-    try {
-      return std::stoull(text);
-    } catch (const std::out_of_range&) {
-      // fall through to the shared error below
+  const std::optional<std::uint64_t> value = util::try_parse_u64(text);
+  if (!value.has_value()) {
+    detail::throw_error<ValueError>("invalid value '", text, "' for ", flag,
+                                    " (expected a non-negative integer)");
+  }
+  return *value;
+}
+
+/// Strict finite-double parse with the flag name in the error.
+inline double parse_double_flag(const std::string& flag,
+                                const std::string& text) {
+  const std::optional<double> value = util::try_parse_double(text);
+  if (!value.has_value()) {
+    detail::throw_error<ValueError>("invalid value '", text, "' for ", flag,
+                                    " (expected a finite number)");
+  }
+  return *value;
+}
+
+/// Parses "NAME=WEIGHT[:MAX_QUEUED[:MAX_RUNNING]]" (the --tenant flag
+/// of bgls_serve). Every numeric field is checked: trailing garbage,
+/// emptiness, and out-of-range values all reject with the offending
+/// spec in the error instead of a raw std::invalid_argument.
+inline std::pair<std::string, service::TenantQuota> parse_tenant_flag(
+    const std::string& value) {
+  const auto malformed = [&]() {
+    detail::throw_error<ValueError>(
+        "--tenant needs NAME=WEIGHT[:MAX_QUEUED[:MAX_RUNNING]], got '", value,
+        "'");
+  };
+  const std::size_t eq = value.find('=');
+  if (eq == std::string::npos || eq == 0) malformed();
+  service::TenantQuota quota;
+  std::string spec = value.substr(eq + 1);
+  std::size_t colon = spec.find(':');
+  const std::optional<double> weight =
+      util::try_parse_double(spec.substr(0, colon));
+  if (!weight.has_value()) malformed();
+  quota.weight = *weight;
+  BGLS_REQUIRE(quota.weight > 0.0, "--tenant weight must be positive in '",
+               value, "'");
+  if (colon != std::string::npos) {
+    spec = spec.substr(colon + 1);
+    colon = spec.find(':');
+    const std::optional<std::uint64_t> queued =
+        util::try_parse_u64(spec.substr(0, colon));
+    if (!queued.has_value()) malformed();
+    quota.max_queued = static_cast<std::size_t>(*queued);
+    if (colon != std::string::npos) {
+      const std::optional<std::uint64_t> running =
+          util::try_parse_u64(spec.substr(colon + 1));
+      if (!running.has_value()) malformed();
+      quota.max_running = static_cast<std::size_t>(*running);
     }
   }
-  detail::throw_error<ValueError>("invalid value '", text, "' for ", flag,
-                                  " (expected a non-negative integer)");
+  return {value.substr(0, eq), quota};
 }
 
 /// parse_u64_flag clamped into a sane non-negative int range.

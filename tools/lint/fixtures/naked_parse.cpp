@@ -1,0 +1,28 @@
+// bgls-lint-fixture-path: tools/fixture_flags.cpp
+// Seeded violations for the naked-numeric-parse rule: unchecked
+// library parses outside util/parse.cpp.
+
+#include <charconv>
+#include <cstdlib>
+#include <string>
+
+void fixture(const std::string& text, const char* ctext) {
+  auto a = std::stoi(text);  // bgls-lint: expect(naked-numeric-parse)
+  auto b = std::stod(text);  // bgls-lint: expect(naked-numeric-parse)
+  auto c = std::stoull(text);  // bgls-lint: expect(naked-numeric-parse)
+  auto d = atoi(ctext);  // bgls-lint: expect(naked-numeric-parse)
+  auto e = strtod(ctext, nullptr);  // bgls-lint: expect(naked-numeric-parse)
+  auto f = ::strtoull(ctext, nullptr, 10);  // bgls-lint: expect(naked-numeric-parse)
+  int value = 0;
+  std::from_chars(ctext, ctext + 1, value);  // bgls-lint: expect(naked-numeric-parse)
+
+  // Identifiers containing a parse name as a substring stay clean:
+  auto history = [](int) { return 0; };
+  auto g = history(1);
+
+  // The escape hatch documents a justified raw parse:
+  auto h = std::stoi(text);  // bgls-lint: allow(naked-numeric-parse)
+
+  (void)a; (void)b; (void)c; (void)d; (void)e; (void)f;
+  (void)g; (void)h; (void)value;
+}

@@ -1,0 +1,31 @@
+// bgls-lint-fixture-path: src/core/sampler_fixture.cpp
+// Seeded violations for the nondeterministic-source rule: a result-path
+// file (not on the timing allowlist) reaching for run-varying values.
+
+#include <chrono>
+#include <ctime>
+#include <random>
+
+void fixture() {
+  std::random_device rd;  // bgls-lint: expect(nondeterministic-source)
+  auto t0 = std::chrono::steady_clock::now();  // bgls-lint: expect(nondeterministic-source)
+  auto t1 = std::chrono::system_clock::now();  // bgls-lint: expect(nondeterministic-source)
+  auto t2 = std::chrono::high_resolution_clock::now();  // bgls-lint: expect(nondeterministic-source)
+  auto seed = time(nullptr);  // bgls-lint: expect(nondeterministic-source)
+  auto seed2 = std::time(&seed);  // bgls-lint: expect(nondeterministic-source)
+
+  // A mention of steady_clock in a comment is not a finding, and
+  // neither is one in a string literal:
+  const char* doc = "uses steady_clock for telemetry";
+
+  // Justified use carries the escape hatch (e.g. a debug-only path):
+  auto ok = std::chrono::steady_clock::now();  // bgls-lint: allow(nondeterministic-source)
+
+  // bgls-lint: allow(nondeterministic-source)
+  auto ok_prev_line = std::chrono::steady_clock::now();
+
+  // Identifiers merely containing a banned substring stay clean:
+  int runtime_total = 0;
+  (void)rd; (void)t0; (void)t1; (void)t2; (void)seed2; (void)doc;
+  (void)ok; (void)ok_prev_line; (void)runtime_total;
+}

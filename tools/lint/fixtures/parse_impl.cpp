@@ -1,0 +1,10 @@
+// bgls-lint-fixture-path: src/util/parse.cpp
+// Negative fixture: the checked-parse implementation is the one file
+// blessed to spell std::from_chars.
+
+#include <charconv>
+
+bool fixture(const char* first, const char* last, double& out) {
+  auto result = std::from_chars(first, last, out);
+  return result.ec == std::errc();
+}

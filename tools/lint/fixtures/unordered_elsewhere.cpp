@@ -1,0 +1,12 @@
+// bgls-lint-fixture-path: src/engine/worklist_fixture.cpp
+// Negative fixture: outside the serialization paths, unordered
+// containers are idiomatic and must NOT be flagged.
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Fixture {
+  std::unordered_map<std::string, int> counts;
+  std::unordered_set<int> seen;
+};

@@ -1,0 +1,21 @@
+// bgls-lint-fixture-path: src/service/report.cpp
+// Seeded violations for the unordered-serialization rule: this fixture
+// pretends to be a result-serializing file, where hash-order walks
+// would leak into wire/cache/journal bytes.
+
+#include <map>
+#include <string>
+#include <unordered_map>  // bgls-lint: expect(unordered-serialization)
+#include <unordered_set>  // bgls-lint: expect(unordered-serialization)
+
+struct Fixture {
+  std::unordered_map<std::string, int> counts;  // bgls-lint: expect(unordered-serialization)
+  std::unordered_set<int> seen;  // bgls-lint: expect(unordered-serialization)
+
+  // Ordered containers are the fix, not a finding:
+  std::map<std::string, int> ordered_counts;
+
+  // A justified use (e.g. an internal index that is sorted before any
+  // byte is emitted) documents itself with the escape hatch:
+  std::unordered_map<std::string, int> index;  // bgls-lint: allow(unordered-serialization)
+};

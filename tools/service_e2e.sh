@@ -270,7 +270,22 @@ done
 LONG_ID=$("$CLIENT" --connect "$JCONNECT" --retries 5 --backoff-ms 50 \
   submit --reps 3000000 --no-batch --seed 23 "$DATA/ghz.qasm") \
   || fail "long submit failed"
-sleep 0.4
+# Kill only after the *long job* has journaled a checkpoint, so the
+# restart genuinely resumes instead of rerunning from scratch. A fixed
+# sleep is wrong twice: sanitizer builds may not reach the first
+# checkpoint boundary in time, fast builds may finish the job outright.
+# The match must be specific twice over: batched short jobs journal
+# initial/final checkpoints immediately (any-checkpoint matching kills
+# before the long job has one), and a torn append (fault injection or
+# the kill itself) can grep-match yet fail CRC at replay — so require
+# the long job's id and the closing braces of a complete frame.
+CKPT_RE='"type":"checkpoint","job":'"$LONG_ID"',"data".*\}\}\}$'
+for _ in $(seq 300); do
+  grep -Eq "$CKPT_RE" "$JOURNAL" 2>/dev/null && break
+  sleep 0.1
+done
+grep -Eq "$CKPT_RE" "$JOURNAL" \
+  || fail "long job never journaled a checkpoint"
 
 kill -9 "$JSERVE_PID" 2>/dev/null
 wait "$JSERVE_PID" 2>/dev/null
