@@ -23,6 +23,7 @@
 
 #include "circuit/random.h"
 #include "mps/state.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "stabilizer/ch_form.h"
 #include "stabilizer/tableau.h"
@@ -308,6 +309,31 @@ void BM_Telemetry_ApplyH_Disabled(benchmark::State& state) {
   telemetry_apply_body<false>(state);
 }
 BENCHMARK(BM_Telemetry_ApplyH_Disabled)->Arg(20);
+
+// Structured-log emit pair: one warn-level record with a typical field
+// set through the global logger's ring (no file sink), runtime switch
+// on vs off. The off row is the cost the serving hot paths pay at
+// their (never-taken) log sites; with -DBGLS_ENABLE_TELEMETRY=OFF both
+// rows measure the same compiled-out no-op.
+template <bool kTelemetryOn>
+void log_emit_body(benchmark::State& state) {
+  const obs::EnabledScope scope(kTelemetryOn);
+  obs::Logger::global().reset_for_testing();
+  std::uint64_t job = 0;
+  for (auto _ : state) {
+    obs::log(obs::LogLevel::kWarn, "bench", "slow request",
+             {{"op", "wait"}, {"ms", 12.5}}, /*trace_id=*/424242, ++job);
+  }
+  obs::Logger::global().reset_for_testing();
+}
+void BM_Log_Emit_Enabled(benchmark::State& state) {
+  log_emit_body<true>(state);
+}
+BENCHMARK(BM_Log_Emit_Enabled);
+void BM_Log_Emit_Disabled(benchmark::State& state) {
+  log_emit_body<false>(state);
+}
+BENCHMARK(BM_Log_Emit_Disabled);
 
 void BM_Rng_BinomialBtrs(benchmark::State& state) {
   Rng rng(11);

@@ -249,6 +249,41 @@ int main(int argc, char** argv) {
     json.end_object();
   }
 
+  // Tracing overhead: the scheduler_1 shape with every request
+  // carrying a propagated trace context (the fleet-fronted
+  // configuration), so each job records its queue/run/sample span tree
+  // into a per-job Trace. Compare against scheduler_1: the delta is
+  // the per-job cost of distributed tracing (ISSUE acceptance: within
+  // the 2% telemetry bar).
+  {
+    service::SchedulerOptions options;
+    options.max_concurrent_jobs = 1;
+    options.max_queue_depth = kJobs + 1;
+    service::JobScheduler scheduler(options);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::uint64_t> ids;
+    ids.reserve(kJobs);
+    for (int i = 0; i < kJobs; ++i) {
+      ids.push_back(scheduler.submit(
+          RunRequest()
+              .with_circuit(circuits[static_cast<std::size_t>(i)])
+              .with_repetitions(kReps)
+              .with_seed(static_cast<std::uint64_t>(i))
+              .with_trace_context(static_cast<std::uint64_t>(424242 + i),
+                                  /*parent_span_id=*/1)));
+    }
+    for (const std::uint64_t id : ids) (void)scheduler.wait(id);
+    const double seconds = seconds_since(start);
+    std::cout << "scheduler_1_traced     : " << seconds << " s ("
+              << kJobs / seconds << " jobs/s)\n";
+    json.begin_object();
+    json.key("path").value("scheduler_1_traced");
+    json.key("runners").value(1);
+    json.key("seconds").value(seconds);
+    json.key("jobs_per_second").value(kJobs / seconds);
+    json.end_object();
+  }
+
   // Fleet front: two in-process worker daemons behind a FleetDaemon,
   // driven through a real ServiceClient over Unix sockets — jobs/s
   // including the wire protocol and the fleet's placement/proxy hop.

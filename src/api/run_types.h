@@ -149,6 +149,16 @@ struct RunRequest {
   /// scheduler attaches one per job; direct callers may pass their own.
   /// Observation-only — never affects the sampled records.
   obs::Trace* trace = nullptr;
+  /// Propagated cross-process trace context (ndjson `trace_id` /
+  /// `parent_span_id` on submit): when trace_id is nonzero the
+  /// scheduler derives the job's span IDs from it instead of the local
+  /// job id, and hangs the job's top-level spans under trace_parent —
+  /// so a fleet-front `fleet.place` span and the worker's spans stitch
+  /// into one tree. Observation-only; excluded from the result-cache
+  /// key (two submissions differing only in trace context share a
+  /// cached result).
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_parent = 0;
   /// Checkpoint capture (core/checkpoint.h): the run emits resumable
   /// snapshots every `checkpoint.every` completed repetitions within a
   /// shard plus at shard completion. Observation-only.
@@ -239,6 +249,11 @@ struct RunRequest {
   }
   RunRequest& with_trace(obs::Trace* t) {
     trace = t;
+    return *this;
+  }
+  RunRequest& with_trace_context(std::uint64_t id, std::uint64_t parent = 0) {
+    trace_id = id;
+    trace_parent = parent;
     return *this;
   }
   RunRequest& with_checkpoint(std::uint64_t every,

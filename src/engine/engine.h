@@ -356,7 +356,11 @@ class BatchEngine {
       token_.throw_if_stopped();
       const std::size_t slot = plan.first_slot + s;
       const engine_detail::ShardTimer timer;
-      obs::TraceSpan span(trace_, "shard", slot);
+      // kRoot: a shard runs inline on the caller's thread at 1 thread
+      // but on a pool thread otherwise; pinning its parent to the
+      // trace root keeps the span tree byte-stable across thread
+      // counts.
+      obs::TraceSpan span(trace_, "shard", slot, obs::TraceSpan::Nest::kRoot);
       Simulator<State> local = prototype_;
       Rng stream = plan.streams[s];
       shard_results[slot] = local.run(circuits[i], plan.shard_reps[s], stream);
@@ -718,14 +722,14 @@ class BatchEngine {
         engine_detail::observe_shard(resample_seconds[i]);
         if (trace_ != nullptr && obs::enabled()) {
           trace_->record(obs::SpanRecord{
-              obs::Trace::span_id(trace_->id(), "shard", i), 0, "shard", i,
-              resample_seconds[i]});
+              obs::Trace::span_id(trace_->id(), "shard", i), trace_->root(),
+              "shard", i, resample_seconds[i]});
         }
       }
       if (trace_ != nullptr && obs::enabled()) {
-        trace_->record(
-            obs::SpanRecord{obs::Trace::span_id(trace_->id(), "evolve", 0), 0,
-                            "evolve", 0, evolve_seconds});
+        trace_->record(obs::SpanRecord{
+            obs::Trace::span_id(trace_->id(), "evolve", 0), trace_->root(),
+            "evolve", 0, evolve_seconds});
       }
     }
     outcome.shard_counts.resize(shards);
@@ -840,7 +844,7 @@ class BatchEngine {
       }
       token_.throw_if_stopped();
       const engine_detail::ShardTimer timer;
-      obs::TraceSpan span(trace_, "shard", i);
+      obs::TraceSpan span(trace_, "shard", i, obs::TraceSpan::Nest::kRoot);
       Simulator<State> local = prototype_;
       Rng stream = base_shard != nullptr
                        ? Rng::from_state(base_shard->rng_state)

@@ -1,0 +1,142 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "util/json_writer.h"
+
+namespace bgls::obs {
+
+namespace {
+
+std::string hex_id(std::uint64_t id) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(id));
+  return std::string(buffer);
+}
+
+/// Sorted copy + parent->children index. Children inherit the sorted
+/// order, so traversal order is deterministic.
+struct SpanForest {
+  std::vector<SpanRecord> spans;              // sorted (name, index, id)
+  std::vector<std::vector<std::size_t>> kids;  // by position in `spans`
+  std::vector<std::size_t> roots;
+
+  explicit SpanForest(const std::vector<SpanRecord>& input) : spans(input) {
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                return std::tie(a.name, a.index, a.id) <
+                       std::tie(b.name, b.index, b.id);
+              });
+    std::map<std::uint64_t, std::size_t> by_id;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      by_id.emplace(spans[i].id, i);  // first wins on duplicate ids
+    }
+    kids.resize(spans.size());
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const auto it = by_id.find(spans[i].parent);
+      // Self-parenting would loop the walk; treat it as a root too.
+      if (spans[i].parent == 0 || it == by_id.end() || it->second == i) {
+        roots.push_back(i);
+      } else {
+        kids[it->second].push_back(i);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string render_span_tree(std::uint64_t trace_id,
+                             const std::vector<SpanRecord>& spans) {
+  const SpanForest forest(spans);
+  std::ostringstream os;
+  os << "trace " << hex_id(trace_id) << " (" << forest.spans.size()
+     << (forest.spans.size() == 1 ? " span)\n" : " spans)\n");
+
+  // Iterative DFS; stack holds (position, depth).
+  std::vector<std::pair<std::size_t, std::size_t>> stack;
+  for (auto it = forest.roots.rbegin(); it != forest.roots.rend(); ++it) {
+    stack.emplace_back(*it, 0);
+  }
+  while (!stack.empty()) {
+    const auto [pos, depth] = stack.back();
+    stack.pop_back();
+    const SpanRecord& span = forest.spans[pos];
+    for (std::size_t i = 0; i < depth; ++i) os << "  ";
+    os << "- " << span.name;
+    if (span.index != 0) os << "[" << span.index << "]";
+    char duration[32];
+    std::snprintf(duration, sizeof(duration), "%.3f", span.seconds * 1e3);
+    os << " (id=" << hex_id(span.id) << ", " << duration << " ms)\n";
+    const auto& children = forest.kids[pos];
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.emplace_back(*it, depth + 1);
+    }
+  }
+  return os.str();
+}
+
+std::string to_chrome_trace(std::uint64_t trace_id,
+                            const std::vector<SpanRecord>& spans) {
+  const SpanForest forest(spans);
+  std::ostringstream os;
+  JsonWriter json(os, JsonWriter::Style::kCompact);
+  json.begin_object();
+  json.key("displayTimeUnit").value("ms");
+  json.key("traceEvents").begin_array();
+
+  // DFS with synthesized start offsets: each root starts at 0; a
+  // node's children are laid out back to back from its start. tid is
+  // the tree depth, so each nesting level gets its own track.
+  struct Frame {
+    std::size_t pos;
+    std::size_t depth;
+    double start_us;
+  };
+  std::vector<Frame> stack;
+  for (auto it = forest.roots.rbegin(); it != forest.roots.rend(); ++it) {
+    stack.push_back({*it, 0, 0.0});
+  }
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const SpanRecord& span = forest.spans[frame.pos];
+    json.begin_object();
+    json.key("name").value(span.name);
+    json.key("cat").value("bgls");
+    json.key("ph").value("X");
+    json.key("ts").value(frame.start_us);
+    json.key("dur").value(span.seconds * 1e6);
+    json.key("pid").value(1);
+    json.key("tid").value(static_cast<std::uint64_t>(frame.depth));
+    json.key("args").begin_object();
+    json.key("trace_id").value(hex_id(trace_id));
+    json.key("span_id").value(hex_id(span.id));
+    json.key("parent_span_id").value(hex_id(span.parent));
+    json.key("index").value(span.index);
+    json.end_object();
+    json.end_object();
+    const auto& children = forest.kids[frame.pos];
+    // Compute each child's offset in forward order, push in reverse so
+    // the DFS emits them forward.
+    std::vector<double> starts(children.size());
+    double cursor = frame.start_us;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      starts[i] = cursor;
+      cursor += forest.spans[children[i]].seconds * 1e6;
+    }
+    for (std::size_t i = children.size(); i-- > 0;) {
+      stack.push_back({children[i], frame.depth + 1, starts[i]});
+    }
+  }
+  json.end_array();
+  json.end_object();
+  return os.str();
+}
+
+}  // namespace bgls::obs

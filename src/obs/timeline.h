@@ -1,0 +1,42 @@
+/// \file timeline.h
+/// Per-job timeline rendering: span trees as text and as Chrome
+/// trace-event JSON (chrome://tracing, Perfetto).
+///
+/// Both renderers are pure functions of (trace id, span records), so
+/// their output is byte-stable for a deterministic span set — goldens
+/// pin it. Spans are re-sorted internally by (name, index, id) and
+/// linked by their recorded parent IDs; a span whose parent is absent
+/// from the set (e.g. the propagated fleet parent when only worker
+/// spans are in hand) renders as a root.
+///
+/// Chrome export notes: span/trace IDs are 64-bit and exceed
+/// JavaScript's 2^53 integer range, so they are emitted as hex
+/// strings. Spans carry durations but no absolute start times (the
+/// steady clock is process-local), so start offsets are synthesized by
+/// depth-first layout — children laid out sequentially from their
+/// parent's start. The result is a readable nesting diagram, not a
+/// wall-clock-accurate gantt; durations are real, offsets are not.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace bgls::obs {
+
+/// Indented text tree, one span per line:
+///   trace 0x000000000006798a (3 spans)
+///   - run (id=0x6c4b..., 12.000 ms)
+///     - sample (id=0x83a1..., 11.000 ms)
+std::string render_span_tree(std::uint64_t trace_id,
+                             const std::vector<SpanRecord>& spans);
+
+/// Chrome trace-event JSON ("X" complete events, microsecond units),
+/// one line, loadable by Perfetto / chrome://tracing.
+std::string to_chrome_trace(std::uint64_t trace_id,
+                            const std::vector<SpanRecord>& spans);
+
+}  // namespace bgls::obs

@@ -52,25 +52,31 @@ std::vector<SpanRecord> Trace::spans() const {
   return out;
 }
 
-TraceSpan::TraceSpan(Trace* trace, std::string_view name,
-                     std::uint64_t index) {
+TraceSpan::TraceSpan(Trace* trace, std::string_view name, std::uint64_t index,
+                     Nest nest) {
 #if BGLS_TELEMETRY
   if (trace == nullptr || !enabled()) return;
   trace_ = trace;
   name_ = std::string(name);
   index_ = index;
   id_ = Trace::span_id(trace->id(), name, index);
-  // Parent = innermost open span of the same trace on this thread.
-  if (t_current_span != nullptr && t_current_span->trace_ == trace) {
-    parent_ = t_current_span->id_;
+  // Parent = innermost open span of the same trace on this thread,
+  // falling back to the trace's root. kRoot skips the thread's stack
+  // (and stays off it) so parentage is thread-placement-independent.
+  parent_ = trace->root();
+  if (nest == Nest::kEnclosing) {
+    if (t_current_span != nullptr && t_current_span->trace_ == trace) {
+      parent_ = t_current_span->id_;
+    }
+    enclosing_ = t_current_span;
+    t_current_span = this;
   }
-  enclosing_ = t_current_span;
-  t_current_span = this;
   start_ = std::chrono::steady_clock::now();
 #else
   (void)trace;
   (void)name;
   (void)index;
+  (void)nest;
 #endif
 }
 

@@ -14,7 +14,18 @@
 ///
 /// Nesting is tracked per thread: a span started while another span of
 /// the *same trace* is open on the *same thread* records that span as
-/// its parent. Spans opened on pool workers (fresh threads) are roots.
+/// its parent. A span with no enclosing same-trace span on its thread
+/// parents under the trace's *root* span (settable; defaults to the
+/// propagated parent_span_id, or 0). The root fallback is what keeps
+/// trees byte-stable across thread counts: an engine shard runs inline
+/// on the caller's thread at 1 thread (inside the session's "sample"
+/// span) but on a pool thread at N — pinning its parent to the root
+/// gives one structure either way. Spans that must not inherit the
+/// caller's scope pass Nest::kRoot explicitly.
+///
+/// Cross-process propagation: a Trace constructed with a nonzero
+/// parent_span_id hangs its top-level spans under a span recorded by
+/// another process (the fleet front), so merged trees stitch cleanly.
 ///
 /// With telemetry compiled out (BGLS_ENABLE_TELEMETRY=OFF) TraceSpan
 /// is inert and records nothing; Trace itself stays functional so
@@ -22,6 +33,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -47,9 +59,24 @@ struct SpanRecord {
 /// phases, not per-amplitude work).
 class Trace {
  public:
-  explicit Trace(std::uint64_t trace_id) : id_(trace_id) {}
+  explicit Trace(std::uint64_t trace_id, std::uint64_t parent_span_id = 0)
+      : id_(trace_id), parent_(parent_span_id), root_(parent_span_id) {}
 
   [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  /// The propagated parent span id this trace hangs under (0 = none).
+  /// Top-level local spans (queue/run, fleet.place) use it as parent.
+  [[nodiscard]] std::uint64_t parent() const noexcept { return parent_; }
+
+  /// Default parent for spans opened with no enclosing same-trace span
+  /// on their thread. The scheduler points it at the job's "run" span
+  /// before execution starts so engine/session spans attach there.
+  [[nodiscard]] std::uint64_t root() const noexcept {
+    return root_.load(std::memory_order_relaxed);
+  }
+  void set_root(std::uint64_t span_id) noexcept {
+    root_.store(span_id, std::memory_order_relaxed);
+  }
 
   /// The deterministic span ID for (trace, name, index): 64-bit FNV-1a.
   [[nodiscard]] static std::uint64_t span_id(std::uint64_t trace_id,
@@ -64,6 +91,8 @@ class Trace {
 
  private:
   std::uint64_t id_;
+  std::uint64_t parent_ = 0;
+  std::atomic<std::uint64_t> root_{0};
   mutable std::mutex mutex_;
   std::vector<SpanRecord> spans_;
 };
@@ -74,7 +103,15 @@ class Trace {
 /// the shard/chunk ordinal; serial phases use the default 0.
 class TraceSpan {
  public:
-  TraceSpan(Trace* trace, std::string_view name, std::uint64_t index = 0);
+  /// Parent selection when no enclosing same-trace span is open on this
+  /// thread (both modes then fall back to the trace's root()):
+  /// kEnclosing links under the innermost open span; kRoot ignores the
+  /// thread's span stack entirely — for work (engine shards) that may
+  /// run inline *or* on a pool thread and must parent identically.
+  enum class Nest { kEnclosing, kRoot };
+
+  TraceSpan(Trace* trace, std::string_view name, std::uint64_t index = 0,
+            Nest nest = Nest::kEnclosing);
   ~TraceSpan() { finish(); }
 
   TraceSpan(const TraceSpan&) = delete;

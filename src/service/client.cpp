@@ -92,6 +92,20 @@ std::string ServiceClient::metrics_text() {
   return metrics->as_string();
 }
 
+JsonValue ServiceClient::trace(std::uint64_t job) {
+  const JsonValue response = roundtrip(job_request_line("trace", job));
+  require_ok(response);
+  return response;
+}
+
+JsonValue ServiceClient::logs(const std::string& level, std::uint64_t trace_id,
+                              std::uint64_t limit) {
+  const JsonValue response =
+      roundtrip(logs_request_line(level, trace_id, limit));
+  require_ok(response);
+  return response;
+}
+
 void ServiceClient::shutdown_server() {
   require_ok(roundtrip(op_request_line("shutdown")));
 }

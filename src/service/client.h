@@ -80,6 +80,18 @@ class ServiceClient {
   /// comment line.
   std::string metrics_text();
 
+  /// The job's span tree (the `trace` op): a response carrying
+  /// "trace_id" and a "spans" array — parse with parse_spans(). Against
+  /// a fleet front this is the merged fleet+worker tree.
+  JsonValue trace(std::uint64_t job);
+
+  /// Tails the server's structured-log ring (the `logs` op): response
+  /// carries "lines", an array of ndjson strings. `level` filters
+  /// ("debug"/"info"/"warn"/"error"), trace_id nonzero filters to one
+  /// trace, limit caps the tail length (0 = server default of 100).
+  JsonValue logs(const std::string& level = "debug",
+                 std::uint64_t trace_id = 0, std::uint64_t limit = 0);
+
   /// Asks the daemon to shut down (it still answers ok first).
   void shutdown_server();
 

@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "obs/exposition.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "service/protocol.h"
+#include "util/error.h"
 #include "util/json_writer.h"
 
 namespace bgls::service {
@@ -28,7 +30,8 @@ struct DaemonMetrics {
     auto& registry = obs::MetricsRegistry::global();
     const char* help = "Requests handled, by op";
     for (const char* op : {"submit", "status", "cancel", "result", "wait",
-                           "stream", "stats", "metrics", "shutdown"}) {
+                           "stream", "stats", "metrics", "trace", "logs",
+                           "shutdown"}) {
       requests.emplace(
           op, registry.counter("bgls_daemon_requests_total{op=\"" +
                                    std::string(op) + "\"}",
@@ -274,10 +277,14 @@ void ServiceDaemon::replay_journal() {
   // Re-enqueue incomplete jobs under their journaled ids (the journal
   // is open first, so their terminal events are recorded), and answer
   // queries for terminal ones from memory.
+  std::uint64_t terminal_jobs = 0;
+  std::uint64_t resubmitted = 0;
+  std::uint64_t dropped = 0;
   for (auto& [id, job] : pending) {
     if (job.terminal) {
       const std::lock_guard<std::mutex> lock(replayed_mutex_);
       replayed_.emplace(id, std::move(job.result));
+      ++terminal_jobs;
       continue;
     }
     if (job.line.empty()) continue;  // checkpoint without submit
@@ -291,15 +298,23 @@ void ServiceDaemon::replay_journal() {
         contexts_.emplace(id, context);
       }
       scheduler_.resubmit(std::move(request), id);
+      ++resubmitted;
     } catch (const std::exception&) {
       // A submit line that no longer parses (or a duplicate id): drop
       // the job rather than refuse to start.
+      ++dropped;
     }
   }
-  record_journal_replay_seconds(std::chrono::duration<double>(
+  const double replay_seconds = std::chrono::duration<double>(
                                     std::chrono::steady_clock::now() -
                                     replay_start)
-                                    .count());
+                                    .count();
+  record_journal_replay_seconds(replay_seconds);
+  obs::log(obs::LogLevel::kInfo, "daemon", "journal replayed",
+           {{"terminal_jobs", terminal_jobs},
+            {"resubmitted", resubmitted},
+            {"dropped", dropped},
+            {"seconds", replay_seconds}});
 }
 
 void ServiceDaemon::stop() {
@@ -419,6 +434,10 @@ void ServiceDaemon::handle_line(const std::string& line, Socket& socket) {
       handle_stats(socket);
     } else if (op == "metrics") {
       handle_metrics(socket);
+    } else if (op == "trace") {
+      handle_trace(message, socket);
+    } else if (op == "logs") {
+      handle_logs(message, socket);
     } else if (op == "shutdown") {
       socket.write_all(response_line(true, [](JsonWriter&) {}));
       {
@@ -451,10 +470,29 @@ void ServiceDaemon::handle_line(const std::string& line, Socket& socket) {
     // Unknown job ids, malformed fields, capability errors, ...
     socket.write_all(error_line("bad_request", e.what()));
   }
-  DaemonMetrics::instance().request_seconds.observe(
+  const double request_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     request_start)
-          .count());
+          .count();
+  DaemonMetrics::instance().request_seconds.observe(request_seconds);
+  if (options_.slow_request_ms > 0 &&
+      request_seconds * 1000.0 >=
+          static_cast<double>(options_.slow_request_ms)) {
+    // Resolve the request's trace id for correlation: submits carry it
+    // inline; job ops go through the job's trace.
+    const std::uint64_t job_id = message.u64_or("job", 0);
+    std::uint64_t trace_id = message.u64_or("trace_id", 0);
+    if (trace_id == 0 && job_id != 0) {
+      try {
+        const JobInfo info = scheduler_.info(job_id);
+        if (info.trace != nullptr) trace_id = info.trace->id();
+      } catch (const std::exception&) {
+        // Unknown/evicted job — log without correlation.
+      }
+    }
+    obs::log(obs::LogLevel::kWarn, "daemon", "slow request",
+             {{"op", op}, {"ms", request_seconds * 1000.0}}, trace_id, job_id);
+  }
 }
 
 void ServiceDaemon::handle_submit(const JsonValue& message,
@@ -730,6 +768,43 @@ void ServiceDaemon::handle_metrics(Socket& socket) {
       obs::to_prometheus(obs::MetricsRegistry::global().snapshot());
   socket.write_all(response_line(true, [&](JsonWriter& json) {
     json.key("metrics").value(text);
+  }));
+}
+
+void ServiceDaemon::handle_trace(const JsonValue& message, Socket& socket) {
+  const std::uint64_t id = job_field(message);
+  const JobInfo info = scheduler_.info(id);  // throws on unknown id
+  std::uint64_t trace_id = 0;
+  std::vector<obs::SpanRecord> spans;
+  if (info.trace != nullptr) {
+    trace_id = info.trace->id();
+    spans = info.trace->spans();  // sorted (name, index, id)
+  }
+  socket.write_all(response_line(true, [&](JsonWriter& json) {
+    json.key("job").value(id);
+    json.key("trace_id").value(trace_id);
+    json.key("spans");
+    write_spans(json, spans);
+  }));
+}
+
+void ServiceDaemon::handle_logs(const JsonValue& message, Socket& socket) {
+  const std::string level_name = message.string_or("level", "debug");
+  obs::LogLevel min_level = obs::LogLevel::kDebug;
+  BGLS_REQUIRE(obs::parse_log_level(level_name, &min_level),
+               "unknown log level '", level_name,
+               "' (expected debug/info/warn/error)");
+  const std::uint64_t trace_id = message.u64_or("trace_id", 0);
+  const std::uint64_t limit = message.u64_or("limit", 100);
+  const std::vector<obs::LogRecord> records = obs::Logger::global().tail(
+      static_cast<std::size_t>(limit), min_level, trace_id);
+  socket.write_all(response_line(true, [&](JsonWriter& json) {
+    json.key("count").value(static_cast<std::uint64_t>(records.size()));
+    json.key("lines").begin_array();
+    for (const obs::LogRecord& record : records) {
+      json.value(obs::format_log_line(record));
+    }
+    json.end_array();
   }));
 }
 

@@ -44,6 +44,11 @@ struct DaemonOptions {
   /// checkpoint), compacts it, then appends every subsequent
   /// submit/terminal/checkpoint/evict event fsync-before-ack.
   std::string journal_path;
+  /// Request lines slower than this emit a structured warn log line
+  /// (obs/log.h) carrying the op and, when resolvable, the job's trace
+  /// id. 0 disables. Wait/stream ops include time spent following the
+  /// job, so thresholds below the typical job runtime flag every wait.
+  std::uint64_t slow_request_ms = 0;
 };
 
 /// The service process: scheduler + acceptor + per-connection handlers.
@@ -105,6 +110,11 @@ class ServiceDaemon {
   /// Prometheus text exposition of the process-wide telemetry registry,
   /// embedded as the "metrics" string field of the response line.
   void handle_metrics(Socket& socket);
+  /// The job's span tree ({"trace_id":...,"spans":[...]}); a fleet
+  /// front stitches these worker spans with its own placement spans.
+  void handle_trace(const JsonValue& message, Socket& socket);
+  /// Tails the structured-log ring with level/trace filters.
+  void handle_logs(const JsonValue& message, Socket& socket);
 
   /// Sends the terminal-state response for a job ("result" shape: the
   /// canonical report on kDone, an error code otherwise). `type` tags

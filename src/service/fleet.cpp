@@ -1,9 +1,15 @@
 #include "service/fleet.h"
 
+#include <algorithm>
+#include <chrono>
 #include <limits>
+#include <set>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
+#include "obs/exposition.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "service/protocol.h"
 #include "util/json_writer.h"
@@ -108,6 +114,50 @@ std::string with_job_id(const JsonValue& message, std::uint64_t job) {
   json.end_object();
   os << "\n";
   return os.str();
+}
+
+/// One submit line with its trace context rewritten: the fleet's trace
+/// id, and the fleet.place span as the worker's parent — the worker's
+/// queue/run spans then stitch under the fleet's placement span.
+std::string with_trace_context(const JsonValue& message,
+                               std::uint64_t trace_id,
+                               std::uint64_t parent_span_id) {
+  std::ostringstream os;
+  JsonWriter json(os, JsonWriter::Style::kCompact);
+  json.begin_object();
+  for (const auto& [key, member] : message.members()) {
+    if (key == "trace_id" || key == "parent_span_id") continue;
+    json.key(key);
+    write_value(json, member);
+  }
+  json.key("trace_id").value(trace_id);
+  json.key("parent_span_id").value(parent_span_id);
+  json.end_object();
+  os << "\n";
+  return os.str();
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Injects worker="N" into one Prometheus series line:
+///   name{a="b"} v  →  name{worker="N",a="b"} v
+///   name v         →  name{worker="N"} v
+std::string with_worker_label(const std::string& line, std::size_t worker) {
+  const std::string label = "worker=\"" + std::to_string(worker) + "\"";
+  const std::size_t brace = line.find('{');
+  const std::size_t space = line.find(' ');
+  if (brace != std::string::npos &&
+      (space == std::string::npos || brace < space)) {
+    const bool empty_set = brace + 1 < line.size() && line[brace + 1] == '}';
+    return line.substr(0, brace + 1) + label + (empty_set ? "" : ",") +
+           line.substr(brace + 1);
+  }
+  if (space == std::string::npos) return line;  // malformed; pass through
+  return line.substr(0, space) + "{" + label + "}" + line.substr(space);
 }
 
 /// True for final (non-progress) frames carrying a terminal job state.
@@ -282,6 +332,7 @@ void FleetDaemon::handle_line(const std::string& line, Socket& socket,
     return;
   }
   const std::string op = message.string_or("op", "");
+  const auto request_start = std::chrono::steady_clock::now();
   try {
     if (op == "submit") {
       handle_submit(message, line, socket, links);
@@ -291,13 +342,11 @@ void FleetDaemon::handle_line(const std::string& line, Socket& socket,
     } else if (op == "stats") {
       handle_stats(socket, links);
     } else if (op == "metrics") {
-      // The fleet's own registry (placement/health series). Workers'
-      // kernel/scheduler series live behind their own endpoints.
-      socket.write_all(response_line(true, [&](JsonWriter& json) {
-        json.key("metrics")
-            .value(std::string("# fleet front; scrape workers directly for "
-                               "scheduler/kernel series\n"));
-      }));
+      handle_metrics(socket, links);
+    } else if (op == "trace") {
+      handle_trace(message, socket, links);
+    } else if (op == "logs") {
+      handle_logs(message, socket);
     } else if (op == "fleet") {
       handle_fleet(socket);
     } else if (op == "drain" || op == "undrain") {
@@ -313,18 +362,40 @@ void FleetDaemon::handle_line(const std::string& line, Socket& socket,
   } catch (const std::exception& e) {
     socket.write_all(error_line("bad_request", e.what()));
   }
+  const double request_seconds = seconds_since(request_start);
+  if (options_.slow_request_ms > 0 &&
+      request_seconds * 1000.0 >=
+          static_cast<double>(options_.slow_request_ms)) {
+    const std::uint64_t job_id = message.u64_or("job", 0);
+    std::uint64_t trace_id = message.u64_or("trace_id", 0);
+    if (trace_id == 0 && job_id != 0) {
+      const std::lock_guard<std::mutex> lock(routes_mutex_);
+      const auto it = routes_.find(job_id);
+      if (it != routes_.end() && it->second.trace != nullptr) {
+        trace_id = it->second.trace->id();
+      }
+    }
+    obs::log(obs::LogLevel::kWarn, "fleet", "slow request",
+             {{"op", op}, {"ms", request_seconds * 1000.0}}, trace_id, job_id);
+  }
 }
 
-void FleetDaemon::handle_submit(const JsonValue& /*message*/,
+void FleetDaemon::handle_submit(const JsonValue& message,
                                 const std::string& line, Socket& socket,
                                 std::vector<std::unique_ptr<Socket>>& links) {
   // Placement + id allocation under one lock so concurrent submits
-  // spread out; the proxying itself runs unlocked.
+  // spread out; the proxying itself runs unlocked. The global id is
+  // allocated *before* the worker answers so it can double as the
+  // distributed trace id when the client did not mint one.
   std::size_t target;
+  std::uint64_t global_id = 0;
   {
     const std::lock_guard<std::mutex> lock(routes_mutex_);
     target = pick_worker_locked();
     placement_cursor_ = (placement_cursor_ + 1) % workers_.size();
+    if (target != std::numeric_limits<std::size_t>::max()) {
+      global_id = next_global_id_++;
+    }
   }
   if (target == std::numeric_limits<std::size_t>::max()) {
     FleetMetrics::instance().worker_down.add();
@@ -332,10 +403,28 @@ void FleetDaemon::handle_submit(const JsonValue& /*message*/,
         "worker_down", "no live undrained worker to place the job on"));
     return;
   }
+
+  // The fleet's side of the distributed trace. The forwarded line gets
+  // the (possibly fleet-minted) trace id and the fleet.place span as
+  // parent_span_id; the worker's queue/run spans stitch under it. A
+  // client-supplied parent_span_id becomes fleet.place's own parent.
+  std::shared_ptr<obs::Trace> trace;
+  std::string forward = line + "\n";
+  if constexpr (obs::kTelemetryCompiled) {
+    const std::uint64_t client_trace = message.u64_or("trace_id", 0);
+    const std::uint64_t client_parent = message.u64_or("parent_span_id", 0);
+    const std::uint64_t trace_id =
+        client_trace != 0 ? client_trace : global_id;
+    trace = std::make_shared<obs::Trace>(trace_id, client_parent);
+    forward = with_trace_context(
+        message, trace_id, obs::Trace::span_id(trace_id, "fleet.place", 0));
+  }
+
+  const auto place_start = std::chrono::steady_clock::now();
   std::string response_text;
   try {
     Socket& worker = link(links, target);
-    worker.write_all(line + "\n");
+    worker.write_all(forward);
     if (!worker.read_line(response_text)) {
       detail::throw_error<IoError>("worker closed the connection");
     }
@@ -356,36 +445,63 @@ void FleetDaemon::handle_submit(const JsonValue& /*message*/,
     socket.write_all(response_text + "\n");
     return;
   }
+  const bool born_terminal = is_terminal_frame(response);
+  if (trace != nullptr && obs::enabled()) {
+    trace->record({obs::Trace::span_id(trace->id(), "fleet.place", 0),
+                   trace->parent(), "fleet.place", 0,
+                   seconds_since(place_start)});
+    if (born_terminal) {
+      // The submit ack itself delivered the terminal state (cache hit,
+      // or the job outran the ack) — there will be no later proxied
+      // terminal frame, so record the job's one fleet.proxy span here.
+      // Structure stays deterministic: every placed job's tree carries
+      // fleet.place + fleet.proxy however the timing race lands.
+      trace->record({obs::Trace::span_id(trace->id(), "fleet.proxy", 0),
+                     trace->parent(), "fleet.proxy", 0, 0.0});
+    }
+  }
   const std::uint64_t remote_id = response.u64_or("job", 0);
-  std::uint64_t global_id;
   {
     const std::lock_guard<std::mutex> lock(routes_mutex_);
-    global_id = next_global_id_++;
     Route route;
     route.worker = target;
     route.remote_id = remote_id;
-    // Born-terminal cache hits never count as in-flight.
-    route.finished = is_terminal_frame(response);
-    routes_[global_id] = route;
+    // Born-terminal jobs never count as in-flight.
+    route.finished = born_terminal;
+    route.trace = std::move(trace);
     if (!route.finished) {
       workers_[target]->in_flight.fetch_add(1, std::memory_order_acq_rel);
     }
+    routes_[global_id] = std::move(route);
   }
   workers_[target]->placed.fetch_add(1, std::memory_order_acq_rel);
   socket.write_all(with_job_id(response, global_id));
 }
 
 void FleetDaemon::note_finished(std::uint64_t global_id,
-                                const JsonValue& response) {
+                                const JsonValue& response,
+                                double proxy_seconds) {
   if (!is_terminal_frame(response)) return;
-  const std::lock_guard<std::mutex> lock(routes_mutex_);
-  const auto it = routes_.find(global_id);
-  if (it == routes_.end() || it->second.finished) return;
-  it->second.finished = true;
-  auto& in_flight = workers_[it->second.worker]->in_flight;
-  std::uint64_t current = in_flight.load(std::memory_order_acquire);
-  while (current > 0 && !in_flight.compare_exchange_weak(
-                            current, current - 1, std::memory_order_acq_rel)) {
+  std::shared_ptr<obs::Trace> trace;
+  {
+    const std::lock_guard<std::mutex> lock(routes_mutex_);
+    const auto it = routes_.find(global_id);
+    if (it == routes_.end() || it->second.finished) return;
+    it->second.finished = true;
+    trace = it->second.trace;
+    auto& in_flight = workers_[it->second.worker]->in_flight;
+    std::uint64_t current = in_flight.load(std::memory_order_acquire);
+    while (current > 0 &&
+           !in_flight.compare_exchange_weak(current, current - 1,
+                                            std::memory_order_acq_rel)) {
+    }
+  }
+  // Exactly one fleet.proxy span per job — recorded at the first
+  // terminal frame, whatever op observed it — so the merged tree is
+  // deterministic however many times the client polled.
+  if (trace != nullptr && obs::enabled()) {
+    trace->record({obs::Trace::span_id(trace->id(), "fleet.proxy", 0),
+                   trace->parent(), "fleet.proxy", 0, proxy_seconds});
   }
 }
 
@@ -415,6 +531,7 @@ void FleetDaemon::handle_job_op(const JsonValue& message, Socket& socket,
     return;
   }
   try {
+    const auto proxy_start = std::chrono::steady_clock::now();
     Socket& worker = link(links, route.worker);
     worker.write_all(with_job_id(message, route.remote_id));
     // stream answers with any number of progress frames before the
@@ -423,7 +540,7 @@ void FleetDaemon::handle_job_op(const JsonValue& message, Socket& socket,
     std::string frame_text;
     while (worker.read_line(frame_text)) {
       const JsonValue frame = JsonValue::parse(frame_text);
-      note_finished(global_id, frame);
+      note_finished(global_id, frame, seconds_since(proxy_start));
       socket.write_all(with_job_id(frame, global_id));
       if (frame.string_or("type", "") != "progress") return;
     }
@@ -484,6 +601,147 @@ void FleetDaemon::handle_stats(Socket& socket,
   }));
 }
 
+void FleetDaemon::handle_metrics(Socket& socket,
+                                 std::vector<std::unique_ptr<Socket>>& links) {
+  std::string text;
+  if constexpr (obs::kTelemetryCompiled) {
+    // The fleet's own series first (no worker label — they describe
+    // the front), then each live worker's scrape with worker="N"
+    // injected into every series line. HELP/TYPE headers repeat per
+    // family name; keep the first and drop duplicates so the merged
+    // exposition stays valid.
+    text = obs::to_prometheus(obs::MetricsRegistry::global().snapshot());
+    std::set<std::string> seen_headers;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (!workers_[i]->alive.load(std::memory_order_acquire)) continue;
+      std::string response_text;
+      try {
+        Socket& worker = link(links, i);
+        worker.write_all(op_request_line("metrics"));
+        if (!worker.read_line(response_text)) continue;
+      } catch (const IoError&) {
+        workers_[i]->alive.store(false, std::memory_order_release);
+        continue;
+      }
+      const JsonValue response = JsonValue::parse(response_text);
+      if (!response.bool_or("ok", false)) continue;
+      const std::string scrape = response.string_or("metrics", "");
+      std::size_t start = 0;
+      while (start < scrape.size()) {
+        const std::size_t end = scrape.find('\n', start);
+        const std::string line =
+            scrape.substr(start, end == std::string::npos ? std::string::npos
+                                                          : end - start);
+        start = end == std::string::npos ? scrape.size() : end + 1;
+        if (line.empty()) continue;
+        if (line[0] == '#') {
+          // "# HELP name ..." / "# TYPE name ..." — keyed per line
+          // text minus the worker-independent suffix is fine: the
+          // whole line is identical across workers.
+          if (seen_headers.insert(line).second) text += line + "\n";
+          continue;
+        }
+        text += with_worker_label(line, i) + "\n";
+      }
+    }
+  } else {
+    // Marker comment only, matching the workers' own compiled-out
+    // exposition.
+    text = obs::to_prometheus(obs::MetricsRegistry::global().snapshot());
+  }
+  socket.write_all(response_line(true, [&](JsonWriter& json) {
+    json.key("metrics").value(text);
+  }));
+}
+
+void FleetDaemon::handle_trace(const JsonValue& message, Socket& socket,
+                               std::vector<std::unique_ptr<Socket>>& links) {
+  const JsonValue* job = message.find("job");
+  BGLS_REQUIRE(job != nullptr, "request needs a 'job' field");
+  const std::uint64_t global_id = job->as_u64();
+  Route route;
+  {
+    const std::lock_guard<std::mutex> lock(routes_mutex_);
+    const auto it = routes_.find(global_id);
+    if (it == routes_.end()) {
+      socket.write_all(error_line(
+          "unknown_job", "unknown fleet job id " + std::to_string(global_id)));
+      return;
+    }
+    route = it->second;
+  }
+  if (!workers_[route.worker]->alive.load(std::memory_order_acquire)) {
+    FleetMetrics::instance().worker_down.add();
+    socket.write_all(error_line(
+        "worker_down", "job " + std::to_string(global_id) + " lives on " +
+                           workers_[route.worker]->endpoint.to_string() +
+                           ", which is down"));
+    return;
+  }
+  std::string response_text;
+  try {
+    Socket& worker = link(links, route.worker);
+    worker.write_all(job_request_line("trace", route.remote_id));
+    if (!worker.read_line(response_text)) {
+      detail::throw_error<IoError>("worker closed the connection");
+    }
+  } catch (const IoError& e) {
+    workers_[route.worker]->alive.store(false, std::memory_order_release);
+    FleetMetrics::instance().worker_down.add();
+    socket.write_all(error_line(
+        "worker_down", "worker " +
+                           workers_[route.worker]->endpoint.to_string() +
+                           " failed mid-request (" + e.what() + ")"));
+    return;
+  }
+  const JsonValue response = JsonValue::parse(response_text);
+  if (!response.bool_or("ok", false)) {
+    socket.write_all(with_job_id(response, global_id));
+    return;
+  }
+  // Stitch: worker spans + the route's fleet spans, one tree under one
+  // trace id, re-sorted into the canonical (name, index, id) order so
+  // the merged view is byte-stable.
+  std::vector<obs::SpanRecord> spans = parse_spans(response);
+  std::uint64_t trace_id = response.u64_or("trace_id", 0);
+  if (route.trace != nullptr) {
+    trace_id = route.trace->id();
+    const std::vector<obs::SpanRecord> fleet_spans = route.trace->spans();
+    spans.insert(spans.end(), fleet_spans.begin(), fleet_spans.end());
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const obs::SpanRecord& a, const obs::SpanRecord& b) {
+              return std::tie(a.name, a.index, a.id) <
+                     std::tie(b.name, b.index, b.id);
+            });
+  socket.write_all(response_line(true, [&](JsonWriter& json) {
+    json.key("job").value(global_id);
+    json.key("trace_id").value(trace_id);
+    json.key("spans");
+    write_spans(json, spans);
+  }));
+}
+
+void FleetDaemon::handle_logs(const JsonValue& message, Socket& socket) {
+  const std::string level_name = message.string_or("level", "debug");
+  obs::LogLevel min_level = obs::LogLevel::kDebug;
+  BGLS_REQUIRE(obs::parse_log_level(level_name, &min_level),
+               "unknown log level '", level_name,
+               "' (expected debug/info/warn/error)");
+  const std::uint64_t trace_id = message.u64_or("trace_id", 0);
+  const std::uint64_t limit = message.u64_or("limit", 100);
+  const std::vector<obs::LogRecord> records = obs::Logger::global().tail(
+      static_cast<std::size_t>(limit), min_level, trace_id);
+  socket.write_all(response_line(true, [&](JsonWriter& json) {
+    json.key("count").value(static_cast<std::uint64_t>(records.size()));
+    json.key("lines").begin_array();
+    for (const obs::LogRecord& record : records) {
+      json.value(obs::format_log_line(record));
+    }
+    json.end_array();
+  }));
+}
+
 void FleetDaemon::handle_fleet(Socket& socket) {
   const std::vector<WorkerStatus> status = workers();
   socket.write_all(response_line(true, [&](JsonWriter& json) {
@@ -527,12 +785,13 @@ void FleetDaemon::health_loop() {
       }
     }
     std::int64_t live = 0;
-    for (auto& worker : workers_) {
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      Worker& worker = *workers_[i];
       // A fresh connection per ping: the handlers' links are not
       // thread-safe, and a ping must not queue behind a blocking op.
       bool healthy = false;
       try {
-        Socket socket = connect_to(worker->endpoint);
+        Socket socket = connect_to(worker.endpoint);
         socket.write_all(op_request_line("stats"));
         std::string response;
         healthy = socket.read_line(response) &&
@@ -542,12 +801,20 @@ void FleetDaemon::health_loop() {
       }
       if (!healthy) FleetMetrics::instance().health_failures.add();
       const bool was_alive =
-          worker->alive.exchange(healthy, std::memory_order_acq_rel);
+          worker.alive.exchange(healthy, std::memory_order_acq_rel);
       if (healthy) {
         ++live;
+        if (!was_alive) {
+          obs::log(obs::LogLevel::kInfo, "fleet", "worker rejoined",
+                   {{"worker", static_cast<std::uint64_t>(i)},
+                    {"endpoint", worker.endpoint.to_string()}});
+        }
       } else if (was_alive) {
         // Lost jobs stay routed here; their ops answer worker_down
         // until the worker comes back (journal replay restores them).
+        obs::log(obs::LogLevel::kWarn, "fleet", "worker down",
+                 {{"worker", static_cast<std::uint64_t>(i)},
+                  {"endpoint", worker.endpoint.to_string()}});
       }
     }
     FleetMetrics::instance().live_workers.set(live);

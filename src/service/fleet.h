@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "service/socket.h"
 #include "util/json_parser.h"
 
@@ -57,6 +58,10 @@ struct FleetOptions {
   std::vector<Endpoint> workers;
   /// Cadence of the health thread's per-worker stats pings.
   std::chrono::milliseconds health_interval{500};
+  /// Request lines slower than this emit a structured warn log line
+  /// (obs/log.h) with the op and the job's trace id when known. 0
+  /// disables. Wait/stream ops include the proxied follow time.
+  std::uint64_t slow_request_ms = 0;
 };
 
 /// The fleet process: acceptor + per-connection proxy handlers + health
@@ -121,6 +126,10 @@ class FleetDaemon {
     std::uint64_t remote_id = 0;
     /// Set once a terminal response was proxied (drops in_flight).
     bool finished = false;
+    /// The fleet side of the job's distributed trace: fleet.place /
+    /// fleet.proxy spans, stitched with the worker's spans by the
+    /// `trace` op. Null when telemetry is compiled out.
+    std::shared_ptr<obs::Trace> trace;
   };
 
   struct Connection {
@@ -144,6 +153,17 @@ class FleetDaemon {
                      std::vector<std::unique_ptr<Socket>>& links);
   void handle_stats(Socket& socket,
                     std::vector<std::unique_ptr<Socket>>& links);
+  /// Fleet-wide Prometheus scrape: every live worker's exposition with
+  /// a worker="N" label injected into each series, plus the fleet's
+  /// own registry — one scrape sees the whole fleet.
+  void handle_metrics(Socket& socket,
+                      std::vector<std::unique_ptr<Socket>>& links);
+  /// The merged span tree: the route's fleet spans stitched with the
+  /// owning worker's spans under one trace id.
+  void handle_trace(const JsonValue& message, Socket& socket,
+                    std::vector<std::unique_ptr<Socket>>& links);
+  /// Tails the fleet front's own structured-log ring.
+  void handle_logs(const JsonValue& message, Socket& socket);
   void handle_fleet(Socket& socket);
   void handle_drain(const JsonValue& message, Socket& socket, bool drain);
   void health_loop();
@@ -153,8 +173,12 @@ class FleetDaemon {
                std::size_t worker);
   /// Least-loaded live undrained worker, or npos.
   [[nodiscard]] std::size_t pick_worker_locked() const;
-  /// Marks a terminal proxied response against the route's in_flight.
-  void note_finished(std::uint64_t global_id, const JsonValue& response);
+  /// Marks a terminal proxied response against the route's in_flight
+  /// and, on the first terminal frame, records the route's fleet.proxy
+  /// span with `proxy_seconds` (time spent proxying the op that
+  /// observed the terminal state).
+  void note_finished(std::uint64_t global_id, const JsonValue& response,
+                     double proxy_seconds);
   void reap_connections();
 
   FleetOptions options_;

@@ -46,6 +46,12 @@ std::string submit_request_line(const SubmitArgs& args) {
   if (!args.tenant.empty()) json.key("tenant").value(args.tenant);
   json.key("deadline_ms").value(args.deadline_ms);
   json.key("progress_every").value(args.progress_every);
+  if (args.trace_id != 0) {
+    json.key("trace_id").value(args.trace_id);
+    if (args.parent_span_id != 0) {
+      json.key("parent_span_id").value(args.parent_span_id);
+    }
+  }
   json.end_object();
   os << "\n";
   return os.str();
@@ -84,6 +90,20 @@ std::string op_request_line(const std::string& op) {
   return os.str();
 }
 
+std::string logs_request_line(const std::string& level, std::uint64_t trace_id,
+                              std::uint64_t limit) {
+  std::ostringstream os;
+  JsonWriter json(os, JsonWriter::Style::kCompact);
+  json.begin_object();
+  json.key("op").value("logs");
+  if (!level.empty()) json.key("level").value(level);
+  if (trace_id != 0) json.key("trace_id").value(trace_id);
+  if (limit != 0) json.key("limit").value(limit);
+  json.end_object();
+  os << "\n";
+  return os.str();
+}
+
 RunRequest parse_submit(const JsonValue& message) {
   const JsonValue* qasm = message.find("qasm");
   BGLS_REQUIRE(qasm != nullptr, "submit needs a 'qasm' field");
@@ -100,6 +120,8 @@ RunRequest parse_submit(const JsonValue& message) {
           .with_tenant(message.string_or("tenant", ""))
           .with_deadline_ms(message.u64_or("deadline_ms", 0));
   request.progress.every = message.u64_or("progress_every", 0);
+  request.with_trace_context(message.u64_or("trace_id", 0),
+                             message.u64_or("parent_span_id", 0));
   const std::string backend = message.string_or("backend", "auto");
   // "auto" keeps the RunRequest default (kAuto routing); anything else
   // is a registry name — same contract as the bgls_run CLI.
@@ -107,6 +129,37 @@ RunRequest parse_submit(const JsonValue& message) {
     request.with_backend(backend);
   }
   return request;
+}
+
+void write_spans(JsonWriter& json, const std::vector<obs::SpanRecord>& spans) {
+  json.begin_array();
+  for (const obs::SpanRecord& span : spans) {
+    json.begin_object();
+    json.key("id").value(span.id);
+    json.key("parent").value(span.parent);
+    json.key("name").value(span.name);
+    json.key("index").value(span.index);
+    json.key("seconds").value(span.seconds);
+    json.end_object();
+  }
+  json.end_array();
+}
+
+std::vector<obs::SpanRecord> parse_spans(const JsonValue& response) {
+  std::vector<obs::SpanRecord> spans;
+  const JsonValue* array = response.find("spans");
+  if (array == nullptr) return spans;
+  for (const JsonValue& item : array->items()) {
+    obs::SpanRecord span;
+    span.id = item.u64_or("id", 0);
+    span.parent = item.u64_or("parent", 0);
+    span.name = item.string_or("name", "");
+    span.index = item.u64_or("index", 0);
+    const JsonValue* seconds = item.find("seconds");
+    span.seconds = seconds != nullptr ? seconds->as_double() : 0.0;
+    spans.push_back(std::move(span));
+  }
+  return spans;
 }
 
 void write_progress_histograms(JsonWriter& json,

@@ -16,6 +16,21 @@
 ///   {"op":"stats"}                 {"op":"shutdown"}
 ///   {"op":"metrics"}   — Prometheus text exposition of the telemetry
 ///                        registry (obs/), escaped in "metrics"
+///   {"op":"trace","job":N}  — the job's span tree: "trace_id" plus a
+///                        "spans" array of {id,parent,name,index,
+///                        seconds}. A fleet front stitches its own
+///                        placement/proxy spans with the worker's.
+///   {"op":"logs","level":"warn","trace_id":N,"limit":N} — tails the
+///                        server's structured-log ring (obs/log.h) as
+///                        a "lines" array of ndjson strings; level and
+///                        trace_id filter, limit caps (default 100).
+///
+/// Submit additionally accepts optional "trace_id"/"parent_span_id"
+/// fields — the cross-process trace context. The job's spans derive
+/// their IDs from trace_id and hang under parent_span_id, so a caller
+/// (fleet front, client) can stitch the worker's spans into its own
+/// trace. Observation-only: context never changes sampled output or
+/// result-cache identity.
 ///
 /// Every response carries "ok" (bool); failures add "code" (a stable
 /// slug: parse_error/unknown_op/unknown_job/queue_full/not_done/
@@ -30,9 +45,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "api/run_types.h"
 #include "core/progress.h"
+#include "obs/trace.h"
 #include "util/json_parser.h"
 #include "util/json_writer.h"
 
@@ -57,6 +74,10 @@ struct SubmitArgs {
   std::string tenant;
   std::uint64_t deadline_ms = 0;
   std::uint64_t progress_every = 0;
+  /// Cross-process trace context (0 = none; fields omitted from the
+  /// wire). parent_span_id only travels alongside a nonzero trace_id.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
 };
 
 /// Serializes a submit request as one ndjson line (with trailing \n).
@@ -68,6 +89,9 @@ struct SubmitArgs {
 [[nodiscard]] std::string wait_request_line(std::uint64_t job,
                                             std::uint64_t timeout_ms);
 [[nodiscard]] std::string op_request_line(const std::string& op);
+[[nodiscard]] std::string logs_request_line(const std::string& level,
+                                            std::uint64_t trace_id,
+                                            std::uint64_t limit);
 
 /// Daemon-side: builds the RunRequest for a parsed submit message
 /// (parses the embedded QASM). Throws ParseError/ValueError with the
@@ -77,5 +101,14 @@ struct SubmitArgs {
 /// Serializes a ProgressUpdate's histograms as an object keyed by
 /// measurement key, each value an object of decimal-bitstring → count.
 void write_progress_histograms(JsonWriter& json, const ProgressUpdate& update);
+
+/// Serializes spans as an array value (caller writes the "spans" key):
+/// [{"id":...,"parent":...,"name":"...","index":...,"seconds":...}].
+/// IDs are u64 — JsonWriter/JsonValue round-trip them exactly.
+void write_spans(JsonWriter& json, const std::vector<obs::SpanRecord>& spans);
+
+/// Parses a trace response's "spans" array (absent → empty).
+[[nodiscard]] std::vector<obs::SpanRecord> parse_spans(
+    const JsonValue& response);
 
 }  // namespace bgls::service

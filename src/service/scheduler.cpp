@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
 
@@ -311,6 +312,11 @@ std::uint64_t JobScheduler::submit_impl(RunRequest request,
         ++stats_.rejected;
         metrics.rejected.add();
         metrics.rejected_queue_full.add();
+        obs::log(obs::LogLevel::kWarn, "scheduler", "admission rejected",
+                 {{"reason", "queue_full"},
+                  {"tenant", job->tenant},
+                  {"backlog", static_cast<std::uint64_t>(backlog)}},
+                 request.trace_id);
         detail::throw_error<QueueFullError>(
             "job rejected: queue is full (", backlog, " of ",
             options_.max_queue_depth,
@@ -323,6 +329,11 @@ std::uint64_t JobScheduler::submit_impl(RunRequest request,
         ++stats_.rejected;
         metrics.rejected.add();
         metrics.rejected_tenant_quota.add();
+        obs::log(obs::LogLevel::kWarn, "scheduler", "admission rejected",
+                 {{"reason", "tenant_quota"},
+                  {"tenant", job->tenant},
+                  {"queued", tenant.queued}},
+                 request.trace_id);
         detail::throw_error<TenantQuotaError>(
             "job rejected: tenant '", metric_safe_label(job->tenant),
             "' is at its queued-job quota (", tenant.queued, " of ",
@@ -333,6 +344,11 @@ std::uint64_t JobScheduler::submit_impl(RunRequest request,
         ++stats_.rejected;
         metrics.rejected.add();
         metrics.rejected_over_budget.add();
+        obs::log(obs::LogLevel::kWarn, "scheduler", "admission rejected",
+                 {{"reason", "over_budget"},
+                  {"tenant", job->tenant},
+                  {"predicted_seconds", predicted}},
+                 request.trace_id);
         detail::throw_error<CostBudgetError>(
             "job rejected: predicted cost ", predicted,
             " s exceeds the per-job budget of ", options_.max_job_seconds,
@@ -344,6 +360,11 @@ std::uint64_t JobScheduler::submit_impl(RunRequest request,
         ++stats_.rejected;
         metrics.rejected.add();
         metrics.rejected_backlog.add();
+        obs::log(obs::LogLevel::kWarn, "scheduler", "admission rejected",
+                 {{"reason", "backlog"},
+                  {"tenant", job->tenant},
+                  {"backlog_seconds", predicted_backlog_seconds_ + predicted}},
+                 request.trace_id);
         detail::throw_error<CostBudgetError>(
             "job rejected: predicted backlog of ",
             predicted_backlog_seconds_ + predicted,
@@ -360,9 +381,21 @@ std::uint64_t JobScheduler::submit_impl(RunRequest request,
     job->seq = job->id;
     job->request = std::move(request);
     if constexpr (obs::kTelemetryCompiled) {
-      // One trace per job, identified by the job id: span IDs derived
-      // from it are stable across runs and thread counts.
-      job->trace = std::make_shared<obs::Trace>(job->id);
+      // One trace per job. A propagated context wins: span IDs then
+      // derive from the cross-process trace id and the queue/run spans
+      // hang under the caller's parent span (the fleet front's
+      // fleet.place). Otherwise the job id identifies the trace, as
+      // before — stable across runs and thread counts either way.
+      const std::uint64_t trace_id = job->request.trace_id != 0
+                                         ? job->request.trace_id
+                                         : job->id;
+      job->trace =
+          std::make_shared<obs::Trace>(trace_id, job->request.trace_parent);
+      // Session/engine spans (optimize/sample/shard/evolve) open with
+      // no enclosing span on their thread; the root fallback parents
+      // them under the job's "run" span, one deterministic tree
+      // regardless of which thread records them.
+      job->trace->set_root(obs::Trace::span_id(trace_id, "run", 0));
       job->request.trace = job->trace.get();
     }
 
@@ -491,6 +524,11 @@ void JobScheduler::maybe_preempt_locked(const JobPtr& incoming) {
   victim->token.cancel();
   ++stats_.preempted;
   SchedulerMetrics::instance().preempted.add();
+  obs::log(obs::LogLevel::kInfo, "scheduler", "job preempted",
+           {{"victim_priority", victim->priority},
+            {"incoming_priority", incoming->priority},
+            {"tenant", victim->tenant}},
+           victim->trace ? victim->trace->id() : 0, victim->id);
 }
 
 bool JobScheduler::cancel(std::uint64_t id) {
@@ -725,8 +763,8 @@ void JobScheduler::runner_loop() {
       if (job->trace) {
         // Queue wait as a manually recorded span: no scope existed while
         // the job sat in the queue.
-        job->trace->record({obs::Trace::span_id(job->id, "queue", 0), 0,
-                            "queue", 0, queue_wait});
+        job->trace->record({obs::Trace::span_id(job->trace->id(), "queue", 0),
+                            job->trace->parent(), "queue", 0, queue_wait});
       }
     }
     job_changed_.notify_all();
@@ -812,6 +850,11 @@ void JobScheduler::run_job(const JobPtr& job) {
         Rng jitter(job->id * 31 + job->retries);
         backoff += jitter.uniform_int(base);
       }
+      obs::log(obs::LogLevel::kWarn, "scheduler", "job retried",
+               {{"attempt", job->retries},
+                {"backoff_ms", backoff},
+                {"error", error}},
+               job->trace ? job->trace->id() : 0, job->id);
       requeue_locked(job, now + std::chrono::milliseconds(backoff),
                      /*fresh_token=*/false);
       requeued = true;
@@ -924,8 +967,8 @@ void JobScheduler::finish_job_locked(const JobPtr& job, JobState state,
         seconds_between(job->cancel_requested_at, job->finished_at));
   }
   if (job->trace) {
-    job->trace->record({obs::Trace::span_id(job->id, "run", 0), 0, "run", 0,
-                        run_seconds});
+    job->trace->record({obs::Trace::span_id(job->trace->id(), "run", 0),
+                        job->trace->parent(), "run", 0, run_seconds});
   }
 }
 

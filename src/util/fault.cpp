@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/log.h"
 #include "util/parse.h"
 #include "util/rng.h"
 
@@ -84,6 +85,10 @@ bool should_fail(std::string_view point) noexcept {
   if (p.max_fires != 0 && p.fired >= p.max_fires) return false;
   if (!p.rng.bernoulli(p.probability)) return false;
   ++p.fired;
+  // Injected failures look exactly like real ones downstream; the log
+  // line is what distinguishes a drill from an incident.
+  obs::log(obs::LogLevel::kWarn, "fault", "injected fault fired",
+           {{"point", it->first}, {"fired", p.fired}});
   return true;
 }
 

@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "cli_flags.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 #include "service/client.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -50,6 +52,9 @@ struct ClientOptions {
   /// jitter (the daemon may be mid-restart, replaying its journal).
   int retries = 0;
   std::uint64_t backoff_ms = 100;
+  std::string chrome_trace;        // trace: also write Chrome JSON here
+  std::string log_level = "debug"; // logs: minimum level to fetch
+  std::uint64_t log_limit = 0;     // logs: tail length (0 = server default)
 };
 
 void print_usage(std::ostream& os) {
@@ -70,7 +75,15 @@ void print_usage(std::ostream& os) {
         "  cancel <job>     request cancellation\n"
         "  stats            scheduler counters\n"
         "  metrics          Prometheus text exposition of the daemon's\n"
-        "                   telemetry registry (scrape-ready)\n"
+        "                   telemetry registry (scrape-ready); against a\n"
+        "                   fleet front, aggregated across workers with a\n"
+        "                   worker=\"N\" label on every series\n"
+        "  trace <job>      print the job's span tree (fleet + worker\n"
+        "                   spans merged when connected to a fleet);\n"
+        "                   --chrome-trace FILE also writes Chrome\n"
+        "                   trace-event JSON (load in about://tracing)\n"
+        "  logs             tail the server's structured-log ring;\n"
+        "                   --level LVL --limit N --trace-id T filter\n"
         "  raw <json>       send one raw request line, print the raw\n"
         "                   response (fleet ops: fleet, drain, undrain)\n"
         "  shutdown         ask the daemon to exit\n"
@@ -78,6 +91,8 @@ void print_usage(std::ostream& os) {
         "submit flags (run/submit): --reps N --seed N --backend NAME\n"
         "  --threads N --streams N --optimize --no-batch --priority N\n"
         "  --tenant NAME --deadline-ms N --progress-every N\n"
+        "  --trace-id N (propagate an existing trace context; default:\n"
+        "  the client mints a fresh nonzero id and prints it to stderr)\n"
         "wait flags (run/wait): --timeout-ms N\n"
         "transport flags: --retries N (reconnect attempts on connection\n"
         "  failures and journal_error responses, default 0)\n"
@@ -123,6 +138,16 @@ bool parse_args(int argc, char** argv, ClientOptions& options) {
       options.submit.deadline_ms = parse_u64_flag(arg, need_value(i, arg));
     } else if (arg == "--progress-every") {
       options.submit.progress_every = parse_u64_flag(arg, need_value(i, arg));
+    } else if (arg == "--trace-id") {
+      options.submit.trace_id = parse_u64_flag(arg, need_value(i, arg));
+      BGLS_REQUIRE(options.submit.trace_id != 0,
+                   "--trace-id must be nonzero (0 means 'unset')");
+    } else if (arg == "--chrome-trace") {
+      options.chrome_trace = need_value(i, arg);
+    } else if (arg == "--level") {
+      options.log_level = need_value(i, arg);
+    } else if (arg == "--limit") {
+      options.log_limit = parse_u64_flag(arg, need_value(i, arg));
     } else if (arg == "--timeout-ms") {
       options.timeout_ms = parse_u64_flag(arg, need_value(i, arg));
     } else if (arg == "--retries") {
@@ -163,6 +188,24 @@ std::uint64_t job_argument(const ClientOptions& options) {
   return parse_u64_flag("job id", options.args[0]);
 }
 
+/// Mints a fresh trace id when the caller did not pass --trace-id:
+/// FNV-1a over the pid and the wall clock, remapped away from 0 (the
+/// protocol's "unset"). Purely an identifier — never feeds sampling, so
+/// the nondeterminism is contract-safe.
+std::uint64_t mint_trace_id() {
+  std::uint64_t hash = 14695981039346656037ull;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xffu;
+      hash *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(::getpid()));
+  mix(static_cast<std::uint64_t>(  // bgls-lint: allow(nondeterministic-source)
+      std::chrono::system_clock::now().time_since_epoch().count()));
+  return hash == 0 ? 1 : hash;
+}
+
 void print_progress(const JsonValue& frame) {
   std::cerr << "progress: " << frame.u64_or("completed", 0) << "/"
             << frame.u64_or("total", 0) << " repetitions\n";
@@ -176,6 +219,12 @@ int run_command(const ClientOptions& options) {
                  "' expects one circuit file (or '-')");
     SubmitArgs submit = options.submit;
     submit.qasm = read_input(options.args[0]);
+    if (submit.trace_id == 0) {
+      // Mint a context so every submission is traceable end to end;
+      // announce it on stderr (stdout stays byte-identical to bgls_run).
+      submit.trace_id = mint_trace_id();
+      std::cerr << "trace-id: " << submit.trace_id << "\n";
+    }
     const std::uint64_t job = client.submit(submit);
     if (options.command == "submit") {
       std::cout << job << "\n";
@@ -242,6 +291,30 @@ int run_command(const ClientOptions& options) {
     // Exposition text ends with a newline already; print verbatim so
     // the output pipes straight into a Prometheus scrape file.
     std::cout << client.metrics_text();
+    return 0;
+  }
+  if (options.command == "trace") {
+    const JsonValue response = client.trace(job_argument(options));
+    const std::uint64_t trace_id = response.u64_or("trace_id", 0);
+    const std::vector<obs::SpanRecord> spans = parse_spans(response);
+    if (!options.chrome_trace.empty()) {
+      std::ofstream file(options.chrome_trace);
+      BGLS_REQUIRE(file.good(), "cannot write '", options.chrome_trace, "'");
+      file << obs::to_chrome_trace(trace_id, spans);
+      file << "\n";
+    }
+    std::cout << obs::render_span_tree(trace_id, spans);
+    return 0;
+  }
+  if (options.command == "logs") {
+    const JsonValue response = client.logs(
+        options.log_level, options.submit.trace_id, options.log_limit);
+    const JsonValue* lines = response.find("lines");
+    if (lines != nullptr) {
+      for (const JsonValue& line : lines->items()) {
+        std::cout << line.as_string() << "\n";
+      }
+    }
     return 0;
   }
   if (options.command == "raw") {

@@ -20,6 +20,7 @@
 #include <thread>
 
 #include "cli_flags.h"
+#include "obs/log.h"
 #include "service/fleet.h"
 #include "util/error.h"
 
@@ -33,22 +34,36 @@ struct FleetToolOptions {
   std::string listen = "unix:/tmp/bgls.sock";
   std::vector<std::string> workers;
   std::uint64_t health_interval_ms = 500;
+  std::string log_file;             // "" = log to stderr
+  std::string log_level = "info";
+  std::uint64_t slow_ms = 0;        // 0 = no slow-request log lines
 };
 
-/// Watches for SIGTERM/SIGINT (blocked on every thread; polled with
-/// sigtimedwait so the watcher can also exit on normal shutdown) and
-/// triggers the fleet's graceful-exit path.
+/// Watches for SIGTERM/SIGINT/SIGHUP (blocked on every thread; polled
+/// with sigtimedwait so the watcher can also exit on normal shutdown).
+/// TERM/INT trigger the fleet's graceful-exit path; HUP reopens the
+/// structured-log file so external rotation works.
 class SignalWatcher {
  public:
-  explicit SignalWatcher(FleetDaemon& fleet) {
-    sigemptyset(&set_);
-    sigaddset(&set_, SIGTERM);
-    sigaddset(&set_, SIGINT);
+  /// Blocks the watched signals on the calling thread. Must run before
+  /// any other thread exists — masks are inherited at thread creation,
+  /// so a thread spawned earlier (e.g. by a daemon constructor) is a
+  /// valid delivery target whose default disposition kills the process.
+  static void block_signals() {
+    sigset_t set = watched_set();
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  }
+
+  explicit SignalWatcher(FleetDaemon& fleet) : set_(watched_set()) {
     pthread_sigmask(SIG_BLOCK, &set_, nullptr);
     thread_ = std::thread([this, &fleet] {
       const timespec poll_interval{0, 200 * 1000 * 1000};  // 200ms
       while (!done_.load(std::memory_order_acquire)) {
         const int sig = sigtimedwait(&set_, nullptr, &poll_interval);
+        if (sig == SIGHUP) {
+          obs::Logger::global().reopen();
+          continue;
+        }
         if (sig == SIGTERM || sig == SIGINT) {
           std::cout << "bgls_fleet: caught "
                     << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
@@ -66,6 +81,15 @@ class SignalWatcher {
   }
 
  private:
+  static sigset_t watched_set() {
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGTERM);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGHUP);
+    return set;
+  }
+
   sigset_t set_{};
   std::atomic<bool> done_{false};
   std::thread thread_;
@@ -87,6 +111,13 @@ void print_usage(std::ostream& os) {
         "                   (repeatable, at least one required)\n"
         "  --health-interval-ms N  cadence of worker health pings\n"
         "                   (default 500)\n"
+        "  --log-file PATH  append structured ndjson log lines to PATH\n"
+        "                   (default: stderr); SIGHUP reopens the file,\n"
+        "                   so external rotation works\n"
+        "  --log-level LVL  minimum level recorded: debug/info/warn/\n"
+        "                   error (default info)\n"
+        "  --slow-ms N      warn-log request lines slower than N ms,\n"
+        "                   with the job's trace id (default 0 = off)\n"
         "  --help           this text\n"
         "\n"
         "fleet-only ops (via raw ndjson or future client support):\n"
@@ -115,6 +146,12 @@ bool parse_args(int argc, char** argv, FleetToolOptions& options) {
       options.health_interval_ms = parse_u64_flag(arg, need_value(i, arg));
       BGLS_REQUIRE(options.health_interval_ms >= 1,
                    "--health-interval-ms must be at least 1");
+    } else if (arg == "--log-file") {
+      options.log_file = need_value(i, arg);
+    } else if (arg == "--log-level") {
+      options.log_level = need_value(i, arg);
+    } else if (arg == "--slow-ms") {
+      options.slow_ms = parse_u64_flag(arg, need_value(i, arg));
     } else {
       detail::throw_error<ValueError>("unknown flag '", arg,
                                       "' (try --help)");
@@ -132,6 +169,18 @@ int main(int argc, char** argv) {
   try {
     if (!parse_args(argc, argv, options)) return 0;
 
+    obs::LogLevel log_level = obs::LogLevel::kInfo;
+    BGLS_REQUIRE(obs::parse_log_level(options.log_level, &log_level),
+                 "unknown --log-level '", options.log_level,
+                 "' (expected debug/info/warn/error)");
+    obs::Logger::global().set_level(log_level);
+    if (options.log_file.empty()) {
+      obs::Logger::global().set_stderr_sink(true);
+    } else {
+      BGLS_REQUIRE(obs::Logger::global().open_file(options.log_file),
+                   "cannot open --log-file '", options.log_file, "'");
+    }
+
     FleetOptions fleet_options;
     fleet_options.endpoint = Endpoint::parse(options.listen);
     for (const std::string& spec : options.workers) {
@@ -139,7 +188,12 @@ int main(int argc, char** argv) {
     }
     fleet_options.health_interval =
         std::chrono::milliseconds(options.health_interval_ms);
+    fleet_options.slow_request_ms = options.slow_ms;
 
+    // Block the watched signals before the fleet daemon exists so no
+    // earlier-spawned thread can receive them with the default
+    // (process-killing) disposition.
+    SignalWatcher::block_signals();
     FleetDaemon fleet(fleet_options);
     const SignalWatcher signals(fleet);
     fleet.start();

@@ -28,6 +28,7 @@
 #include "api/session.h"
 #include "cli_flags.h"
 #include "obs/exposition.h"
+#include "obs/log.h"
 #include "service/daemon.h"
 #include "util/error.h"
 
@@ -53,22 +54,37 @@ struct ServeOptions {
   std::map<std::string, TenantQuota> tenants;
   double max_job_seconds = 0.0;
   double max_queue_seconds = 0.0;
+  std::string log_file;             // "" = log to stderr
+  std::string log_level = "info";
+  std::uint64_t slow_ms = 0;        // 0 = no slow-request log lines
 };
 
-/// Watches for SIGTERM/SIGINT (blocked on every thread; polled with
-/// sigtimedwait so the watcher can also exit on normal shutdown) and
-/// triggers the daemon's graceful-exit path.
+/// Watches for SIGTERM/SIGINT/SIGHUP (blocked on every thread; polled
+/// with sigtimedwait so the watcher can also exit on normal shutdown).
+/// TERM/INT trigger the daemon's graceful-exit path; HUP reopens the
+/// structured-log file so external rotation works.
 class SignalWatcher {
  public:
-  explicit SignalWatcher(ServiceDaemon& daemon) {
-    sigemptyset(&set_);
-    sigaddset(&set_, SIGTERM);
-    sigaddset(&set_, SIGINT);
+  /// Blocks the watched signals on the calling thread. Must run before
+  /// any other thread exists — masks are inherited at thread creation,
+  /// and ServiceDaemon's *constructor* already spawns scheduler runner
+  /// threads; a thread with the default mask is a valid delivery target
+  /// whose default disposition kills the whole process.
+  static void block_signals() {
+    sigset_t set = watched_set();
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  }
+
+  explicit SignalWatcher(ServiceDaemon& daemon) : set_(watched_set()) {
     pthread_sigmask(SIG_BLOCK, &set_, nullptr);
     thread_ = std::thread([this, &daemon] {
       const timespec poll_interval{0, 200 * 1000 * 1000};  // 200ms
       while (!done_.load(std::memory_order_acquire)) {
         const int sig = sigtimedwait(&set_, nullptr, &poll_interval);
+        if (sig == SIGHUP) {
+          obs::Logger::global().reopen();
+          continue;
+        }
         if (sig == SIGTERM || sig == SIGINT) {
           std::cout << "bgls_serve: caught "
                     << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
@@ -86,6 +102,15 @@ class SignalWatcher {
   }
 
  private:
+  static sigset_t watched_set() {
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGTERM);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGHUP);
+    return set;
+  }
+
   sigset_t set_{};
   std::atomic<bool> done_{false};
   std::thread thread_;
@@ -133,6 +158,13 @@ void print_usage(std::ostream& os) {
         "                   cost exceeds X seconds (over_budget)\n"
         "  --max-queue-seconds X  reject submissions that would push the\n"
         "                   predicted queued backlog past X seconds\n"
+        "  --log-file PATH  append structured ndjson log lines to PATH\n"
+        "                   (default: stderr); SIGHUP reopens the file,\n"
+        "                   so external rotation works\n"
+        "  --log-level LVL  minimum level recorded: debug/info/warn/\n"
+        "                   error (default info)\n"
+        "  --slow-ms N      warn-log request lines slower than N ms,\n"
+        "                   with the job's trace id (default 0 = off)\n"
         "  --help           this text\n";
 }
 
@@ -183,6 +215,12 @@ bool parse_args(int argc, char** argv, ServeOptions& options) {
       options.max_job_seconds = parse_double_flag(arg, need_value(i, arg));
     } else if (arg == "--max-queue-seconds") {
       options.max_queue_seconds = parse_double_flag(arg, need_value(i, arg));
+    } else if (arg == "--log-file") {
+      options.log_file = need_value(i, arg);
+    } else if (arg == "--log-level") {
+      options.log_level = need_value(i, arg);
+    } else if (arg == "--slow-ms") {
+      options.slow_ms = parse_u64_flag(arg, need_value(i, arg));
     } else {
       detail::throw_error<ValueError>("unknown flag '", arg,
                                       "' (try --help)");
@@ -198,8 +236,21 @@ int main(int argc, char** argv) {
   try {
     if (!parse_args(argc, argv, options)) return 0;
 
+    obs::LogLevel log_level = obs::LogLevel::kInfo;
+    BGLS_REQUIRE(obs::parse_log_level(options.log_level, &log_level),
+                 "unknown --log-level '", options.log_level,
+                 "' (expected debug/info/warn/error)");
+    obs::Logger::global().set_level(log_level);
+    if (options.log_file.empty()) {
+      obs::Logger::global().set_stderr_sink(true);
+    } else {
+      BGLS_REQUIRE(obs::Logger::global().open_file(options.log_file),
+                   "cannot open --log-file '", options.log_file, "'");
+    }
+
     DaemonOptions daemon_options;
     daemon_options.endpoint = Endpoint::parse(options.listen);
+    daemon_options.slow_request_ms = options.slow_ms;
     daemon_options.scheduler.max_concurrent_jobs = options.jobs;
     daemon_options.scheduler.max_queue_depth = options.queue;
     daemon_options.scheduler.max_retained_jobs = options.retain;
@@ -217,6 +268,11 @@ int main(int argc, char** argv) {
     }
     daemon_options.journal_path = options.journal;
 
+    // Block the watched signals before the daemon exists: its
+    // constructor spawns scheduler runner threads, and any thread
+    // created with TERM/INT/HUP unblocked can receive the signal and
+    // take the process down before the watcher ever sees it.
+    SignalWatcher::block_signals();
     ServiceDaemon daemon(daemon_options);
     const SignalWatcher signals(daemon);
     daemon.start();

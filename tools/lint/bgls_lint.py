@@ -85,6 +85,7 @@ NONDET_ALLOWED_PREFIXES = (
     "src/obs/",                 # telemetry: metrics timestamps, spans
     "src/service/scheduler",    # queue-wait / runtime accounting
     "src/service/daemon.",      # journal-replay + uptime accounting
+    "src/service/fleet.",       # placement/proxy span + health timing
     "src/api/session.",         # per-run elapsed-seconds reporting
     "src/engine/engine.h",      # shard timer (progress heartbeats)
     "src/statevector/kernels.cpp",  # kernel progress heartbeat

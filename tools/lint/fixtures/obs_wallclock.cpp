@@ -1,0 +1,18 @@
+// bgls-lint-fixture-path: src/obs/log_fixture.cpp
+// The telemetry allowlist: src/obs/ may read wall and monotonic clocks
+// freely (log timestamps, span durations) — observation never feeds
+// sampling, so none of these lines is a finding. This fixture pins the
+// allowlist so a future prefix edit that orphans src/obs/log.cpp's
+// system_clock timestamp fails the self-test, not the tree scan.
+
+#include <chrono>
+
+double fixture_log_timestamp() {
+  // The structured logger stamps records with the wall clock, exactly
+  // as src/obs/log.cpp does:
+  const auto wall = std::chrono::system_clock::now();
+  // ...and spans measure durations on the monotonic clock:
+  const auto mono = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(wall.time_since_epoch()).count() +
+         std::chrono::duration<double>(mono.time_since_epoch()).count();
+}

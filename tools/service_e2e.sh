@@ -26,6 +26,15 @@
 #      worker kill -9'd mid-flood (the fleet keeps serving on the
 #      survivor) and brought back in, rejoining via health checks.
 #
+#   9. distributed tracing (fleet builds with telemetry): a job
+#      submitted through the fleet with a fixed --trace-id yields a
+#      single merged span tree (fleet.place/fleet.proxy -> worker
+#      queue/run -> engine sample/shard) from the trace op, exported
+#      as valid Chrome trace-event JSON; the workers' --slow-ms 1
+#      warn-logs carry that trace id (logs op + --log-file ndjson);
+#      the fleet metrics op aggregates worker scrapes under worker="N"
+#      labels.
+#
 # Usage: service_e2e.sh BGLS_SERVE BGLS_CLIENT BGLS_RUN DATA_DIR WORK_DIR
 #        [BGLS_FLEET]
 
@@ -355,22 +364,29 @@ if [ -n "$FLEET" ]; then
   FSOCK="/tmp/bgls_e2e_front_$$.sock"
   FCONNECT="unix:$FSOCK"
 
+  # --slow-ms 1 + --log-file: every non-trivial request warn-logs a
+  # "slow request" ndjson line tagged with the job's trace id, which
+  # section 9 asserts; --log-file appends, so worker 2's restart keeps
+  # writing to the same file.
   start_worker1() {
     "$SERVE" --listen "unix:$W1SOCK" --jobs 2 --cache 64 \
-      --tenant 'acme=2' --tenant 'blue=1' &
+      --tenant 'acme=2' --tenant 'blue=1' \
+      --slow-ms 1 --log-file "$WORK/worker1.log" &
     W1_PID=$!
     wait_socket "$W1SOCK" || fail "worker 1 socket never appeared"
   }
   start_worker2() {
     "$SERVE" --listen "unix:$W2SOCK" --jobs 2 --cache 64 \
-      --tenant 'acme=2' --tenant 'blue=1' &
+      --tenant 'acme=2' --tenant 'blue=1' \
+      --slow-ms 1 --log-file "$WORK/worker2.log" &
     W2_PID=$!
     wait_socket "$W2SOCK" || fail "worker 2 socket never appeared"
   }
   start_worker1
   start_worker2
   "$FLEET" --listen "$FCONNECT" --worker "unix:$W1SOCK" \
-    --worker "unix:$W2SOCK" --health-interval-ms 100 &
+    --worker "unix:$W2SOCK" --health-interval-ms 100 \
+    --slow-ms 1 --log-file "$WORK/fleet.log" &
   FLEET_PID=$!
   wait_socket "$FSOCK" || fail "fleet socket never appeared"
 
@@ -461,6 +477,72 @@ if [ -n "$FLEET" ]; then
   cmp "$WORK/rejoin_run.json" "$WORK/expected_2.json" \
     || fail "post-rejoin output differs from bgls_run"
   echo "ok: killed worker rejoined via health checks"
+
+  # --- 9. Distributed tracing: fixed trace id through the fleet ---
+  "$CLIENT" --connect "$FCONNECT" metrics > "$WORK/fleet_metrics.txt" \
+    || fail "fleet metrics scrape failed"
+  if grep -q "telemetry compiled out" "$WORK/fleet_metrics.txt"; then
+    echo "ok: telemetry compiled out; skipping tracing assertions"
+  else
+    # The fleet metrics op merges each live worker's scrape under a
+    # worker="N" label, after the fleet's own (unlabeled) series.
+    grep -q 'worker="0"' "$WORK/fleet_metrics.txt" \
+      || fail 'fleet metrics missing worker="0" series'
+    grep -q 'worker="1"' "$WORK/fleet_metrics.txt" \
+      || fail 'fleet metrics missing worker="1" series'
+    grep -q '^bgls_fleet_' "$WORK/fleet_metrics.txt" \
+      || fail "fleet metrics missing the front's own series"
+
+    TRACE_ID=424242
+    # --threads 2 forces the batch-engine path so the tree reaches the
+    # shard spans; reps sized so the job takes real wall time and the
+    # blocking wait — on the worker and on the fleet proxying it —
+    # crosses the --slow-ms 1 threshold (batched sampling clears
+    # ~200k reps in under a millisecond).
+    TJOB=$("$CLIENT" --connect "$FCONNECT" submit --reps 20000000 --seed 7 \
+      --threads 2 --trace-id "$TRACE_ID" "$DATA/ghz.qasm") \
+      || fail "traced submit failed"
+    "$CLIENT" --connect "$FCONNECT" wait "$TJOB" > /dev/null \
+      || fail "traced wait failed"
+
+    # One merged span tree, stitched fleet -> worker -> engine, plus
+    # the Chrome trace-event export.
+    "$CLIENT" --connect "$FCONNECT" trace "$TJOB" \
+      --chrome-trace "$WORK/trace_chrome.json" > "$WORK/trace_tree.txt" \
+      || fail "trace op failed"
+    for span in 'fleet.place (' 'fleet.proxy (' 'queue (' 'run (' \
+                'sample (' 'shard\['; do
+      grep -q -- "- $span" "$WORK/trace_tree.txt" \
+        || fail "trace tree missing span '$span': $(cat "$WORK/trace_tree.txt")"
+    done
+    python3 - "$WORK/trace_chrome.json" <<'PY' \
+      || fail "chrome trace export is not valid"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "no trace events"
+names = {e["name"] for e in events}
+assert "fleet.place" in names and "run" in names, sorted(names)
+assert all(e["ph"] == "X" and "dur" in e for e in events)
+PY
+    echo "ok: merged trace tree + Chrome export for trace_id=$TRACE_ID"
+
+    # The slow-request warn lines carry the propagated trace id, both
+    # over the logs op (ring tail) and in the --log-file ndjson.
+    : > "$WORK/traced_logs.txt"
+    for LSOCK in "$FCONNECT" "unix:$W1SOCK" "unix:$W2SOCK"; do
+      "$CLIENT" --connect "$LSOCK" logs --level warn \
+        --trace-id "$TRACE_ID" >> "$WORK/traced_logs.txt" \
+        || fail "logs op failed on $LSOCK"
+    done
+    grep -q "slow request" "$WORK/traced_logs.txt" \
+      || fail "no slow-request log line carries trace_id=$TRACE_ID"
+    grep -h "\"trace_id\":$TRACE_ID" \
+      "$WORK/fleet.log" "$WORK/worker1.log" "$WORK/worker2.log" \
+      2>/dev/null | grep -q "slow request" \
+      || fail "--log-file ndjson missing the traced slow-request line"
+    echo "ok: slow-request logs tagged with trace_id=$TRACE_ID"
+  fi
 
   "$CLIENT" --connect "$FCONNECT" shutdown > /dev/null \
     || fail "fleet shutdown failed"
